@@ -1,0 +1,14 @@
+//! Criterion bench for the design-choice ablations (A1/A2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", vino_bench::ablation::eviction_policy().render());
+    println!("{}", vino_bench::ablation::lock_timeout_sweep().render());
+    c.bench_function("ablation/timeout_sweep", |b| {
+        b.iter(|| std::hint::black_box(vino_bench::ablation::waiter_stall_us(10_000)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

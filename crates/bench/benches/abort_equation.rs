@@ -1,0 +1,13 @@
+//! Criterion bench for the §4.5 abort-cost equation sweep (E1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", vino_bench::equation::run().render());
+    c.bench_function("equation/fit", |b| {
+        b.iter(|| std::hint::black_box(vino_bench::equation::fit()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

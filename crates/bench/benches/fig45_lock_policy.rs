@@ -1,0 +1,13 @@
+//! Criterion bench for the Figures 4/5 lock-manager ablation (F45).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", vino_bench::lockfig::run(50).render());
+    c.bench_function("fig45/ablation", |b| {
+        b.iter(|| std::hint::black_box(vino_bench::lockfig::run(3)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Simulator-performance benches: GraftVM interpreter throughput and
+//! the full graft-invocation wrapper (host wall-clock, not model time).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vino_bench::world::{build, Variant};
+use vino_core::engine::InvokeOutcome;
+
+fn bench(c: &mut Criterion) {
+    // Interpreter throughput on the encryption loop (8 KB payload).
+    let mut group = c.benchmark_group("graftvm");
+    group.throughput(Throughput::Bytes(8192));
+    group.bench_function("xor_8k_safe", |b| {
+        let mut w = build(vino_bench::table6::ENCRYPT_GRAFT_SRC, 32 * 1024, Variant::Safe, 0);
+        let base = w.graft.mem_ref().seg_base();
+        b.iter(|| {
+            let out = w.graft.invoke([base + 4096, base + 12288, 8192, 0]);
+            assert!(matches!(out, InvokeOutcome::Ok { .. }));
+        })
+    });
+    group.finish();
+    c.bench_function("wrapper/null_invoke", |b| {
+        let mut w = build("halt r0", 1024, Variant::Safe, 0);
+        b.iter(|| {
+            let out = w.graft.invoke([0; 4]);
+            assert!(matches!(out, InvokeOutcome::Ok { .. }));
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

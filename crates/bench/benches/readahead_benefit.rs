@@ -1,0 +1,15 @@
+//! Criterion bench for the cost-benefit figures (E3/E4): the read-ahead
+//! crossover sweep and the eviction break-even ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", vino_bench::benefit::readahead_crossover().render());
+    println!("{}", vino_bench::benefit::eviction_break_even(20).render());
+    c.bench_function("benefit/eviction_break_even", |b| {
+        b.iter(|| std::hint::black_box(vino_bench::benefit::eviction_break_even(2)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

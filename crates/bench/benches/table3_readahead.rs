@@ -1,0 +1,16 @@
+//! Criterion bench for Table 3 (read-ahead graft overhead).
+//!
+//! Prints the reproduced table once, then wall-clock-benchmarks the
+//! six-path measurement harness itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", vino_bench::table3::run(50).render());
+    c.bench_function("table3/six_paths", |b| {
+        b.iter(|| std::hint::black_box(vino_bench::table3::run(3)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

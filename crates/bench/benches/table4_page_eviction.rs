@@ -1,0 +1,13 @@
+//! Criterion bench for Table 4 (page-eviction graft overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", vino_bench::table4::run(50).render());
+    c.bench_function("table4/six_paths", |b| {
+        b.iter(|| std::hint::black_box(vino_bench::table4::run(3)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Criterion bench for Table 5 (scheduling graft overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", vino_bench::table5::run(50).render());
+    c.bench_function("table5/six_paths", |b| {
+        b.iter(|| std::hint::black_box(vino_bench::table5::run(3)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Criterion bench for Table 7 (graft abort costs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", vino_bench::table7::run(50).render());
+    c.bench_function("table7/abort_pairs", |b| {
+        b.iter(|| std::hint::black_box(vino_bench::table7::pairs(3)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

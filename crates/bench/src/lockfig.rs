@@ -1,0 +1,163 @@
+//! Figures 4/5 ablation — the cost of policy encapsulation (§6).
+//!
+//! "This implementation encapsulates each policy decision at the cost of
+//! a level of indirection at each decision point. On our system,
+//! function calls typically cost approximately 35 cycles; these add up
+//! remarkably quickly."
+//!
+//! Measures `get_lock` on the conventional (Figure 4) and the
+//! policy-encapsulated (Figure 5) lock managers, on the granted path
+//! (one decision point) and the queued path (two), plus a release storm
+//! showing the promotion-loop indirection.
+
+use std::rc::Rc;
+
+use vino_core::lockmgr::{Mode, PolicyLockMgr, SimpleLockMgr, Waiter};
+use vino_sim::{costs, ThreadId, VirtualClock};
+
+use crate::render::{PathTable, Row};
+use crate::world::measure;
+
+fn sh(t: u64) -> Waiter {
+    Waiter { thread: ThreadId(t), mode: Mode::Shared }
+}
+fn ex(t: u64) -> Waiter {
+    Waiter { thread: ThreadId(t), mode: Mode::Exclusive }
+}
+
+/// Runs the ablation and renders it.
+pub fn run(reps: usize) -> PathTable {
+    // Granted path.
+    let simple_grant = measure(reps, || (SimpleLockMgr::new(), VirtualClock::new()), |(m, c), _| {
+        m.get_lock(c, 1, sh(1));
+    });
+    let policy_grant = measure(
+        reps,
+        || {
+            let c = VirtualClock::new();
+            let m = PolicyLockMgr::new(
+                Rc::clone(&c),
+                PolicyLockMgr::reader_priority(),
+                PolicyLockMgr::fifo(),
+            );
+            (m, c)
+        },
+        |(m, _), _| {
+            m.get_lock(1, sh(1));
+        },
+    );
+    // Queued path (holder conflicts).
+    let simple_queue = measure(reps, || {
+        let c = VirtualClock::new();
+        let mut m = SimpleLockMgr::new();
+        m.get_lock(&c, 1, ex(1));
+        (m, c)
+    }, |(m, c), _| {
+        m.get_lock(c, 1, ex(2));
+    });
+    let policy_queue = measure(
+        reps,
+        || {
+            let c = VirtualClock::new();
+            let mut m = PolicyLockMgr::new(
+                Rc::clone(&c),
+                PolicyLockMgr::reader_priority(),
+                PolicyLockMgr::fifo(),
+            );
+            m.get_lock(1, ex(1));
+            (m, c)
+        },
+        |(m, _), _| {
+            m.get_lock(1, ex(2));
+        },
+    );
+    // Release storm: exclusive holder releases over 8 shared waiters;
+    // the encapsulated manager pays one grant-policy call per waiter.
+    let simple_release = measure(reps, || {
+        let c = VirtualClock::new();
+        let mut m = SimpleLockMgr::new();
+        m.get_lock(&c, 1, ex(1));
+        for t in 2..10 {
+            m.get_lock(&c, 1, sh(t));
+        }
+        (m, c)
+    }, |(m, c), _| {
+        m.release(c, 1, ThreadId(1));
+    });
+    let policy_release = measure(
+        reps,
+        || {
+            let c = VirtualClock::new();
+            let mut m = PolicyLockMgr::new(
+                Rc::clone(&c),
+                PolicyLockMgr::reader_priority(),
+                PolicyLockMgr::fifo(),
+            );
+            m.get_lock(1, ex(1));
+            for t in 2..10 {
+                m.get_lock(1, sh(t));
+            }
+            (m, c)
+        },
+        |(m, _), _| {
+            m.release(1, ThreadId(1));
+        },
+    );
+
+    let cyc = |us: f64| us * 120.0;
+    PathTable {
+        id: "F45",
+        title: "Figures 4/5. Lock-manager policy encapsulation cost".to_string(),
+        rows: vec![
+            Row::value("Figure 4 get_lock, granted (cycles)", cyc(simple_grant.mean)),
+            Row::value("Figure 5 get_lock, granted (cycles)", cyc(policy_grant.mean)),
+            Row::value("  encapsulation cost (cycles)", cyc(policy_grant.mean - simple_grant.mean)),
+            Row::value("Figure 4 get_lock, queued (cycles)", cyc(simple_queue.mean)),
+            Row::value("Figure 5 get_lock, queued (cycles)", cyc(policy_queue.mean)),
+            Row::value("  encapsulation cost (cycles)", cyc(policy_queue.mean - simple_queue.mean)),
+            Row::value("Figure 4 release w/ 8 waiters (cycles)", cyc(simple_release.mean)),
+            Row::value("Figure 5 release w/ 8 waiters (cycles)", cyc(policy_release.mean)),
+            Row::value(
+                "  encapsulation cost (cycles)",
+                cyc(policy_release.mean - simple_release.mean),
+            ),
+        ],
+        notes: vec![
+            format!(
+                "one decision point = one ~{}-cycle call (paper: 'approximately 35 cycles')",
+                costs::CALL_CYCLES
+            ),
+            "the encapsulated manager can express writer-priority and writers-first \
+             policies Figure 4 cannot (see vino_core::lockmgr tests)"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encapsulation_costs_one_call_per_decision() {
+        let t = run(10);
+        let v = |label: &str| {
+            t.rows
+                .iter()
+                .find(|r| r.label == label)
+                .and_then(|r| r.overhead_us)
+                .unwrap_or_else(|| panic!("missing {label}"))
+        };
+        let granted_f4 = v("Figure 4 get_lock, granted (cycles)");
+        let granted_f5 = v("Figure 5 get_lock, granted (cycles)");
+        assert!((granted_f5 - granted_f4 - 35.0).abs() < 1.0);
+        let queued_f4 = v("Figure 4 get_lock, queued (cycles)");
+        let queued_f5 = v("Figure 5 get_lock, queued (cycles)");
+        assert!((queued_f5 - queued_f4 - 70.0).abs() < 1.0);
+        // Release over 8 waiters: 8-9 policy calls.
+        let rel_f4 = v("Figure 4 release w/ 8 waiters (cycles)");
+        let rel_f5 = v("Figure 5 release w/ 8 waiters (cycles)");
+        let delta = rel_f5 - rel_f4;
+        assert!(delta >= 8.0 * 35.0 - 1.0, "release delta {delta}");
+    }
+}

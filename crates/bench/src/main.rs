@@ -1,0 +1,33 @@
+//! `tables` — regenerates every table and figure from the paper's
+//! evaluation section against the simulated VINO kernel.
+//!
+//! Usage: `cargo run -p vino-bench --release [-- --reps N]`
+
+fn main() {
+    let mut reps = 100usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reps" => {
+                reps = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--reps expects a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("tables: regenerate the paper's evaluation tables");
+                println!("  --reps N   samples per measurement path (default 100)");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!(
+        "VINO reproduction — 'Dealing With Disaster' (OSDI '96) evaluation tables\n\
+         methodology: {reps} samples/path, top+bottom 10% trimmed (§4)\n"
+    );
+    println!("{}", vino_bench::full_report(reps));
+}

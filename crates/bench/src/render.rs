@@ -1,0 +1,103 @@
+//! Table rendering in the paper's format: alternating "path" rows with
+//! elapsed times and indented incremental-overhead component rows.
+
+/// One table row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Label, e.g. "Base path" or "Transaction begin".
+    pub label: String,
+    /// Overhead column (µs) — component rows.
+    pub overhead_us: Option<f64>,
+    /// Elapsed-time column (µs) — path rows.
+    pub elapsed_us: Option<f64>,
+}
+
+impl Row {
+    /// A path row (elapsed-time column).
+    pub fn path(label: impl Into<String>, elapsed_us: f64) -> Row {
+        Row { label: label.into(), overhead_us: None, elapsed_us: Some(elapsed_us) }
+    }
+
+    /// A component row (overhead column, indented).
+    pub fn component(label: impl Into<String>, overhead_us: f64) -> Row {
+        Row { label: label.into(), overhead_us: Some(overhead_us), elapsed_us: None }
+    }
+
+    /// A free-form numeric row rendered in the overhead column.
+    pub fn value(label: impl Into<String>, v: f64) -> Row {
+        Row::component(label, v)
+    }
+}
+
+/// A rendered experiment: identifier, title, rows and footnotes.
+#[derive(Debug, Clone)]
+pub struct PathTable {
+    /// Short id, e.g. "T3".
+    pub id: &'static str,
+    /// Title, e.g. "Table 3. Read-ahead Graft Overhead".
+    pub title: String,
+    /// Rows in display order.
+    pub rows: Vec<Row>,
+    /// Footnotes (paper-vs-measured commentary).
+    pub notes: Vec<String>,
+}
+
+impl PathTable {
+    /// Renders the table as fixed-width text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = 66usize;
+        out.push_str(&format!("[{}] {}\n", self.id, self.title));
+        out.push_str(&"-".repeat(width));
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<40} {:>11} {:>12}\n",
+            "", "Overhead", "Elapsed"
+        ));
+        out.push_str(&format!("{:<40} {:>11} {:>12}\n", "", "(us)", "time (us)"));
+        out.push_str(&"-".repeat(width));
+        out.push('\n');
+        for r in &self.rows {
+            let (label, indent) = if r.overhead_us.is_some() && r.elapsed_us.is_none() {
+                (format!("  {}", r.label), true)
+            } else {
+                (r.label.clone(), false)
+            };
+            let _ = indent;
+            let ov = r.overhead_us.map_or(String::new(), |v| format!("{v:.1}"));
+            let el = r.elapsed_us.map_or(String::new(), |v| format!("{v:.1}"));
+            out.push_str(&format!("{label:<40} {ov:>11} {el:>12}\n"));
+        }
+        out.push_str(&"-".repeat(width));
+        out.push('\n');
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_paths_and_components() {
+        let t = PathTable {
+            id: "T0",
+            title: "Demo".to_string(),
+            rows: vec![
+                Row::path("Base path", 0.5),
+                Row::component("Indirection cost", 1.0),
+                Row::path("VINO path", 1.5),
+            ],
+            notes: vec!["example".to_string()],
+        };
+        let s = t.render();
+        assert!(s.contains("[T0] Demo"));
+        assert!(s.contains("Base path"));
+        assert!(s.contains("  Indirection cost"));
+        assert!(s.contains("1.5"));
+        assert!(s.contains("note: example"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Table 3 — read-ahead graft overhead (§4.1.3).
+//!
+//! "We tested the read-ahead graft by reading three thousand four
+//! kilobyte blocks in a random order from a twelve megabyte file. Each
+//! time the application code issued a read request to the open file
+//! object, it also placed the location and size of its subsequent read
+//! in the shared buffer so that it could be prefetched."
+//!
+//! The measured quantity is the `compute-ra` decision path: from the
+//! open-file object's dispatch to the policy's return. The graft locks
+//! the shared buffer, scans the application-posted access pattern for
+//! the current offset, and submits the following entry for prefetch.
+
+use vino_core::engine::CommitMode;
+use vino_sim::costs;
+use vino_sim::Cycles;
+
+use crate::render::{PathTable, Row};
+use crate::world::{build, measure, Variant, World};
+
+/// The read-ahead graft: scan the shared pattern buffer (§4.1.2) for
+/// the current offset and prefetch the entry that follows it.
+pub const RA_GRAFT_SRC: &str = "
+    const r1, 0          ; shared-buffer lock handle
+    call $lock
+    call $shared_base
+    mov r5, r0
+    loadw r8, [r5+0]     ; request header: current offset
+    addi r6, r5, 1024    ; application pattern buffer
+    loadw r7, [r6+0]     ; entry count
+    addi r6, r6, 4
+    const r9, 0
+scan:
+    bgeu r9, r7, miss
+    loadw r10, [r6+0]
+    beq r10, r8, found
+    addi r6, r6, 4
+    addi r9, r9, 1
+    jmp scan
+found:
+    loadw r1, [r6+4]     ; the next access: prefetch it
+    const r2, 4096
+    call $ra_submit
+miss:
+    const r1, 0
+    call $unlock         ; two-phase locking defers this to commit
+    halt r0
+";
+
+/// Pattern-buffer entries the application posts.
+const PATTERN_LEN: usize = 16;
+/// Index within the pattern the current request matches.
+const MATCH_AT: usize = 8;
+
+fn make_world(variant: Variant) -> World {
+    let mut w = build(RA_GRAFT_SRC, 8192, variant, 1);
+    // The application posts its access pattern in the shared buffer.
+    let mem = w.graft.mem();
+    mem.graft_write_u32(1024, PATTERN_LEN as u32);
+    for i in 0..PATTERN_LEN {
+        mem.graft_write_u32(1028 + 4 * i, (i as u32) * 4096);
+    }
+    // Request header: the current read offset.
+    mem.graft_write_u32(0, (MATCH_AT as u32) * 4096);
+    w
+}
+
+/// The native (un-graftable) next-block computation of the base path.
+fn base_compute(clock: &std::rc::Rc<vino_sim::VirtualClock>) {
+    // Selecting the next sequential block: a handful of arithmetic on
+    // the open-file fields — the paper measures 0.5 us.
+    clock.charge(Cycles(60));
+}
+
+/// Runs the experiment and renders Table 3.
+pub fn run(reps: usize) -> PathTable {
+    let base = measure(reps, vino_sim::VirtualClock::new, |_, clock| base_compute(clock));
+    let vino = measure(reps, || vino_sim::VirtualClock::new(), |_, clock| {
+        clock.charge(Cycles(costs::INDIRECTION_CYCLES));
+        base_compute(clock);
+    });
+    let null = measure(reps, || build("halt r0", 8192, Variant::Safe, 1), |w, clock| {
+        clock.charge(Cycles(costs::INDIRECTION_CYCLES));
+        w.graft.invoke([MATCH_AT as u64 * 4096, 4096, 0, 1 << 24]);
+    });
+    let unsafe_ = measure(reps, || make_world(Variant::Unsafe), |w, clock| {
+        clock.charge(Cycles(costs::INDIRECTION_CYCLES));
+        w.graft.invoke([MATCH_AT as u64 * 4096, 4096, 0, 1 << 24]);
+    });
+    let safe = measure(reps, || make_world(Variant::Safe), |w, clock| {
+        clock.charge(Cycles(costs::INDIRECTION_CYCLES));
+        w.graft.invoke([MATCH_AT as u64 * 4096, 4096, 0, 1 << 24]);
+    });
+    let abort = measure(reps, || make_world(Variant::Safe), |w, clock| {
+        clock.charge(Cycles(costs::INDIRECTION_CYCLES));
+        w.graft
+            .invoke_mode([MATCH_AT as u64 * 4096, 4096, 0, 1 << 24], CommitMode::AbortAtEnd);
+    });
+
+    let begin = costs::TXN_BEGIN.as_us();
+    let commit = costs::TXN_COMMIT.as_us();
+    let lock = costs::TXN_LOCK_ACQUIRE.as_us();
+    PathTable {
+        id: "T3",
+        title: "Table 3. Read-ahead Graft Overhead".to_string(),
+        rows: vec![
+            Row::path("Base path", base.mean),
+            Row::component("Indirection cost", vino.mean - base.mean),
+            Row::path("VINO path", vino.mean),
+            Row::component("Transaction begin", begin),
+            Row::component("Null graft cost", null.mean - vino.mean - begin - commit),
+            Row::component("Transaction commit", commit),
+            Row::component("Incremental overhead", null.mean - vino.mean),
+            Row::path("Null path", null.mean),
+            Row::component("Lock overhead", lock),
+            Row::component("Graft function", unsafe_.mean - null.mean - lock),
+            Row::component("Incremental overhead", unsafe_.mean - null.mean),
+            Row::path("Unsafe path", unsafe_.mean),
+            Row::component("MiSFIT overhead", safe.mean - unsafe_.mean),
+            Row::path("Safe path", safe.mean),
+            Row::component("Abort cost (additional)", abort.mean - safe.mean),
+            Row::path("Abort path", abort.mean),
+        ],
+        notes: vec![
+            format!(
+                "paper: base 0.5 / VINO 1.5 / null 67 / unsafe 104 / safe 107 / abort 108 us"
+            ),
+            format!(
+                "grafting overhead (safe - VINO) = {:.1} us (paper: 105.5 us)",
+                safe.mean - vino.mean
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shape_matches_paper() {
+        let t = run(30);
+        let path = |label: &str| {
+            t.rows
+                .iter()
+                .find(|r| r.label == label)
+                .and_then(|r| r.elapsed_us)
+                .unwrap_or_else(|| panic!("missing {label}"))
+        };
+        let base = path("Base path");
+        let vino = path("VINO path");
+        let null = path("Null path");
+        let unsafe_ = path("Unsafe path");
+        let safe = path("Safe path");
+        let abort = path("Abort path");
+        // Monotone path ordering.
+        assert!(base < vino && vino < null && null < unsafe_ && unsafe_ < safe && safe < abort);
+        // Paper anchors (loose bands — shape, not exact numbers).
+        assert!(base < 2.0, "base {base}");
+        assert!((vino - base - 1.0).abs() < 0.5, "indirection ~1us");
+        assert!((60.0..80.0).contains(&null), "null {null} (paper 67)");
+        assert!((90.0..125.0).contains(&unsafe_), "unsafe {unsafe_} (paper 104)");
+        assert!((90.0..130.0).contains(&safe), "safe {safe} (paper 107)");
+        // MiSFIT overhead small for this sparse-access graft.
+        assert!(safe - unsafe_ < 8.0, "misfit {}", safe - unsafe_);
+        // Abort adds ~ (35 - 30) + 10 * 1 lock.
+        let extra = abort - safe;
+        assert!((10.0..20.0).contains(&extra), "abort extra {extra}");
+    }
+}

@@ -1,0 +1,222 @@
+//! Table 5 — scheduling graft overhead (§4.3).
+//!
+//! "Our example schedule-delegate graft scans a process list of 64
+//! entries, examines each (to determine if one of the other processes
+//! should be run instead) and then returns its own ID. [...] The base
+//! path measurement includes the time to select the next process to
+//! run, switch to it, and switch back (including switching VM contexts
+//! twice). [...] Each iteration of the loop that walks the 64-element
+//! process list takes about 0.5 us, primarily because our collection
+//! class implementation is not well-optimized."
+//!
+//! The per-entry `examine` is a subroutine call (the unoptimized
+//! collection-class accessor, ~35 cycles a call).
+
+use vino_core::adapters::{share, SchedGraftAdapter};
+use vino_core::engine::CommitMode;
+use vino_sim::{costs, VirtualClock};
+use vino_sched::Scheduler;
+use std::rc::Rc;
+
+use crate::render::{PathTable, Row};
+use crate::world::{build, measure, HasClock, Variant, World};
+
+/// Process-list entries the graft scans.
+pub const PROC_LIST: usize = 64;
+
+/// The schedule-delegate graft: lock the process list, examine all 64
+/// entries through the collection accessor, return the chosen id.
+pub const SCHED_GRAFT_SRC: &str = "
+    mov r8, r1           ; the kernel's chosen thread id
+    const r1, 0          ; process-list lock handle
+    call $lock
+    call $shared_base
+    mov r5, r0
+    loadw r7, [r5+4]     ; runnable count
+    addi r6, r5, 8
+    const r9, 0
+scan:
+    bgeu r9, r7, done
+    calll examine
+    addi r6, r6, 4
+    addi r9, r9, 1
+    jmp scan
+done:
+    mov r0, r8           ; run myself
+    halt r0
+
+examine:                 ; the collection-class entry accessor
+    loadw r10, [r6+0]
+    loadw r11, [r6+0]    ; a second field access (state inspection)
+    ret
+";
+
+/// A world whose scheduler has the chosen thread plus a 64-entry list.
+struct SchedWorld {
+    world: World,
+    sched: Scheduler,
+}
+
+impl HasClock for SchedWorld {
+    fn clock(&self) -> Rc<VirtualClock> {
+        self.world.clock()
+    }
+}
+
+fn make_sched_world(variant: Variant, mode: CommitMode) -> SchedWorld {
+    // One graft world; the scheduler shares its clock.
+    let world = build(SCHED_GRAFT_SRC, 4096, variant, 1);
+    let mut sched = Scheduler::new(world.clock());
+    let delegated = sched.spawn("delegated");
+    for i in 0..PROC_LIST - 1 {
+        sched.spawn(format!("p{i}"));
+    }
+    // Attach through the real adapter.
+    let shared = share(build_instance_like(&world, variant));
+    let mut adapter = SchedGraftAdapter::new(shared);
+    adapter.mode = mode;
+    sched.set_delegate(delegated, Box::new(adapter));
+    SchedWorld { world, sched }
+}
+
+fn build_instance_like(w: &World, variant: Variant) -> vino_core::engine::GraftInstance {
+    // Rebuild the graft program on the *same* engine/clock as `w` so
+    // both charge one clock.
+    let prog = vino_vm::asm::assemble(
+        "sched-graft",
+        SCHED_GRAFT_SRC,
+        &vino_core::hostfn::symbols(),
+    )
+    .expect("assembles");
+    crate::world::instance_from(&w.engine, prog, 4096, variant)
+}
+
+/// Runs the experiment and renders Table 5.
+pub fn run(reps: usize) -> PathTable {
+    // Base: two switches, no delegates.
+    let base = measure(reps, || {
+        let clock = VirtualClock::new();
+        let mut s = Scheduler::new(Rc::clone(&clock));
+        for i in 0..PROC_LIST {
+            s.spawn(format!("p{i}"));
+        }
+        (s, clock)
+    }, |(s, _), _| {
+        s.pick_and_switch();
+        s.pick_and_switch();
+    });
+
+    // VINO path: a native delegate that returns the chosen id —
+    // indirection + valid-id hash probe + two switches.
+    let vino = measure(reps, || {
+        let clock = VirtualClock::new();
+        let mut s = Scheduler::new(Rc::clone(&clock));
+        let first = s.spawn("delegated");
+        for i in 0..PROC_LIST - 1 {
+            s.spawn(format!("p{i}"));
+        }
+        s.set_delegate(first, Box::new(|snap: &vino_sched::SchedSnapshot<'_>| snap.chosen));
+        (s, clock)
+    }, |(s, _), _| {
+        s.pick_and_switch();
+        s.pick_and_switch();
+    });
+
+    // Graft paths: the delegate runs a graft through the adapter.
+    let graft_path = |variant: Variant, mode: CommitMode| {
+        measure(reps, move || make_sched_world(variant, mode), |sw, _| {
+            sw.sched.pick_and_switch();
+            sw.sched.pick_and_switch();
+        })
+    };
+    // Null path: null graft through the adapter, committing.
+    let null = measure(reps, || {
+        let world = build("mov r0, r1\nhalt r0", 4096, Variant::Safe, 1);
+        let mut sched = Scheduler::new(world.clock());
+        let delegated = sched.spawn("delegated");
+        for i in 0..PROC_LIST - 1 {
+            sched.spawn(format!("p{i}"));
+        }
+        let inst = build_null_instance(&world);
+        sched.set_delegate(delegated, Box::new(SchedGraftAdapter::new(share(inst))));
+        SchedWorld { world, sched }
+    }, |sw, _| {
+        sw.sched.pick_and_switch();
+        sw.sched.pick_and_switch();
+    });
+    let unsafe_ = graft_path(Variant::Unsafe, CommitMode::Commit);
+    let safe = graft_path(Variant::Safe, CommitMode::Commit);
+    let abort = graft_path(Variant::Safe, CommitMode::AbortAtEnd);
+
+    let begin = costs::TXN_BEGIN.as_us();
+    let commit = costs::TXN_COMMIT.as_us();
+    let lock = costs::TXN_LOCK_ACQUIRE.as_us();
+    PathTable {
+        id: "T5",
+        title: "Table 5. Scheduling Graft Overhead".to_string(),
+        rows: vec![
+            Row::path("Base path (two switches)", base.mean),
+            Row::component("Indirection cost", vino.mean - base.mean),
+            Row::path("VINO path", vino.mean),
+            Row::component("Transaction begin", begin),
+            Row::component("Null graft cost", null.mean - vino.mean - begin - commit),
+            Row::component("Transaction commit", commit),
+            Row::component("Incremental overhead", null.mean - vino.mean),
+            Row::path("Null path", null.mean),
+            Row::component("Lock overhead", lock),
+            Row::component("Graft function", unsafe_.mean - null.mean - lock),
+            Row::component("Incremental overhead", unsafe_.mean - null.mean),
+            Row::path("Unsafe path", unsafe_.mean),
+            Row::component("MiSFIT overhead", safe.mean - unsafe_.mean),
+            Row::path("Safe path", safe.mean),
+            Row::component("Abort cost (additional)", abort.mean - safe.mean),
+            Row::path("Abort path", abort.mean),
+        ],
+        notes: vec![
+            "paper: base 54 / VINO 55 / null 131 / unsafe 203 / safe 208 / abort 211 us".into(),
+            format!(
+                "fixed txn+lock overhead vs a process-switch pair: {:.1}x (paper: ~2x); \
+                 safe path is {:.1}% of a 10 ms timeslice (paper: ~2%)",
+                (null.mean - vino.mean + lock) / base.mean,
+                100.0 * safe.mean / 10_000.0
+            ),
+        ],
+    }
+}
+
+fn build_null_instance(w: &World) -> vino_core::engine::GraftInstance {
+    let prog =
+        vino_vm::asm::assemble("null", "mov r0, r1\nhalt r0", &vino_core::hostfn::symbols())
+            .expect("assembles");
+    crate::world::instance_from(&w.engine, prog, 4096, Variant::Safe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(t: &PathTable, label: &str) -> f64 {
+        t.rows.iter().find(|r| r.label == label).and_then(|r| r.elapsed_us).unwrap()
+    }
+
+    #[test]
+    fn table5_shape_matches_paper() {
+        let t = run(10);
+        let base = path(&t, "Base path (two switches)");
+        let vino = path(&t, "VINO path");
+        let null = path(&t, "Null path");
+        let unsafe_ = path(&t, "Unsafe path");
+        let safe = path(&t, "Safe path");
+        let abort = path(&t, "Abort path");
+        assert!(base < vino && vino < null && null < unsafe_ && unsafe_ < safe && safe < abort);
+        // Base: exactly two context switches (54 us).
+        assert!((base - 54.0).abs() < 2.0, "base {base}");
+        // Null: + txn envelope (paper 131).
+        assert!((110.0..150.0).contains(&null), "null {null}");
+        // The fixed transaction + lock cost alone exceeds the base path
+        // (the paper's headline for this table).
+        assert!(null - vino + 33.0 > base, "txn+lock {} vs base {base}", null - vino + 33.0);
+        // Safe path a small fraction of a 10 ms timeslice.
+        assert!(safe < 0.05 * 10_000.0, "safe {safe}");
+    }
+}

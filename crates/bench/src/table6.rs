@@ -1,0 +1,198 @@
+//! Table 6 — encryption (stream) graft overhead (§4.4).
+//!
+//! "Our sample graft is passed an 8KB input data buffer block and an 8KB
+//! output buffer. The graft encrypts the data into the output buffer and
+//! returns. This graft [...] offers nearly the worst case of software
+//! fault isolation overhead, because it consists almost entirely of load
+//! and store instructions."
+//!
+//! Base path: the in-kernel `bcopy` of 8 KB. The graft paths replace the
+//! hardware copy with the xor-encrypting software loop.
+
+use vino_core::engine::CommitMode;
+use vino_sim::{costs, Cycles, VirtualClock};
+
+use crate::render::{PathTable, Row};
+use crate::world::{build, measure, Variant, World};
+
+/// Stream payload: "an 8KB input data buffer block" (§4.4).
+pub const PAYLOAD: usize = 8192;
+
+/// Words in the payload (the platform's 4-byte words).
+const WORDS: u64 = (PAYLOAD / 4) as u64;
+
+/// The xor-encryption stream graft: word-at-a-time load/xor/store from
+/// the input buffer (r1) to the output buffer (r2), length r3 bytes.
+pub const ENCRYPT_GRAFT_SRC: &str = "
+    const r5, 0x5A5A5A5A  ; the key
+    add r3, r1, r3        ; end of input
+loop:
+    bgeu r1, r3, done
+    loadw r7, [r1+0]
+    xor r7, r7, r5
+    storew r7, [r2+0]
+    addi r1, r1, 4
+    addi r2, r2, 4
+    jmp loop
+done:
+    halt r0
+";
+
+/// Input buffer offset within the graft segment.
+const IN_OFF: usize = 4096;
+/// Output buffer offset.
+const OUT_OFF: usize = 4096 + PAYLOAD;
+
+fn make_world(variant: Variant) -> World {
+    let mut w = build(ENCRYPT_GRAFT_SRC, 32 * 1024, variant, 0);
+    let mem = w.graft.mem();
+    let data: Vec<u8> = (0..PAYLOAD).map(|i| (i * 31 % 251) as u8).collect();
+    mem.graft_bytes_mut(IN_OFF, PAYLOAD).expect("segment sized").copy_from_slice(&data);
+    w
+}
+
+fn invoke_args(w: &World) -> [u64; 4] {
+    let base = w.graft.mem_ref().seg_base();
+    [base + IN_OFF as u64, base + OUT_OFF as u64, PAYLOAD as u64, 0]
+}
+
+/// The kernel `bcopy` of the payload (hardware copy instruction).
+fn charge_bcopy(clock: &std::rc::Rc<VirtualClock>) {
+    clock.charge(Cycles(costs::BCOPY_CYCLES_PER_WORD * WORDS));
+}
+
+/// L1 misses over the 8 KB buffer once the transaction machinery has
+/// evicted it (the paper measures +24 us on the null path).
+fn charge_l1(clock: &std::rc::Rc<VirtualClock>) {
+    let lines = (PAYLOAD / 32) as u64;
+    clock.charge(Cycles(costs::L1_MISS_CYCLES * lines));
+}
+
+/// Runs the experiment and renders Table 6.
+pub fn run(reps: usize) -> PathTable {
+    let base = measure(reps, VirtualClock::new, |_, c| charge_bcopy(c));
+    let vino = measure(reps, VirtualClock::new, |_, c| {
+        c.charge(Cycles(costs::INDIRECTION_CYCLES));
+        charge_bcopy(c);
+    });
+    let null = measure(reps, || build("halt r0", 1024, Variant::Safe, 0), |w, c| {
+        c.charge(Cycles(costs::INDIRECTION_CYCLES));
+        w.graft.invoke([0; 4]);
+        charge_bcopy(c);
+        charge_l1(c);
+    });
+    let unsafe_ = measure(reps, || make_world(Variant::Unsafe), |w, c| {
+        c.charge(Cycles(costs::INDIRECTION_CYCLES));
+        let args = invoke_args(w);
+        w.graft.invoke(args);
+        charge_l1(c);
+    });
+    let safe = measure(reps, || make_world(Variant::Safe), |w, c| {
+        c.charge(Cycles(costs::INDIRECTION_CYCLES));
+        let args = invoke_args(w);
+        w.graft.invoke(args);
+        charge_l1(c);
+    });
+    let abort = measure(reps, || make_world(Variant::Safe), |w, c| {
+        c.charge(Cycles(costs::INDIRECTION_CYCLES));
+        let args = invoke_args(w);
+        w.graft.invoke_mode(args, CommitMode::AbortAtEnd);
+        charge_l1(c);
+    });
+
+    let begin = costs::TXN_BEGIN.as_us();
+    let commit = costs::TXN_COMMIT.as_us();
+    PathTable {
+        id: "T6",
+        title: "Table 6. Encryption Graft Overhead".to_string(),
+        rows: vec![
+            Row::path("Base path (bcopy 8KB)", base.mean),
+            Row::path("VINO path", vino.mean),
+            Row::component("Transaction begin", begin),
+            Row::component("Transaction commit", commit),
+            Row::component("L1 cache miss time", null.mean - vino.mean - begin - commit),
+            Row::component("Incremental overhead", null.mean - vino.mean),
+            Row::path("Null path", null.mean),
+            Row::component("Graft function", unsafe_.mean - null.mean),
+            Row::path("Unsafe path", unsafe_.mean),
+            Row::component("MiSFIT overhead", safe.mean - unsafe_.mean),
+            Row::path("Safe path", safe.mean),
+            Row::component("Abort cost (additional)", abort.mean - safe.mean),
+            Row::path("Abort path", abort.mean),
+        ],
+        notes: vec![
+            "paper: base 105 / VINO 105 / null 193 / unsafe 359 / safe 546 / abort 550 us".into(),
+            format!(
+                "safe path = {:.1}x bcopy (paper: 5.2x); MiSFIT overhead = {:.0}% of the graft \
+                 function (paper: >100%)",
+                safe.mean / base.mean,
+                100.0 * (safe.mean - unsafe_.mean)
+                    / (unsafe_.mean - null.mean + base.mean)
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vino_core::engine::InvokeOutcome;
+
+    fn path(t: &PathTable, label: &str) -> f64 {
+        t.rows.iter().find(|r| r.label == label).and_then(|r| r.elapsed_us).unwrap()
+    }
+
+    #[test]
+    fn table6_shape_matches_paper() {
+        let t = run(10);
+        let base = path(&t, "Base path (bcopy 8KB)");
+        let null = path(&t, "Null path");
+        let unsafe_ = path(&t, "Unsafe path");
+        let safe = path(&t, "Safe path");
+        let abort = path(&t, "Abort path");
+        assert!(base < null && null < unsafe_ && unsafe_ < safe && safe < abort);
+        // bcopy of 8 KB ~ 100 us on the 1996 memory system.
+        assert!((80.0..130.0).contains(&base), "base {base}");
+        // The worst case for SFI: MiSFIT overhead comparable to the
+        // graft function itself (paper: 187 us on a 166 us function).
+        let graft_fn = unsafe_ - null;
+        let misfit = safe - unsafe_;
+        assert!(misfit > 0.7 * graft_fn, "misfit {misfit} vs graft {graft_fn}");
+        // Safe path is several times a straight bcopy (paper: 5.2x).
+        assert!(safe / base > 2.5, "safe/base {}", safe / base);
+        // Abort barely more than commit (paper +4 us).
+        assert!((abort - safe) < 12.0, "abort delta {}", abort - safe);
+    }
+
+    #[test]
+    fn encryption_is_correct_and_symmetric() {
+        let mut w = make_world(Variant::Safe);
+        let args = invoke_args(&w);
+        match w.graft.invoke(args) {
+            InvokeOutcome::Ok { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        let mem = w.graft.mem_ref();
+        let input = mem.graft_bytes(IN_OFF, PAYLOAD).unwrap().to_vec();
+        let output = mem.graft_bytes(OUT_OFF, PAYLOAD).unwrap().to_vec();
+        for (i, (a, b)) in input.chunks(4).zip(output.chunks(4)).enumerate() {
+            let x = u32::from_le_bytes(a.try_into().unwrap());
+            let y = u32::from_le_bytes(b.try_into().unwrap());
+            assert_eq!(x ^ 0x5A5A_5A5A, y, "word {i}");
+        }
+    }
+
+    #[test]
+    fn sfi_and_raw_produce_identical_ciphertext() {
+        let mut ws = make_world(Variant::Safe);
+        let mut wr = make_world(Variant::Unsafe);
+        let args_s = invoke_args(&ws);
+        let args_r = invoke_args(&wr);
+        ws.graft.invoke(args_s);
+        wr.graft.invoke(args_r);
+        assert_eq!(
+            ws.graft.mem_ref().graft_bytes(OUT_OFF, PAYLOAD),
+            wr.graft.mem_ref().graft_bytes(OUT_OFF, PAYLOAD)
+        );
+    }
+}

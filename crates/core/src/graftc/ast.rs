@@ -1,0 +1,124 @@
+//! The GraftC abstract syntax tree.
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<` (unsigned)
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// An integer literal.
+    Int(u64),
+    /// A variable reference.
+    Var(String),
+    /// A binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary negation (two's complement).
+    Neg(Box<Expr>),
+    /// Logical not: `!e` is 1 if e == 0 else 0.
+    Not(Box<Expr>),
+    /// A kernel call `name(args...)`, at most 4 arguments.
+    Call {
+        /// Kernel function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// A word load `mem[addr]`.
+    Mem(Box<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `let name = expr;`
+    Let {
+        /// Variable name.
+        name: String,
+        /// Initialiser.
+        value: Expr,
+    },
+    /// `name = expr;`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// New value.
+        value: Expr,
+    },
+    /// `mem[addr] = value;`
+    MemStore {
+        /// Address expression.
+        addr: Expr,
+        /// Value expression.
+        value: Expr,
+    },
+    /// `if (cond) {..} else {..}`
+    If {
+        /// Condition (nonzero = true).
+        cond: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) {..}`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr;`
+    Return(Expr),
+    /// An expression evaluated for its effects (usually a call).
+    Expr(Expr),
+}
+
+/// The single `fn main(params...)` a graft defines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Parameter names (≤ 4, mapped to `r1..r4`).
+    pub params: Vec<String>,
+    /// The body.
+    pub body: Vec<Stmt>,
+}

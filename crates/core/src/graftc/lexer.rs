@@ -1,0 +1,300 @@
+//! The GraftC tokenizer.
+
+use std::fmt;
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// GraftC tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `mem`
+    Mem,
+    /// An identifier.
+    Ident(String),
+    /// An unsigned integer literal (decimal or 0x hex).
+    Int(u64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `!`
+    Bang,
+}
+
+/// Tokenisation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises GraftC source. `//` comments run to end of line.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => { out.push(Spanned { tok: Token::LParen, line }); i += 1; }
+            ')' => { out.push(Spanned { tok: Token::RParen, line }); i += 1; }
+            '{' => { out.push(Spanned { tok: Token::LBrace, line }); i += 1; }
+            '}' => { out.push(Spanned { tok: Token::RBrace, line }); i += 1; }
+            '[' => { out.push(Spanned { tok: Token::LBracket, line }); i += 1; }
+            ']' => { out.push(Spanned { tok: Token::RBracket, line }); i += 1; }
+            ',' => { out.push(Spanned { tok: Token::Comma, line }); i += 1; }
+            ';' => { out.push(Spanned { tok: Token::Semi, line }); i += 1; }
+            '+' => { out.push(Spanned { tok: Token::Plus, line }); i += 1; }
+            '-' => { out.push(Spanned { tok: Token::Minus, line }); i += 1; }
+            '*' => { out.push(Spanned { tok: Token::Star, line }); i += 1; }
+            '/' => { out.push(Spanned { tok: Token::Slash, line }); i += 1; }
+            '%' => { out.push(Spanned { tok: Token::Percent, line }); i += 1; }
+            '&' => { out.push(Spanned { tok: Token::Amp, line }); i += 1; }
+            '|' => { out.push(Spanned { tok: Token::Pipe, line }); i += 1; }
+            '^' => { out.push(Spanned { tok: Token::Caret, line }); i += 1; }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'<') {
+                    out.push(Spanned { tok: Token::Shl, line });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Spanned { tok: Token::Le, line });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Token::Lt, line });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'>') {
+                    out.push(Spanned { tok: Token::Shr, line });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Spanned { tok: Token::Ge, line });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Token::Gt, line });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Spanned { tok: Token::Eq, line });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Token::Assign, line });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Spanned { tok: Token::Ne, line });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Token::Bang, line });
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                let hex = c == '0' && bytes.get(i + 1) == Some(&'x');
+                if hex {
+                    i += 2;
+                    let ds = i;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let text: String = bytes[ds..i].iter().collect();
+                    let v = u64::from_str_radix(&text, 16)
+                        .map_err(|_| LexError { line, msg: format!("bad hex literal 0x{text}") })?;
+                    out.push(Spanned { tok: Token::Int(v), line });
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text: String = bytes[start..i].iter().collect();
+                    let v = text
+                        .parse()
+                        .map_err(|_| LexError { line, msg: format!("bad literal {text}") })?;
+                    out.push(Spanned { tok: Token::Int(v), line });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                let tok = match word.as_str() {
+                    "fn" => Token::Fn,
+                    "let" => Token::Let,
+                    "if" => Token::If,
+                    "else" => Token::Else,
+                    "while" => Token::While,
+                    "return" => Token::Return,
+                    "mem" => Token::Mem,
+                    _ => Token::Ident(word),
+                };
+                out.push(Spanned { tok, line });
+            }
+            other => {
+                return Err(LexError { line, msg: format!("unexpected character `{other}`") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_idents_numbers() {
+        assert_eq!(
+            toks("fn main(x) { let y = 0x10 + 42; }"),
+            vec![
+                Token::Fn,
+                Token::Ident("main".into()),
+                Token::LParen,
+                Token::Ident("x".into()),
+                Token::RParen,
+                Token::LBrace,
+                Token::Let,
+                Token::Ident("y".into()),
+                Token::Assign,
+                Token::Int(16),
+                Token::Plus,
+                Token::Int(42),
+                Token::Semi,
+                Token::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("== != <= >= << >> < > = !"),
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Le,
+                Token::Ge,
+                Token::Shl,
+                Token::Shr,
+                Token::Lt,
+                Token::Gt,
+                Token::Assign,
+                Token::Bang,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let spanned = lex("let a = 1; // comment\nlet b = 2;").unwrap();
+        assert_eq!(spanned.last().unwrap().line, 2);
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = lex("let x = 1;\nlet @ = 2;").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains('@'));
+    }
+
+    #[test]
+    fn bad_hex_rejected() {
+        assert!(lex("0x").is_err());
+    }
+}

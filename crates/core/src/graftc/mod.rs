@@ -1,0 +1,80 @@
+//! GraftC — a small C-like language compiled to GraftVM code.
+//!
+//! The paper's grafts are "written in C++" (§3) and compiled before the
+//! MiSFIT pass. GraftC plays that role here: applications write their
+//! policies in a readable imperative language and the kernel toolchain
+//! lowers them to GraftVM instructions, which then flow through the
+//! normal MiSFIT instrument-sign-load pipeline.
+//!
+//! ```text
+//! // A read-ahead policy in GraftC.
+//! fn main(offset, len) {
+//!     let next = offset + len;
+//!     if (next < 16777216) {
+//!         ra_submit(next, 4096);
+//!     }
+//!     return 0;
+//! }
+//! ```
+//!
+//! ## Language
+//!
+//! - One function `fn main(p1, p2, ...)` with up to 4 parameters
+//!   (arriving in `r1..r4` per the kernel calling convention).
+//! - `let x = expr;`, assignment `x = expr;`, `if (e) {..} else {..}`,
+//!   `while (e) {..}`, `return expr;`, expression statements.
+//! - Unsigned 64-bit arithmetic `+ - * / % & | ^ << >>`, comparisons
+//!   `== != < <= > >=` (yielding 0/1), unary `!` and `-`.
+//! - Word memory access: `mem[e]` as a value and `mem[e] = v;` as a
+//!   store (sandboxed by MiSFIT like any other access).
+//! - Kernel calls by name: `kv_get(slot)`, `ra_submit(off, len)`, ... —
+//!   any graft-callable function (and the restricted names too: the
+//!   *linker* rejects those, same as the paper's pipeline).
+//!
+//! ## Limits (compile-time errors, never miscompiles)
+//!
+//! - at most [`codegen::MAX_VARS`] variables (parameters included);
+//! - expression nesting bounded by the temp-register file;
+//! - no user-defined functions (grafts call the kernel, or other grafts
+//!   through `call_graft`).
+
+pub mod ast;
+pub mod codegen;
+pub mod lexer;
+pub mod parser;
+
+pub use codegen::compile;
+pub use lexer::{LexError, Token};
+pub use parser::ParseError;
+
+use vino_vm::isa::Program;
+
+/// Compilation errors from any stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Tokenisation failed.
+    Lex(LexError),
+    /// Parsing failed.
+    Parse(ParseError),
+    /// Code generation failed (limits, unknown names).
+    Codegen(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Lex(e) => write!(f, "lex error: {e}"),
+            CompileError::Parse(e) => write!(f, "parse error: {e}"),
+            CompileError::Codegen(m) => write!(f, "codegen error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles GraftC source to a GraftVM program named `name`.
+pub fn compile_source(name: &str, src: &str) -> Result<Program, CompileError> {
+    let tokens = lexer::lex(src).map_err(CompileError::Lex)?;
+    let func = parser::parse(&tokens).map_err(CompileError::Parse)?;
+    codegen::compile(name, &func).map_err(CompileError::Codegen)
+}

@@ -1,0 +1,409 @@
+//! The GraftC recursive-descent parser.
+//!
+//! Precedence, loosest to tightest:
+//! comparison (`== != < <= > >=`, non-associative) →
+//! bitwise (`& | ^`, left) → shift (`<< >>`, left) →
+//! additive (`+ -`, left) → multiplicative (`* / %`, left) →
+//! unary (`- !`) → primary.
+
+use std::fmt;
+
+use super::ast::{BinOp, Expr, Function, Stmt};
+use super::lexer::{Spanned, Token};
+
+/// Parse failures with a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line (0 = end of input).
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    toks: &'a [Spanned],
+    pos: usize,
+}
+
+/// Parses a token stream into the graft's `main` function.
+pub fn parse(toks: &[Spanned]) -> Result<Function, ParseError> {
+    let mut p = Parser { toks, pos: 0 };
+    let f = p.function()?;
+    if p.pos != toks.len() {
+        return Err(p.err("trailing tokens after function body"));
+    }
+    Ok(f)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.toks.get(self.pos).map_or(0, |s| s.line)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { line: self.line(), msg: msg.into() }
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.toks.get(self.pos).map(|s| &s.tok);
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        self.expect(&Token::Fn, "`fn`")?;
+        let name = self.ident()?;
+        if name != "main" {
+            return Err(self.err(format!("a graft defines `main`, found `{name}`")));
+        }
+        self.expect(&Token::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                params.push(self.ident()?);
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen, "`)`")?;
+        if params.len() > 4 {
+            return Err(self.err("grafts take at most 4 parameters (r1..r4)"));
+        }
+        let body = self.block()?;
+        Ok(Function { params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(&Token::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&Token::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.pos += 1; // Consume `}`.
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Some(Token::Let) => {
+                self.pos += 1;
+                let name = self.ident()?;
+                self.expect(&Token::Assign, "`=`")?;
+                let value = self.expr()?;
+                self.expect(&Token::Semi, "`;`")?;
+                Ok(Stmt::Let { name, value })
+            }
+            Some(Token::If) => {
+                self.pos += 1;
+                self.expect(&Token::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(&Token::RParen, "`)`")?;
+                let then_body = self.block()?;
+                let else_body = if self.peek() == Some(&Token::Else) {
+                    self.pos += 1;
+                    if self.peek() == Some(&Token::If) {
+                        // `else if`: wrap as a single-statement block.
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_body, else_body })
+            }
+            Some(Token::While) => {
+                self.pos += 1;
+                self.expect(&Token::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(&Token::RParen, "`)`")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Some(Token::Return) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Token::Semi, "`;`")?;
+                Ok(Stmt::Return(e))
+            }
+            Some(Token::Mem) => {
+                self.pos += 1;
+                self.expect(&Token::LBracket, "`[`")?;
+                let addr = self.expr()?;
+                self.expect(&Token::RBracket, "`]`")?;
+                self.expect(&Token::Assign, "`=`")?;
+                let value = self.expr()?;
+                self.expect(&Token::Semi, "`;`")?;
+                Ok(Stmt::MemStore { addr, value })
+            }
+            Some(Token::Ident(_)) => {
+                // Assignment or expression statement (call).
+                let save = self.pos;
+                let name = self.ident()?;
+                if self.peek() == Some(&Token::Assign) {
+                    self.pos += 1;
+                    let value = self.expr()?;
+                    self.expect(&Token::Semi, "`;`")?;
+                    Ok(Stmt::Assign { name, value })
+                } else {
+                    self.pos = save;
+                    let e = self.expr()?;
+                    self.expect(&Token::Semi, "`;`")?;
+                    Ok(Stmt::Expr(e))
+                }
+            }
+            other => Err(self.err(format!("expected a statement, found {other:?}"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.bitwise()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => BinOp::Eq,
+            Some(Token::Ne) => BinOp::Ne,
+            Some(Token::Lt) => BinOp::Lt,
+            Some(Token::Le) => BinOp::Le,
+            Some(Token::Gt) => BinOp::Gt,
+            Some(Token::Ge) => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.bitwise()?;
+        Ok(Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    }
+
+    fn bitwise(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Amp) => BinOp::And,
+                Some(Token::Pipe) => BinOp::Or,
+                Some(Token::Caret) => BinOp::Xor,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.shift()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Shl) => BinOp::Shl,
+                Some(Token::Shr) => BinOp::Shr,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.additive()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Token::Minus) => {
+                self.pos += 1;
+                Ok(Expr::Neg(Box::new(self.unary()?)))
+            }
+            Some(Token::Bang) => {
+                self.pos += 1;
+                Ok(Expr::Not(Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump().cloned() {
+            Some(Token::Int(v)) => Ok(Expr::Int(v)),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Token::Mem) => {
+                self.expect(&Token::LBracket, "`[`")?;
+                let addr = self.expr()?;
+                self.expect(&Token::RBracket, "`]`")?;
+                Ok(Expr::Mem(Box::new(addr)))
+            }
+            Some(Token::Ident(name)) => {
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.peek() == Some(&Token::Comma) {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen, "`)`")?;
+                    if args.len() > 4 {
+                        return Err(self.err("kernel calls take at most 4 arguments"));
+                    }
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(ParseError {
+                line: self.toks.get(self.pos.saturating_sub(1)).map_or(0, |s| s.line),
+                msg: format!("expected an expression, found {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lexer::lex;
+    use super::*;
+
+    fn parse_src(src: &str) -> Result<Function, ParseError> {
+        parse(&lex(src).unwrap())
+    }
+
+    #[test]
+    fn parses_the_readme_graft() {
+        let f = parse_src(
+            "fn main(offset, len) {
+                let next = offset + len;
+                if (next < 16777216) {
+                    ra_submit(next, 4096);
+                }
+                return 0;
+            }",
+        )
+        .unwrap();
+        assert_eq!(f.params, vec!["offset", "len"]);
+        assert_eq!(f.body.len(), 3);
+        assert!(matches!(f.body[1], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn precedence_mul_over_add_over_cmp() {
+        let f = parse_src("fn main() { return 1 + 2 * 3 < 10; }").unwrap();
+        let Stmt::Return(Expr::Bin { op: BinOp::Lt, lhs, .. }) = &f.body[0] else {
+            panic!("{:?}", f.body[0]);
+        };
+        let Expr::Bin { op: BinOp::Add, rhs, .. } = lhs.as_ref() else {
+            panic!("{lhs:?}");
+        };
+        assert!(matches!(rhs.as_ref(), Expr::Bin { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let f = parse_src(
+            "fn main(x) {
+                if (x == 1) { return 10; }
+                else if (x == 2) { return 20; }
+                else { return 30; }
+            }",
+        )
+        .unwrap();
+        let Stmt::If { else_body, .. } = &f.body[0] else { panic!() };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn mem_load_and_store() {
+        let f = parse_src("fn main(p) { mem[p + 4] = mem[p] + 1; return 0; }").unwrap();
+        assert!(matches!(f.body[0], Stmt::MemStore { .. }));
+    }
+
+    #[test]
+    fn while_and_assign() {
+        let f = parse_src("fn main() { let i = 0; while (i < 10) { i = i + 1; } return i; }")
+            .unwrap();
+        assert!(matches!(f.body[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let e = parse_src("fn main() {\n let = 3;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse_src("fn other() { return 0; }").is_err());
+        assert!(parse_src("fn main(a, b, c, d, e) { return 0; }").is_err());
+        assert!(parse_src("fn main() { return f(1,2,3,4,5); }").is_err());
+        assert!(parse_src("fn main() { return 0; } extra").is_err());
+        assert!(parse_src("fn main() { if (1) { return 0; }").is_err());
+    }
+}

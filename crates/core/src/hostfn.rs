@@ -1,0 +1,140 @@
+//! The graft-callable kernel ABI.
+//!
+//! §3.3: "VINO kernel developers maintain a list of graft-callable
+//! functions. Only functions on this list may be called from grafts."
+//! and §2.3: grafts "should not be able to call functions that change
+//! kernel state in an unrecoverable fashion; a graft should not be able
+//! to call shutdown()".
+//!
+//! Functions below [`FIRST_RESTRICTED`] are graft-callable and appear in
+//! the table built by [`build_callable_table`]; the rest exist in the
+//! kernel but are deliberately absent from the table, so direct calls
+//! are rejected at link time and indirect calls trap at run time.
+
+use vino_misfit::CallableTable;
+use vino_vm::isa::HostFnId;
+use vino_vm::SymbolTable;
+
+/// Acquire a kernel lock: `r1` = lock handle index. Two-phase inside a
+/// transaction; times out under contention (§3.2).
+pub const LOCK: HostFnId = HostFnId(1);
+/// Release a kernel lock: `r1` = lock handle index (deferred to commit
+/// or abort when transactional).
+pub const UNLOCK: HostFnId = HostFnId(2);
+/// Submit a read-ahead extent: `r1` = byte offset, `r2` = byte length.
+/// The open-file machinery validates and queues it (§4.1.2).
+pub const RA_SUBMIT: HostFnId = HostFnId(3);
+/// Allocate kernel heap: `r1` = bytes. Charged to the graft's resource
+/// principal; fails (trapping the graft) when over limit (§3.2).
+pub const KALLOC: HostFnId = HostFnId(4);
+/// Free kernel heap: `r1` = bytes.
+pub const KFREE: HostFnId = HostFnId(5);
+/// Kernel-state accessor, write: `r1` = slot, `r2` = value. Pushes the
+/// reversing operation onto the transaction's undo call stack (§3.1).
+pub const KV_SET: HostFnId = HostFnId(6);
+/// Kernel-state accessor, read: `r1` = slot. Returns meta-data grafts
+/// are entitled to (§2.1).
+pub const KV_GET: HostFnId = HostFnId(7);
+/// Returns the base address of the graft's segment (where the kernel
+/// places shared buffers, §4.1.2/§4.2.2).
+pub const SHARED_BASE: HostFnId = HostFnId(8);
+/// Debug trace: `r1` = value, appended to the invocation's log.
+pub const LOG: HostFnId = HostFnId(9);
+/// Invoke another installed graft: `r1` = subgraft handle, `r2`/`r3` =
+/// arguments. The callee runs in a *nested* transaction (§3.1: "because
+/// graft functions may indirectly invoke other grafts, we found it
+/// necessary to include support for nested transactions"). Returns the
+/// callee's result; a callee abort returns `CALLEE_ABORTED` without
+/// aborting the caller.
+pub const CALL_GRAFT: HostFnId = HostFnId(10);
+
+/// First id that is NOT graft-callable.
+pub const FIRST_RESTRICTED: u32 = 100;
+
+/// Halt the machine. Exists; never graft-callable (§2.3).
+pub const SHUTDOWN: HostFnId = HostFnId(100);
+/// Returns another user's data. Exists; never graft-callable (Rule 4:
+/// "any interface that returns actual data to its caller cannot be
+/// called by a graft").
+pub const READ_USER_DATA: HostFnId = HostFnId(101);
+/// Replace the global security module. Exists; never graft-callable
+/// (Rule 5's restricted kernel entry point).
+pub const SET_SECURITY_MODULE: HostFnId = HostFnId(102);
+
+/// Builds the sparse open hash table of graft-callable functions.
+pub fn build_callable_table() -> CallableTable {
+    let mut t = CallableTable::new();
+    for (id, name) in GRAFT_CALLABLE {
+        t.register(*id, *name);
+    }
+    t
+}
+
+/// The graft-callable list with names (the assembler symbol table).
+pub const GRAFT_CALLABLE: &[(HostFnId, &str)] = &[
+    (LOCK, "lock"),
+    (UNLOCK, "unlock"),
+    (RA_SUBMIT, "ra_submit"),
+    (KALLOC, "kalloc"),
+    (KFREE, "kfree"),
+    (KV_SET, "kv_set"),
+    (KV_GET, "kv_get"),
+    (SHARED_BASE, "shared_base"),
+    (LOG, "log"),
+    (CALL_GRAFT, "call_graft"),
+];
+
+/// Restricted functions, named so the assembler can *try* to call them
+/// in negative tests.
+pub const RESTRICTED: &[(HostFnId, &str)] = &[
+    (SHUTDOWN, "shutdown"),
+    (READ_USER_DATA, "read_user_data"),
+    (SET_SECURITY_MODULE, "set_security_module"),
+];
+
+/// A symbol table for assembling graft source: graft-callable names
+/// resolve, and restricted names resolve too (so the *linker*, not the
+/// assembler, is what rejects them — matching the paper's pipeline).
+pub fn symbols() -> SymbolTable {
+    let mut s = SymbolTable::new();
+    for (id, name) in GRAFT_CALLABLE.iter().chain(RESTRICTED) {
+        s.define(*name, *id);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn callable_table_contains_exactly_the_callable_list() {
+        let t = build_callable_table();
+        assert_eq!(t.len(), GRAFT_CALLABLE.len());
+        assert!(t.contains(CALL_GRAFT));
+        for (id, _) in GRAFT_CALLABLE {
+            assert!(t.contains(*id));
+        }
+        for (id, _) in RESTRICTED {
+            assert!(!t.contains(*id), "{id} must not be graft-callable");
+        }
+    }
+
+    #[test]
+    fn restricted_ids_are_above_the_fence() {
+        for (id, _) in GRAFT_CALLABLE {
+            assert!(id.0 < FIRST_RESTRICTED);
+        }
+        for (id, _) in RESTRICTED {
+            assert!(id.0 >= FIRST_RESTRICTED);
+        }
+    }
+
+    #[test]
+    fn symbols_resolve_both_sets() {
+        let s = symbols();
+        assert_eq!(s.lookup("lock"), Some(LOCK));
+        assert_eq!(s.lookup("shutdown"), Some(SHUTDOWN));
+        assert_eq!(s.lookup("nosuch"), None);
+    }
+}

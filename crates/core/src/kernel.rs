@@ -1,0 +1,582 @@
+//! The VINO kernel facade: every subsystem wired together, with the
+//! install entry points for each graft class and the network-event
+//! dispatch loop of §3.5.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use vino_dev::nic::{NetEvent, Nic, Port};
+use vino_dev::Disk;
+use vino_fs::FileSystem;
+use vino_mem::{MemorySystem, VasId};
+use vino_misfit::{MisfitTool, SignedImage, SigningKey};
+use vino_rm::{Limits, PrincipalId};
+use vino_sim::{ThreadId, VirtualClock};
+use vino_vm::isa::Program;
+
+use crate::adapters::{
+    share, EvictGraftAdapter, RaGraftAdapter, SchedGraftAdapter, SharedGraft, StreamGraftAdapter,
+    APP_BUF,
+};
+use crate::engine::GraftEngine;
+use crate::loader::{load_graft, InstallError, InstallOpts};
+use crate::points::{EventPoint, GraftNamespace, HandlerReport, PointKind};
+
+/// Standard graft-point names registered at boot.
+pub mod point_names {
+    /// Per-open-file read-ahead policy (§4.1, Figure 1).
+    pub const COMPUTE_RA: &str = "open_file/compute-ra";
+    /// Per-VAS page-eviction policy (§4.2).
+    pub const PICK_VICTIM: &str = "vas/pick-victim";
+    /// Per-thread scheduling delegation (§4.3).
+    pub const SCHEDULE_DELEGATE: &str = "thread/schedule-delegate";
+    /// Stream transform position (§4.4).
+    pub const STREAM_TRANSFORM: &str = "stream/transform";
+    /// The global scheduler — restricted (§2.3's "highly biased
+    /// scheduler" attack).
+    pub const GLOBAL_SCHEDULER: &str = "kernel/global-scheduler";
+    /// The security-enforcement module — restricted (Rule 5).
+    pub const SECURITY_POLICY: &str = "kernel/security-policy";
+}
+
+/// Boot-time configuration.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Buffer-cache capacity in blocks.
+    pub cache_blocks: usize,
+    /// Physical memory capacity in pages.
+    pub memory_pages: usize,
+    /// Maximum files on the volume.
+    pub max_files: u32,
+    /// Passphrase from which the MiSFIT signing key is derived.
+    pub signing_passphrase: String,
+}
+
+impl Default for KernelConfig {
+    fn default() -> KernelConfig {
+        KernelConfig {
+            cache_blocks: 256,
+            memory_pages: 512,
+            max_files: 64,
+            signing_passphrase: "vino-default-key".to_string(),
+        }
+    }
+}
+
+/// The result of dispatching one network event.
+#[derive(Debug)]
+pub struct EventReport {
+    /// The port the event arrived on.
+    pub port: Port,
+    /// Per-handler outcomes, in dispatch order.
+    pub handlers: Vec<HandlerReport>,
+}
+
+/// The kernel: subsystems plus the grafting layer.
+pub struct Kernel {
+    /// The virtual clock.
+    pub clock: Rc<VirtualClock>,
+    /// The graft engine (transactions, resources, callable table).
+    pub engine: Rc<GraftEngine>,
+    /// The scheduler.
+    pub sched: RefCell<vino_sched::Scheduler>,
+    /// The virtual-memory system.
+    pub mem: RefCell<MemorySystem>,
+    /// The file system.
+    pub fs: RefCell<FileSystem>,
+    /// The network interface.
+    pub nic: RefCell<Nic>,
+    /// The trusted MiSFIT tool instance (shares the kernel's key).
+    pub tool: MisfitTool,
+    namespace: RefCell<GraftNamespace>,
+    event_points: RefCell<HashMap<Port, EventPoint>>,
+    fn_grafts: RefCell<HashMap<String, SharedGraft>>,
+}
+
+impl Kernel {
+    /// Boots a kernel with the default configuration.
+    pub fn boot() -> Rc<Kernel> {
+        Kernel::boot_with(KernelConfig::default())
+    }
+
+    /// Boots a kernel with an explicit configuration.
+    pub fn boot_with(cfg: KernelConfig) -> Rc<Kernel> {
+        let clock = VirtualClock::new();
+        let engine = GraftEngine::new(Rc::clone(&clock));
+        let disk = Disk::new(Rc::clone(&clock));
+        let fs = FileSystem::format(Rc::clone(&clock), disk, cfg.cache_blocks, cfg.max_files);
+        let mut ns = GraftNamespace::new();
+        ns.define(point_names::COMPUTE_RA, PointKind::Function { restricted: false });
+        ns.define(point_names::PICK_VICTIM, PointKind::Function { restricted: false });
+        ns.define(point_names::SCHEDULE_DELEGATE, PointKind::Function { restricted: false });
+        ns.define(point_names::STREAM_TRANSFORM, PointKind::Function { restricted: false });
+        ns.define(point_names::GLOBAL_SCHEDULER, PointKind::Function { restricted: true });
+        ns.define(point_names::SECURITY_POLICY, PointKind::Function { restricted: true });
+        Rc::new(Kernel {
+            sched: RefCell::new(vino_sched::Scheduler::new(Rc::clone(&clock))),
+            mem: RefCell::new(MemorySystem::new(Rc::clone(&clock), cfg.memory_pages)),
+            fs: RefCell::new(fs),
+            nic: RefCell::new(Nic::new()),
+            tool: MisfitTool::new(SigningKey::from_passphrase(&cfg.signing_passphrase)),
+            namespace: RefCell::new(ns),
+            event_points: RefCell::new(HashMap::new()),
+            fn_grafts: RefCell::new(HashMap::new()),
+            engine,
+            clock,
+        })
+    }
+
+    /// The graft namespace (Figure 1's lookup target).
+    pub fn namespace(&self) -> std::cell::Ref<'_, GraftNamespace> {
+        self.namespace.borrow()
+    }
+
+    /// Convenience: compile (assemble + MiSFIT-process) graft source
+    /// into a signed image using the kernel's trusted tool. In the
+    /// paper this step happens in the application's build pipeline.
+    pub fn compile_graft(&self, name: &str, asm_src: &str) -> Result<SignedImage, String> {
+        let prog = vino_vm::assemble(name, asm_src, &crate::hostfn::symbols())
+            .map_err(|e| e.to_string())?;
+        let (image, _) = self.tool.process(&prog).map_err(|e| e.to_string())?;
+        Ok(image)
+    }
+
+    /// Compiles GraftC source (the C-like graft language; see
+    /// [`crate::graftc`]) through the full pipeline: compile →
+    /// instrument → sign.
+    pub fn compile_graft_c(&self, name: &str, src: &str) -> Result<SignedImage, String> {
+        let prog = crate::graftc::compile_source(name, src).map_err(|e| e.to_string())?;
+        let (image, _) = self.tool.process(&prog).map_err(|e| e.to_string())?;
+        Ok(image)
+    }
+
+    /// Compiles WITHOUT SFI instrumentation (the benchmark "unsafe
+    /// path"); still signed so the loader accepts it.
+    pub fn compile_graft_unsafe(&self, name: &str, asm_src: &str) -> Result<SignedImage, String> {
+        let prog = vino_vm::assemble(name, asm_src, &crate::hostfn::symbols())
+            .map_err(|e| e.to_string())?;
+        Ok(self.tool.seal(&prog))
+    }
+
+    /// Direct access to a raw program seal for pre-built programs.
+    pub fn seal_program(&self, prog: &Program) -> SignedImage {
+        self.tool.seal(prog)
+    }
+
+    /// Creates an application principal with the given limits.
+    pub fn create_app(&self, limits: Limits) -> PrincipalId {
+        self.engine.rm.borrow_mut().create_principal(limits)
+    }
+
+    /// Spawns a kernel thread.
+    pub fn spawn_thread(&self, name: &str) -> ThreadId {
+        self.sched.borrow_mut().spawn(name)
+    }
+
+    fn check_point(&self, name: &str, opts: &InstallOpts) -> Result<PointKind, InstallError> {
+        let kind = self
+            .namespace
+            .borrow()
+            .lookup(name)
+            .ok_or_else(|| InstallError::NoSuchPoint(name.to_string()))?;
+        if let PointKind::Function { restricted: true } = kind {
+            if !opts.privileged {
+                return Err(InstallError::Restricted { point: name.to_string() });
+            }
+        }
+        Ok(kind)
+    }
+
+    fn load(
+        &self,
+        image: &SignedImage,
+        installer: PrincipalId,
+        thread: ThreadId,
+        opts: &InstallOpts,
+    ) -> Result<SharedGraft, InstallError> {
+        Ok(share(load_graft(&self.engine, &self.tool, image, installer, thread, opts)?))
+    }
+
+    /// Installs a read-ahead graft on an open file (Figure 1's
+    /// `ra_handle.replace(my_ra)`).
+    pub fn install_ra_graft(
+        &self,
+        fd: vino_fs::Fd,
+        image: &SignedImage,
+        installer: PrincipalId,
+        thread: ThreadId,
+        opts: &InstallOpts,
+    ) -> Result<SharedGraft, InstallError> {
+        self.check_point(point_names::COMPUTE_RA, opts)?;
+        let graft = self.load(image, installer, thread, opts)?;
+        self.fs
+            .borrow_mut()
+            .set_ra_delegate(fd, Box::new(RaGraftAdapter::new(Rc::clone(&graft))))
+            .map_err(|_| InstallError::NoSuchPoint(format!("open_file {fd:?}")))?;
+        Ok(graft)
+    }
+
+    /// Installs a page-eviction graft on a VAS (§4.2).
+    pub fn install_evict_graft(
+        &self,
+        vas: VasId,
+        image: &SignedImage,
+        installer: PrincipalId,
+        thread: ThreadId,
+        opts: &InstallOpts,
+    ) -> Result<SharedGraft, InstallError> {
+        self.check_point(point_names::PICK_VICTIM, opts)?;
+        let graft = self.load(image, installer, thread, opts)?;
+        self.mem.borrow_mut().set_eviction_delegate(
+            vas,
+            Box::new(EvictGraftAdapter::new(Rc::clone(&graft))),
+        );
+        Ok(graft)
+    }
+
+    /// Installs a schedule-delegate graft on a thread (§4.3).
+    pub fn install_sched_graft(
+        &self,
+        target: ThreadId,
+        image: &SignedImage,
+        installer: PrincipalId,
+        opts: &InstallOpts,
+    ) -> Result<SharedGraft, InstallError> {
+        self.check_point(point_names::SCHEDULE_DELEGATE, opts)?;
+        let graft = self.load(image, installer, target, opts)?;
+        let ok = self.sched.borrow_mut().set_delegate(
+            target,
+            Box::new(SchedGraftAdapter::new(Rc::clone(&graft))),
+        );
+        if !ok {
+            return Err(InstallError::NoSuchPoint(format!("thread {target}")));
+        }
+        Ok(graft)
+    }
+
+    /// Installs a stream-transform graft (§4.4), returning the adapter
+    /// the data path calls.
+    pub fn install_stream_graft(
+        &self,
+        image: &SignedImage,
+        installer: PrincipalId,
+        thread: ThreadId,
+        opts: &InstallOpts,
+    ) -> Result<StreamGraftAdapter, InstallError> {
+        self.check_point(point_names::STREAM_TRANSFORM, opts)?;
+        let mut o = opts.clone();
+        o.seg_size = o.seg_size.max(32 * 1024); // Room for 8KB in + out.
+        let graft = self.load(image, installer, thread, &o)?;
+        Ok(StreamGraftAdapter { instance: graft })
+    }
+
+    /// Installs onto an arbitrary *function* graft point by name —
+    /// including restricted points, which demand privilege (Rule 5).
+    pub fn install_function_graft(
+        &self,
+        point: &str,
+        image: &SignedImage,
+        installer: PrincipalId,
+        thread: ThreadId,
+        opts: &InstallOpts,
+    ) -> Result<SharedGraft, InstallError> {
+        match self.check_point(point, opts)? {
+            PointKind::Function { .. } => {}
+            PointKind::Event => return Err(InstallError::NoSuchPoint(point.to_string())),
+        }
+        let graft = self.load(image, installer, thread, opts)?;
+        self.fn_grafts.borrow_mut().insert(point.to_string(), Rc::clone(&graft));
+        Ok(graft)
+    }
+
+    /// Looks up a function graft installed by name.
+    pub fn function_graft(&self, point: &str) -> Option<SharedGraft> {
+        self.fn_grafts.borrow().get(point).cloned()
+    }
+
+    /// Registers an event graft point for a port (e.g. TCP 80 for the
+    /// HTTP server, UDP 2049 for NFS — §3.5).
+    pub fn define_event_point(&self, port: Port) {
+        self.namespace.borrow_mut().define(format!("net/port-{}", port.0), PointKind::Event);
+        self.event_points.borrow_mut().entry(port).or_default();
+    }
+
+    /// Adds an event-handler graft for `port` with dispatch `order`.
+    pub fn install_event_graft(
+        &self,
+        port: Port,
+        order: i32,
+        image: &SignedImage,
+        installer: PrincipalId,
+        opts: &InstallOpts,
+    ) -> Result<SharedGraft, InstallError> {
+        if !self.event_points.borrow().contains_key(&port) {
+            return Err(InstallError::NoSuchPoint(format!("net/port-{}", port.0)));
+        }
+        // Each event handler gets a worker-thread identity at dispatch;
+        // load it against a fresh thread id placeholder.
+        let worker = self.spawn_thread(&format!("event-handler-{}", port.0));
+        let graft = self.load(image, installer, worker, opts)?;
+        self.event_points
+            .borrow_mut()
+            .get_mut(&port)
+            .expect("checked")
+            .add_handler(Rc::clone(&graft), order);
+        Ok(graft)
+    }
+
+    /// Drains the NIC, dispatching each event to its port's handlers.
+    /// "VINO spawns a worker thread and begins a transaction. It then
+    /// invokes the grafted function. When the grafted function returns,
+    /// the worker thread commits the transaction and exits" (§3.5) —
+    /// the begin/commit lives in the wrapper each handler runs under.
+    pub fn dispatch_net_events(&self) -> Vec<EventReport> {
+        let mut reports = Vec::new();
+        loop {
+            let Some(event) = self.nic.borrow_mut().poll() else { break };
+            let port = event.port();
+            let mut points = self.event_points.borrow_mut();
+            let Some(ep) = points.get_mut(&port) else { continue };
+            let args = match &event {
+                NetEvent::TcpConnect { port, conn_fd } => [port.0 as u64, *conn_fd as u64, 0, 0],
+                NetEvent::UdpPacket { port, payload } => {
+                    // Copy the datagram into each handler's shared
+                    // region is handler-specific; pass length and let
+                    // handlers fetch via their shared buffer.
+                    [port.0 as u64, payload.len() as u64, 0, 0]
+                }
+            };
+            // For UDP, marshal the payload into every handler segment.
+            if let NetEvent::UdpPacket { payload, .. } = &event {
+                ep.for_each_handler(|g| {
+                    let mut inst = g.borrow_mut();
+                    let n = payload.len().min(2048);
+                    if let Some(buf) = inst.mem().graft_bytes_mut(APP_BUF, n) {
+                        buf.copy_from_slice(&payload[..n]);
+                    }
+                });
+            }
+            let handlers = ep.dispatch(args);
+            ep.reap_dead();
+            reports.push(EventReport { port, handlers });
+        }
+        reports
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vino_fs::layout::BLOCK_SIZE;
+    use vino_rm::ResourceKind;
+
+    fn boot() -> Rc<Kernel> {
+        Kernel::boot()
+    }
+
+    fn app(k: &Kernel) -> PrincipalId {
+        k.create_app(Limits::of(&[
+            (ResourceKind::KernelHeap, 1 << 20),
+            (ResourceKind::Memory, 1 << 24),
+        ]))
+    }
+
+    #[test]
+    fn boot_registers_standard_points() {
+        let k = boot();
+        let ns = k.namespace();
+        assert_eq!(
+            ns.lookup(point_names::COMPUTE_RA),
+            Some(PointKind::Function { restricted: false })
+        );
+        assert_eq!(
+            ns.lookup(point_names::GLOBAL_SCHEDULER),
+            Some(PointKind::Function { restricted: true })
+        );
+    }
+
+    #[test]
+    fn ra_graft_full_pipeline() {
+        let k = boot();
+        let a = app(&k);
+        let t = k.spawn_thread("app");
+        k.fs.borrow_mut().create("db", 64 * BLOCK_SIZE as u64).unwrap();
+        let fd = k.fs.borrow_mut().open("db").unwrap();
+        // Graft: always prefetch the block after the read.
+        let image = k
+            .compile_graft(
+                "next-block-ra",
+                "
+                add r1, r1, r2
+                const r2, 4096
+                call $ra_submit
+                halt r0
+                ",
+            )
+            .unwrap();
+        k.install_ra_graft(fd, &image, a, t, &InstallOpts::default()).unwrap();
+        assert!(k.fs.borrow().has_ra_delegate(fd));
+        k.fs.borrow_mut().read(fd, 0, 4096).unwrap();
+        assert_eq!(k.fs.borrow().stats().ra_graft_calls, 1);
+        assert_eq!(k.fs.borrow().stats().prefetches_issued, 1);
+    }
+
+    #[test]
+    fn restricted_point_requires_privilege() {
+        let k = boot();
+        let a = app(&k);
+        let t = k.spawn_thread("app");
+        let image = k.compile_graft("biased-sched", "halt r1").unwrap();
+        // Unprivileged install: refused (the §2.3 attack).
+        let err = k
+            .install_function_graft(
+                point_names::GLOBAL_SCHEDULER,
+                &image,
+                a,
+                t,
+                &InstallOpts::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, InstallError::Restricted { .. }));
+        // Privileged install: accepted.
+        let opts = InstallOpts { privileged: true, ..InstallOpts::default() };
+        k.install_function_graft(point_names::GLOBAL_SCHEDULER, &image, a, t, &opts)
+            .unwrap();
+        assert!(k.function_graft(point_names::GLOBAL_SCHEDULER).is_some());
+    }
+
+    #[test]
+    fn unknown_point_rejected() {
+        let k = boot();
+        let a = app(&k);
+        let t = k.spawn_thread("app");
+        let image = k.compile_graft("g", "halt r0").unwrap();
+        let err = k
+            .install_function_graft("kernel/nonexistent", &image, a, t, &InstallOpts::default())
+            .unwrap_err();
+        assert!(matches!(err, InstallError::NoSuchPoint(_)));
+    }
+
+    #[test]
+    fn event_grafts_dispatch_on_tcp_connect() {
+        // Figure 2's HTTP server: a handler on TCP port 80 that records
+        // the connection fd it served into kernel state.
+        let k = boot();
+        let a = app(&k);
+        k.define_event_point(Port(80));
+        let image = k
+            .compile_graft(
+                "http-server",
+                "
+                ; r1 = port, r2 = conn fd. Serve: kv[10] = fd.
+                const r1, 10
+                call $kv_set   ; note: r2 already holds the fd
+                halt r2
+                ",
+            )
+            .unwrap();
+        k.install_event_graft(Port(80), 0, &image, a, &InstallOpts::default()).unwrap();
+        let fd = k.nic.borrow_mut().inject_tcp_connect(Port(80)).unwrap();
+        let reports = k.dispatch_net_events();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].handlers.len(), 1);
+        assert_eq!(k.engine.kv_read(10), fd as u64);
+    }
+
+    #[test]
+    fn misbehaving_event_handler_unloaded_but_events_flow() {
+        let k = boot();
+        let a = app(&k);
+        k.define_event_point(Port(80));
+        let bad = k.compile_graft("bad", "const r1, 0\ndiv r0, r1, r1\nhalt r0").unwrap();
+        let good = k
+            .compile_graft("good", "const r1, 11\nconst r2, 1\ncall $kv_set\nhalt r0")
+            .unwrap();
+        k.install_event_graft(Port(80), 0, &bad, a, &InstallOpts::default()).unwrap();
+        k.install_event_graft(Port(80), 1, &good, a, &InstallOpts::default()).unwrap();
+        k.nic.borrow_mut().inject_tcp_connect(Port(80));
+        let reports = k.dispatch_net_events();
+        assert_eq!(reports[0].handlers.len(), 2, "both handlers consulted");
+        // The bad handler died; only the good one remains for event 2.
+        k.nic.borrow_mut().inject_tcp_connect(Port(80));
+        let reports = k.dispatch_net_events();
+        assert_eq!(reports[0].handlers.len(), 1);
+        assert_eq!(reports[0].handlers[0].graft, "good");
+    }
+
+    #[test]
+    fn evict_graft_pipeline() {
+        let k = boot();
+        let a = app(&k);
+        let t = k.spawn_thread("app");
+        let vas = k.mem.borrow_mut().create_vas();
+        // Graft: accept the victim (echo r1).
+        let image = k.compile_graft("accept", "mov r0, r1\nhalt r0").unwrap();
+        k.install_evict_graft(vas, &image, a, t, &InstallOpts::default()).unwrap();
+        k.mem.borrow_mut().touch(vas, 0);
+        k.mem.borrow_mut().touch(vas, 1);
+        let (_, outcome) = k.mem.borrow_mut().evict_one().unwrap();
+        assert_eq!(outcome, vino_mem::EvictOutcome::GraftAgreed);
+    }
+
+    #[test]
+    fn sched_graft_pipeline() {
+        let k = boot();
+        let a = app(&k);
+        let ui = k.spawn_thread("ui");
+        let video = k.spawn_thread("video");
+        // Graft: return runnable[1] (the second thread).
+        let image = k
+            .compile_graft(
+                "handoff",
+                "
+                call $shared_base
+                mov r5, r0
+                loadw r0, [r5+12]
+                halt r0
+                ",
+            )
+            .unwrap();
+        k.install_sched_graft(ui, &image, a, &InstallOpts::default()).unwrap();
+        let (winner, _) = k.sched.borrow_mut().pick_and_switch().unwrap();
+        assert_eq!(winner, video, "UI thread donated its slice");
+    }
+
+    #[test]
+    fn stream_graft_pipeline() {
+        let k = boot();
+        let a = app(&k);
+        let t = k.spawn_thread("app");
+        let image = k
+            .compile_graft(
+                "xor-crypt",
+                "
+                const r4, 0
+                const r5, 0xFF
+                loop:
+                bgeu r4, r3, done
+                add r6, r1, r4
+                loadb r7, [r6+0]
+                xor r7, r7, r5
+                add r6, r2, r4
+                storeb r7, [r6+0]
+                addi r4, r4, 1
+                jmp loop
+                done: halt r0
+                ",
+            )
+            .unwrap();
+        let mut stream =
+            k.install_stream_graft(&image, a, t, &InstallOpts::default()).unwrap();
+        let out = stream.transform(b"attack at dawn").unwrap();
+        let back: Vec<u8> = out.iter().map(|b| b ^ 0xFF).collect();
+        assert_eq!(back, b"attack at dawn");
+    }
+}

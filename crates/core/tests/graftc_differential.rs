@@ -1,0 +1,173 @@
+//! Differential testing for the GraftC compiler: random expression
+//! programs are evaluated by a reference AST interpreter and by the
+//! compiled GraftVM code (raw *and* MiSFIT-instrumented); all three
+//! must agree. Miscompilation — silent wrong answers inside the kernel
+//! — is the worst failure mode a graft toolchain can have.
+
+use proptest::prelude::*;
+
+use vino_core::graftc::ast::{BinOp, Expr, Function, Stmt};
+use vino_core::graftc::codegen::compile;
+use vino_sim::VirtualClock;
+use vino_vm::interp::{Exit, NullKernel, Vm};
+use vino_vm::mem::{AddressSpace, Protection};
+
+/// Reference evaluator over two parameters.
+fn eval(e: &Expr, a: u64, b: u64) -> Option<u64> {
+    Some(match e {
+        Expr::Int(v) => *v,
+        Expr::Var(name) => {
+            if name == "a" {
+                a
+            } else {
+                b
+            }
+        }
+        Expr::Neg(x) => eval(x, a, b)?.wrapping_neg(),
+        Expr::Not(x) => (eval(x, a, b)? == 0) as u64,
+        Expr::Mem(_) | Expr::Call { .. } => unreachable!("not generated"),
+        Expr::Bin { op, lhs, rhs } => {
+            let l = eval(lhs, a, b)?;
+            let r = eval(rhs, a, b)?;
+            match op {
+                BinOp::Add => l.wrapping_add(r),
+                BinOp::Sub => l.wrapping_sub(r),
+                BinOp::Mul => l.wrapping_mul(r),
+                BinOp::Div => l.checked_div(r)?,
+                BinOp::Rem => l.checked_rem(r)?,
+                BinOp::And => l & r,
+                BinOp::Or => l | r,
+                BinOp::Xor => l ^ r,
+                BinOp::Shl => l << (r & 63),
+                BinOp::Shr => l >> (r & 63),
+                BinOp::Eq => (l == r) as u64,
+                BinOp::Ne => (l != r) as u64,
+                BinOp::Lt => (l < r) as u64,
+                BinOp::Le => (l <= r) as u64,
+                BinOp::Gt => (l > r) as u64,
+                BinOp::Ge => (l >= r) as u64,
+            }
+        }
+    })
+}
+
+fn bin_op() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+    ]
+}
+
+/// Expressions over vars `a`/`b`, bounded so the codegen temp stack
+/// (depth 4) always suffices: right operands are leaves.
+fn expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0u64..1000).prop_map(Expr::Int),
+        Just(Expr::Var("a".to_string())),
+        Just(Expr::Var("b".to_string())),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let inner = expr(depth - 1);
+        let leaf2 = prop_oneof![
+            (0u64..1000).prop_map(Expr::Int),
+            Just(Expr::Var("a".to_string())),
+            Just(Expr::Var("b".to_string())),
+        ];
+        prop_oneof![
+            leaf,
+            (bin_op(), inner.clone(), leaf2).prop_map(|(op, lhs, rhs)| Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            }),
+            inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+        .boxed()
+    }
+}
+
+fn run_compiled(prog: &vino_vm::isa::Program, a: u64, b: u64) -> Option<u64> {
+    let mem = AddressSpace::new(1024, 64, Protection::Sfi);
+    let mut vm = Vm::new(mem);
+    vm.regs[1] = a;
+    vm.regs[2] = b;
+    let clock = VirtualClock::new();
+    let mut fuel = 1_000_000;
+    match vm.run(prog, &mut NullKernel, &clock, &mut fuel) {
+        Exit::Halted(v) => Some(v),
+        Exit::Trapped(vino_vm::interp::Trap::DivByZero) => None,
+        other => panic!("unexpected exit: {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// compiled(raw) == compiled(instrumented) == interpreted, for any
+    /// expression and any inputs; division by zero traps exactly when
+    /// the reference evaluator says so.
+    #[test]
+    fn compiler_matches_reference(e in expr(6), a in any::<u64>(), b in any::<u64>()) {
+        let f = Function {
+            params: vec!["a".to_string(), "b".to_string()],
+            body: vec![Stmt::Return(e.clone())],
+        };
+        let prog = compile("diff", &f).expect("bounded exprs always compile");
+        let expected = eval(&e, a, b);
+        let raw = run_compiled(&prog, a, b);
+        prop_assert_eq!(raw, expected, "raw codegen mismatch on {:?}", e);
+        let (inst, _) = vino_misfit::instrument(&prog).expect("instruments");
+        let sfi = run_compiled(&inst, a, b);
+        prop_assert_eq!(sfi, expected, "instrumented codegen mismatch on {:?}", e);
+    }
+
+    /// Loop semantics: compiled countdown loops terminate with the
+    /// reference value for arbitrary small bounds.
+    #[test]
+    fn loops_match_reference(n in 0u64..200, step in 1u64..5) {
+        let f = Function {
+            params: vec!["a".to_string(), "b".to_string()],
+            body: vec![
+                Stmt::Let { name: "acc".to_string(), value: Expr::Int(0) },
+                Stmt::While {
+                    cond: Expr::Bin {
+                        op: BinOp::Lt,
+                        lhs: Box::new(Expr::Var("acc".to_string())),
+                        rhs: Box::new(Expr::Var("a".to_string())),
+                    },
+                    body: vec![Stmt::Assign {
+                        name: "acc".to_string(),
+                        value: Expr::Bin {
+                            op: BinOp::Add,
+                            lhs: Box::new(Expr::Var("acc".to_string())),
+                            rhs: Box::new(Expr::Var("b".to_string())),
+                        },
+                    }],
+                },
+                Stmt::Return(Expr::Var("acc".to_string())),
+            ],
+        };
+        let prog = compile("loop", &f).unwrap();
+        let got = run_compiled(&prog, n, step).unwrap();
+        // Reference: smallest multiple of `step` that is >= n.
+        let expect = n.div_ceil(step) * step;
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,285 @@
+//! The simulated disk.
+//!
+//! A latency model of the paper's Fujitsu M2694ESA: seeks cost time
+//! proportional to head travel (up to the 9 ms full-stroke average
+//! anchor), rotation at 5400 RPM adds up to one revolution of delay, and
+//! each 4 KB block transfers at the sustained media rate. Sequential
+//! reads that hit the current head position skip the seek, which is what
+//! makes read-ahead profitable (§4.1).
+//!
+//! Block contents are stored in memory; the disk is both a latency model
+//! and a real (volatile) block store the file system is built on.
+
+use std::rc::Rc;
+
+use vino_sim::costs;
+use vino_sim::{Cycles, SplitMix64, VirtualClock};
+
+/// A logical block address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockAddr(pub u64);
+
+/// Geometry and latency parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskGeometry {
+    /// Total number of 4 KB blocks.
+    pub blocks: u64,
+    /// Blocks per track, for rotational-position modelling.
+    pub blocks_per_track: u64,
+    /// Full-stroke seek cost; average seek is roughly half of this.
+    pub full_seek: Cycles,
+    /// One full rotation (5400 RPM ⇒ ~11.1 ms).
+    pub rotation: Cycles,
+    /// Transfer time for one 4 KB block.
+    pub transfer: Cycles,
+}
+
+impl Default for DiskGeometry {
+    fn default() -> DiskGeometry {
+        DiskGeometry {
+            // 1080 MB formatted / 4 KB blocks ≈ 270k blocks; scaled down
+            // to keep simulations snappy while preserving latencies.
+            blocks: 65_536,
+            blocks_per_track: 64,
+            // Average seek 9 ms ⇒ full stroke ≈ 18 ms (avg ≈ 1/2 full
+            // stroke under uniform random traffic, to first order).
+            full_seek: Cycles(costs::DISK_AVG_SEEK.get() * 2),
+            rotation: Cycles(costs::DISK_HALF_ROTATION.get() * 2),
+            transfer: costs::DISK_TRANSFER_4K,
+        }
+    }
+}
+
+/// Operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Blocks read.
+    pub reads: u64,
+    /// Blocks written.
+    pub writes: u64,
+    /// Reads that required a head seek.
+    pub seeks: u64,
+    /// Reads satisfied at the current head position (sequential).
+    pub sequential_hits: u64,
+    /// Total cycles spent in the mechanism.
+    pub busy: Cycles,
+}
+
+/// The simulated drive.
+#[derive(Debug)]
+pub struct Disk {
+    geometry: DiskGeometry,
+    clock: Rc<VirtualClock>,
+    blocks: Vec<Option<Box<[u8; 4096]>>>,
+    head: u64,
+    rng: SplitMix64,
+    stats: DiskStats,
+}
+
+impl Disk {
+    /// Creates a disk with the default (paper-calibrated) geometry.
+    pub fn new(clock: Rc<VirtualClock>) -> Disk {
+        Disk::with_geometry(clock, DiskGeometry::default())
+    }
+
+    /// Creates a disk with explicit geometry.
+    pub fn with_geometry(clock: Rc<VirtualClock>, geometry: DiskGeometry) -> Disk {
+        Disk {
+            blocks: (0..geometry.blocks).map(|_| None).collect(),
+            geometry,
+            clock,
+            head: 0,
+            rng: SplitMix64::new(0x5EED_D15C),
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// The geometry in use.
+    pub fn geometry(&self) -> DiskGeometry {
+        self.geometry
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// Number of addressable blocks.
+    pub fn block_count(&self) -> u64 {
+        self.geometry.blocks
+    }
+
+    /// Reads block `addr`, charging the mechanical latency to the clock.
+    /// Unwritten blocks read as zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is beyond the device (file-system bug, not graft
+    /// misbehaviour — grafts cannot address the disk directly).
+    pub fn read(&mut self, addr: BlockAddr) -> [u8; 4096] {
+        let (data, cost) = self.read_with_cost(addr);
+        self.clock.charge(cost);
+        data
+    }
+
+    /// Reads block `addr` and returns its mechanical cost *without*
+    /// charging the clock. Used by the asynchronous prefetch path, where
+    /// the I/O overlaps computation: the file system accounts the cost
+    /// on a separate disk-busy timeline instead of the caller's.
+    pub fn read_with_cost(&mut self, addr: BlockAddr) -> ([u8; 4096], Cycles) {
+        let cost = self.access_cost(addr);
+        self.stats.reads += 1;
+        self.stats.busy += cost;
+        let data = match &self.blocks[addr.0 as usize] {
+            Some(b) => **b,
+            None => [0; 4096],
+        };
+        (data, cost)
+    }
+
+    /// Writes block `addr`, charging mechanical latency.
+    pub fn write(&mut self, addr: BlockAddr, data: &[u8; 4096]) {
+        let cost = self.access_cost(addr);
+        self.clock.charge(cost);
+        self.stats.writes += 1;
+        self.stats.busy += cost;
+        self.blocks[addr.0 as usize] = Some(Box::new(*data));
+    }
+
+    /// The latency the next access to `addr` would incur, without
+    /// performing it (used by the prefetch scheduler).
+    pub fn peek_cost(&mut self, addr: BlockAddr) -> Cycles {
+        let head = self.head;
+        let cost = self.cost_from(head, addr);
+        cost
+    }
+
+    fn access_cost(&mut self, addr: BlockAddr) -> Cycles {
+        assert!(addr.0 < self.geometry.blocks, "block {addr:?} beyond device");
+        let cost = self.cost_from(self.head, addr);
+        if addr.0 == self.head {
+            self.stats.sequential_hits += 1;
+        } else {
+            self.stats.seeks += 1;
+        }
+        self.head = addr.0 + 1; // Head ends just past the block read.
+        cost
+    }
+
+    fn cost_from(&mut self, head: u64, addr: BlockAddr) -> Cycles {
+        let g = self.geometry;
+        if addr.0 == head {
+            // Sequential: media transfer only.
+            return g.transfer;
+        }
+        let track_of = |b: u64| b / g.blocks_per_track;
+        let distance = track_of(addr.0).abs_diff(track_of(head));
+        let max_tracks = (g.blocks / g.blocks_per_track).max(1);
+        // Seek: settle cost plus travel proportional to distance.
+        let settle = g.full_seek.get() / 8;
+        let travel = g.full_seek.get() * distance / max_tracks;
+        // Rotational delay: uniformly distributed in [0, rotation).
+        let rot = self.rng.below(g.rotation.get().max(1));
+        Cycles(settle + travel + rot + g.transfer.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> Disk {
+        Disk::new(VirtualClock::new())
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut d = disk();
+        let mut data = [0u8; 4096];
+        data[..4].copy_from_slice(b"VINO");
+        d.write(BlockAddr(100), &data);
+        let back = d.read(BlockAddr(100));
+        assert_eq!(&back[..4], b"VINO");
+    }
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        let mut d = disk();
+        assert_eq!(d.read(BlockAddr(5)), [0u8; 4096]);
+    }
+
+    #[test]
+    fn sequential_reads_skip_seek() {
+        let mut d = disk();
+        d.read(BlockAddr(10)); // Position the head.
+        let clock = Rc::clone(&d.clock);
+        let t0 = clock.now();
+        d.read(BlockAddr(11));
+        let seq_cost = clock.since(t0);
+        assert_eq!(seq_cost, d.geometry().transfer, "sequential read is transfer-only");
+        assert!(d.stats().sequential_hits >= 1);
+    }
+
+    #[test]
+    fn random_reads_cost_milliseconds() {
+        // The premise of the read-ahead analysis: a random 4KB read
+        // costs on the order of 10-20ms (the paper's 18ms page fault).
+        let mut d = disk();
+        let clock = Rc::clone(&d.clock);
+        let mut rng = SplitMix64::new(7);
+        let n = 200;
+        let t0 = clock.now();
+        for _ in 0..n {
+            d.read(BlockAddr(rng.below(d.block_count())));
+        }
+        let avg_ms = clock.since(t0).as_ms() / n as f64;
+        assert!(
+            (5.0..=30.0).contains(&avg_ms),
+            "average random-read latency {avg_ms:.1}ms out of calibration"
+        );
+    }
+
+    #[test]
+    fn random_costs_dwarf_sequential() {
+        let mut d = disk();
+        let clock = Rc::clone(&d.clock);
+        d.read(BlockAddr(0));
+        let t0 = clock.now();
+        for i in 1..=50 {
+            d.read(BlockAddr(i));
+        }
+        let seq = clock.since(t0);
+        let t1 = clock.now();
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..50 {
+            d.read(BlockAddr(rng.below(d.block_count())));
+        }
+        let rand = clock.since(t1);
+        // Sequential is transfer-bound (~1.6 ms/block at the 1996 media
+        // rate); random adds seek + rotation (~10 ms) on top.
+        assert!(
+            rand.get() > seq.get() * 5,
+            "random ({rand}) must dwarf sequential ({seq})"
+        );
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut d = disk();
+        d.write(BlockAddr(1), &[0; 4096]);
+        d.read(BlockAddr(1));
+        d.read(BlockAddr(2));
+        let s = d.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 2);
+        assert!(s.busy.get() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond device")]
+    fn out_of_range_block_panics() {
+        let mut d = disk();
+        let past_end = d.block_count();
+        d.read(BlockAddr(past_end));
+    }
+}

@@ -1,0 +1,20 @@
+//! Simulated devices: the disk and the network interface.
+//!
+//! The paper's test platform used "a single 5400 RPM Fujitsu M2694ESA
+//! disk with a SCSI interface, a formatted capacity of 1080MB, an
+//! average seek time of 9.5 [ms], and a 64KB buffer" (§4). The [`disk`]
+//! module models that drive's latency: seek distance-dependent head
+//! movement, rotational delay at 5400 RPM, and per-block transfer time —
+//! enough to reproduce the ~18 ms page-fault cost the eviction analysis
+//! relies on (§4.2.2) and the read-ahead win of §4.1.
+//!
+//! The [`nic`] module is a minimal network event source: TCP connection
+//! establishment and UDP packet arrival, which are exactly the kernel
+//! events the paper's event-graft examples (HTTP and NFS servers, §3.5)
+//! handle.
+
+pub mod disk;
+pub mod nic;
+
+pub use disk::{BlockAddr, Disk, DiskGeometry, DiskStats};
+pub use nic::{NetEvent, Nic, Port};

@@ -1,0 +1,153 @@
+//! The simulated network interface.
+//!
+//! §3.5: "When an event occurs in the kernel (e.g., a new connection is
+//! established on the TCP port dedicated to HTTP, or a packet is
+//! received on the UDP port for NFS), VINO spawns a worker thread and
+//! begins a transaction." The NIC is the source of those events: tests
+//! and benchmarks inject traffic, the kernel's event-graft dispatcher
+//! drains it.
+
+use std::collections::VecDeque;
+
+/// A TCP or UDP port number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Port(pub u16);
+
+/// A network event the kernel may dispatch to event grafts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetEvent {
+    /// A new TCP connection was established on `port`; `conn_fd` is the
+    /// kernel descriptor handed to the handler (Figure 2's HTTP graft
+    /// receives exactly this).
+    TcpConnect {
+        /// Listening port.
+        port: Port,
+        /// Kernel descriptor for the new connection.
+        conn_fd: u32,
+    },
+    /// A UDP datagram arrived on `port` (the NFS-server event).
+    UdpPacket {
+        /// Destination port.
+        port: Port,
+        /// Datagram payload.
+        payload: Vec<u8>,
+    },
+}
+
+impl NetEvent {
+    /// The port this event concerns.
+    pub fn port(&self) -> Port {
+        match self {
+            NetEvent::TcpConnect { port, .. } | NetEvent::UdpPacket { port, .. } => *port,
+        }
+    }
+}
+
+/// The simulated NIC: a FIFO of arrived events.
+#[derive(Debug, Default)]
+pub struct Nic {
+    queue: VecDeque<NetEvent>,
+    next_fd: u32,
+    delivered: u64,
+    dropped: u64,
+    capacity: usize,
+}
+
+impl Nic {
+    /// Creates a NIC with the default receive-queue capacity.
+    pub fn new() -> Nic {
+        Nic { capacity: 1024, next_fd: 1000, ..Nic::default() }
+    }
+
+    /// Injects a TCP connection-established event, returning the
+    /// connection descriptor the handler will receive, or `None` when
+    /// the receive queue overflowed (the event is dropped, as real NICs
+    /// drop packets under overload).
+    pub fn inject_tcp_connect(&mut self, port: Port) -> Option<u32> {
+        if self.queue.len() >= self.capacity {
+            self.dropped += 1;
+            return None;
+        }
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.queue.push_back(NetEvent::TcpConnect { port, conn_fd: fd });
+        Some(fd)
+    }
+
+    /// Injects a UDP datagram. Returns false if dropped on overflow.
+    pub fn inject_udp(&mut self, port: Port, payload: Vec<u8>) -> bool {
+        if self.queue.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.queue.push_back(NetEvent::UdpPacket { port, payload });
+        true
+    }
+
+    /// Removes and returns the oldest pending event.
+    pub fn poll(&mut self) -> Option<NetEvent> {
+        let e = self.queue.pop_front();
+        if e.is_some() {
+            self.delivered += 1;
+        }
+        e
+    }
+
+    /// Pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Events handed to the kernel so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Events dropped due to queue overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_delivery() {
+        let mut n = Nic::new();
+        let fd1 = n.inject_tcp_connect(Port(80)).unwrap();
+        n.inject_udp(Port(2049), vec![1, 2, 3]);
+        let fd2 = n.inject_tcp_connect(Port(80)).unwrap();
+        assert_ne!(fd1, fd2, "descriptors are unique");
+        assert_eq!(n.pending(), 3);
+        assert_eq!(n.poll(), Some(NetEvent::TcpConnect { port: Port(80), conn_fd: fd1 }));
+        assert_eq!(
+            n.poll(),
+            Some(NetEvent::UdpPacket { port: Port(2049), payload: vec![1, 2, 3] })
+        );
+        assert_eq!(n.poll(), Some(NetEvent::TcpConnect { port: Port(80), conn_fd: fd2 }));
+        assert_eq!(n.poll(), None);
+        assert_eq!(n.delivered(), 3);
+    }
+
+    #[test]
+    fn event_port_accessor() {
+        let e = NetEvent::UdpPacket { port: Port(53), payload: vec![] };
+        assert_eq!(e.port(), Port(53));
+    }
+
+    #[test]
+    fn overflow_drops() {
+        let mut n = Nic::new();
+        let mut accepted = 0;
+        for _ in 0..2000 {
+            if n.inject_udp(Port(9), vec![]) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 1024);
+        assert_eq!(n.dropped(), 2000 - 1024);
+        assert_eq!(n.pending(), 1024);
+    }
+}

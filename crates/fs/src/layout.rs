@@ -1,0 +1,332 @@
+//! On-disk structures: superblock, inode table and allocation bitmap.
+//!
+//! A deliberately simple extent-based layout (files are allocated
+//! first-fit and usually occupy a single contiguous extent, which is
+//! also what makes the sequential/random distinction of the read-ahead
+//! experiments physically meaningful):
+//!
+//! ```text
+//! block 0                superblock
+//! blocks 1..=I           inode table (16 inodes per 4 KB block)
+//! blocks I+1..=I+B       allocation bitmap (1 bit per data block)
+//! blocks I+B+1..         data
+//! ```
+
+/// File-system block size; "4KB is our file system block size" (§4.1.3).
+pub const BLOCK_SIZE: usize = 4096;
+
+/// Bytes per on-disk inode record.
+pub const INODE_SIZE: usize = 256;
+
+/// Inodes per table block.
+pub const INODES_PER_BLOCK: usize = BLOCK_SIZE / INODE_SIZE;
+
+/// Maximum file-name bytes stored in an inode.
+pub const MAX_NAME: usize = 64;
+
+/// Maximum extents per file; first-fit contiguous allocation keeps real
+/// files at one.
+pub const MAX_EXTENTS: usize = 4;
+
+/// Magic number identifying a formatted volume.
+pub const FS_MAGIC: u32 = 0x56_49_4E_4F; // "VINO"
+
+/// The superblock, stored in block 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuperBlock {
+    /// Must equal [`FS_MAGIC`].
+    pub magic: u32,
+    /// Total blocks on the volume.
+    pub total_blocks: u32,
+    /// Number of inode-table blocks.
+    pub inode_blocks: u32,
+    /// Number of bitmap blocks.
+    pub bitmap_blocks: u32,
+    /// First data block.
+    pub data_start: u32,
+}
+
+impl SuperBlock {
+    /// Computes a layout for a volume of `total_blocks`, with room for
+    /// `max_files` inodes.
+    pub fn for_volume(total_blocks: u32, max_files: u32) -> SuperBlock {
+        let inode_blocks = max_files.div_ceil(INODES_PER_BLOCK as u32).max(1);
+        let bitmap_blocks = total_blocks.div_ceil((BLOCK_SIZE * 8) as u32).max(1);
+        SuperBlock {
+            magic: FS_MAGIC,
+            total_blocks,
+            inode_blocks,
+            bitmap_blocks,
+            data_start: 1 + inode_blocks + bitmap_blocks,
+        }
+    }
+
+    /// Serializes into the first bytes of a block.
+    pub fn encode(&self) -> [u8; BLOCK_SIZE] {
+        let mut b = [0u8; BLOCK_SIZE];
+        b[0..4].copy_from_slice(&self.magic.to_le_bytes());
+        b[4..8].copy_from_slice(&self.total_blocks.to_le_bytes());
+        b[8..12].copy_from_slice(&self.inode_blocks.to_le_bytes());
+        b[12..16].copy_from_slice(&self.bitmap_blocks.to_le_bytes());
+        b[16..20].copy_from_slice(&self.data_start.to_le_bytes());
+        b
+    }
+
+    /// Parses a superblock; `None` when the magic does not match.
+    pub fn decode(b: &[u8; BLOCK_SIZE]) -> Option<SuperBlock> {
+        let word = |i: usize| u32::from_le_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]]);
+        let sb = SuperBlock {
+            magic: word(0),
+            total_blocks: word(4),
+            inode_blocks: word(8),
+            bitmap_blocks: word(12),
+            data_start: word(16),
+        };
+        (sb.magic == FS_MAGIC).then_some(sb)
+    }
+
+    /// Inode capacity of the volume.
+    pub fn max_inodes(&self) -> u32 {
+        self.inode_blocks * INODES_PER_BLOCK as u32
+    }
+}
+
+/// A contiguous run of data blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskExtent {
+    /// First block (absolute).
+    pub start: u32,
+    /// Number of blocks.
+    pub len: u32,
+}
+
+/// An on-disk inode.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Inode {
+    /// Whether this slot is allocated.
+    pub used: bool,
+    /// File name (≤ [`MAX_NAME`] bytes).
+    pub name: String,
+    /// Logical size in bytes.
+    pub size: u64,
+    /// The file's extents.
+    pub extents: Vec<DiskExtent>,
+}
+
+impl Inode {
+    /// Total blocks backing this file.
+    pub fn block_count(&self) -> u32 {
+        self.extents.iter().map(|e| e.len).sum()
+    }
+
+    /// Absolute disk block backing logical block `lbn`, if any.
+    pub fn block_of(&self, lbn: u32) -> Option<u32> {
+        let mut remaining = lbn;
+        for e in &self.extents {
+            if remaining < e.len {
+                return Some(e.start + remaining);
+            }
+            remaining -= e.len;
+        }
+        None
+    }
+
+    /// Serializes into an [`INODE_SIZE`]-byte record.
+    pub fn encode(&self) -> [u8; INODE_SIZE] {
+        let mut b = [0u8; INODE_SIZE];
+        b[0] = self.used as u8;
+        let name = self.name.as_bytes();
+        let n = name.len().min(MAX_NAME);
+        b[1] = n as u8;
+        b[2..2 + n].copy_from_slice(&name[..n]);
+        b[72..80].copy_from_slice(&self.size.to_le_bytes());
+        b[80] = self.extents.len().min(MAX_EXTENTS) as u8;
+        for (i, e) in self.extents.iter().take(MAX_EXTENTS).enumerate() {
+            let off = 88 + i * 8;
+            b[off..off + 4].copy_from_slice(&e.start.to_le_bytes());
+            b[off + 4..off + 8].copy_from_slice(&e.len.to_le_bytes());
+        }
+        b
+    }
+
+    /// Parses an inode record.
+    pub fn decode(b: &[u8; INODE_SIZE]) -> Inode {
+        let used = b[0] != 0;
+        let n = (b[1] as usize).min(MAX_NAME);
+        let name = String::from_utf8_lossy(&b[2..2 + n]).into_owned();
+        let size = u64::from_le_bytes(b[72..80].try_into().expect("8 bytes"));
+        let count = (b[80] as usize).min(MAX_EXTENTS);
+        let mut extents = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = 88 + i * 8;
+            extents.push(DiskExtent {
+                start: u32::from_le_bytes(b[off..off + 4].try_into().expect("4 bytes")),
+                len: u32::from_le_bytes(b[off + 4..off + 8].try_into().expect("4 bytes")),
+            });
+        }
+        Inode { used, name, size, extents }
+    }
+}
+
+/// An in-memory view of the allocation bitmap.
+#[derive(Debug, Clone)]
+pub struct Bitmap {
+    bits: Vec<u8>,
+    blocks: u32,
+}
+
+impl Bitmap {
+    /// An all-free bitmap covering `blocks` data blocks.
+    pub fn new(blocks: u32) -> Bitmap {
+        Bitmap { bits: vec![0; (blocks as usize).div_ceil(8)], blocks }
+    }
+
+    /// Rebuilds a bitmap from its on-disk bytes.
+    pub fn from_bytes(bytes: Vec<u8>, blocks: u32) -> Bitmap {
+        Bitmap { bits: bytes, blocks }
+    }
+
+    /// The raw bytes (for writing back to disk).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Whether block `b` is allocated.
+    pub fn is_set(&self, b: u32) -> bool {
+        self.bits[b as usize / 8] & (1 << (b % 8)) != 0
+    }
+
+    /// Marks block `b` allocated.
+    pub fn set(&mut self, b: u32) {
+        self.bits[b as usize / 8] |= 1 << (b % 8);
+    }
+
+    /// Marks block `b` free.
+    pub fn clear(&mut self, b: u32) {
+        self.bits[b as usize / 8] &= !(1 << (b % 8));
+    }
+
+    /// First-fit search for `len` contiguous free blocks; returns the
+    /// starting block, or `None` when no run is long enough.
+    pub fn find_run(&self, len: u32) -> Option<u32> {
+        let mut run_start = 0u32;
+        let mut run_len = 0u32;
+        for b in 0..self.blocks {
+            if self.is_set(b) {
+                run_len = 0;
+                run_start = b + 1;
+            } else {
+                run_len += 1;
+                if run_len == len {
+                    return Some(run_start);
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of free blocks.
+    pub fn free_count(&self) -> u32 {
+        (0..self.blocks).filter(|b| !self.is_set(*b)).count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superblock_round_trip() {
+        let sb = SuperBlock::for_volume(65_536, 64);
+        let back = SuperBlock::decode(&sb.encode()).unwrap();
+        assert_eq!(sb, back);
+        assert!(sb.max_inodes() >= 64);
+        assert!(sb.data_start > sb.inode_blocks);
+    }
+
+    #[test]
+    fn superblock_bad_magic_rejected() {
+        let mut b = SuperBlock::for_volume(1024, 16).encode();
+        b[0] = 0;
+        assert!(SuperBlock::decode(&b).is_none());
+    }
+
+    #[test]
+    fn inode_round_trip() {
+        let ino = Inode {
+            used: true,
+            name: "database.db".to_string(),
+            size: 12 * 1024 * 1024,
+            extents: vec![
+                DiskExtent { start: 100, len: 2000 },
+                DiskExtent { start: 5000, len: 1072 },
+            ],
+        };
+        let back = Inode::decode(&ino.encode());
+        assert_eq!(ino, back);
+        assert_eq!(back.block_count(), 3072);
+    }
+
+    #[test]
+    fn inode_block_mapping_across_extents() {
+        let ino = Inode {
+            used: true,
+            name: "f".into(),
+            size: 0,
+            extents: vec![
+                DiskExtent { start: 10, len: 3 },
+                DiskExtent { start: 100, len: 2 },
+            ],
+        };
+        assert_eq!(ino.block_of(0), Some(10));
+        assert_eq!(ino.block_of(2), Some(12));
+        assert_eq!(ino.block_of(3), Some(100));
+        assert_eq!(ino.block_of(4), Some(101));
+        assert_eq!(ino.block_of(5), None);
+    }
+
+    #[test]
+    fn inode_name_truncated_to_max() {
+        let long = "x".repeat(200);
+        let ino = Inode { used: true, name: long, size: 0, extents: vec![] };
+        let back = Inode::decode(&ino.encode());
+        assert_eq!(back.name.len(), MAX_NAME);
+    }
+
+    #[test]
+    fn bitmap_set_clear_find() {
+        let mut bm = Bitmap::new(64);
+        assert_eq!(bm.free_count(), 64);
+        bm.set(0);
+        bm.set(1);
+        bm.set(5);
+        assert_eq!(bm.find_run(3), Some(2), "first fit skips the 2-run at 2..4? no: 2,3,4 free");
+        assert_eq!(bm.find_run(60), None);
+        bm.clear(0);
+        assert!(!bm.is_set(0));
+        assert_eq!(bm.free_count(), 62);
+    }
+
+    #[test]
+    fn bitmap_run_at_start_and_end() {
+        let mut bm = Bitmap::new(16);
+        assert_eq!(bm.find_run(16), Some(0));
+        for b in 0..15 {
+            bm.set(b);
+        }
+        assert_eq!(bm.find_run(1), Some(15));
+        bm.set(15);
+        assert_eq!(bm.find_run(1), None);
+    }
+
+    #[test]
+    fn bitmap_bytes_round_trip() {
+        let mut bm = Bitmap::new(32);
+        bm.set(7);
+        bm.set(31);
+        let back = Bitmap::from_bytes(bm.bytes().to_vec(), 32);
+        assert!(back.is_set(7));
+        assert!(back.is_set(31));
+        assert!(!back.is_set(8));
+    }
+}

@@ -1,0 +1,658 @@
+//! The virtual memory system: two-level page eviction with a graftable
+//! per-VAS policy.
+//!
+//! §4.2.1: "The VINO virtual memory system is based loosely on the Mach
+//! VM system. A virtual address space (VAS) consists of a collection of
+//! memory objects mapped to virtual address ranges. [...] Virtual memory
+//! page eviction is implemented by a two-level eviction algorithm. A
+//! global page eviction algorithm selects a victim page. Then, if the
+//! owning VAS has installed a page eviction graft, it invokes the graft
+//! passing it the victim page and a list of all other pages that the
+//! virtual memory system currently assigns to the particular VAS. The
+//! VAS-specific function can accept the victim page or suggest another
+//! page as a replacement. The global algorithm then verifies that the
+//! selected page belongs to the specific VAS and is not wired. If either
+//! of these checks fails the system ignores the request and evicts the
+//! original victim. When an acceptable choice is returned, we use Cao's
+//! approach and place the original victim into the global LRU queue in
+//! the spot occupied by the replacement."
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use vino_sim::costs;
+use vino_sim::{Cycles, VirtualClock};
+
+/// Identifies a virtual address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VasId(pub u64);
+
+impl fmt::Display for VasId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vas#{}", self.0)
+    }
+}
+
+/// Identifies a resident physical page (frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+/// A resident page record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Page {
+    /// The page.
+    pub id: PageId,
+    /// Owning address space.
+    pub vas: VasId,
+    /// Virtual page number within the VAS.
+    pub vpn: u64,
+    /// Wired pages may never be evicted.
+    pub wired: bool,
+    /// Reference bit for the clock (second-chance) policy.
+    pub referenced: bool,
+}
+
+/// The global (level-1) victim-selection policy. "Traditional operating
+/// systems implement a general algorithm (e.g., some variant of the
+/// clock algorithm)" (§4.2); VINO's global policy is itself a policy
+/// choice, and the ablation bench compares the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GlobalPolicy {
+    /// Exact least-recently-used ordering.
+    #[default]
+    Lru,
+    /// The clock (second-chance) algorithm over reference bits.
+    Clock,
+}
+
+/// The per-VAS eviction hook. The grafting layer implements this by
+/// running the grafted GraftVM `pick-victim` function; tests implement
+/// it with closures.
+pub trait EvictionDelegate {
+    /// Given the global victim and the VAS's resident page list, return
+    /// the page that should be evicted instead (or the victim itself to
+    /// accept). The kernel verifies the choice.
+    fn choose(&mut self, victim: PageId, resident: &[PageId]) -> PageId;
+}
+
+impl<F: FnMut(PageId, &[PageId]) -> PageId> EvictionDelegate for F {
+    fn choose(&mut self, victim: PageId, resident: &[PageId]) -> PageId {
+        self(victim, resident)
+    }
+}
+
+/// How an eviction decision was reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictOutcome {
+    /// No graft installed on the victim's VAS.
+    Default,
+    /// The graft accepted the global victim.
+    GraftAgreed,
+    /// The graft's replacement passed verification and was evicted
+    /// instead (Cao swap applied to the LRU queue).
+    GraftOverruled {
+        /// The page actually evicted.
+        replacement: PageId,
+    },
+    /// The graft's choice failed verification (foreign or wired page);
+    /// the original victim was evicted (§4.2.1's "ignores the request").
+    GraftRejected,
+}
+
+/// Eviction statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Page faults served.
+    pub faults: u64,
+    /// Pages evicted.
+    pub evictions: u64,
+    /// Eviction-graft invocations.
+    pub graft_calls: u64,
+    /// Graft choices rejected by verification.
+    pub graft_rejections: u64,
+    /// Graft choices that replaced the global victim.
+    pub graft_overrules: u64,
+}
+
+/// The machine's physical memory and the global eviction policy.
+pub struct MemorySystem {
+    clock: Rc<VirtualClock>,
+    capacity: usize,
+    policy: GlobalPolicy,
+    pages: HashMap<PageId, Page>,
+    /// Residency index: (vas, vpn) → page.
+    resident: HashMap<(VasId, u64), PageId>,
+    /// Global page queue. Under LRU, ordered by recency (front =
+    /// victim candidate); under Clock, insertion-ordered with the hand
+    /// sweeping it.
+    lru: Vec<PageId>,
+    /// The clock hand (index into `lru`), used by [`GlobalPolicy::Clock`].
+    hand: usize,
+    delegates: HashMap<VasId, Box<dyn EvictionDelegate>>,
+    next_page: u64,
+    next_vas: u64,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Creates a memory system with room for `capacity` resident pages
+    /// under the default (LRU) global policy.
+    pub fn new(clock: Rc<VirtualClock>, capacity: usize) -> MemorySystem {
+        MemorySystem::with_policy(clock, capacity, GlobalPolicy::Lru)
+    }
+
+    /// Creates a memory system with an explicit global policy.
+    pub fn with_policy(
+        clock: Rc<VirtualClock>,
+        capacity: usize,
+        policy: GlobalPolicy,
+    ) -> MemorySystem {
+        assert!(capacity > 0, "memory must hold at least one page");
+        MemorySystem {
+            clock,
+            capacity,
+            policy,
+            pages: HashMap::new(),
+            resident: HashMap::new(),
+            lru: Vec::new(),
+            hand: 0,
+            delegates: HashMap::new(),
+            next_page: 0,
+            next_vas: 0,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The global policy in use.
+    pub fn policy(&self) -> GlobalPolicy {
+        self.policy
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Number of resident pages.
+    pub fn resident_count(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Creates an address space.
+    pub fn create_vas(&mut self) -> VasId {
+        let id = VasId(self.next_vas);
+        self.next_vas += 1;
+        id
+    }
+
+    /// Installs an eviction graft on `vas` (§4.2.1's per-VAS hook).
+    pub fn set_eviction_delegate(&mut self, vas: VasId, d: Box<dyn EvictionDelegate>) {
+        self.delegates.insert(vas, d);
+    }
+
+    /// Removes `vas`'s eviction graft (e.g. on abort/unload).
+    pub fn clear_eviction_delegate(&mut self, vas: VasId) {
+        self.delegates.remove(&vas);
+    }
+
+    /// True if `vas` currently has an eviction delegate.
+    pub fn has_delegate(&self, vas: VasId) -> bool {
+        self.delegates.contains_key(&vas)
+    }
+
+    /// Touches `(vas, vpn)`: a hit refreshes LRU position; a miss is a
+    /// page fault that charges the 18 ms fault cost, evicting if memory
+    /// is full. Returns the page and whether it faulted.
+    pub fn touch(&mut self, vas: VasId, vpn: u64) -> (PageId, bool) {
+        if let Some(&p) = self.resident.get(&(vas, vpn)) {
+            match self.policy {
+                GlobalPolicy::Lru => self.lru_touch(p),
+                GlobalPolicy::Clock => {
+                    // Second chance: just set the reference bit.
+                    if let Some(pg) = self.pages.get_mut(&p) {
+                        pg.referenced = true;
+                    }
+                }
+            }
+            return (p, false);
+        }
+        // Fault: make room, then bring the page in.
+        self.stats.faults += 1;
+        if self.lru.len() >= self.capacity {
+            self.evict_one();
+        }
+        self.clock.charge(costs::PAGE_FAULT_COST);
+        let id = PageId(self.next_page);
+        self.next_page += 1;
+        self.pages.insert(id, Page { id, vas, vpn, wired: false, referenced: true });
+        self.resident.insert((vas, vpn), id);
+        self.lru.push(id);
+        (id, true)
+    }
+
+    /// Wires (pins) a resident page; wired pages are never evicted and
+    /// never offered to grafts. Returns false if not resident.
+    pub fn wire(&mut self, vas: VasId, vpn: u64) -> bool {
+        match self.resident.get(&(vas, vpn)) {
+            Some(&p) => {
+                self.pages.get_mut(&p).expect("resident page has record").wired = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Unwires a page.
+    pub fn unwire(&mut self, vas: VasId, vpn: u64) -> bool {
+        match self.resident.get(&(vas, vpn)) {
+            Some(&p) => {
+                self.pages.get_mut(&p).expect("resident page has record").wired = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The resident pages of `vas` — what the eviction graft receives.
+    pub fn pages_of(&self, vas: VasId) -> Vec<PageId> {
+        self.lru
+            .iter()
+            .copied()
+            .filter(|p| self.pages.get(p).is_some_and(|pg| pg.vas == vas))
+            .collect()
+    }
+
+    /// Looks up a page record.
+    pub fn page(&self, id: PageId) -> Option<&Page> {
+        self.pages.get(&id)
+    }
+
+    /// True if `(vas, vpn)` is resident.
+    pub fn is_resident(&self, vas: VasId, vpn: u64) -> bool {
+        self.resident.contains_key(&(vas, vpn))
+    }
+
+    /// Runs the two-level eviction algorithm once, evicting one page.
+    /// Exposed for benchmarks (Table 4 measures exactly this path).
+    pub fn evict_one(&mut self) -> Option<(PageId, EvictOutcome)> {
+        // Level 1: the global policy selects the victim (skipping
+        // wired pages). The surrounding page-out machinery (queue
+        // manipulation, pmap unmapping, write-back scheduling) is
+        // Table 4's 39 us base.
+        self.clock.charge(costs::EVICT_MACHINERY);
+        let victim_pos = match self.policy {
+            GlobalPolicy::Lru => self
+                .lru
+                .iter()
+                .position(|p| self.pages.get(p).is_some_and(|pg| !pg.wired))?,
+            GlobalPolicy::Clock => self.clock_sweep()?,
+        };
+        let victim = self.lru[victim_pos];
+        let vas = self.pages[&victim].vas;
+
+        // Level 2: consult the owning VAS's graft, if any.
+        let outcome = if let Some(mut d) = self.delegates.remove(&vas) {
+            self.clock.charge(Cycles(costs::INDIRECTION_CYCLES));
+            self.stats.graft_calls += 1;
+            let resident = self.pages_of(vas);
+            let choice = d.choose(victim, &resident);
+            self.delegates.insert(vas, d);
+            // Verification: belongs to this VAS and not wired (§4.2.1).
+            self.clock.charge(costs::RESULT_CHECK);
+            let valid = self
+                .pages
+                .get(&choice)
+                .is_some_and(|pg| pg.vas == vas && !pg.wired);
+            if !valid {
+                self.stats.graft_rejections += 1;
+                EvictOutcome::GraftRejected
+            } else if choice == victim {
+                EvictOutcome::GraftAgreed
+            } else {
+                // Cao swap: the original victim takes the replacement's
+                // LRU slot; extra list manipulation charged.
+                self.clock.charge(costs::RESULT_CHECK);
+                let repl_pos = self
+                    .lru
+                    .iter()
+                    .position(|p| *p == choice)
+                    .expect("verified page is resident");
+                self.lru.swap(victim_pos, repl_pos);
+                self.stats.graft_overrules += 1;
+                EvictOutcome::GraftOverruled { replacement: choice }
+            }
+        } else {
+            EvictOutcome::Default
+        };
+
+        // Evict whichever page now sits at the victim position.
+        let evicted = self.lru.remove(match outcome {
+            EvictOutcome::GraftOverruled { .. } => victim_pos,
+            _ => victim_pos,
+        });
+        let pg = self.pages.remove(&evicted).expect("evicted page has record");
+        self.resident.remove(&(pg.vas, pg.vpn));
+        self.stats.evictions += 1;
+        Some((evicted, outcome))
+    }
+
+    fn lru_touch(&mut self, p: PageId) {
+        if let Some(pos) = self.lru.iter().position(|x| *x == p) {
+            self.lru.remove(pos);
+            self.lru.push(p);
+        }
+    }
+
+    /// The clock hand sweep: clear reference bits until an unreferenced,
+    /// unwired page is found. Bounded at two revolutions (every page
+    /// wired ⇒ `None`).
+    fn clock_sweep(&mut self) -> Option<usize> {
+        if self.lru.is_empty() {
+            return None;
+        }
+        let n = self.lru.len();
+        for _ in 0..2 * n {
+            let pos = self.hand % n;
+            let id = self.lru[pos];
+            let pg = self.pages.get_mut(&id).expect("queued page has record");
+            if pg.wired {
+                self.hand = (self.hand + 1) % n;
+                continue;
+            }
+            if pg.referenced {
+                pg.referenced = false; // Second chance.
+                self.hand = (self.hand + 1) % n;
+            } else {
+                // Victim found; the hand stays here (the removal will
+                // shift later entries into this slot).
+                return Some(pos);
+            }
+        }
+        // Two full revolutions without a victim: everything is wired.
+        None
+    }
+}
+
+impl fmt::Debug for MemorySystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemorySystem")
+            .field("capacity", &self.capacity)
+            .field("resident", &self.lru.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system(cap: usize) -> MemorySystem {
+        MemorySystem::new(VirtualClock::new(), cap)
+    }
+
+    #[test]
+    fn fault_then_hit() {
+        let mut m = system(4);
+        let vas = m.create_vas();
+        let (p, faulted) = m.touch(vas, 0);
+        assert!(faulted);
+        let (p2, faulted2) = m.touch(vas, 0);
+        assert!(!faulted2);
+        assert_eq!(p, p2);
+        assert_eq!(m.stats().faults, 1);
+    }
+
+    #[test]
+    fn fault_charges_18ms() {
+        let mut m = system(4);
+        let clock = Rc::clone(&m.clock);
+        let vas = m.create_vas();
+        let t0 = clock.now();
+        m.touch(vas, 0);
+        assert_eq!(clock.since(t0), costs::PAGE_FAULT_COST);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut m = system(2);
+        let vas = m.create_vas();
+        let (p0, _) = m.touch(vas, 0);
+        let (p1, _) = m.touch(vas, 1);
+        // Touch p0 so p1 becomes LRU.
+        m.touch(vas, 0);
+        let (_p2, _) = m.touch(vas, 2); // Evicts p1.
+        assert!(m.is_resident(vas, 0));
+        assert!(!m.is_resident(vas, 1));
+        assert!(m.is_resident(vas, 2));
+        let _ = (p0, p1);
+    }
+
+    #[test]
+    fn wired_pages_skipped_by_global_policy() {
+        let mut m = system(2);
+        let vas = m.create_vas();
+        m.touch(vas, 0);
+        m.wire(vas, 0);
+        m.touch(vas, 1);
+        m.touch(vas, 2); // Must evict vpn 1, not the wired vpn 0.
+        assert!(m.is_resident(vas, 0));
+        assert!(!m.is_resident(vas, 1));
+    }
+
+    #[test]
+    fn graft_agreeing_keeps_victim() {
+        let mut m = system(2);
+        let vas = m.create_vas();
+        m.touch(vas, 0);
+        m.touch(vas, 1);
+        m.set_eviction_delegate(vas, Box::new(|victim: PageId, _: &[PageId]| victim));
+        let (evicted, outcome) = m.evict_one().unwrap();
+        assert_eq!(outcome, EvictOutcome::GraftAgreed);
+        assert_eq!(m.page(evicted), None);
+        assert_eq!(m.stats().graft_calls, 1);
+    }
+
+    #[test]
+    fn graft_overrule_swaps_and_evicts_replacement() {
+        // The Table 4 scenario: the graft protects its critical page.
+        let mut m = system(3);
+        let vas = m.create_vas();
+        let (critical, _) = m.touch(vas, 0); // Oldest ⇒ global victim.
+        m.touch(vas, 1);
+        m.touch(vas, 2);
+        m.set_eviction_delegate(
+            vas,
+            Box::new(move |victim: PageId, resident: &[PageId]| {
+                if victim == critical {
+                    // Scan for the first page we are allowed to lose.
+                    *resident.iter().find(|p| **p != critical).unwrap()
+                } else {
+                    victim
+                }
+            }),
+        );
+        let (evicted, outcome) = m.evict_one().unwrap();
+        assert!(matches!(outcome, EvictOutcome::GraftOverruled { .. }));
+        assert_ne!(evicted, critical);
+        assert!(m.is_resident(vas, 0), "critical page retained");
+        // Cao swap: the spared victim inherited the replacement's LRU
+        // slot, so it is NOT the next victim again.
+        m.touch(vas, 3);
+        let pages = m.pages_of(vas);
+        assert!(pages.contains(&critical));
+    }
+
+    #[test]
+    fn graft_choosing_foreign_page_rejected() {
+        // Requirement 3 of §4.2: a graft cannot evict another VAS's page
+        // to grow its own footprint.
+        let mut m = system(3);
+        let vas_a = m.create_vas();
+        let vas_b = m.create_vas();
+        m.touch(vas_a, 0);
+        let (foreign, _) = m.touch(vas_b, 0);
+        m.touch(vas_a, 1);
+        m.set_eviction_delegate(vas_a, Box::new(move |_: PageId, _: &[PageId]| foreign));
+        let (evicted, outcome) = m.evict_one().unwrap();
+        assert_eq!(outcome, EvictOutcome::GraftRejected);
+        assert!(m.is_resident(vas_b, 0), "foreign page untouched");
+        assert_eq!(m.page(evicted), None);
+        assert_eq!(m.stats().graft_rejections, 1);
+    }
+
+    #[test]
+    fn graft_choosing_wired_page_rejected() {
+        let mut m = system(3);
+        let vas = m.create_vas();
+        m.touch(vas, 0);
+        let (pinned, _) = m.touch(vas, 1);
+        m.wire(vas, 1);
+        m.touch(vas, 2);
+        m.set_eviction_delegate(vas, Box::new(move |_: PageId, _: &[PageId]| pinned));
+        let (_, outcome) = m.evict_one().unwrap();
+        assert_eq!(outcome, EvictOutcome::GraftRejected);
+        assert!(m.is_resident(vas, 1), "wired page survives");
+    }
+
+    #[test]
+    fn graft_returning_garbage_rejected() {
+        let mut m = system(2);
+        let vas = m.create_vas();
+        m.touch(vas, 0);
+        m.touch(vas, 1);
+        m.set_eviction_delegate(vas, Box::new(|_: PageId, _: &[PageId]| PageId(424242)));
+        let (_, outcome) = m.evict_one().unwrap();
+        assert_eq!(outcome, EvictOutcome::GraftRejected);
+        assert_eq!(m.resident_count(), 1, "eviction still made progress (Rule 9)");
+    }
+
+    #[test]
+    fn delegate_only_consulted_for_own_vas() {
+        let mut m = system(2);
+        let vas_a = m.create_vas();
+        let vas_b = m.create_vas();
+        m.touch(vas_a, 0);
+        m.touch(vas_b, 0);
+        // Delegate on B; victim will be A's page (older) — B's delegate
+        // must not be consulted.
+        m.set_eviction_delegate(vas_b, Box::new(|v: PageId, _: &[PageId]| v));
+        m.touch(vas_a, 1); // Forces eviction of A's vpn 0.
+        assert_eq!(m.stats().graft_calls, 0);
+    }
+
+    #[test]
+    fn pages_of_lists_only_own_pages() {
+        let mut m = system(4);
+        let a = m.create_vas();
+        let b = m.create_vas();
+        m.touch(a, 0);
+        m.touch(b, 0);
+        m.touch(a, 1);
+        let pa = m.pages_of(a);
+        assert_eq!(pa.len(), 2);
+        for p in pa {
+            assert_eq!(m.page(p).unwrap().vas, a);
+        }
+    }
+
+    #[test]
+    fn all_wired_blocks_eviction() {
+        let mut m = system(1);
+        let vas = m.create_vas();
+        m.touch(vas, 0);
+        m.wire(vas, 0);
+        assert!(m.evict_one().is_none(), "no evictable page");
+    }
+
+    fn clock_system(cap: usize) -> MemorySystem {
+        MemorySystem::with_policy(VirtualClock::new(), cap, GlobalPolicy::Clock)
+    }
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let mut m = clock_system(3);
+        let vas = m.create_vas();
+        m.touch(vas, 0);
+        m.touch(vas, 1);
+        m.touch(vas, 2);
+        // Re-reference page 0: its bit is set; the first sweep clears
+        // bits 0..2 and the second pass evicts the first unreferenced
+        // page, which is vpn 0 again... so touch 0 *after* a sweep:
+        // force one eviction first to clear all bits.
+        m.touch(vas, 3); // Evicts one of 0..2 after clearing bits.
+        assert_eq!(m.stats().evictions, 1);
+        // Now touch vpn 1 (if resident) to set its bit; the next
+        // eviction must spare it.
+        if m.is_resident(vas, 1) {
+            m.touch(vas, 1);
+            m.touch(vas, 4);
+            assert!(m.is_resident(vas, 1), "referenced page got its second chance");
+        }
+    }
+
+    #[test]
+    fn clock_skips_wired_pages() {
+        let mut m = clock_system(2);
+        let vas = m.create_vas();
+        m.touch(vas, 0);
+        m.wire(vas, 0);
+        m.touch(vas, 1);
+        m.touch(vas, 2); // Must evict vpn 1 (vpn 0 wired).
+        assert!(m.is_resident(vas, 0));
+        assert!(!m.is_resident(vas, 1));
+    }
+
+    #[test]
+    fn clock_all_wired_blocks_eviction() {
+        let mut m = clock_system(2);
+        let vas = m.create_vas();
+        m.touch(vas, 0);
+        m.touch(vas, 1);
+        m.wire(vas, 0);
+        m.wire(vas, 1);
+        assert!(m.evict_one().is_none());
+    }
+
+    #[test]
+    fn clock_consults_eviction_graft_like_lru() {
+        let mut m = clock_system(2);
+        let vas = m.create_vas();
+        m.touch(vas, 0);
+        m.touch(vas, 1);
+        m.set_eviction_delegate(vas, Box::new(|v: PageId, _: &[PageId]| v));
+        m.evict_one().unwrap();
+        assert_eq!(m.stats().graft_calls, 1);
+    }
+
+    #[test]
+    fn clock_and_lru_make_observably_different_choices() {
+        // Fill memory with A,B,C,D; re-touch A; fault E.
+        // LRU: A moved to the queue tail, so B is evicted — A survives.
+        // Clock: the sweep clears every reference bit (including A's
+        // freshly set one) on the first revolution and takes the first
+        // unreferenced page on the second — which is A.
+        let residency_of_a = |policy: GlobalPolicy| {
+            let mut m = MemorySystem::with_policy(VirtualClock::new(), 4, policy);
+            let vas = m.create_vas();
+            for vpn in 0..4 {
+                m.touch(vas, vpn);
+            }
+            m.touch(vas, 0); // Re-reference A.
+            m.touch(vas, 99); // Fault E.
+            m.is_resident(vas, 0)
+        };
+        assert!(residency_of_a(GlobalPolicy::Lru), "LRU keeps the re-touched page");
+        assert!(
+            !residency_of_a(GlobalPolicy::Clock),
+            "clock's single-bit approximation sacrifices it here"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! MiSFIT — the Minimal Software Fault Isolation Tool, reproduced.
+//!
+//! §3.3 of the paper: grafts are protected through software fault
+//! isolation. "At compilation time MiSFIT inserts instructions to protect
+//! loads and stores. Code is added to force the target address to fall
+//! within the range of memory allocated to the graft. The cost of this
+//! protection is two to five cycles per load or store. [...] Indirect
+//! function calls are checked at run-time by looking up the address of
+//! the target function in a hash table containing the addresses of all
+//! graft-callable functions. [...] MiSFIT computes a cryptographic
+//! digital signature of the graft and stores it with the compiled code."
+//!
+//! This crate is that tool for GraftVM code:
+//!
+//! - [`instrument`] — the rewriting pass. Every load/store becomes a
+//!   *sandbox sequence* through a reserved register (Wahbe et al.'s
+//!   dedicated-register discipline, so a branch into the middle of a
+//!   sequence still cannot escape the segment); every indirect call gains
+//!   a [`vino_vm::Instr::CheckCall`] probe.
+//! - [`callable`] — the sparse open hash table of graft-callable
+//!   functions, with probe-count accounting that reproduces the paper's
+//!   "ten to fifteen cycles per indirect function call".
+//! - [`sha256`] — FIPS 180-4 SHA-256, written from scratch and tested
+//!   against the published vectors (the paper used commercial code
+//!   signing; see DESIGN.md §2).
+//! - [`sign`] — HMAC-SHA-256 code signing of encoded graft images and
+//!   the load-time verifier.
+//! - [`linker`] — the link-time audit of *direct* calls against the
+//!   graft-callable list ("Direct function calls are checked when grafts
+//!   are dynamically linked into the kernel").
+
+pub mod callable;
+pub mod instrument;
+pub mod linker;
+pub mod sha256;
+mod sha256_extra_tests;
+pub mod sign;
+
+pub use callable::CallableTable;
+pub use instrument::{instrument, InstrumentError, InstrumentStats, SANDBOX_REG};
+pub use linker::{verify_direct_calls, LinkError};
+pub use sign::{MisfitTool, SignedImage, SigningKey, VerifyError};

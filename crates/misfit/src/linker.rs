@@ -1,0 +1,106 @@
+//! Link-time audit of direct calls.
+//!
+//! §3.3: "Direct function calls are checked when grafts are dynamically
+//! linked into the kernel; the function is looked up in the
+//! graft-callable list; if the target function is not on the list, the
+//! graft is not loaded into the system." The kernel's loader
+//! (`vino-core`) runs this audit after signature verification and before
+//! binding the graft to a graft point.
+
+use std::fmt;
+
+use vino_vm::isa::{HostFnId, Program};
+
+use crate::callable::CallableTable;
+
+/// Why a graft failed the link-time audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// A direct call targets a function outside the graft-callable list.
+    ForbiddenDirectCall { id: HostFnId, name: Option<String> },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::ForbiddenDirectCall { id, name } => match name {
+                Some(n) => write!(f, "direct call to non-graft-callable `{n}` ({id})"),
+                None => write!(f, "direct call to non-graft-callable {id}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Audits every direct call in `prog` against `callable`.
+///
+/// Returns the audited callee list on success so the loader can record
+/// the graft's kernel-interface footprint.
+pub fn verify_direct_calls(
+    prog: &Program,
+    callable: &CallableTable,
+) -> Result<Vec<HostFnId>, LinkError> {
+    let callees = prog.direct_callees();
+    for id in &callees {
+        if !callable.contains(*id) {
+            return Err(LinkError::ForbiddenDirectCall { id: *id, name: None });
+        }
+    }
+    Ok(callees)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vino_vm::isa::{Instr, Reg};
+
+    fn table() -> CallableTable {
+        let mut t = CallableTable::new();
+        t.register(HostFnId(1), "lock");
+        t.register(HostFnId(2), "unlock");
+        t
+    }
+
+    #[test]
+    fn accepts_calls_on_the_list() {
+        let p = Program::new(
+            "ok",
+            vec![
+                Instr::Call { func: HostFnId(1) },
+                Instr::Call { func: HostFnId(2) },
+                Instr::Halt { result: Reg(0) },
+            ],
+        );
+        let callees = verify_direct_calls(&p, &table()).unwrap();
+        assert_eq!(callees, vec![HostFnId(1), HostFnId(2)]);
+    }
+
+    #[test]
+    fn rejects_forbidden_direct_call() {
+        // The §2.3 scenario: a graft trying to call shutdown().
+        let p = Program::new(
+            "evil",
+            vec![Instr::Call { func: HostFnId(666) }, Instr::Halt { result: Reg(0) }],
+        );
+        let err = verify_direct_calls(&p, &table()).unwrap_err();
+        assert_eq!(err, LinkError::ForbiddenDirectCall { id: HostFnId(666), name: None });
+    }
+
+    #[test]
+    fn program_without_calls_passes() {
+        let p = Program::new("pure", vec![Instr::Halt { result: Reg(0) }]);
+        assert_eq!(verify_direct_calls(&p, &table()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn indirect_calls_not_audited_here() {
+        // Indirect calls are a *run-time* check (CheckCall); the linker
+        // only audits direct calls.
+        let p = Program::new(
+            "indirect",
+            vec![Instr::CallI { target: Reg(5) }, Instr::Halt { result: Reg(0) }],
+        );
+        assert!(verify_direct_calls(&p, &table()).is_ok());
+    }
+}

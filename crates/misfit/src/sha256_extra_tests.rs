@@ -1,0 +1,93 @@
+//! Extra SHA-256/HMAC conformance vectors, kept in a separate module so
+//! the algorithm file stays readable.
+//!
+//! Vectors: NIST CAVP byte-oriented short messages and RFC 4231 cases
+//! 3–5 and 7 (the ones `sha256.rs` does not already cover).
+
+#[cfg(test)]
+mod tests {
+    use crate::sha256::{digest, hmac, Sha256};
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn cavp_short_messages() {
+        // (message bytes, expected digest) from the NIST CAVP
+        // SHA256ShortMsg set.
+        let cases: &[(&[u8], &str)] = &[
+            (
+                &[0xd3],
+                "28969cdfa74a12c82f3bad960b0b000aca2ac329deea5c2328ebc6f2ba9802c1",
+            ),
+            (
+                &[0x11, 0xaf],
+                "5ca7133fa735326081558ac312c620eeca9970d1e70a4b95533d956f072d1f98",
+            ),
+            (
+                &[0x74, 0xba, 0x25, 0x21],
+                "b16aa56be3880d18cd41e68384cf1ec8c17680c45a02b1575dc1518923ae8b0e",
+            ),
+            (
+                &[0xc2, 0x99, 0x20, 0x96, 0x82],
+                "f0887fe961c9cd3beab957e8222494abb969b1ce4c6557976df8b0f6d20e9166",
+            ),
+        ];
+        for (msg, want) in cases {
+            assert_eq!(hex(&digest(msg)), *want, "msg {msg:02x?}");
+        }
+    }
+
+    #[test]
+    fn rfc4231_case3_repeated_aa_dd() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        assert_eq!(
+            hex(&hmac(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case4_key_sequence() {
+        let key: Vec<u8> = (1..=25u8).collect();
+        let data = [0xcdu8; 50];
+        assert_eq!(
+            hex(&hmac(&key, &data)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case7_long_key_long_data() {
+        let key = [0xaau8; 131];
+        let data = b"This is a test using a larger than block-size key and a larger than \
+                     block-size data. The key needs to be hashed before being used by the \
+                     HMAC algorithm.";
+        assert_eq!(
+            hex(&hmac(&key, data)),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn streaming_one_byte_at_a_time_matches_oneshot() {
+        let data: Vec<u8> = (0..300u32).map(|i| (i * 13 % 251) as u8).collect();
+        let mut h = Sha256::new();
+        for b in &data {
+            h.update(std::slice::from_ref(b));
+        }
+        assert_eq!(h.finalize(), digest(&data));
+    }
+
+    #[test]
+    fn exact_block_multiples() {
+        for blocks in 1..=4usize {
+            let data = vec![0xA5u8; 64 * blocks];
+            let mut h = Sha256::new();
+            h.update(&data);
+            assert_eq!(h.finalize(), digest(&data), "{blocks} blocks");
+        }
+    }
+}

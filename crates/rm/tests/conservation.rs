@@ -1,0 +1,92 @@
+//! Property tests for resource accounting invariants (§3.2).
+//!
+//! - Transfers conserve the total limit across all principals.
+//! - Usage never exceeds the (effective) limit, under any interleaving
+//!   of charges, releases, transfers and billing changes.
+//! - Failed operations have no partial effect.
+
+use proptest::prelude::*;
+
+use vino_rm::{Limits, PrincipalId, ResourceAccountant, ResourceKind};
+
+const KIND: ResourceKind = ResourceKind::Memory;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Transfer { from: usize, to: usize, amount: u32 },
+    Charge { who: usize, amount: u32 },
+    Release { who: usize, amount: u32 },
+    BillTo { graft: usize, installer: usize },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..6, 0usize..6, 0u32..2000)
+            .prop_map(|(from, to, amount)| Op::Transfer { from, to, amount }),
+        (0usize..6, 0u32..2000).prop_map(|(who, amount)| Op::Charge { who, amount }),
+        (0usize..6, 0u32..2000).prop_map(|(who, amount)| Op::Release { who, amount }),
+        (0usize..6, 0usize..6).prop_map(|(graft, installer)| Op::BillTo { graft, installer }),
+    ]
+}
+
+fn setup() -> (ResourceAccountant, Vec<PrincipalId>) {
+    let mut ra = ResourceAccountant::new();
+    let principals: Vec<PrincipalId> = (0..6)
+        .map(|i| {
+            if i < 3 {
+                ra.create_principal(Limits::of(&[(KIND, 1000 * (i as u64 + 1))]))
+            } else {
+                ra.create_graft_principal()
+            }
+        })
+        .collect();
+    (ra, principals)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn invariants_hold_under_arbitrary_ops(ops in proptest::collection::vec(op(), 1..60)) {
+        let (mut ra, ps) = setup();
+        let total0 = ra.total_limit(KIND);
+        for o in ops {
+            match o {
+                Op::Transfer { from, to, amount } => {
+                    let _ = ra.transfer(ps[from], ps[to], KIND, amount as u64);
+                }
+                Op::Charge { who, amount } => {
+                    let _ = ra.charge(ps[who], KIND, amount as u64);
+                }
+                Op::Release { who, amount } => {
+                    ra.release(ps[who], KIND, amount as u64);
+                }
+                Op::BillTo { graft, installer } => {
+                    let _ = ra.bill_to(ps[graft], ps[installer]);
+                }
+            }
+            // Invariant 1: transfers never mint or destroy limit.
+            prop_assert_eq!(ra.total_limit(KIND), total0);
+            // Invariant 2: every payer's usage stays within its limit.
+            for p in &ps {
+                let payer_used = ra.used(*p, KIND);
+                let payer_limit = ra.limit(*p, KIND);
+                prop_assert!(
+                    payer_used <= payer_limit,
+                    "{p}: used {payer_used} > limit {payer_limit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn denied_charges_are_exactly_over_limit(extra in 1u64..10_000) {
+        let mut ra = ResourceAccountant::new();
+        let p = ra.create_principal(Limits::of(&[(KIND, 5000)]));
+        ra.charge(p, KIND, 5000).unwrap();
+        prop_assert!(ra.charge(p, KIND, extra).is_err());
+        prop_assert_eq!(ra.used(p, KIND), 5000);
+        ra.release(p, KIND, extra.min(5000));
+        prop_assert!(ra.charge(p, KIND, extra.min(5000)).is_ok());
+    }
+}

@@ -1,0 +1,474 @@
+//! Kernel threads and the scheduler, with the `schedule-delegate` hook.
+//!
+//! §4.3: "Each user-level process has associated with it a kernel-level
+//! thread. When the kernel thread is chosen to be run next, its
+//! schedule-delegate function is run. The default version of this
+//! function returns the identity of the thread itself. The
+//! schedule-delegate function can be replaced by grafting a
+//! process-specific function" — e.g. a blocked database client donating
+//! its timeslice to the server, or a UI thread handing off to the video
+//! thread.
+//!
+//! The scheduler is round-robin with a 10 ms timeslice. Every switch
+//! charges the calibrated context-switch cost (27 µs, half the paper's
+//! 54 µs double-switch base path). Delegate results are *verified*: the
+//! returned id is probed in a hash table of valid, runnable threads
+//! (charging the probe cost), and an invalid result falls back to the
+//! scheduler's own choice — misbehaviour cannot wedge scheduling
+//! (Rule 9).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+use vino_sim::costs;
+use vino_sim::{Cycles, ThreadId, VirtualClock};
+
+/// Thread lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Runnable, waiting in the run queue.
+    Ready,
+    /// Currently executing.
+    Running,
+    /// Blocked (lock wait, I/O, event wait).
+    Blocked,
+    /// Terminated.
+    Exited,
+}
+
+/// A kernel thread record.
+#[derive(Debug, Clone)]
+pub struct Thread {
+    /// The thread's id.
+    pub id: ThreadId,
+    /// Debugging name.
+    pub name: String,
+    /// Current state.
+    pub state: ThreadState,
+    /// Timeslices this thread has received (fairness accounting).
+    pub slices: u64,
+}
+
+/// A read-only view handed to schedule-delegate functions: the candidate
+/// the kernel chose plus the runnable-process list the delegate may scan
+/// (the Table 5 graft walks a 64-entry list).
+#[derive(Debug)]
+pub struct SchedSnapshot<'a> {
+    /// The thread the default policy selected.
+    pub chosen: ThreadId,
+    /// All currently runnable threads, in queue order.
+    pub runnable: &'a [ThreadId],
+}
+
+/// The schedule-delegate hook. The grafting layer implements this by
+/// running the grafted GraftVM function; tests implement it directly.
+pub trait ScheduleDelegate {
+    /// Given the default choice and the runnable list, return the thread
+    /// that should actually run. The scheduler verifies the result.
+    fn delegate(&mut self, snapshot: &SchedSnapshot<'_>) -> ThreadId;
+}
+
+impl<F: FnMut(&SchedSnapshot<'_>) -> ThreadId> ScheduleDelegate for F {
+    fn delegate(&mut self, snapshot: &SchedSnapshot<'_>) -> ThreadId {
+        self(snapshot)
+    }
+}
+
+/// How a scheduling decision was reached (for tests and stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PickOutcome {
+    /// Default policy choice, no delegate installed.
+    Default,
+    /// A delegate redirected the timeslice to another valid thread.
+    Delegated {
+        /// The thread the delegate redirected to.
+        to: ThreadId,
+    },
+    /// A delegate returned an invalid id; the default choice stood.
+    DelegateRejected,
+    /// The delegate returned the default choice.
+    DelegateAgreed,
+}
+
+/// Scheduler counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Context switches performed.
+    pub switches: u64,
+    /// Delegate invocations.
+    pub delegate_calls: u64,
+    /// Delegate results rejected by verification.
+    pub delegate_rejections: u64,
+}
+
+/// The round-robin scheduler.
+pub struct Scheduler {
+    clock: Rc<VirtualClock>,
+    threads: HashMap<ThreadId, Thread>,
+    /// Hash table of valid thread ids — the verification probe target.
+    valid: HashSet<ThreadId>,
+    runq: VecDeque<ThreadId>,
+    current: Option<ThreadId>,
+    delegates: HashMap<ThreadId, Box<dyn ScheduleDelegate>>,
+    next_id: u64,
+    stats: SchedStats,
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler charging costs to `clock`.
+    pub fn new(clock: Rc<VirtualClock>) -> Scheduler {
+        Scheduler {
+            clock,
+            threads: HashMap::new(),
+            valid: HashSet::new(),
+            runq: VecDeque::new(),
+            current: None,
+            delegates: HashMap::new(),
+            next_id: 1,
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// Spawns a ready thread.
+    pub fn spawn(&mut self, name: impl Into<String>) -> ThreadId {
+        let id = ThreadId(self.next_id);
+        self.next_id += 1;
+        self.threads.insert(
+            id,
+            Thread { id, name: name.into(), state: ThreadState::Ready, slices: 0 },
+        );
+        self.valid.insert(id);
+        self.runq.push_back(id);
+        id
+    }
+
+    /// The currently running thread.
+    pub fn current(&self) -> Option<ThreadId> {
+        self.current
+    }
+
+    /// Looks up a thread record.
+    pub fn thread(&self, id: ThreadId) -> Option<&Thread> {
+        self.threads.get(&id)
+    }
+
+    /// Number of runnable threads.
+    pub fn runnable_count(&self) -> usize {
+        self.runq.len()
+    }
+
+    /// The runnable list in queue order (the delegate's process list).
+    pub fn runnable(&self) -> Vec<ThreadId> {
+        self.runq.iter().copied().collect()
+    }
+
+    /// Installs a schedule-delegate for `thread` (the §4.3 graft point).
+    /// Returns false if the thread does not exist.
+    pub fn set_delegate(&mut self, thread: ThreadId, d: Box<dyn ScheduleDelegate>) -> bool {
+        if !self.valid.contains(&thread) {
+            return false;
+        }
+        self.delegates.insert(thread, d);
+        true
+    }
+
+    /// Removes `thread`'s delegate (e.g. on graft unload).
+    pub fn clear_delegate(&mut self, thread: ThreadId) {
+        self.delegates.remove(&thread);
+    }
+
+    /// Marks the current thread blocked and removes it from scheduling
+    /// until [`Scheduler::wake`].
+    pub fn block_current(&mut self) {
+        if let Some(id) = self.current.take() {
+            if let Some(t) = self.threads.get_mut(&id) {
+                t.state = ThreadState::Blocked;
+            }
+        }
+    }
+
+    /// Wakes a blocked thread.
+    pub fn wake(&mut self, id: ThreadId) {
+        if let Some(t) = self.threads.get_mut(&id) {
+            if t.state == ThreadState::Blocked {
+                t.state = ThreadState::Ready;
+                self.runq.push_back(id);
+            }
+        }
+    }
+
+    /// Terminates a thread, removing it from all structures.
+    pub fn exit(&mut self, id: ThreadId) {
+        if let Some(t) = self.threads.get_mut(&id) {
+            t.state = ThreadState::Exited;
+        }
+        self.valid.remove(&id);
+        self.runq.retain(|t| *t != id);
+        self.delegates.remove(&id);
+        if self.current == Some(id) {
+            self.current = None;
+        }
+    }
+
+    /// Performs one scheduling decision and context switch: selects the
+    /// next thread round-robin, consults its schedule-delegate (if any),
+    /// verifies the result, and switches to the winner.
+    ///
+    /// Returns the thread now running and how the decision was made, or
+    /// `None` when the run queue is empty.
+    pub fn pick_and_switch(&mut self) -> Option<(ThreadId, PickOutcome)> {
+        // Re-queue the incumbent (unless it still holds a queue slot —
+        // a delegation recipient keeps its own pending turn).
+        if let Some(prev) = self.current.take() {
+            if let Some(t) = self.threads.get_mut(&prev) {
+                if t.state == ThreadState::Running {
+                    t.state = ThreadState::Ready;
+                    if !self.runq.contains(&prev) {
+                        self.runq.push_back(prev);
+                    }
+                }
+            }
+        }
+        let chosen = self.runq.pop_front()?;
+        let (winner, outcome) = self.consult_delegate(chosen);
+        if winner != chosen {
+            // The delegate donated the slice: the donor's *turn* is
+            // consumed (it goes to the back like any thread that just
+            // ran), while the recipient keeps its own pending turn and
+            // simply gets this extra slice — the lottery-style
+            // "ticket delegation" semantics of §3.2/§4.3.
+            self.runq.push_back(chosen);
+        }
+        self.switch_to(winner);
+        Some((winner, outcome))
+    }
+
+    fn consult_delegate(&mut self, chosen: ThreadId) -> (ThreadId, PickOutcome) {
+        if !self.delegates.contains_key(&chosen) {
+            return (chosen, PickOutcome::Default);
+        }
+        // Indirection to the (graftable) delegate function.
+        self.clock.charge(Cycles(costs::INDIRECTION_CYCLES));
+        let runnable: Vec<ThreadId> = std::iter::once(chosen)
+            .chain(self.runq.iter().copied())
+            .collect();
+        let snapshot = SchedSnapshot { chosen, runnable: &runnable };
+        let mut d = self.delegates.remove(&chosen).expect("checked above");
+        let proposed = d.delegate(&snapshot);
+        self.delegates.insert(chosen, d);
+        self.stats.delegate_calls += 1;
+        // Verify: probe the valid-thread hash table (§4.3).
+        self.clock.charge(Cycles(costs::HASH_PROBE_CYCLES));
+        let valid = self.valid.contains(&proposed)
+            && self
+                .threads
+                .get(&proposed)
+                .is_some_and(|t| matches!(t.state, ThreadState::Ready | ThreadState::Running));
+        if !valid {
+            self.stats.delegate_rejections += 1;
+            (chosen, PickOutcome::DelegateRejected)
+        } else if proposed == chosen {
+            (chosen, PickOutcome::DelegateAgreed)
+        } else {
+            (proposed, PickOutcome::Delegated { to: proposed })
+        }
+    }
+
+    fn switch_to(&mut self, id: ThreadId) {
+        self.clock.charge(costs::CONTEXT_SWITCH);
+        self.stats.switches += 1;
+        if let Some(t) = self.threads.get_mut(&id) {
+            t.state = ThreadState::Running;
+            t.slices += 1;
+        }
+        self.current = Some(id);
+    }
+
+    /// The instruction budget corresponding to one timeslice, used as
+    /// interpreter fuel so grafts are preempted on timeslice boundaries
+    /// (Rule 1). Approximated as one instruction per cycle.
+    pub fn timeslice_fuel() -> u64 {
+        costs::TIMESLICE.get() / costs::INSTR_CYCLES
+    }
+}
+
+impl fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("threads", &self.threads.len())
+            .field("runnable", &self.runq.len())
+            .field("current", &self.current)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> (Scheduler, Rc<VirtualClock>) {
+        let clock = VirtualClock::new();
+        (Scheduler::new(Rc::clone(&clock)), clock)
+    }
+
+    #[test]
+    fn round_robin_rotation() {
+        let (mut s, _) = sched();
+        let a = s.spawn("a");
+        let b = s.spawn("b");
+        let c = s.spawn("c");
+        let order: Vec<ThreadId> =
+            (0..6).map(|_| s.pick_and_switch().unwrap().0).collect();
+        assert_eq!(order, vec![a, b, c, a, b, c]);
+    }
+
+    #[test]
+    fn switch_charges_context_switch_cost() {
+        let (mut s, clock) = sched();
+        s.spawn("a");
+        let t0 = clock.now();
+        s.pick_and_switch().unwrap();
+        assert_eq!(clock.since(t0), costs::CONTEXT_SWITCH);
+        // The paper's Table 5 base path: two switches = 54us.
+        let t1 = clock.now();
+        s.pick_and_switch().unwrap();
+        s.pick_and_switch().unwrap();
+        assert!((clock.since(t1).as_us() - 54.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_queue_returns_none() {
+        let (mut s, _) = sched();
+        assert!(s.pick_and_switch().is_none());
+    }
+
+    #[test]
+    fn block_and_wake() {
+        let (mut s, _) = sched();
+        let a = s.spawn("a");
+        let b = s.spawn("b");
+        s.pick_and_switch().unwrap(); // a runs
+        s.block_current();
+        // Only b rotates now.
+        assert_eq!(s.pick_and_switch().unwrap().0, b);
+        assert_eq!(s.pick_and_switch().unwrap().0, b);
+        s.wake(a);
+        assert_eq!(s.pick_and_switch().unwrap().0, a);
+    }
+
+    #[test]
+    fn exit_removes_thread() {
+        let (mut s, _) = sched();
+        let a = s.spawn("a");
+        let b = s.spawn("b");
+        s.exit(a);
+        assert_eq!(s.pick_and_switch().unwrap().0, b);
+        assert_eq!(s.pick_and_switch().unwrap().0, b);
+        assert_eq!(s.thread(a).unwrap().state, ThreadState::Exited);
+    }
+
+    #[test]
+    fn delegate_redirects_timeslice() {
+        // The multimedia scenario (§4.3): the UI thread hands its slice
+        // to the video thread.
+        let (mut s, _) = sched();
+        let ui = s.spawn("ui");
+        let video = s.spawn("video");
+        s.set_delegate(ui, Box::new(move |_: &SchedSnapshot<'_>| video));
+        let (winner, outcome) = s.pick_and_switch().unwrap();
+        assert_eq!(winner, video);
+        assert_eq!(outcome, PickOutcome::Delegated { to: video });
+        assert_eq!(s.thread(video).unwrap().slices, 1);
+        assert_eq!(s.thread(ui).unwrap().slices, 0);
+        // The recipient kept its own pending turn: it runs again on its
+        // own slot, then the donor gets its next regular turn.
+        let (winner2, _) = s.pick_and_switch().unwrap();
+        assert_eq!(winner2, video, "recipient keeps its own turn");
+        s.clear_delegate(ui);
+        let (winner3, _) = s.pick_and_switch().unwrap();
+        assert_eq!(winner3, ui, "donor rotates back like any ran thread");
+    }
+
+    #[test]
+    fn delegate_agreeing_is_reported() {
+        let (mut s, _) = sched();
+        let a = s.spawn("a");
+        s.set_delegate(a, Box::new(|snap: &SchedSnapshot<'_>| snap.chosen));
+        let (winner, outcome) = s.pick_and_switch().unwrap();
+        assert_eq!(winner, a);
+        assert_eq!(outcome, PickOutcome::DelegateAgreed);
+    }
+
+    #[test]
+    fn invalid_delegate_result_rejected() {
+        // A malicious delegate returning a bogus id must not wedge the
+        // scheduler; verification falls back to the default choice.
+        let (mut s, _) = sched();
+        let a = s.spawn("a");
+        s.spawn("b");
+        s.set_delegate(a, Box::new(|_: &SchedSnapshot<'_>| ThreadId(9999)));
+        let (winner, outcome) = s.pick_and_switch().unwrap();
+        assert_eq!(winner, a);
+        assert_eq!(outcome, PickOutcome::DelegateRejected);
+        assert_eq!(s.stats().delegate_rejections, 1);
+    }
+
+    #[test]
+    fn delegate_to_blocked_thread_rejected() {
+        let (mut s, _) = sched();
+        let a = s.spawn("a");
+        let b = s.spawn("b");
+        // Block b.
+        s.pick_and_switch().unwrap(); // a
+        s.pick_and_switch().unwrap(); // b
+        s.block_current(); // b blocked
+        s.set_delegate(a, Box::new(move |_: &SchedSnapshot<'_>| b));
+        let (winner, outcome) = s.pick_and_switch().unwrap();
+        assert_eq!(winner, a);
+        assert_eq!(outcome, PickOutcome::DelegateRejected);
+    }
+
+    #[test]
+    fn delegate_sees_runnable_list() {
+        let (mut s, _) = sched();
+        let a = s.spawn("a");
+        let b = s.spawn("b");
+        let c = s.spawn("c");
+        let seen: Rc<std::cell::RefCell<Vec<ThreadId>>> = Rc::default();
+        let seen2 = Rc::clone(&seen);
+        s.set_delegate(
+            a,
+            Box::new(move |snap: &SchedSnapshot<'_>| {
+                *seen2.borrow_mut() = snap.runnable.to_vec();
+                snap.chosen
+            }),
+        );
+        s.pick_and_switch().unwrap();
+        assert_eq!(*seen.borrow(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn delegate_charges_indirection_and_probe() {
+        let (mut s, clock) = sched();
+        let a = s.spawn("a");
+        s.set_delegate(a, Box::new(|snap: &SchedSnapshot<'_>| snap.chosen));
+        let t0 = clock.now();
+        s.pick_and_switch().unwrap();
+        let cost = clock.since(t0);
+        let expect = Cycles(costs::INDIRECTION_CYCLES + costs::HASH_PROBE_CYCLES)
+            + costs::CONTEXT_SWITCH;
+        assert_eq!(cost, expect);
+    }
+
+    #[test]
+    fn timeslice_fuel_matches_10ms() {
+        assert_eq!(Scheduler::timeslice_fuel(), costs::TIMESLICE.get());
+    }
+}

@@ -1,0 +1,94 @@
+//! Scheduler property tests: round-robin fairness, delegation
+//! conservation, and robustness of the verification path.
+
+use proptest::prelude::*;
+
+use vino_sched::{SchedSnapshot, Scheduler};
+use vino_sim::{ThreadId, VirtualClock};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Without delegates, round-robin gives every thread within one
+    /// slice of its fair share.
+    #[test]
+    fn round_robin_is_fair(threads in 1usize..20, rounds in 1usize..200) {
+        let mut s = Scheduler::new(VirtualClock::new());
+        let ids: Vec<ThreadId> = (0..threads).map(|i| s.spawn(format!("t{i}"))).collect();
+        for _ in 0..rounds {
+            s.pick_and_switch().unwrap();
+        }
+        let share = rounds / threads;
+        for id in &ids {
+            let got = s.thread(*id).unwrap().slices as usize;
+            prop_assert!(
+                got == share || got == share + 1,
+                "{id}: {got} slices, fair share {share}"
+            );
+        }
+    }
+
+    /// Delegation conserves total slices: redirecting never creates or
+    /// destroys scheduling opportunities.
+    #[test]
+    fn delegation_conserves_slices(threads in 2usize..12, rounds in 1usize..100) {
+        let mut s = Scheduler::new(VirtualClock::new());
+        let ids: Vec<ThreadId> = (0..threads).map(|i| s.spawn(format!("t{i}"))).collect();
+        // Every thread donates to thread 0.
+        let target = ids[0];
+        for id in &ids[1..] {
+            s.set_delegate(*id, Box::new(move |_: &SchedSnapshot<'_>| target));
+        }
+        for _ in 0..rounds {
+            s.pick_and_switch().unwrap();
+        }
+        let total: u64 = ids.iter().map(|id| s.thread(*id).unwrap().slices).sum();
+        prop_assert_eq!(total as usize, rounds, "every round granted exactly one slice");
+        // And the target collected every donated slice.
+        let target_slices = s.thread(target).unwrap().slices as usize;
+        prop_assert!(target_slices >= rounds.saturating_sub(rounds / threads) / 1, "{target_slices}");
+    }
+
+    /// A delegate returning garbage ids never wedges scheduling and
+    /// never grants a slice to a non-existent thread.
+    #[test]
+    fn garbage_delegates_never_wedge(threads in 1usize..8, garbage in any::<u64>(), rounds in 1usize..50) {
+        let mut s = Scheduler::new(VirtualClock::new());
+        let ids: Vec<ThreadId> = (0..threads).map(|i| s.spawn(format!("t{i}"))).collect();
+        for id in &ids {
+            s.set_delegate(*id, Box::new(move |_: &SchedSnapshot<'_>| ThreadId(garbage)));
+        }
+        for _ in 0..rounds {
+            let (winner, _) = s.pick_and_switch().expect("progress");
+            prop_assert!(ids.contains(&winner) , "granted to an unknown thread");
+        }
+        let total: u64 = ids.iter().map(|id| s.thread(*id).unwrap().slices).sum();
+        prop_assert_eq!(total as usize, rounds);
+    }
+
+    /// Exiting threads mid-stream never breaks the rotation.
+    #[test]
+    fn exits_do_not_break_rotation(
+        threads in 2usize..10,
+        exit_round in 0usize..20,
+        rounds in 21usize..60,
+    ) {
+        let mut s = Scheduler::new(VirtualClock::new());
+        let ids: Vec<ThreadId> = (0..threads).map(|i| s.spawn(format!("t{i}"))).collect();
+        for round in 0..rounds {
+            if round == exit_round {
+                s.exit(ids[0]);
+            }
+            if s.runnable_count() == 0 && s.current().is_none() {
+                break;
+            }
+            if let Some((winner, _)) = s.pick_and_switch() {
+                prop_assert_ne!(
+                    (round > exit_round, winner),
+                    (true, ids[0]),
+                    "exited thread must not run again"
+                );
+            }
+        }
+    }
+}

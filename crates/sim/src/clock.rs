@@ -1,0 +1,183 @@
+//! The virtual cycle clock.
+//!
+//! All costs in the simulation are expressed in CPU cycles of the paper's
+//! test platform (120 MHz Pentium, 8.33 ns per cycle). Subsystems hold an
+//! `Rc<VirtualClock>` and charge cycles as work is performed; benchmarks
+//! read elapsed cycles and convert to microseconds exactly the way the
+//! paper converted cycle-counter deltas.
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::rc::Rc;
+
+/// Clock frequency of the paper's test platform (120 MHz Pentium).
+pub const CYCLES_PER_US: u64 = 120;
+
+/// A duration measured in CPU cycles.
+///
+/// `Cycles` is the unit every cost constant and every measurement in this
+/// reproduction is expressed in. Use [`Cycles::as_us`] to convert to the
+/// microseconds the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Builds a duration from microseconds at the platform clock rate.
+    pub const fn from_us(us: u64) -> Cycles {
+        Cycles(us * CYCLES_PER_US)
+    }
+
+    /// Builds a duration from milliseconds at the platform clock rate.
+    pub const fn from_ms(ms: u64) -> Cycles {
+        Cycles(ms * 1000 * CYCLES_PER_US)
+    }
+
+    /// Converts to microseconds (the unit the paper's tables use).
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / CYCLES_PER_US as f64
+    }
+
+    /// Converts to milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.as_us() / 1000.0
+    }
+
+    /// Raw cycle count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction; useful when comparing two path timings.
+    pub fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cyc ({:.1}us)", self.0, self.as_us())
+    }
+}
+
+/// A monotonically advancing cycle counter shared by every subsystem.
+///
+/// The clock is single-threaded by design: the whole kernel simulation is
+/// deterministic (see DESIGN.md §2), so interior mutability via [`Cell`]
+/// suffices and keeps charging cheap.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now: Cell<u64>,
+}
+
+impl VirtualClock {
+    /// Creates a clock at cycle zero.
+    pub fn new() -> Rc<VirtualClock> {
+        Rc::new(VirtualClock { now: Cell::new(0) })
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycles {
+        Cycles(self.now.get())
+    }
+
+    /// Advances the clock, charging `c` cycles of work.
+    pub fn charge(&self, c: Cycles) {
+        self.now.set(self.now.get() + c.0);
+    }
+
+    /// Advances the clock by a microsecond-denominated cost.
+    pub fn charge_us(&self, us: u64) {
+        self.charge(Cycles::from_us(us));
+    }
+
+    /// Elapsed cycles since `start`.
+    pub fn since(&self, start: Cycles) -> Cycles {
+        Cycles(self.now.get() - start.0)
+    }
+
+    /// Jumps the clock forward to `t` if `t` is in the future.
+    ///
+    /// Used by the timer queue when the system idles until the next
+    /// scheduled time-out.
+    pub fn advance_to(&self, t: Cycles) {
+        if t.0 > self.now.get() {
+            self.now.set(t.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_us_round_trip() {
+        let c = Cycles::from_us(36);
+        assert_eq!(c.get(), 36 * CYCLES_PER_US);
+        assert!((c.as_us() - 36.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn cycles_ms() {
+        let c = Cycles::from_ms(18);
+        assert!((c.as_ms() - 18.0).abs() < 1e-9);
+        assert!((c.as_us() - 18_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_charges_accumulate() {
+        let clk = VirtualClock::new();
+        assert_eq!(clk.now(), Cycles::ZERO);
+        clk.charge(Cycles(100));
+        clk.charge_us(2);
+        assert_eq!(clk.now().get(), 100 + 2 * CYCLES_PER_US);
+    }
+
+    #[test]
+    fn clock_since_and_advance_to() {
+        let clk = VirtualClock::new();
+        let t0 = clk.now();
+        clk.charge(Cycles(50));
+        assert_eq!(clk.since(t0), Cycles(50));
+        clk.advance_to(Cycles(40)); // in the past: no-op
+        assert_eq!(clk.now(), Cycles(50));
+        clk.advance_to(Cycles(75));
+        assert_eq!(clk.now(), Cycles(75));
+    }
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles(300);
+        let b = Cycles(120);
+        assert_eq!(a + b, Cycles(420));
+        assert_eq!(a - b, Cycles(180));
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cycles(420));
+    }
+}

@@ -1,0 +1,202 @@
+//! A timer/event queue driven by the virtual clock.
+//!
+//! VINO schedules lock time-outs "on system-clock boundaries, which occur
+//! every 10 ms" (§4.5). The queue stores absolute deadlines in cycles;
+//! [`EventQueue::round_to_tick`] models the clock-boundary quantisation,
+//! which is why the paper observes 10–20 ms of delay before a hoarding
+//! transaction is timed out.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::clock::Cycles;
+use crate::costs::CLOCK_TICK;
+
+/// Identifies a scheduled timer so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(pub u64);
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry<T> {
+    deadline: Cycles,
+    seq: u64,
+    id: TimerId,
+    payload: T,
+}
+
+impl<T: Eq> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+impl<T: Eq> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deadline-ordered queue of pending timers carrying payload `T`.
+#[derive(Debug, Default)]
+pub struct EventQueue<T: Eq> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    next_id: u64,
+    cancelled: Vec<TimerId>,
+}
+
+impl<T: Eq> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<T> {
+        EventQueue { heap: BinaryHeap::new(), next_id: 0, cancelled: Vec::new() }
+    }
+
+    /// Rounds a deadline up to the next 10 ms system-clock boundary, as
+    /// VINO's timer wheel does (§4.5). A deadline exactly on a boundary is
+    /// kept; otherwise the *next* boundary fires it, so the observed delay
+    /// for a duration-`d` time-out is between `d` and `d + 10ms`.
+    pub fn round_to_tick(deadline: Cycles) -> Cycles {
+        let tick = CLOCK_TICK.get();
+        Cycles(deadline.get().div_ceil(tick) * tick)
+    }
+
+    /// Schedules `payload` to fire at `deadline` (absolute), rounded to
+    /// the system-clock tick. Returns an id usable with [`cancel`].
+    ///
+    /// [`cancel`]: EventQueue::cancel
+    pub fn schedule(&mut self, deadline: Cycles, payload: T) -> TimerId {
+        let id = TimerId(self.next_id);
+        self.next_id += 1;
+        let seq = id.0;
+        self.heap.push(Reverse(Entry {
+            deadline: Self::round_to_tick(deadline),
+            seq,
+            id,
+            payload,
+        }));
+        id
+    }
+
+    /// Schedules at an exact deadline with no tick rounding (used by unit
+    /// tests and by the fine-grained interpreter fuel timer).
+    pub fn schedule_exact(&mut self, deadline: Cycles, payload: T) -> TimerId {
+        let id = TimerId(self.next_id);
+        self.next_id += 1;
+        let seq = id.0;
+        self.heap.push(Reverse(Entry { deadline, seq, id, payload }));
+        id
+    }
+
+    /// Cancels a previously scheduled timer. Cancelling an already-fired
+    /// or unknown id is a harmless no-op (lazily discarded on pop).
+    pub fn cancel(&mut self, id: TimerId) {
+        self.cancelled.push(id);
+    }
+
+    /// Deadline of the earliest live timer, if any.
+    pub fn next_deadline(&mut self) -> Option<Cycles> {
+        self.drop_cancelled_head();
+        self.heap.peek().map(|Reverse(e)| e.deadline)
+    }
+
+    /// Pops every timer whose deadline is `<= now`, in deadline order.
+    pub fn fire_due(&mut self, now: Cycles) -> Vec<(TimerId, T)> {
+        let mut out = Vec::new();
+        loop {
+            self.drop_cancelled_head();
+            match self.heap.peek() {
+                Some(Reverse(e)) if e.deadline <= now => {
+                    let Reverse(e) = self.heap.pop().expect("peeked entry vanished");
+                    out.push((e.id, e.payload));
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// True when no live timers remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.drop_cancelled_head();
+        self.heap.is_empty()
+    }
+
+    fn drop_cancelled_head(&mut self) {
+        while let Some(Reverse(e)) = self.heap.peek() {
+            if self.cancelled.contains(&e.id) {
+                let id = e.id;
+                self.heap.pop();
+                self.cancelled.retain(|c| *c != id);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_to_10ms_boundaries() {
+        let tick = CLOCK_TICK.get();
+        assert_eq!(EventQueue::<u32>::round_to_tick(Cycles(1)).get(), tick);
+        assert_eq!(EventQueue::<u32>::round_to_tick(Cycles(tick)).get(), tick);
+        assert_eq!(EventQueue::<u32>::round_to_tick(Cycles(tick + 1)).get(), 2 * tick);
+    }
+
+    #[test]
+    fn timeout_delay_is_between_d_and_d_plus_tick() {
+        // The paper: "the delay for timing out a transaction will be
+        // between 10 and 20 ms" for a 10 ms timeout.
+        let d = CLOCK_TICK; // requested duration 10ms
+        for start_offset in [0u64, 1, 500_000, CLOCK_TICK.get() - 1] {
+            let start = Cycles(start_offset);
+            let fire = EventQueue::<u32>::round_to_tick(start + d);
+            let delay = fire.get() - start.get();
+            assert!(delay >= d.get(), "delay {delay} below requested duration");
+            assert!(delay <= d.get() + CLOCK_TICK.get(), "delay {delay} beyond d+tick");
+        }
+    }
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut q = EventQueue::new();
+        q.schedule_exact(Cycles(30), "c");
+        q.schedule_exact(Cycles(10), "a");
+        q.schedule_exact(Cycles(20), "b");
+        let fired: Vec<&str> = q.fire_due(Cycles(25)).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(fired, vec!["a", "b"]);
+        assert!(!q.is_empty());
+        let fired: Vec<&str> = q.fire_due(Cycles(30)).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(fired, vec!["c"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut q = EventQueue::new();
+        let _a = q.schedule_exact(Cycles(10), 1u32);
+        let _b = q.schedule_exact(Cycles(10), 2u32);
+        let fired: Vec<u32> = q.fire_due(Cycles(10)).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(fired, vec![1, 2]);
+    }
+
+    #[test]
+    fn cancel_suppresses_firing() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_exact(Cycles(10), "a");
+        q.schedule_exact(Cycles(20), "b");
+        q.cancel(a);
+        assert_eq!(q.next_deadline(), Some(Cycles(20)));
+        let fired: Vec<&str> = q.fire_due(Cycles(100)).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(fired, vec!["b"]);
+    }
+
+    #[test]
+    fn cancel_unknown_is_noop() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        q.cancel(TimerId(99));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! Identifiers shared across kernel subsystems.
+//!
+//! `ThreadId` lives here (the lowest layer) because the transaction
+//! manager, scheduler, resource accountant and grafting layer all key
+//! state by thread, and none of them should depend on another just for
+//! the identifier type.
+
+use std::fmt;
+
+/// Identifies a kernel thread.
+///
+/// "Each user-level process has associated with it a kernel-level
+/// thread" (§4.3); grafts run on the invoking thread, transactions are
+/// "associated with the thread that invoked the graft" (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u64);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_ordering() {
+        assert_eq!(ThreadId(3).to_string(), "thread#3");
+        assert!(ThreadId(1) < ThreadId(2));
+    }
+}

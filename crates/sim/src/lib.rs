@@ -1,0 +1,22 @@
+//! Simulation substrate for the VINO reproduction.
+//!
+//! The paper's evaluation ran on a 120 MHz Pentium and reported every
+//! measurement in microseconds derived from the CPU cycle counter
+//! (8.33 ns/cycle). This crate provides the equivalent for a simulated
+//! kernel: a [`clock::VirtualClock`] that subsystems charge cycles to, a
+//! calibrated [`costs`] table holding every constant the paper states
+//! directly, trimmed-mean [`stats`] matching the paper's methodology
+//! (drop top and bottom 10 % of samples), a deterministic [`rng`], and a
+//! timer [`event`] queue used for lock time-outs and scheduling.
+
+pub mod clock;
+pub mod costs;
+pub mod event;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+
+pub use clock::{Cycles, VirtualClock};
+pub use event::{EventQueue, TimerId};
+pub use ids::ThreadId;
+pub use rng::SplitMix64;

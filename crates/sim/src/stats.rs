@@ -1,0 +1,142 @@
+//! Measurement statistics matching the paper's methodology.
+//!
+//! §4: "To reduce the sensitivity of our results to cache effects, we drop
+//! outliers by eliminating the top 10% and bottom 10% of the measurements
+//! before computing the means and standard deviations."
+
+use crate::clock::Cycles;
+
+/// Summary statistics of a set of samples after 10/90 trimming.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Trimmed mean.
+    pub mean: f64,
+    /// Trimmed standard deviation (population form, as the paper implies).
+    pub std_dev: f64,
+    /// Number of samples retained after trimming.
+    pub retained: usize,
+    /// Minimum of the retained samples.
+    pub min: f64,
+    /// Maximum of the retained samples.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Standard deviation as a percentage of the mean, the form in which
+    /// the paper reports dispersion ("less than 2.5% of the mean").
+    pub fn rel_std_pct(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            100.0 * self.std_dev / self.mean
+        }
+    }
+}
+
+/// Trims the top and bottom 10 % of `samples` and summarises the rest.
+///
+/// Returns `None` when the input is empty. With fewer than ten samples no
+/// trimming occurs (there is no complete decile to drop), matching the
+/// natural reading of the paper's rule.
+pub fn trimmed_summary(samples: &[f64]) -> Option<Summary> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let drop = sorted.len() / 10;
+    let kept = &sorted[drop..sorted.len() - drop];
+    let n = kept.len() as f64;
+    let mean = kept.iter().sum::<f64>() / n;
+    let var = kept.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    Some(Summary {
+        mean,
+        std_dev: var.sqrt(),
+        retained: kept.len(),
+        min: kept[0],
+        max: kept[kept.len() - 1],
+    })
+}
+
+/// Summarises cycle samples in microseconds.
+pub fn summarize_cycles(samples: &[Cycles]) -> Option<Summary> {
+    let us: Vec<f64> = samples.iter().map(|c| c.as_us()).collect();
+    trimmed_summary(&us)
+}
+
+/// Least-squares fit of `y = a + b*x`, used to recover the paper's abort
+/// cost equation `35us + 10L + cG` from measured sweeps (§4.5).
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    Some((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_gives_none() {
+        assert!(trimmed_summary(&[]).is_none());
+    }
+
+    #[test]
+    fn trimming_drops_deciles() {
+        // 20 samples: 18 copies of 10.0 plus outliers 0.0 and 1000.0.
+        let mut s = vec![10.0; 18];
+        s.push(0.0);
+        s.push(1000.0);
+        let sum = trimmed_summary(&s).unwrap();
+        assert_eq!(sum.retained, 16);
+        assert!((sum.mean - 10.0).abs() < 1e-9);
+        assert!(sum.std_dev < 1e-9);
+    }
+
+    #[test]
+    fn small_sets_not_trimmed() {
+        let sum = trimmed_summary(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(sum.retained, 3);
+        assert!((sum.mean - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rel_std_matches_paper_form() {
+        let sum = trimmed_summary(&[100.0, 102.0, 98.0, 100.0]).unwrap();
+        assert!(sum.rel_std_pct() < 2.5, "paper-style dispersion check");
+    }
+
+    #[test]
+    fn summarize_cycles_in_us() {
+        let samples = vec![Cycles::from_us(10), Cycles::from_us(20)];
+        let sum = summarize_cycles(&samples).unwrap();
+        assert!((sum.mean - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        // y = 35 + 10x, the paper's abort equation shape.
+        let pts: Vec<(f64, f64)> = (0..8).map(|l| (l as f64, 35.0 + 10.0 * l as f64)).collect();
+        let (a, b) = linear_fit(&pts).unwrap();
+        assert!((a - 35.0).abs() < 1e-9);
+        assert!((b - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate() {
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+}

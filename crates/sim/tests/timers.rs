@@ -1,0 +1,82 @@
+//! Integration tests for the timer queue's tick-rounded scheduling path
+//! (the unit tests cover `round_to_tick` and `schedule_exact`; these
+//! cover `schedule`, interleaved cancellation, and clock-driven draining
+//! as the transaction manager uses it).
+
+use proptest::prelude::*;
+
+use vino_sim::costs::CLOCK_TICK;
+use vino_sim::{Cycles, EventQueue, VirtualClock};
+
+#[test]
+fn schedule_rounds_to_boundaries_and_fires_in_order() {
+    let mut q = EventQueue::new();
+    let clock = VirtualClock::new();
+    // Three timers inside the same tick all fire together on the
+    // boundary, in schedule order.
+    q.schedule(Cycles(100), "a");
+    q.schedule(Cycles(50_000), "b");
+    q.schedule(Cycles(1), "c");
+    assert_eq!(q.next_deadline(), Some(Cycles(CLOCK_TICK.get())));
+    clock.advance_to(Cycles(CLOCK_TICK.get() - 1));
+    assert!(q.fire_due(clock.now()).is_empty(), "nothing before the boundary");
+    clock.advance_to(Cycles(CLOCK_TICK.get()));
+    let fired: Vec<&str> = q.fire_due(clock.now()).into_iter().map(|(_, p)| p).collect();
+    assert_eq!(fired, vec!["a", "b", "c"]);
+}
+
+#[test]
+fn timers_across_many_ticks() {
+    let mut q = EventQueue::new();
+    for i in 1..=5u64 {
+        q.schedule(Cycles(i * CLOCK_TICK.get()), i);
+    }
+    // Drain tick by tick.
+    for tick in 1..=5u64 {
+        let fired = q.fire_due(Cycles(tick * CLOCK_TICK.get()));
+        assert_eq!(fired.len(), 1, "tick {tick}");
+        assert_eq!(fired[0].1, tick);
+    }
+    assert!(q.is_empty());
+}
+
+#[test]
+fn cancel_between_ticks() {
+    let mut q = EventQueue::new();
+    let a = q.schedule(Cycles(1), "a");
+    let b = q.schedule(Cycles(CLOCK_TICK.get() + 1), "b");
+    q.cancel(b);
+    let fired: Vec<&str> =
+        q.fire_due(Cycles(3 * CLOCK_TICK.get())).into_iter().map(|(_, p)| p).collect();
+    assert_eq!(fired, vec!["a"]);
+    q.cancel(a); // Cancelling after firing: harmless.
+    assert!(q.is_empty());
+}
+
+proptest! {
+    /// Every scheduled deadline fires on a tick boundary, no earlier
+    /// than requested and less than one tick late.
+    #[test]
+    fn tick_rounding_bounds(deadlines in proptest::collection::vec(1u64..10 * CLOCK_TICK.get(), 1..20)) {
+        let mut q = EventQueue::new();
+        for (i, d) in deadlines.iter().enumerate() {
+            q.schedule(Cycles(*d), i);
+        }
+        let mut fired = Vec::new();
+        let mut now = 0u64;
+        while !q.is_empty() {
+            now += CLOCK_TICK.get();
+            for (_, i) in q.fire_due(Cycles(now)) {
+                fired.push((i, now));
+            }
+            prop_assert!(now < 20 * CLOCK_TICK.get(), "queue must drain");
+        }
+        prop_assert_eq!(fired.len(), deadlines.len());
+        for (i, fired_at) in fired {
+            let want = deadlines[i];
+            prop_assert!(fired_at >= want, "timer {i} fired early");
+            prop_assert!(fired_at < want + 2 * CLOCK_TICK.get(), "timer {i} fired too late");
+            prop_assert_eq!(fired_at % CLOCK_TICK.get(), 0, "on a boundary");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! The in-memory undo call stack.
+//!
+//! §3.1: "Modifications to permanent kernel state are encapsulated in
+//! accessor functions [...] Each such accessor function that can be
+//! called from a grafted function has an associated undo function.
+//! Whenever an accessor function is called, if there is a transaction
+//! associated with the currently running thread, the corresponding undo
+//! operation is pushed onto the transaction's undo call stack. If a
+//! transaction aborts, the transaction manager invokes each undo
+//! operation on the undo call stack."
+//!
+//! Undo operations run in LIFO order (it is a call *stack*): the last
+//! state change is the first one reversed.
+
+use vino_sim::Cycles;
+
+/// One recorded reversal: a closure that restores the state an accessor
+/// changed, plus a cost estimate and a label for diagnostics.
+pub struct UndoRecord {
+    op: Box<dyn FnOnce()>,
+    /// Cycles the reversal costs when executed at abort; the paper's
+    /// `cG` term, "somewhat less than the actual cost of running the
+    /// graft" (§4.5).
+    pub cost: Cycles,
+    /// Human-readable accessor name for abort diagnostics.
+    pub label: &'static str,
+}
+
+impl UndoRecord {
+    /// Creates a record from a reversal closure.
+    pub fn new(label: &'static str, cost: Cycles, op: impl FnOnce() + 'static) -> UndoRecord {
+        UndoRecord { op: Box::new(op), cost, label }
+    }
+
+    /// Executes the reversal, consuming the record.
+    pub fn run(self) -> (&'static str, Cycles) {
+        (self.op)();
+        (self.label, self.cost)
+    }
+}
+
+impl std::fmt::Debug for UndoRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UndoRecord")
+            .field("label", &self.label)
+            .field("cost", &self.cost)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A LIFO stack of [`UndoRecord`]s belonging to one transaction.
+#[derive(Debug, Default)]
+pub struct UndoStack {
+    records: Vec<UndoRecord>,
+}
+
+impl UndoStack {
+    /// An empty stack.
+    pub fn new() -> UndoStack {
+        UndoStack::default()
+    }
+
+    /// Pushes a reversal; called by accessor functions.
+    pub fn push(&mut self, record: UndoRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of pending reversals.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing needs reversing.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Runs every reversal in LIFO order, returning (ops run, total
+    /// reversal cost). The stack is empty afterwards.
+    pub fn unwind(&mut self) -> (usize, Cycles) {
+        let mut total = Cycles::ZERO;
+        let mut n = 0;
+        while let Some(rec) = self.records.pop() {
+            let (_, cost) = rec.run();
+            total += cost;
+            n += 1;
+        }
+        (n, total)
+    }
+
+    /// Discards all records without running them (commit path).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Merges `child` onto this stack, preserving order so that a later
+    /// parent abort reverses the child's operations after (i.e. stacked
+    /// above) the parent's own earlier operations. §3.1: "When a nested
+    /// transaction commits, its undo call stack and locks are merged
+    /// with those of its parent."
+    pub fn absorb(&mut self, child: UndoStack) {
+        self.records.extend(child.records);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn unwind_runs_lifo() {
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut s = UndoStack::new();
+        for i in 0..3 {
+            let log = Rc::clone(&log);
+            s.push(UndoRecord::new("op", Cycles(10), move || log.borrow_mut().push(i)));
+        }
+        let (n, cost) = s.unwind();
+        assert_eq!(n, 3);
+        assert_eq!(cost, Cycles(30));
+        assert_eq!(*log.borrow(), vec![2, 1, 0], "LIFO order required");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clear_discards_without_running() {
+        let ran = Rc::new(RefCell::new(false));
+        let mut s = UndoStack::new();
+        let r = Rc::clone(&ran);
+        s.push(UndoRecord::new("op", Cycles(1), move || *r.borrow_mut() = true));
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!*ran.borrow(), "commit must not run undo ops");
+    }
+
+    #[test]
+    fn absorb_preserves_reversal_order() {
+        // Parent does P, child does C; on later abort the reversal order
+        // must be C then P (LIFO over the merged history).
+        let log: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut parent = UndoStack::new();
+        let l = Rc::clone(&log);
+        parent.push(UndoRecord::new("P", Cycles(1), move || l.borrow_mut().push("undo-P")));
+        let mut child = UndoStack::new();
+        let l = Rc::clone(&log);
+        child.push(UndoRecord::new("C", Cycles(1), move || l.borrow_mut().push("undo-C")));
+        parent.absorb(child);
+        parent.unwind();
+        assert_eq!(*log.borrow(), vec!["undo-C", "undo-P"]);
+    }
+
+    #[test]
+    fn record_reports_label_and_cost() {
+        let rec = UndoRecord::new("dec_refcount", Cycles(7), || {});
+        let (label, cost) = rec.run();
+        assert_eq!(label, "dec_refcount");
+        assert_eq!(cost, Cycles(7));
+    }
+
+    #[test]
+    fn debug_formatting_omits_closure() {
+        let rec = UndoRecord::new("x", Cycles(1), || {});
+        let s = format!("{rec:?}");
+        assert!(s.contains("label"));
+    }
+}

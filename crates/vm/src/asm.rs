@@ -1,0 +1,505 @@
+//! A textual assembler and disassembler for GraftVM programs.
+//!
+//! Grafts in this reproduction are written in assembly the way the
+//! paper's grafts were written in C++: it is the source form the MiSFIT
+//! pass consumes. The syntax, one instruction per line:
+//!
+//! ```text
+//! ; a comment
+//! loop:                       ; a label
+//!     const r1, 42            ; r1 = 42
+//!     mov   r2, r1
+//!     add   r3, r1, r2        ; register ALU: add sub mul div rem xor and or shl shr
+//!     addi  r3, r1, -4        ; immediate ALU: <op>i
+//!     loadw r1, [r2+4]        ; 32-bit word load
+//!     storew r1, [r2-4]
+//!     loadb r1, [r2+0]        ; byte load/store
+//!     storeb r1, [r2+0]
+//!     jmp   loop
+//!     beq   r1, r2, loop      ; beq bne bltu bgeu blts bges
+//!     call  $prefetch         ; direct kernel call, resolved by name
+//!     calli r5                ; indirect kernel call (id in r5)
+//!     calll subroutine        ; intra-graft call
+//!     ret
+//!     halt  r0
+//!     clamp r1                ; SFI pseudo-ops (normally inserted by MiSFIT)
+//!     checkcall r5
+//!     nop
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::isa::{AluOp, Cond, HostFnId, Instr, Program, Reg};
+
+/// Maps kernel-function names to their ids for `call $name` resolution.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    by_name: HashMap<String, HostFnId>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Registers `name` with `id`; replaces any previous binding.
+    pub fn define(&mut self, name: impl Into<String>, id: HostFnId) {
+        self.by_name.insert(name.into(), id);
+    }
+
+    /// Looks up a function id by name.
+    pub fn lookup(&self, name: &str) -> Option<HostFnId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Reverse lookup for the disassembler.
+    pub fn name_of(&self, id: HostFnId) -> Option<&str> {
+        self.by_name.iter().find(|(_, v)| **v == id).map(|(k, _)| k.as_str())
+    }
+}
+
+/// Assembly errors with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError { line, msg: msg.into() }
+}
+
+/// Assembles `src` into a [`Program`] named `name`, resolving `$name`
+/// direct calls through `syms`.
+pub fn assemble(name: &str, src: &str, syms: &SymbolTable) -> Result<Program, AsmError> {
+    // Pass 1: strip comments, collect labels and instruction lines.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    let mut idx: u32 = 0;
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut rest = text;
+        // A line may carry one label prefix ("loop: add ..." or bare "loop:").
+        while let Some(colon) = rest.find(':') {
+            let (lab, tail) = rest.split_at(colon);
+            let lab = lab.trim();
+            if lab.is_empty() || !lab.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                break;
+            }
+            if labels.insert(lab.to_string(), idx).is_some() {
+                return Err(err(lineno, format!("duplicate label `{lab}`")));
+            }
+            rest = tail[1..].trim();
+        }
+        if !rest.is_empty() {
+            lines.push((lineno, rest.to_string()));
+            idx += 1;
+        }
+    }
+
+    // Pass 2: encode.
+    let mut instrs = Vec::with_capacity(lines.len());
+    for (lineno, text) in &lines {
+        instrs.push(parse_instr(*lineno, text, &labels, syms)?);
+    }
+    let prog = Program::new(name, instrs);
+    prog.validate().map_err(|m| err(0, m))?;
+    Ok(prog)
+}
+
+fn parse_instr(
+    line: usize,
+    text: &str,
+    labels: &HashMap<String, u32>,
+    syms: &SymbolTable,
+) -> Result<Instr, AsmError> {
+    let (op, rest) = match text.split_once(char::is_whitespace) {
+        Some((o, r)) => (o, r.trim()),
+        None => (text, ""),
+    };
+    let args: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let nargs = |n: usize| -> Result<(), AsmError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(line, format!("`{op}` expects {n} operand(s), got {}", args.len())))
+        }
+    };
+    let reg = |s: &str| -> Result<Reg, AsmError> {
+        let body = s
+            .strip_prefix('r')
+            .ok_or_else(|| err(line, format!("expected register, got `{s}`")))?;
+        let i: u8 =
+            body.parse().map_err(|_| err(line, format!("bad register `{s}`")))?;
+        Reg::new(i).ok_or_else(|| err(line, format!("register out of range `{s}`")))
+    };
+    let imm = |s: &str| -> Result<i64, AsmError> {
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(b) => (true, b),
+            None => (false, s),
+        };
+        let v = if let Some(hex) = body.strip_prefix("0x") {
+            i64::from_str_radix(hex, 16)
+        } else {
+            body.parse()
+        }
+        .map_err(|_| err(line, format!("bad immediate `{s}`")))?;
+        Ok(if neg { -v } else { v })
+    };
+    let label = |s: &str| -> Result<u32, AsmError> {
+        labels.get(s).copied().ok_or_else(|| err(line, format!("unknown label `{s}`")))
+    };
+    // `[rN+off]` / `[rN-off]` / `[rN]`.
+    let memop = |s: &str| -> Result<(Reg, i32), AsmError> {
+        let inner = s
+            .strip_prefix('[')
+            .and_then(|t| t.strip_suffix(']'))
+            .ok_or_else(|| err(line, format!("expected [reg+off], got `{s}`")))?;
+        let (r, off) = if let Some(p) = inner.find(['+', '-']) {
+            let (rs, rest) = inner.split_at(p);
+            let o: i64 = imm(rest.trim())?;
+            (rs.trim(), o)
+        } else {
+            (inner.trim(), 0)
+        };
+        let off: i32 = off
+            .try_into()
+            .map_err(|_| err(line, format!("offset out of range in `{s}`")))?;
+        Ok((reg(r)?, off))
+    };
+
+    let alu_reg = |op: AluOp, args: &[&str]| -> Result<Instr, AsmError> {
+        Ok(Instr::Alu { op, d: reg(args[0])?, a: reg(args[1])?, b: reg(args[2])? })
+    };
+    let alu_imm = |op: AluOp, args: &[&str]| -> Result<Instr, AsmError> {
+        Ok(Instr::AluI { op, d: reg(args[0])?, a: reg(args[1])?, imm: imm(args[2])? })
+    };
+    let branch = |cond: Cond, args: &[&str]| -> Result<Instr, AsmError> {
+        Ok(Instr::Br { cond, a: reg(args[0])?, b: reg(args[1])?, target: label(args[2])? })
+    };
+
+    match op {
+        "const" => {
+            nargs(2)?;
+            Ok(Instr::Const { d: reg(args[0])?, imm: imm(args[1])? })
+        }
+        "mov" => {
+            nargs(2)?;
+            Ok(Instr::Mov { d: reg(args[0])?, s: reg(args[1])? })
+        }
+        "add" | "sub" | "mul" | "div" | "rem" | "xor" | "and" | "or" | "shl" | "shr" => {
+            nargs(3)?;
+            alu_reg(alu_op(op), &args)
+        }
+        "addi" | "subi" | "muli" | "divi" | "remi" | "xori" | "andi" | "ori" | "shli"
+        | "shri" => {
+            nargs(3)?;
+            alu_imm(alu_op(&op[..op.len() - 1]), &args)
+        }
+        "loadw" => {
+            nargs(2)?;
+            let (addr, off) = memop(args[1])?;
+            Ok(Instr::LoadW { d: reg(args[0])?, addr, off })
+        }
+        "storew" => {
+            nargs(2)?;
+            let (addr, off) = memop(args[1])?;
+            Ok(Instr::StoreW { s: reg(args[0])?, addr, off })
+        }
+        "loadb" => {
+            nargs(2)?;
+            let (addr, off) = memop(args[1])?;
+            Ok(Instr::LoadB { d: reg(args[0])?, addr, off })
+        }
+        "storeb" => {
+            nargs(2)?;
+            let (addr, off) = memop(args[1])?;
+            Ok(Instr::StoreB { s: reg(args[0])?, addr, off })
+        }
+        "jmp" => {
+            nargs(1)?;
+            Ok(Instr::Jmp { target: label(args[0])? })
+        }
+        "beq" => branch(Cond::Eq, &{ nargs(3)?; args.clone() }),
+        "bne" => branch(Cond::Ne, &{ nargs(3)?; args.clone() }),
+        "bltu" => branch(Cond::LtU, &{ nargs(3)?; args.clone() }),
+        "bgeu" => branch(Cond::GeU, &{ nargs(3)?; args.clone() }),
+        "blts" => branch(Cond::LtS, &{ nargs(3)?; args.clone() }),
+        "bges" => branch(Cond::GeS, &{ nargs(3)?; args.clone() }),
+        "call" => {
+            nargs(1)?;
+            let name = args[0]
+                .strip_prefix('$')
+                .ok_or_else(|| err(line, "direct call target must be `$name`"))?;
+            let id = syms
+                .lookup(name)
+                .ok_or_else(|| err(line, format!("unknown kernel function `${name}`")))?;
+            Ok(Instr::Call { func: id })
+        }
+        "calli" => {
+            nargs(1)?;
+            Ok(Instr::CallI { target: reg(args[0])? })
+        }
+        "calll" => {
+            nargs(1)?;
+            Ok(Instr::CallLocal { target: label(args[0])? })
+        }
+        "ret" => {
+            nargs(0)?;
+            Ok(Instr::Ret)
+        }
+        "halt" => {
+            nargs(1)?;
+            Ok(Instr::Halt { result: reg(args[0])? })
+        }
+        "clamp" => {
+            nargs(1)?;
+            Ok(Instr::Clamp { r: reg(args[0])? })
+        }
+        "checkcall" => {
+            nargs(1)?;
+            Ok(Instr::CheckCall { r: reg(args[0])? })
+        }
+        "nop" => {
+            nargs(0)?;
+            Ok(Instr::Nop)
+        }
+        other => Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+fn alu_op(s: &str) -> AluOp {
+    match s {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        "xor" => AluOp::Xor,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        _ => unreachable!("alu_op called with non-ALU mnemonic"),
+    }
+}
+
+/// Renders a program back to assembly text. Instruction indices are
+/// emitted as `L<idx>` labels at branch targets so the output reassembles
+/// to the same program (round-trip tested).
+pub fn disassemble(prog: &Program, syms: &SymbolTable) -> String {
+    use std::collections::BTreeSet;
+    let targets: BTreeSet<u32> = prog.instrs.iter().filter_map(|i| i.branch_target()).collect();
+    let mut out = String::new();
+    for (pc, i) in prog.instrs.iter().enumerate() {
+        if targets.contains(&(pc as u32)) {
+            out.push_str(&format!("L{pc}:\n"));
+        }
+        out.push_str("    ");
+        out.push_str(&render(i, syms));
+        out.push('\n');
+    }
+    // A trailing label (branch to one-past-the-end is invalid, but a
+    // branch to the last instruction is handled above).
+    out
+}
+
+fn render(i: &Instr, syms: &SymbolTable) -> String {
+    let alu_name = |op: AluOp| match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::Div => "div",
+        AluOp::Rem => "rem",
+        AluOp::Xor => "xor",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Shl => "shl",
+        AluOp::Shr => "shr",
+    };
+    let mem = |r: Reg, off: i32| {
+        if off >= 0 {
+            format!("[{r}+{off}]")
+        } else {
+            format!("[{r}{off}]")
+        }
+    };
+    match *i {
+        Instr::Const { d, imm } => format!("const {d}, {imm}"),
+        Instr::Mov { d, s } => format!("mov {d}, {s}"),
+        Instr::Alu { op, d, a, b } => format!("{} {d}, {a}, {b}", alu_name(op)),
+        Instr::AluI { op, d, a, imm } => format!("{}i {d}, {a}, {imm}", alu_name(op)),
+        Instr::LoadW { d, addr, off } => format!("loadw {d}, {}", mem(addr, off)),
+        Instr::StoreW { s, addr, off } => format!("storew {s}, {}", mem(addr, off)),
+        Instr::LoadB { d, addr, off } => format!("loadb {d}, {}", mem(addr, off)),
+        Instr::StoreB { s, addr, off } => format!("storeb {s}, {}", mem(addr, off)),
+        Instr::Jmp { target } => format!("jmp L{target}"),
+        Instr::Br { cond, a, b, target } => {
+            let c = match cond {
+                Cond::Eq => "beq",
+                Cond::Ne => "bne",
+                Cond::LtU => "bltu",
+                Cond::GeU => "bgeu",
+                Cond::LtS => "blts",
+                Cond::GeS => "bges",
+            };
+            format!("{c} {a}, {b}, L{target}")
+        }
+        Instr::Call { func } => match syms.name_of(func) {
+            Some(n) => format!("call ${n}"),
+            None => format!("call $fn_{}", func.0),
+        },
+        Instr::CallI { target } => format!("calli {target}"),
+        Instr::CallLocal { target } => format!("calll L{target}"),
+        Instr::Ret => "ret".to_string(),
+        Instr::Halt { result } => format!("halt {result}"),
+        Instr::Clamp { r } => format!("clamp {r}"),
+        Instr::CheckCall { r } => format!("checkcall {r}"),
+        Instr::Nop => "nop".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms() -> SymbolTable {
+        let mut s = SymbolTable::new();
+        s.define("prefetch", HostFnId(3));
+        s.define("get_buf", HostFnId(4));
+        s
+    }
+
+    #[test]
+    fn assembles_basic_program() {
+        let p = assemble(
+            "t",
+            "
+            ; compute 6*7
+            const r1, 6
+            const r2, 7
+            mul r0, r1, r2
+            halt r0
+            ",
+            &syms(),
+        )
+        .unwrap();
+        assert_eq!(p.instrs.len(), 4);
+        assert_eq!(p.instrs[2], Instr::Alu { op: AluOp::Mul, d: Reg(0), a: Reg(1), b: Reg(2) });
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let p = assemble(
+            "t",
+            "
+            const r1, 0
+            loop:
+            addi r1, r1, 1
+            bltu r1, r2, loop
+            jmp done
+            done: halt r1
+            ",
+            &syms(),
+        )
+        .unwrap();
+        assert_eq!(p.instrs[2], Instr::Br { cond: Cond::LtU, a: Reg(1), b: Reg(2), target: 1 });
+        assert_eq!(p.instrs[3], Instr::Jmp { target: 4 });
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let p = assemble(
+            "t",
+            "
+            loadw r1, [r2+8]
+            storew r1, [r2-4]
+            loadb r3, [r4]
+            halt r0
+            ",
+            &syms(),
+        )
+        .unwrap();
+        assert_eq!(p.instrs[0], Instr::LoadW { d: Reg(1), addr: Reg(2), off: 8 });
+        assert_eq!(p.instrs[1], Instr::StoreW { s: Reg(1), addr: Reg(2), off: -4 });
+        assert_eq!(p.instrs[2], Instr::LoadB { d: Reg(3), addr: Reg(4), off: 0 });
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble("t", "const r1, 0x10\nconst r2, -3\nhalt r0", &syms()).unwrap();
+        assert_eq!(p.instrs[0], Instr::Const { d: Reg(1), imm: 16 });
+        assert_eq!(p.instrs[1], Instr::Const { d: Reg(2), imm: -3 });
+    }
+
+    #[test]
+    fn direct_call_resolution() {
+        let p = assemble("t", "call $prefetch\nhalt r0", &syms()).unwrap();
+        assert_eq!(p.instrs[0], Instr::Call { func: HostFnId(3) });
+        let e = assemble("t", "call $nosuch\nhalt r0", &syms()).unwrap_err();
+        assert!(e.msg.contains("unknown kernel function"));
+    }
+
+    #[test]
+    fn error_cases_report_lines() {
+        let e = assemble("t", "const r1\nhalt r0", &syms()).unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = assemble("t", "halt r0\nbogus r1", &syms()).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("unknown mnemonic"));
+        let e = assemble("t", "jmp nowhere", &syms()).unwrap_err();
+        assert!(e.msg.contains("unknown label"));
+        let e = assemble("t", "const r99, 1", &syms()).unwrap_err();
+        assert!(e.msg.contains("register"));
+        let e = assemble("t", "x: nop\nx: nop", &syms()).unwrap_err();
+        assert!(e.msg.contains("duplicate label"));
+    }
+
+    #[test]
+    fn disassemble_round_trips() {
+        let src = "
+            const r1, 0
+            const r2, 10
+            loop:
+            addi r1, r1, 1
+            loadw r3, [r1+0]
+            storew r3, [r1+4]
+            call $get_buf
+            bltu r1, r2, loop
+            halt r1
+        ";
+        let s = syms();
+        let p1 = assemble("t", src, &s).unwrap();
+        let text = disassemble(&p1, &s);
+        let p2 = assemble("t", &text, &s).unwrap();
+        assert_eq!(p1.instrs, p2.instrs, "disassembly must reassemble identically\n{text}");
+    }
+
+    #[test]
+    fn sfi_pseudo_ops_assemble() {
+        let p = assemble("t", "clamp r1\ncheckcall r2\ncalli r2\nhalt r0", &syms()).unwrap();
+        assert_eq!(p.instrs[0], Instr::Clamp { r: Reg(1) });
+        assert_eq!(p.instrs[1], Instr::CheckCall { r: Reg(2) });
+        assert!(p.has_indirect_calls());
+    }
+}

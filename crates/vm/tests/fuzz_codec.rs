@@ -1,0 +1,136 @@
+//! Fuzz/property tests for the graft image codec and the assembler.
+//!
+//! The loader decodes images only after signature verification, but the
+//! codec must still be total: arbitrary bytes must produce an error,
+//! never a panic or a wild allocation — a kernel parses untrusted input
+//! defensively even behind a MAC.
+
+use proptest::prelude::*;
+
+use vino_vm::asm::{assemble, disassemble, SymbolTable};
+use vino_vm::encode::{decode, encode};
+use vino_vm::isa::{AluOp, Cond, HostFnId, Instr, Program, Reg};
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg)
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+        Just(AluOp::Xor),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+    ]
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::LtU),
+        Just(Cond::GeU),
+        Just(Cond::LtS),
+        Just(Cond::GeS),
+    ]
+}
+
+/// Any instruction with branch targets within `len`.
+fn instr(len: u32) -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (reg(), any::<i64>()).prop_map(|(d, imm)| Instr::Const { d, imm }),
+        (reg(), reg()).prop_map(|(d, s)| Instr::Mov { d, s }),
+        (alu_op(), reg(), reg(), reg()).prop_map(|(op, d, a, b)| Instr::Alu { op, d, a, b }),
+        (alu_op(), reg(), reg(), any::<i64>())
+            .prop_map(|(op, d, a, imm)| Instr::AluI { op, d, a, imm }),
+        (reg(), reg(), any::<i32>()).prop_map(|(d, addr, off)| Instr::LoadW { d, addr, off }),
+        (reg(), reg(), any::<i32>()).prop_map(|(s, addr, off)| Instr::StoreW { s, addr, off }),
+        (reg(), reg(), any::<i32>()).prop_map(|(d, addr, off)| Instr::LoadB { d, addr, off }),
+        (reg(), reg(), any::<i32>()).prop_map(|(s, addr, off)| Instr::StoreB { s, addr, off }),
+        (0..len).prop_map(|target| Instr::Jmp { target }),
+        (cond(), reg(), reg(), 0..len)
+            .prop_map(|(cond, a, b, target)| Instr::Br { cond, a, b, target }),
+        // Direct calls restricted to a small known-name id space so the
+        // disassembly round-trip can resolve them.
+        (0u32..4).prop_map(|i| Instr::Call { func: HostFnId(i) }),
+        reg().prop_map(|r| Instr::CallI { target: r }),
+        (0..len).prop_map(|target| Instr::CallLocal { target }),
+        Just(Instr::Ret),
+        reg().prop_map(|r| Instr::Halt { result: r }),
+        reg().prop_map(|r| Instr::Clamp { r }),
+        reg().prop_map(|r| Instr::CheckCall { r }),
+        Just(Instr::Nop),
+    ]
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    (1u32..64).prop_flat_map(|n| {
+        (proptest::collection::vec(instr(n), n as usize), "[a-z]{0,12}")
+            .prop_map(|(instrs, name)| Program { instrs, name })
+    })
+}
+
+fn syms() -> SymbolTable {
+    let mut s = SymbolTable::new();
+    for i in 0..4u32 {
+        s.define(format!("kfn{i}"), HostFnId(i));
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Encode/decode is the identity on arbitrary valid programs.
+    #[test]
+    fn codec_round_trips(p in program()) {
+        let bytes = encode(&p);
+        let back = decode(&bytes).expect("valid program must decode");
+        prop_assert_eq!(p, back);
+    }
+
+    /// Decoding arbitrary garbage never panics.
+    #[test]
+    fn decode_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode(&bytes); // Ok or Err — never a panic.
+    }
+
+    /// Decoding a valid image with a flipped byte never panics, and if
+    /// it decodes, it decodes to a *valid* program (branch targets in
+    /// range) — the invariant the interpreter relies on.
+    #[test]
+    fn decode_of_corrupted_images_stays_safe(
+        p in program(),
+        flip_at in any::<prop::sample::Index>(),
+        flip_bits in 1u8..=255,
+    ) {
+        let mut bytes = encode(&p);
+        let i = flip_at.index(bytes.len());
+        bytes[i] ^= flip_bits;
+        if let Ok(q) = decode(&bytes) {
+            prop_assert!(q.validate().is_ok(), "decoded program must be internally valid");
+        }
+    }
+
+    /// Disassembly reassembles to the identical instruction stream.
+    #[test]
+    fn disassembly_round_trips(p in program()) {
+        let s = syms();
+        let text = disassemble(&p, &s);
+        let back = assemble(&p.name, &text, &s)
+            .unwrap_or_else(|e| panic!("disassembly must reassemble: {e}\n{text}"));
+        prop_assert_eq!(p.instrs, back.instrs);
+    }
+
+    /// The assembler never panics on arbitrary text.
+    #[test]
+    fn assembler_is_total_on_garbage(text in "[ -~\\n]{0,400}") {
+        let _ = assemble("fuzz", &text, &syms());
+    }
+}

@@ -1,0 +1,206 @@
+//! Property tests for the GraftVM's SFI memory model.
+//!
+//! The central safety claim of §3.3 is that a MiSFIT-processed graft can
+//! never read or write memory outside its own segment: "Code is added to
+//! force the target address to fall within the range of memory allocated
+//! to the graft." Here we generate *arbitrary* programs whose memory
+//! accesses are each preceded by a `Clamp` (what the instrumentation pass
+//! guarantees; `vino-misfit` has its own tests that it inserts them) and
+//! assert that no execution ever touches the kernel region.
+
+use proptest::prelude::*;
+
+use vino_vm::interp::{Exit, NullKernel, Trap, Vm};
+use vino_vm::isa::{AluOp, Cond, Instr, Program, Reg};
+use vino_vm::mem::{AddressSpace, Protection};
+use vino_sim::VirtualClock;
+
+/// The dedicated SFI sandbox register (Wahbe et al.'s reserved
+/// register): only sandboxing sequences write it, so it always holds an
+/// in-segment address once the prologue clamp has run — even when a
+/// branch jumps into the middle of a sandbox sequence.
+const SANDBOX: Reg = Reg(14);
+
+fn reg() -> impl Strategy<Value = Reg> {
+    // User code never touches the reserved sandbox register.
+    (0u8..14).prop_map(Reg)
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Xor),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+    ]
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::LtU),
+        Just(Cond::GeU),
+        Just(Cond::LtS),
+        Just(Cond::GeS),
+    ]
+}
+
+/// One "logical" instruction of an instrumented program. Memory accesses
+/// expand into `Clamp` + access, mirroring the MiSFIT pass output.
+#[derive(Debug, Clone)]
+enum Piece {
+    Plain(Instr),
+    ClampedLoad { d: Reg, addr: Reg, off: i32 },
+    ClampedStore { s: Reg, addr: Reg, off: i32 },
+    Branch { cond: Cond, a: Reg, b: Reg },
+    Jump,
+}
+
+fn piece() -> impl Strategy<Value = Piece> {
+    prop_oneof![
+        (reg(), any::<i64>()).prop_map(|(d, imm)| Piece::Plain(Instr::Const { d, imm })),
+        (reg(), reg()).prop_map(|(d, s)| Piece::Plain(Instr::Mov { d, s })),
+        (alu_op(), reg(), reg(), reg())
+            .prop_map(|(op, d, a, b)| Piece::Plain(Instr::Alu { op, d, a, b })),
+        (alu_op(), reg(), reg(), any::<i32>()).prop_map(|(op, d, a, imm)| Piece::Plain(
+            Instr::AluI { op, d, a, imm: imm as i64 }
+        )),
+        (reg(), reg(), -64i32..64).prop_map(|(d, addr, off)| Piece::ClampedLoad { d, addr, off }),
+        (reg(), reg(), -64i32..64).prop_map(|(s, addr, off)| Piece::ClampedStore { s, addr, off }),
+        (cond(), reg(), reg()).prop_map(|(cond, a, b)| Piece::Branch { cond, a, b }),
+        Just(Piece::Jump),
+    ]
+}
+
+/// Expands pieces into an instrumented program. Branch/jump targets are
+/// chosen by hashing so they stay within range but are otherwise wild.
+fn build_program(pieces: Vec<Piece>, seed: u32) -> Program {
+    // Prologue: force the sandbox register in-segment before anything
+    // runs. After this, SANDBOX is in-segment at every program point,
+    // because only Clamp writes it.
+    let mut instrs: Vec<Instr> = vec![Instr::Clamp { r: SANDBOX }];
+    // Lay out to know the final length; memory ops take 4 slots
+    // (mov SANDBOX, addr / add offset / clamp / access).
+    let mut len = 1u32;
+    for p in &pieces {
+        len += match p {
+            Piece::ClampedLoad { .. } | Piece::ClampedStore { .. } => 4,
+            _ => 1,
+        };
+    }
+    let total = len + 1; // + Halt
+    let target_for = |i: u32| -> u32 { (i.wrapping_mul(2654435761).wrapping_add(seed)) % total };
+    let mut k = 0u32;
+    for p in pieces {
+        match p {
+            Piece::Plain(i) => instrs.push(i),
+            Piece::ClampedLoad { d, addr, off } => {
+                // The MiSFIT sandbox sequence: compute the effective
+                // address in the reserved register, clamp, then access
+                // through it. A branch landing mid-sequence still finds
+                // an in-segment address in SANDBOX.
+                instrs.push(Instr::Mov { d: SANDBOX, s: addr });
+                instrs.push(Instr::AluI { op: AluOp::Add, d: SANDBOX, a: SANDBOX, imm: off as i64 });
+                instrs.push(Instr::Clamp { r: SANDBOX });
+                instrs.push(Instr::LoadW { d, addr: SANDBOX, off: 0 });
+            }
+            Piece::ClampedStore { s, addr, off } => {
+                instrs.push(Instr::Mov { d: SANDBOX, s: addr });
+                instrs.push(Instr::AluI { op: AluOp::Add, d: SANDBOX, a: SANDBOX, imm: off as i64 });
+                instrs.push(Instr::Clamp { r: SANDBOX });
+                instrs.push(Instr::StoreW { s, addr: SANDBOX, off: 0 });
+            }
+            Piece::Branch { cond, a, b } => {
+                instrs.push(Instr::Br { cond, a, b, target: target_for(k) });
+            }
+            Piece::Jump => instrs.push(Instr::Jmp { target: target_for(k) }),
+        }
+        k += 1;
+    }
+    instrs.push(Instr::Halt { result: Reg(0) });
+    Program::new("fuzz", instrs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary instrumented programs never write the kernel region and
+    /// never fault with an SFI violation: every access lands in-segment.
+    #[test]
+    fn instrumented_programs_stay_in_segment(
+        pieces in proptest::collection::vec(piece(), 1..60),
+        seed in any::<u32>(),
+    ) {
+        let prog = build_program(pieces, seed);
+        prog.validate().expect("generated program must be well-formed");
+        let mem = AddressSpace::new(4096, 4096, Protection::Sfi);
+        let mut vm = Vm::new(mem);
+        // Plant a sentinel in kernel memory; it must survive.
+        vm.mem.kernel_bytes_mut(0, 4).unwrap().copy_from_slice(&0xDEADBEEFu32.to_le_bytes());
+        let clock = VirtualClock::new();
+        let mut fuel = 5_000; // Bounded: wild jumps can loop.
+        let exit = vm.run(&prog, &mut NullKernel, &clock, &mut fuel);
+        // The only acceptable outcomes: normal halt, preemption, or a
+        // *non-memory* trap. Any MemError means confinement failed
+        // (clamped accesses cannot be unmapped or kernel-region).
+        match &exit {
+            Exit::Trapped(Trap::Mem(e)) => {
+                prop_assert!(false, "memory fault escaped SFI: {e:?}");
+            }
+            _ => {}
+        }
+        prop_assert_eq!(vm.mem.kernel_write_count(), 0);
+        let sentinel = vm.mem.kernel_bytes(0, 4).unwrap();
+        prop_assert_eq!(sentinel, &0xDEADBEEFu32.to_le_bytes()[..]);
+    }
+
+    /// Clamp is idempotent and always lands in-segment, for any address.
+    #[test]
+    fn clamp_idempotent_and_confining(addr in any::<u64>(), size_pow in 8u32..20) {
+        let mem = AddressSpace::new(1usize << size_pow, 64, Protection::Sfi);
+        let c1 = mem.clamp(addr);
+        prop_assert!(mem.in_segment(c1));
+        prop_assert_eq!(mem.clamp(c1), c1);
+    }
+
+    /// Un-instrumented programs CAN corrupt the kernel region — the
+    /// disaster SFI prevents. This is the control experiment: a direct
+    /// store to a kernel address must succeed in Unprotected mode.
+    #[test]
+    fn unprotected_wild_store_corrupts(off in 0u64..1000, val in 1u32..u32::MAX) {
+        let mem = AddressSpace::new(4096, 4096, Protection::Unprotected);
+        let kaddr = mem.kernel_base() + (off & !3);
+        let prog = Program::new("wild", vec![
+            Instr::Const { d: Reg(1), imm: kaddr as i64 },
+            Instr::Const { d: Reg(2), imm: val as i64 },
+            Instr::StoreW { s: Reg(2), addr: Reg(1), off: 0 },
+            Instr::Halt { result: Reg(0) },
+        ]);
+        let mut vm = Vm::new(mem);
+        let clock = VirtualClock::new();
+        let mut fuel = 100;
+        let exit = vm.run(&prog, &mut NullKernel, &clock, &mut fuel);
+        prop_assert_eq!(exit, Exit::Halted(0));
+        prop_assert_eq!(vm.mem.kernel_write_count(), 1);
+    }
+
+    /// Fuel is an exact instruction budget: a spin loop retires exactly
+    /// `fuel` instructions and then preempts (Rule 1).
+    #[test]
+    fn fuel_bounds_execution_exactly(fuel_in in 1u64..10_000) {
+        let mem = AddressSpace::new(256, 0, Protection::Sfi);
+        let prog = Program::new("spin", vec![Instr::Jmp { target: 0 }]);
+        let mut vm = Vm::new(mem);
+        let clock = VirtualClock::new();
+        let mut fuel = fuel_in;
+        let exit = vm.run(&prog, &mut NullKernel, &clock, &mut fuel);
+        prop_assert_eq!(exit, Exit::Preempted);
+        prop_assert_eq!(fuel, 0);
+        prop_assert_eq!(vm.stats.instrs, fuel_in);
+    }
+}

@@ -1,0 +1,80 @@
+//! The §4.4 stream graft: encryption on the user/kernel data path.
+//!
+//! "Our graft performs a trivial (xor-style) encryption of data as it
+//! is copied to user level, and symmetrical decryption as it is brought
+//! into the kernel from user level." This example pushes a buffer
+//! through the grafted transform in both directions, verifies the
+//! round trip, and reports the measured SFI overhead — the paper's
+//! worst case ("imposing more than 100% overhead on the graft
+//! function").
+//!
+//! Run with: `cargo run --release --example crypto_stream`
+
+use vino::core::{InstallOpts, Kernel};
+use vino::rm::{Limits, ResourceKind};
+use vino::vm::Protection;
+
+const XOR_GRAFT: &str = "
+    const r5, 0x5A5A5A5A
+    add r3, r1, r3
+loop:
+    bgeu r1, r3, done
+    loadw r7, [r1+0]
+    xor r7, r7, r5
+    storew r7, [r2+0]
+    addi r1, r1, 4
+    addi r2, r2, 4
+    jmp loop
+done:
+    halt r0
+";
+
+fn main() {
+    let kernel = Kernel::boot();
+    let app = kernel.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 16)]));
+    let thread = kernel.spawn_thread("stream");
+
+    // Safe (instrumented) transform.
+    let image = kernel.compile_graft("xor-crypt", XOR_GRAFT).expect("compiles");
+    let mut safe = kernel
+        .install_stream_graft(&image, app, thread, &InstallOpts::default())
+        .expect("installs");
+
+    // Unsafe (raw) transform, for the overhead comparison — what the
+    // paper's "unsafe path" measures. Note the loader still demands a
+    // valid signature; only the SFI pass is skipped.
+    let raw = kernel.compile_graft_unsafe("xor-crypt-raw", XOR_GRAFT).expect("seals");
+    let mut unsafe_ = kernel
+        .install_stream_graft(
+            &raw,
+            app,
+            thread,
+            &InstallOpts { protection: Protection::Unprotected, ..InstallOpts::default() },
+        )
+        .expect("installs");
+
+    let message: Vec<u8> = (0..8192u32).map(|i| (i * 7 % 256) as u8).collect();
+
+    let t0 = kernel.clock.now();
+    let cipher = safe.transform(&message).expect("encrypts");
+    let safe_us = kernel.clock.since(t0).as_us();
+    assert_ne!(cipher, message);
+
+    let plain = safe.transform(&cipher).expect("decrypts");
+    assert_eq!(plain, message, "xor encryption is symmetric");
+
+    let t0 = kernel.clock.now();
+    let cipher_raw = unsafe_.transform(&message).expect("encrypts");
+    let unsafe_us = kernel.clock.since(t0).as_us();
+    assert_eq!(cipher_raw, cipher, "instrumentation must not change results");
+
+    println!("encrypted + decrypted 8 KB through the in-kernel stream graft");
+    println!("  safe (MiSFIT) path : {safe_us:.0} us");
+    println!("  unsafe (raw) path  : {unsafe_us:.0} us");
+    println!(
+        "  SFI overhead       : {:.0} us ({:.0}% of the raw graft) — the paper's \
+         store-dense worst case",
+        safe_us - unsafe_us,
+        100.0 * (safe_us - unsafe_us) / unsafe_us
+    );
+}

@@ -1,0 +1,99 @@
+//! Writing grafts in GraftC — the C-like language standing in for the
+//! paper's C++ (§3: VINO extensions are "written in C++ and protected
+//! using software fault isolation").
+//!
+//! This example writes a read-ahead policy and an event handler in
+//! GraftC, compiles them through the full pipeline (compile → MiSFIT
+//! instrument → sign → verify → link-audit → load), and runs them. It
+//! also shows the toolchain refusing a graft that calls a forbidden
+//! kernel function — the rejection happens at *link* time, after a
+//! perfectly successful compile, exactly like the paper's flow.
+//!
+//! Run with: `cargo run --release -p vino --example graftc_policy`
+
+use vino::core::{InstallOpts, Kernel};
+use vino::dev::Port;
+use vino::rm::{Limits, ResourceKind};
+
+fn main() {
+    let kernel = Kernel::boot();
+    let app = kernel.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 20)]));
+    let thread = kernel.spawn_thread("app");
+    kernel.fs.borrow_mut().create("db", 256 * 4096).expect("create");
+    let fd = kernel.fs.borrow_mut().open("db").expect("open");
+
+    // A window read-ahead policy in GraftC: prefetch the next two
+    // blocks after every read, but never past end-of-file.
+    let ra_src = "
+        // r1..r2: offset and length of the read just performed.
+        fn main(offset, len, seq, filesize) {
+            let next = offset + len;
+            let n = 0;
+            while (n < 2) {
+                if (next + 4096 <= filesize) {
+                    ra_submit(next, 4096);
+                }
+                next = next + 4096;
+                n = n + 1;
+            }
+            return 0;
+        }
+    ";
+    let image = kernel.compile_graft_c("window-ra", ra_src).expect("compiles");
+    kernel
+        .install_ra_graft(fd, &image, app, thread, &InstallOpts::default())
+        .expect("installs");
+    for block in [3u64, 9, 40] {
+        kernel.fs.borrow_mut().read(fd, block * 4096, 4096).expect("read");
+    }
+    let stats = kernel.fs.borrow().stats();
+    println!(
+        "window read-ahead graft (GraftC): {} graft calls, {} prefetches issued",
+        stats.ra_graft_calls, stats.prefetches_issued
+    );
+    assert_eq!(stats.prefetches_issued, 6, "two prefetches per read");
+
+    // A rate-limiting event handler in GraftC: serve at most 3
+    // connections, then start refusing (returning 1).
+    kernel.define_event_point(Port(80));
+    let handler_src = "
+        fn main(port, conn_fd) {
+            let served = kv_get(12);
+            if (served >= 3) {
+                return 1; // refused
+            }
+            kv_set(12, served + 1);
+            log(conn_fd);
+            return 0; // served
+        }
+    ";
+    let handler = kernel.compile_graft_c("rate-limiter", handler_src).expect("compiles");
+    kernel
+        .install_event_graft(Port(80), 0, &handler, app, &InstallOpts::default())
+        .expect("installs");
+    for _ in 0..5 {
+        kernel.nic.borrow_mut().inject_tcp_connect(Port(80));
+    }
+    let reports = kernel.dispatch_net_events();
+    let refused = reports
+        .iter()
+        .filter(|r| r.handlers[0].outcome.result() == Some(1))
+        .count();
+    println!(
+        "rate-limiting handler (GraftC): {} events, {} refused, {} served",
+        reports.len(),
+        refused,
+        kernel.engine.kv_read(12)
+    );
+    assert_eq!(kernel.engine.kv_read(12), 3);
+    assert_eq!(refused, 2);
+
+    // The toolchain compiles this fine — and the *linker* rejects it,
+    // because shutdown() is not graft-callable (§2.3).
+    let evil_src = "fn main() { shutdown(); return 0; }";
+    let evil = kernel.compile_graft_c("evil", evil_src).expect("compiles cleanly");
+    let err = kernel
+        .install_ra_graft(fd, &evil, app, thread, &InstallOpts::default())
+        .expect_err("link audit must refuse");
+    println!("\nshutdown() graft: compiled fine, then refused at load — {err}");
+}

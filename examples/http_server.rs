@@ -1,0 +1,113 @@
+//! The §3.5 event-graft model: drop an HTTP server into the kernel.
+//!
+//! "When an event occurs in the kernel (e.g., a new connection is
+//! established on the TCP port dedicated to HTTP), VINO spawns a worker
+//! thread and begins a transaction. It then invokes the grafted
+//! function (passing it a file descriptor or other data required to
+//! process the event)."
+//!
+//! This example installs two handlers on TCP port 80 — an access logger
+//! (order 0) and the server proper (order 1) — plus a deliberately
+//! broken third handler, and shows that the broken one is aborted and
+//! unloaded while events keep flowing (Rule 9).
+//!
+//! Run with: `cargo run --example http_server`
+
+use vino::core::engine::InvokeOutcome;
+use vino::core::{InstallOpts, Kernel};
+use vino::dev::Port;
+use vino::rm::{Limits, ResourceKind};
+
+fn main() {
+    let kernel = Kernel::boot();
+    let app = kernel.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 20)]));
+    kernel.define_event_point(Port(80));
+
+    // Handler 1: the access logger. Counts connections in kernel-state
+    // slot 1 through the accessor protocol (undo-logged, so an aborted
+    // dispatch never corrupts the counter).
+    let logger = kernel
+        .compile_graft(
+            "access-log",
+            "
+            ; r1 = port, r2 = connection fd
+            mov r6, r2
+            const r1, 1
+            call $kv_get        ; current count
+            addi r2, r0, 1
+            const r1, 1
+            call $kv_set
+            mov r1, r6          ; also log the fd we saw
+            call $log
+            halt r0
+            ",
+        )
+        .expect("compiles");
+    kernel
+        .install_event_graft(Port(80), 0, &logger, app, &InstallOpts::default())
+        .expect("installs");
+
+    // Handler 2: the "server". Records the last fd served in slot 2.
+    let server = kernel
+        .compile_graft(
+            "http-server",
+            "
+            ; r1 = port, r2 = connection fd. 'Serve' the request.
+            const r1, 2
+            call $kv_set
+            halt r2
+            ",
+        )
+        .expect("compiles");
+    kernel
+        .install_event_graft(Port(80), 1, &server, app, &InstallOpts::default())
+        .expect("installs");
+
+    // Handler 3: malicious — tries to jump to an arbitrary kernel
+    // function through a pointer. The CheckCall probe traps it.
+    let evil = kernel
+        .compile_graft(
+            "evil-handler",
+            "
+            const r5, 666       ; not on the graft-callable list
+            calli r5
+            halt r0
+            ",
+        )
+        .expect("compiles");
+    kernel
+        .install_event_graft(Port(80), 2, &evil, app, &InstallOpts::default())
+        .expect("installs");
+
+    // Traffic: five connections arrive.
+    for _ in 0..5 {
+        kernel.nic.borrow_mut().inject_tcp_connect(Port(80));
+    }
+    let reports = kernel.dispatch_net_events();
+    println!("dispatched {} events on port 80", reports.len());
+    for (i, r) in reports.iter().enumerate() {
+        let outcomes: Vec<String> = r
+            .handlers
+            .iter()
+            .map(|h| {
+                let o = match &h.outcome {
+                    InvokeOutcome::Ok { result, .. } => format!("ok({result})"),
+                    InvokeOutcome::Aborted { why, .. } => format!("ABORTED({why:?})"),
+                    InvokeOutcome::Dead => "dead".to_string(),
+                };
+                format!("{}:{}", h.graft, o)
+            })
+            .collect();
+        println!("  event {i}: {}", outcomes.join("  "));
+    }
+
+    println!(
+        "\nconnections logged: {} (kernel slot 1), last served fd: {} (slot 2)",
+        kernel.engine.kv_read(1),
+        kernel.engine.kv_read(2)
+    );
+    println!(
+        "the evil handler was aborted on event 0 and unloaded; the other two kept serving."
+    );
+    assert_eq!(kernel.engine.kv_read(1), 5, "all five connections logged");
+}

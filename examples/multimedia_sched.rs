@@ -1,0 +1,91 @@
+//! The §4.3 multimedia scenario: "if the user interface thread is
+//! scheduled when it comes time for the application to display the next
+//! video frame, the best the UI thread can do is yield, and hope that
+//! the video thread is scheduled soon. With the ability to delegate a
+//! timeslice [...] the UI thread could hand off directly to the video
+//! thread."
+//!
+//! The UI thread installs a schedule-delegate graft that donates its
+//! slice to the video thread whenever a frame deadline is pending
+//! (signalled through a kernel-state slot). With many background
+//! threads competing, delegation cuts the video thread's scheduling
+//! latency dramatically.
+//!
+//! Run with: `cargo run --example multimedia_sched`
+
+use vino::core::{InstallOpts, Kernel};
+use vino::rm::{Limits, ResourceKind};
+
+/// Kernel-state slot the application sets when a frame is due.
+const FRAME_DUE_SLOT: u64 = 3;
+/// Kernel-state slot holding the video thread's id.
+const VIDEO_TID_SLOT: u64 = 4;
+
+fn video_slices(kernel: &Kernel, delegated: bool, rounds: usize) -> u64 {
+    let app = kernel.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 16)]));
+    let ui = kernel.spawn_thread("ui");
+    let video = kernel.spawn_thread("video");
+    for i in 0..14 {
+        kernel.spawn_thread(&format!("background-{i}"));
+    }
+    if delegated {
+        // The delegate: if a frame is due, hand the slice to the video
+        // thread (2nd entry of the runnable snapshot by construction);
+        // otherwise keep it.
+        let image = kernel
+            .compile_graft(
+                "ui-handoff",
+                &format!(
+                    "
+                    mov r8, r1          ; my own id (the default choice)
+                    const r1, {FRAME_DUE_SLOT}
+                    call $kv_get
+                    const r4, 0
+                    beq r0, r4, keep    ; no frame due: run myself
+                    const r1, {VIDEO_TID_SLOT}
+                    call $kv_get        ; hand off to the video thread
+                    halt r0
+                    keep:
+                    mov r0, r8
+                    halt r0
+                    "
+                ),
+            )
+            .expect("compiles");
+        kernel
+            .install_sched_graft(ui, &image, app, &InstallOpts::default())
+            .expect("installs");
+    }
+    // A frame is always due in this demo, and the app registers the
+    // video thread's identity for the delegate.
+    kernel.engine.kv_write(FRAME_DUE_SLOT as usize, 1);
+    kernel.engine.kv_write(VIDEO_TID_SLOT as usize, video.0);
+    for _ in 0..rounds {
+        kernel.sched.borrow_mut().pick_and_switch();
+    }
+    kernel.sched.borrow().thread(video).expect("exists").slices
+}
+
+fn main() {
+    const ROUNDS: usize = 160;
+    let plain = {
+        let k = Kernel::boot();
+        video_slices(&k, false, ROUNDS)
+    };
+    let delegated = {
+        let k = Kernel::boot();
+        video_slices(&k, true, ROUNDS)
+    };
+    println!(
+        "over {ROUNDS} scheduling rounds with 16 runnable threads:\n\
+         \n  video thread slices without delegation: {plain}\n\
+         video thread slices with UI handoff    : {delegated}\n"
+    );
+    println!(
+        "the UI thread's schedule-delegate graft roughly doubles the video\n\
+         thread's share whenever frames are pending — without touching the\n\
+         global scheduler (which is a restricted graft point), and without\n\
+         affecting threads that did not opt in (Rule 8 / Cao's principle)."
+    );
+    assert!(delegated > plain, "delegation must increase the video thread's share");
+}

@@ -1,0 +1,93 @@
+//! Quickstart: boot a VINO kernel, compile a graft with the MiSFIT
+//! pipeline, install it on an open file's `compute-ra` graft point, and
+//! watch the read path call it — then watch a buggy version get aborted
+//! and forcibly unloaded while the kernel keeps running.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use vino::core::{InstallOpts, Kernel};
+use vino::rm::{Limits, ResourceKind};
+
+fn main() {
+    // Boot: clock, transaction manager, scheduler, VM system, file
+    // system (formatted on a simulated 1996-era disk), NIC.
+    let kernel = Kernel::boot();
+    println!("booted; graft namespace:");
+    for (name, kind) in kernel.namespace().list() {
+        println!("  {name:<28} {kind:?}");
+    }
+
+    // An application principal with some resource limits, and a thread.
+    let app = kernel.create_app(Limits::of(&[
+        (ResourceKind::KernelHeap, 1 << 20),
+        (ResourceKind::Memory, 1 << 24),
+    ]));
+    let thread = kernel.spawn_thread("app");
+
+    // A file to experiment on.
+    kernel.fs.borrow_mut().create("data.db", 64 * 4096).expect("create");
+    let fd = kernel.fs.borrow_mut().open("data.db").expect("open");
+
+    // Figure 1's flow: write graft source, compile it (assemble +
+    // MiSFIT instrumentation + signing), and replace the compute-ra
+    // method on the open-file object.
+    let image = kernel
+        .compile_graft(
+            "my-ra",
+            "
+            ; r1 = read offset, r2 = read length.
+            add r1, r1, r2     ; prefetch the block right after the read
+            const r2, 4096
+            call $ra_submit
+            halt r0
+            ",
+        )
+        .expect("compiles");
+    kernel
+        .install_ra_graft(fd, &image, app, thread, &InstallOpts::default())
+        .expect("installs");
+    println!("\ninstalled read-ahead graft on fd {fd:?}");
+
+    // Reads now consult the graft.
+    for block in [0u64, 5, 9] {
+        kernel.fs.borrow_mut().read(fd, block * 4096, 4096).expect("read");
+    }
+    let stats = kernel.fs.borrow().stats();
+    println!(
+        "after 3 random reads: graft calls = {}, prefetches issued = {}",
+        stats.ra_graft_calls, stats.prefetches_issued
+    );
+
+    // Now the disaster: a buggy graft that dereferences a wild pointer.
+    // MiSFIT confines the store to the graft's own segment, but suppose
+    // it also divides by zero: the wrapper aborts its transaction, the
+    // undo stack runs, and the graft is forcibly unloaded (§3.6).
+    let buggy = kernel
+        .compile_graft(
+            "buggy-ra",
+            "
+            const r3, 10
+            call $kv_get           ; r1 = slot 10 (fine)
+            const r4, 0
+            div r0, r3, r4         ; boom
+            halt r0
+            ",
+        )
+        .expect("compiles");
+    let graft = kernel
+        .install_ra_graft(fd, &buggy, app, thread, &InstallOpts::default())
+        .expect("installs");
+    kernel.fs.borrow_mut().read(fd, 7 * 4096, 4096).expect("read survives the graft");
+    println!(
+        "\nbuggy graft dead after first invocation: {} (kernel kept serving reads)",
+        graft.borrow().is_dead()
+    );
+    println!(
+        "transaction stats: {:?}",
+        kernel.engine.txn.borrow().stats()
+    );
+    println!(
+        "\nsimulated time elapsed: {:.2} ms at 120 MHz",
+        kernel.clock.now().as_ms()
+    );
+}

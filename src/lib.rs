@@ -1,0 +1,50 @@
+//! # VINO — surviving misbehaved kernel extensions
+//!
+//! A from-scratch Rust reproduction of the system described in
+//! *"Dealing With Disaster: Surviving Misbehaved Kernel Extensions"*
+//! (Seltzer, Endo, Small, Smith — OSDI 1996).
+//!
+//! VINO is an extensible kernel: applications download *grafts*
+//! (extensions) into the kernel to replace policies (read-ahead, page
+//! eviction, scheduling) or to add in-kernel services (HTTP/NFS-style
+//! event handlers). Two mechanisms protect the kernel from buggy or
+//! malicious grafts:
+//!
+//! 1. **Software fault isolation** — the [`misfit`] tool sandboxes every
+//!    load/store a graft performs and checks every indirect call against
+//!    a hash table of graft-callable functions; images are signed so the
+//!    kernel only loads code that went through the tool.
+//! 2. **Lightweight transactions** — every graft invocation runs inside a
+//!    [`txn`] transaction with an undo call stack and two-phase locking;
+//!    time-outs on contended locks and per-principal resource limits
+//!    ([`rm`]) let the kernel abort and forcibly unload a hoarding graft
+//!    while restoring all kernel state it touched.
+//!
+//! This facade crate re-exports every subsystem. Start with
+//! [`core::Kernel`] and the `examples/` directory.
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`sim`] | `vino-sim` | virtual clock, calibrated cost model, stats |
+//! | [`vm`] | `vino-vm` | GraftVM: the ISA grafts are compiled to |
+//! | [`misfit`] | `vino-misfit` | SFI instrumentation, signing, linking |
+//! | [`txn`] | `vino-txn` | transactions, undo stack, time-out locks |
+//! | [`rm`] | `vino-rm` | per-principal resource limits and delegation |
+//! | [`dev`] | `vino-dev` | simulated disk and NIC |
+//! | [`sched`] | `vino-sched` | threads, run queue, schedule-delegate |
+//! | [`mem`] | `vino-mem` | VAS, frames, two-level page eviction |
+//! | [`fs`] | `vino-fs` | block FS, buffer cache, read-ahead grafts |
+//! | [`core`] | `vino-core` | graft points, linker/loader, the kernel |
+
+pub use vino_core as core;
+pub use vino_dev as dev;
+pub use vino_fs as fs;
+pub use vino_mem as mem;
+pub use vino_misfit as misfit;
+pub use vino_rm as rm;
+pub use vino_sched as sched;
+pub use vino_sim as sim;
+pub use vino_txn as txn;
+pub use vino_vm as vm;

@@ -1,0 +1,228 @@
+//! End-to-end graft lifecycle and cross-subsystem integration tests.
+
+use vino::core::engine::InvokeOutcome;
+use vino::core::{InstallOpts, Kernel};
+use vino::dev::Port;
+use vino::rm::{Limits, ResourceKind};
+use vino::sim::Cycles;
+
+fn boot() -> std::rc::Rc<Kernel> {
+    Kernel::boot()
+}
+
+fn app(k: &Kernel) -> vino::rm::PrincipalId {
+    k.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 20)]))
+}
+
+#[test]
+fn full_lifecycle_compile_install_invoke_unload() {
+    let k = boot();
+    let a = app(&k);
+    let t = k.spawn_thread("app");
+    k.fs.borrow_mut().create("f", 16 * 4096).unwrap();
+    let fd = k.fs.borrow_mut().open("f").unwrap();
+
+    // Compile: assemble + instrument + sign.
+    let image = k
+        .compile_graft("ra", "add r1, r1, r2\nconst r2, 4096\ncall $ra_submit\nhalt r0")
+        .unwrap();
+    // Install: verify + link-audit + principal + attach.
+    let g = k.install_ra_graft(fd, &image, a, t, &InstallOpts::default()).unwrap();
+    assert_eq!(g.borrow().name, "ra");
+    assert!(!g.borrow().is_dead());
+
+    // Invoke via the real read path, several times.
+    for i in 0..5 {
+        k.fs.borrow_mut().read(fd, i * 4096, 4096).unwrap();
+    }
+    let stats = g.borrow().stats();
+    assert_eq!(stats.invocations, 5);
+    assert_eq!(stats.commits, 5);
+    assert_eq!(stats.aborts, 0);
+
+    // Replace: installing a new graft supersedes the old delegate.
+    let image2 = k.compile_graft("ra2", "halt r0").unwrap();
+    let g2 = k.install_ra_graft(fd, &image2, a, t, &InstallOpts::default()).unwrap();
+    k.fs.borrow_mut().read(fd, 0, 4096).unwrap();
+    assert_eq!(g.borrow().stats().invocations, 5, "old graft no longer called");
+    assert_eq!(g2.borrow().stats().invocations, 1);
+
+    // Remove: clearing the delegate restores the default policy.
+    k.fs.borrow_mut().clear_ra_delegate(fd);
+    k.fs.borrow_mut().read(fd, 4096, 4096).unwrap();
+    assert_eq!(g2.borrow().stats().invocations, 1, "no graft called after removal");
+}
+
+#[test]
+fn nested_grafts_via_event_handlers_share_undo_correctly() {
+    // Two handlers mutate adjacent kernel slots; one aborts. Only the
+    // aborted handler's mutation is undone (transaction isolation
+    // between handlers, each in its own wrapper transaction).
+    let k = boot();
+    let a = app(&k);
+    k.define_event_point(Port(9));
+    let good = k
+        .compile_graft("good", "const r1, 20\nconst r2, 1\ncall $kv_set\nhalt r0")
+        .unwrap();
+    let bad = k
+        .compile_graft(
+            "bad",
+            "
+            const r1, 21
+            const r2, 1
+            call $kv_set      ; mutates, then crashes
+            const r3, 0
+            div r0, r3, r3
+            halt r0
+            ",
+        )
+        .unwrap();
+    k.install_event_graft(Port(9), 0, &good, a, &InstallOpts::default()).unwrap();
+    k.install_event_graft(Port(9), 1, &bad, a, &InstallOpts::default()).unwrap();
+    k.nic.borrow_mut().inject_udp(Port(9), vec![1, 2, 3]);
+    k.dispatch_net_events();
+    assert_eq!(k.engine.kv_read(20), 1, "good handler's write committed");
+    assert_eq!(k.engine.kv_read(21), 0, "bad handler's write undone");
+}
+
+#[test]
+fn udp_payload_marshalled_into_handler_segment() {
+    let k = boot();
+    let a = app(&k);
+    k.define_event_point(Port(2049));
+    // An NFS-ish handler: read the first payload byte from the shared
+    // region and store it in kernel slot 30.
+    let handler = k
+        .compile_graft(
+            "nfs",
+            "
+            call $shared_base
+            mov r5, r0
+            loadb r2, [r5+1024]   ; first payload byte (APP_BUF)
+            const r1, 30
+            call $kv_set
+            halt r0
+            ",
+        )
+        .unwrap();
+    k.install_event_graft(Port(2049), 0, &handler, a, &InstallOpts::default()).unwrap();
+    k.nic.borrow_mut().inject_udp(Port(2049), vec![0xAB, 1, 2]);
+    let reports = k.dispatch_net_events();
+    assert!(matches!(reports[0].handlers[0].outcome, InvokeOutcome::Ok { .. }));
+    assert_eq!(k.engine.kv_read(30), 0xAB);
+}
+
+#[test]
+fn eviction_graft_protects_hot_pages_through_real_vm_system() {
+    // A VAS with 8 frames of capacity; the graft protects pages 0-1.
+    let k = Kernel::boot_with(vino::core::kernel::KernelConfig {
+        memory_pages: 8,
+        ..Default::default()
+    });
+    let a = app(&k);
+    let t = k.spawn_thread("app");
+    let vas = k.mem.borrow_mut().create_vas();
+    // Touch pages 0..8 (fills memory); pages 0 and 1 are critical.
+    for vpn in 0..8 {
+        k.mem.borrow_mut().touch(vas, vpn);
+    }
+    // Protect the page ids of vpn 0 and 1 by posting them in the
+    // graft's shared buffer.
+    let p0 = k.mem.borrow().pages_of(vas)[0];
+    let p1 = k.mem.borrow().pages_of(vas)[1];
+    let image = k
+        .compile_graft(
+            "protect",
+            "
+            ; victim in r1; protected ids in shared buf at 1024/1028.
+            call $shared_base
+            mov r5, r0
+            loadw r6, [r5+1024]
+            loadw r7, [r5+1028]
+            beq r1, r6, spare
+            beq r1, r7, spare
+            mov r0, r1          ; victim is fine
+            halt r0
+            spare:
+            ; return the 3rd resident page instead
+            loadw r0, [r5+16]   ; resident[2]
+            halt r0
+            ",
+        )
+        .unwrap();
+    let g = k.install_evict_graft(vas, &image, a, t, &InstallOpts::default()).unwrap();
+    g.borrow_mut().mem().graft_write_u32(1024, p0.0 as u32);
+    g.borrow_mut().mem().graft_write_u32(1028, p1.0 as u32);
+    // Fault in more pages; the criticals must survive every eviction.
+    for vpn in 8..20 {
+        k.mem.borrow_mut().touch(vas, vpn);
+    }
+    let pages = k.mem.borrow().pages_of(vas);
+    assert!(pages.contains(&p0), "critical page 0 resident");
+    assert!(pages.contains(&p1), "critical page 1 resident");
+    assert!(k.mem.borrow().stats().graft_overrules >= 2);
+}
+
+#[test]
+fn simulated_time_is_deterministic() {
+    // Two identical kernels running identical work read identical
+    // clocks — the reproducibility the whole methodology rests on.
+    let elapsed = |seed: u64| {
+        let k = boot();
+        let a = app(&k);
+        let t = k.spawn_thread("app");
+        k.fs.borrow_mut().create("f", 32 * 4096).unwrap();
+        let fd = k.fs.borrow_mut().open("f").unwrap();
+        let image = k
+            .compile_graft("ra", "add r1, r1, r2\nconst r2, 4096\ncall $ra_submit\nhalt r0")
+            .unwrap();
+        k.install_ra_graft(fd, &image, a, t, &InstallOpts::default()).unwrap();
+        let mut rng = vino::sim::SplitMix64::new(seed);
+        for _ in 0..50 {
+            let b = rng.below(32) * 4096;
+            k.fs.borrow_mut().read(fd, b, 4096).unwrap();
+            k.clock.charge(Cycles::from_us(100));
+        }
+        k.clock.now().get()
+    };
+    assert_eq!(elapsed(7), elapsed(7));
+    assert_ne!(elapsed(7), elapsed(8), "different workloads, different time");
+}
+
+#[test]
+fn resource_accounting_spans_install_run_unload() {
+    let k = boot();
+    let a = app(&k);
+    let t = k.spawn_thread("app");
+    k.fs.borrow_mut().create("f", 4096).unwrap();
+    let fd = k.fs.borrow_mut().open("f").unwrap();
+    let image = k
+        .compile_graft("alloc", "const r1, 1024\ncall $kalloc\nhalt r0")
+        .unwrap();
+    let opts = InstallOpts {
+        billing: vino::core::BillingMode::Transfer(vec![(ResourceKind::KernelHeap, 4096)]),
+        ..InstallOpts::default()
+    };
+    let g = k.install_ra_graft(fd, &image, a, t, &opts).unwrap();
+    let installer_before = k.engine.rm.borrow().limit(a, ResourceKind::KernelHeap);
+    // Four successful allocations fit the budget; the fifth aborts.
+    for i in 0..5 {
+        g.borrow_mut().revive();
+        let out = g.borrow_mut().invoke([0; 4]);
+        if i < 4 {
+            assert!(matches!(out, InvokeOutcome::Ok { .. }), "alloc {i}");
+        } else {
+            assert!(matches!(out, InvokeOutcome::Aborted { .. }), "alloc {i} over budget");
+        }
+    }
+    assert_eq!(
+        k.engine.rm.borrow().used(g.borrow().principal, ResourceKind::KernelHeap),
+        4096
+    );
+    // Unload: the graft's allocations die with it and its limits return
+    // to the installer in full.
+    let principal = g.borrow().principal;
+    k.engine.rm.borrow_mut().destroy(principal, Some(a));
+    let installer_after = k.engine.rm.borrow().limit(a, ResourceKind::KernelHeap);
+    assert_eq!(installer_after, installer_before + 4096, "limits returned on unload");
+}
