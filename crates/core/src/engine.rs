@@ -15,14 +15,16 @@ use std::rc::Rc;
 
 use vino_misfit::CallableTable;
 use vino_rm::{PrincipalId, ResourceAccountant, ResourceKind};
+use vino_sim::fault::FaultPlane;
 use vino_sim::{costs, Cycles, ThreadId, VirtualClock};
 use vino_txn::locks::{LockClass, LockId};
-use vino_txn::manager::{AbortReason, AbortReport, TxnManager};
+use vino_txn::manager::{AbortReason, AbortReport, TxnId, TxnManager};
 use vino_vm::interp::{Exit, KernelApi, Trap, Vm};
 use vino_vm::isa::{HostFnId, Program};
 use vino_vm::mem::AddressSpace;
 
 use crate::hostfn;
+use crate::reliability::{self, ReliabilityManager};
 
 /// Host-error codes surfaced to grafts (and to abort diagnostics).
 pub mod errcode {
@@ -64,6 +66,9 @@ pub struct GraftEngine {
     pub txn: Rc<RefCell<TxnManager>>,
     /// The resource accountant (§3.2).
     pub rm: Rc<RefCell<ResourceAccountant>>,
+    /// The reliability manager: failure ledgers and quarantine (every
+    /// abort is recorded here automatically by the wrapper).
+    pub reliability: Rc<RefCell<ReliabilityManager>>,
     /// Kernel state reachable only through accessor functions.
     kv: Rc<RefCell<[u64; KV_SLOTS]>>,
     /// The graft-callable function table (§3.3).
@@ -74,6 +79,8 @@ pub struct GraftEngine {
     subgrafts: RefCell<Vec<Rc<RefCell<GraftInstance>>>>,
     /// Current graft-to-graft nesting depth.
     nest_depth: std::cell::Cell<u32>,
+    /// Fault plane attached to every subsequently created instance's VM.
+    fault: RefCell<Option<Rc<FaultPlane>>>,
 }
 
 impl GraftEngine {
@@ -84,12 +91,27 @@ impl GraftEngine {
             clock,
             txn,
             rm: Rc::new(RefCell::new(ResourceAccountant::new())),
+            reliability: Rc::new(RefCell::new(ReliabilityManager::new())),
             kv: Rc::new(RefCell::new([0; KV_SLOTS])),
             callable: Rc::new(hostfn::build_callable_table()),
             lock_handles: Rc::new(RefCell::new(Vec::new())),
             subgrafts: RefCell::new(Vec::new()),
             nest_depth: std::cell::Cell::new(0),
+            fault: RefCell::new(None),
         })
+    }
+
+    /// Attaches a fault plane to the engine: every graft VM created
+    /// *after* this call visits [`vino_sim::FaultSite::VmTrap`] on each
+    /// interpreted instruction. (Subsystem sites — disk, locks, rm,
+    /// loader — are wired by [`crate::Kernel::attach_fault_plane`].)
+    pub fn set_fault_plane(&self, plane: Rc<FaultPlane>) {
+        *self.fault.borrow_mut() = Some(plane);
+    }
+
+    /// The attached fault plane, if any.
+    pub fn fault_plane(&self) -> Option<Rc<FaultPlane>> {
+        self.fault.borrow().clone()
     }
 
     /// Registers a lockable kernel object and exposes it to grafts as a
@@ -299,6 +321,11 @@ pub enum AbortedWhy {
     /// The graft exceeded its CPU-slice budget — the §2.5 covert
     /// denial-of-service detector for grafts the kernel is waiting on.
     CpuHog,
+    /// A fired lock time-out aborted the wrapper transaction while the
+    /// graft was still running (Rule 9: a waiter's forward progress
+    /// trumps the holder). The wrapper observes the theft at its next
+    /// pump or at commit and finishes the unload.
+    LockTimeout,
     /// The caller requested an abort-instead-of-commit run (benchmarks
     /// measuring the Table 3–6 "abort path").
     Requested,
@@ -387,11 +414,15 @@ impl GraftInstance {
         thread: ThreadId,
         principal: PrincipalId,
     ) -> GraftInstance {
+        let mut vm = Vm::new(mem);
+        if let Some(plane) = engine.fault_plane() {
+            vm.set_fault_plane(plane);
+        }
         GraftInstance {
             name: program.name.clone(),
             engine,
             program,
-            vm: Vm::new(mem),
+            vm,
             thread,
             principal,
             dead: false,
@@ -453,7 +484,7 @@ impl GraftInstance {
         }
         self.stats.invocations += 1;
         let engine = Rc::clone(&self.engine);
-        engine.txn.borrow_mut().begin(self.thread);
+        let txn_id = engine.txn.borrow_mut().begin(self.thread);
         self.vm.reset();
         self.vm.regs[1] = args[0];
         self.vm.regs[2] = args[1];
@@ -467,23 +498,21 @@ impl GraftInstance {
                 Exit::Halted(result) => {
                     return match mode {
                         CommitMode::Commit => {
-                            engine
-                                .txn
-                                .borrow_mut()
-                                .commit(self.thread)
-                                .expect("wrapper began a transaction");
-                            self.stats.commits += 1;
-                            InvokeOutcome::Ok { result, extents: host.extents, log: host.log }
+                            let committed = engine.txn.borrow_mut().commit(self.thread).is_ok();
+                            if committed {
+                                self.stats.commits += 1;
+                                InvokeOutcome::Ok { result, extents: host.extents, log: host.log }
+                            } else {
+                                // A fired lock time-out stole the wrapper
+                                // transaction mid-run; the work is already
+                                // undone, so the invocation is an abort.
+                                let report = self.stolen_report(txn_id);
+                                self.fail(AbortedWhy::LockTimeout, report)
+                            }
                         }
                         CommitMode::AbortAtEnd => {
-                            let report = engine
-                                .txn
-                                .borrow_mut()
-                                .abort(self.thread, AbortReason::Explicit)
-                                .expect("wrapper began a transaction");
-                            self.stats.aborts += 1;
-                            self.dead = true;
-                            InvokeOutcome::Aborted { why: AbortedWhy::Requested, report }
+                            let report = self.abort_wrapper(txn_id, AbortReason::Explicit);
+                            self.fail(AbortedWhy::Requested, report)
                         }
                     };
                 }
@@ -493,15 +522,18 @@ impl GraftInstance {
                     // Preemption costs a switch pair (another thread ran).
                     engine.clock.charge(costs::CONTEXT_SWITCH);
                     engine.clock.charge(costs::CONTEXT_SWITCH);
+                    // Other threads' lock time-outs fire while this graft
+                    // is off-CPU; one of them may abort this wrapper's
+                    // transaction (Rule 9).
+                    engine.txn.borrow_mut().fire_due_timeouts();
+                    if let Some(report) =
+                        engine.txn.borrow_mut().take_forced_abort(self.thread, txn_id)
+                    {
+                        return self.fail(AbortedWhy::LockTimeout, report);
+                    }
                     if slices >= self.max_slices {
-                        let report = engine
-                            .txn
-                            .borrow_mut()
-                            .abort(self.thread, AbortReason::Explicit)
-                            .expect("wrapper began a transaction");
-                        self.stats.aborts += 1;
-                        self.dead = true;
-                        return InvokeOutcome::Aborted { why: AbortedWhy::CpuHog, report };
+                        let report = self.abort_wrapper(txn_id, AbortReason::Explicit);
+                        return self.fail(AbortedWhy::CpuHog, report);
                     }
                 }
                 Exit::Trapped(trap) => {
@@ -509,19 +541,64 @@ impl GraftInstance {
                     // reason; everything else is a generic abort.
                     let reason = match trap {
                         Trap::HostError { code: errcode::NOMEM } => AbortReason::ResourceLimit,
+                        Trap::HostError { code: errcode::LOCK_TIMEOUT } => {
+                            AbortReason::LockTimeout(LockId(u64::MAX))
+                        }
                         _ => AbortReason::Explicit,
                     };
-                    let report = engine
-                        .txn
-                        .borrow_mut()
-                        .abort(self.thread, reason)
-                        .expect("wrapper began a transaction");
-                    self.stats.aborts += 1;
-                    self.dead = true;
-                    return InvokeOutcome::Aborted { why: AbortedWhy::Trap(trap), report };
+                    let report = self.abort_wrapper(txn_id, reason);
+                    return self.fail(AbortedWhy::Trap(trap), report);
                 }
             }
         }
+    }
+
+    /// Aborts the wrapper transaction; if a fired lock time-out already
+    /// stole it (aborted this thread's innermost frame from under the
+    /// running graft), recovers that abort's report instead of
+    /// panicking on the missing frame.
+    fn abort_wrapper(&self, txn: TxnId, reason: AbortReason) -> AbortReport {
+        let mut mgr = self.engine.txn.borrow_mut();
+        match mgr.abort(self.thread, reason) {
+            Ok(report) => report,
+            Err(_) => {
+                drop(mgr);
+                self.stolen_report(txn)
+            }
+        }
+    }
+
+    /// The abort report for a wrapper transaction that was stolen by a
+    /// fired time-out, or a zero-cost placeholder if the theft predates
+    /// report capture (e.g. the manager was rebuilt mid-run in a test).
+    fn stolen_report(&self, txn: TxnId) -> AbortReport {
+        self.engine.txn.borrow_mut().take_forced_abort(self.thread, txn).unwrap_or(AbortReport {
+            txn,
+            reason: AbortReason::LockTimeout(LockId(u64::MAX)),
+            undo_ops: 0,
+            locks_released: 0,
+            cost: Cycles::ZERO,
+            handoffs: Vec::new(),
+        })
+    }
+
+    /// The single exit path for every aborted invocation: bumps the
+    /// abort counter, forcibly unloads the graft (§3.6), bills the
+    /// abort's cleanup cost to the blame chain (§3.2 — the installer
+    /// ultimately pays for a misbehaving graft's cleanup), and records
+    /// the failure in the engine's reliability ledger, which may
+    /// quarantine the graft name against reinstallation.
+    fn fail(&mut self, why: AbortedWhy, report: AbortReport) -> InvokeOutcome {
+        self.stats.aborts += 1;
+        self.dead = true;
+        let kind = reliability::classify(&why);
+        self.engine.rm.borrow_mut().charge_blame(self.principal, report.cost.get());
+        self.engine.reliability.borrow_mut().record_abort(
+            &self.name,
+            kind,
+            self.engine.clock.now(),
+        );
+        InvokeOutcome::Aborted { why, report }
     }
 }
 

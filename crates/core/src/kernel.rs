@@ -12,6 +12,7 @@ use vino_fs::FileSystem;
 use vino_mem::{MemorySystem, VasId};
 use vino_misfit::{MisfitTool, SignedImage, SigningKey};
 use vino_rm::{Limits, PrincipalId};
+use vino_sim::fault::FaultPlane;
 use vino_sim::{ThreadId, VirtualClock};
 use vino_vm::isa::Program;
 
@@ -130,6 +131,24 @@ impl Kernel {
     /// The graft namespace (Figure 1's lookup target).
     pub fn namespace(&self) -> std::cell::Ref<'_, GraftNamespace> {
         self.namespace.borrow()
+    }
+
+    /// Attaches one fault plane to every instrumented subsystem: disk
+    /// I/O (via the file system), lock time-outs, resource exhaustion,
+    /// image verification, and — for grafts loaded after this call —
+    /// the VM's per-instruction trap site. One plane, one seed, one
+    /// deterministic schedule across the whole kernel.
+    pub fn attach_fault_plane(&self, plane: Rc<FaultPlane>) {
+        self.fs.borrow_mut().set_fault_plane(Rc::clone(&plane));
+        self.engine.txn.borrow_mut().set_fault_plane(Rc::clone(&plane));
+        self.engine.rm.borrow_mut().set_fault_plane(Rc::clone(&plane));
+        self.tool.set_fault_plane(Rc::clone(&plane));
+        self.engine.set_fault_plane(plane);
+    }
+
+    /// The engine's reliability manager (failure ledgers, quarantine).
+    pub fn reliability(&self) -> std::cell::RefMut<'_, crate::reliability::ReliabilityManager> {
+        self.engine.reliability.borrow_mut()
     }
 
     /// Convenience: compile (assemble + MiSFIT-process) graft source
@@ -509,6 +528,92 @@ mod tests {
         let reports = k.dispatch_net_events();
         assert_eq!(reports[0].handlers.len(), 1);
         assert_eq!(reports[0].handlers[0].graft, "good");
+    }
+
+    #[test]
+    fn repeated_aborts_quarantine_reinstall_until_backoff() {
+        // The reliability tentpole, end to end through the kernel: a
+        // graft that keeps trapping is refused reinstall after the
+        // third abort, and accepted again once the backoff expires.
+        let k = boot();
+        let a = app(&k);
+        let t = k.spawn_thread("app");
+        let image = k.compile_graft("crasher", "const r1, 0\ndiv r0, r1, r1\nhalt r0").unwrap();
+        for _ in 0..3 {
+            let g = k
+                .install_function_graft(
+                    point_names::COMPUTE_RA,
+                    &image,
+                    a,
+                    t,
+                    &InstallOpts::default(),
+                )
+                .unwrap();
+            let out = g.borrow_mut().invoke([0; 4]);
+            assert!(matches!(out, crate::engine::InvokeOutcome::Aborted { .. }));
+        }
+        let err = k
+            .install_function_graft(point_names::COMPUTE_RA, &image, a, t, &InstallOpts::default())
+            .unwrap_err();
+        let InstallError::Quarantined { graft, until } = err else {
+            panic!("expected quarantine, got {err}");
+        };
+        assert_eq!(graft, "crasher");
+        assert_eq!(k.reliability().ledger("crasher").unwrap().episodes, 1);
+
+        // Quarantine expires by the virtual clock; reinstall succeeds.
+        k.clock.advance_to(until);
+        k.install_function_graft(point_names::COMPUTE_RA, &image, a, t, &InstallOpts::default())
+            .expect("backoff passed, reinstall permitted");
+    }
+
+    #[test]
+    fn blame_ceiling_blocks_installer() {
+        let k = boot();
+        let a = app(&k);
+        let t = k.spawn_thread("app");
+        k.engine.rm.borrow_mut().set_blame_limit(a, 1);
+        let image = k.compile_graft("crasher", "const r1, 0\ndiv r0, r1, r1\nhalt r0").unwrap();
+        let g = k
+            .install_function_graft(point_names::COMPUTE_RA, &image, a, t, &InstallOpts::default())
+            .unwrap();
+        g.borrow_mut().invoke([0; 4]);
+        assert!(k.engine.rm.borrow().blame(a) > 0, "abort cost billed to the installer");
+        let err = k
+            .install_function_graft(point_names::COMPUTE_RA, &image, a, t, &InstallOpts::default())
+            .unwrap_err();
+        assert!(matches!(err, InstallError::BlameExceeded { principal } if principal == a));
+    }
+
+    #[test]
+    fn attached_fault_plane_reaches_graft_vms() {
+        use vino_sim::fault::{FaultPlane, FaultSite};
+        let k = boot();
+        let a = app(&k);
+        let t = k.spawn_thread("app");
+        let plane = FaultPlane::seeded(42);
+        plane.arm(FaultSite::VmTrap, 2);
+        k.attach_fault_plane(plane);
+        let image = k.compile_graft("victim", "const r1, 1\nconst r2, 2\nhalt r0").unwrap();
+        let g = k
+            .install_function_graft(point_names::COMPUTE_RA, &image, a, t, &InstallOpts::default())
+            .unwrap();
+        let out = g.borrow_mut().invoke([0; 4]);
+        assert!(
+            matches!(
+                &out,
+                crate::engine::InvokeOutcome::Aborted {
+                    why: crate::engine::AbortedWhy::Trap(vino_vm::interp::Trap::Injected { .. }),
+                    ..
+                }
+            ),
+            "armed VmTrap fault fired inside the graft: {out:?}"
+        );
+        assert_eq!(
+            k.reliability().ledger("victim").unwrap().count(crate::reliability::FailureKind::InjectedFault),
+            1,
+            "injected fault ledgered"
+        );
     }
 
     #[test]

@@ -37,8 +37,10 @@ pub mod kernel;
 pub mod loader;
 pub mod lockmgr;
 pub mod points;
+pub mod reliability;
 
 pub use engine::{GraftEngine, GraftInstance, InvokeOutcome, InvokeStats};
 pub use kernel::Kernel;
 pub use loader::{BillingMode, InstallError, InstallOpts};
 pub use points::{EventPoint, GraftNamespace, PointKind};
+pub use reliability::{FailureKind, QuarantinePolicy, ReliabilityManager, Verdict};

@@ -18,7 +18,7 @@ use std::rc::Rc;
 
 use vino_misfit::{LinkError, MisfitTool, SignedImage, VerifyError};
 use vino_rm::{PrincipalId, ResourceError, ResourceKind};
-use vino_sim::ThreadId;
+use vino_sim::{Cycles, ThreadId};
 use vino_vm::mem::{AddressSpace, Protection};
 
 use crate::engine::{GraftEngine, GraftInstance};
@@ -81,6 +81,20 @@ pub enum InstallError {
     Resources(ResourceError),
     /// The named graft point does not exist.
     NoSuchPoint(String),
+    /// The graft is quarantined: it aborted too many times recently and
+    /// may not be reinstalled until its backoff deadline passes.
+    Quarantined {
+        /// The quarantined graft's name.
+        graft: String,
+        /// Virtual-clock time at which reinstall becomes permitted.
+        until: Cycles,
+    },
+    /// The installer's blame account (cycles of abort cleanup billed to
+    /// it) exceeded its ceiling; it may not install further grafts.
+    BlameExceeded {
+        /// The over-budget installing principal.
+        principal: PrincipalId,
+    },
 }
 
 impl fmt::Display for InstallError {
@@ -93,6 +107,12 @@ impl fmt::Display for InstallError {
             }
             InstallError::Resources(e) => write!(f, "resource setup failed: {e}"),
             InstallError::NoSuchPoint(p) => write!(f, "no graft point named `{p}`"),
+            InstallError::Quarantined { graft, until } => {
+                write!(f, "graft `{graft}` is quarantined until cycle {}", until.get())
+            }
+            InstallError::BlameExceeded { principal } => {
+                write!(f, "principal {principal:?} exceeded its abort-blame ceiling")
+            }
         }
     }
 }
@@ -109,12 +129,25 @@ pub fn load_graft(
     thread: ThreadId,
     opts: &InstallOpts,
 ) -> Result<GraftInstance, InstallError> {
+    // 0. Reliability gates (§3.6 aftermath): an installer whose grafts
+    // have billed it past its blame ceiling may not install, and a
+    // graft name in quarantine is refused until its backoff expires.
+    if engine.rm.borrow().blame_exceeded(installer) {
+        return Err(InstallError::BlameExceeded { principal: installer });
+    }
     // 1-2. Signature + decode.
     let program = tool.verify_and_decode(image).map_err(InstallError::Verify)?;
+    if let Err(until) =
+        engine.reliability.borrow().check_install(&program.name, engine.clock.now())
+    {
+        return Err(InstallError::Quarantined { graft: program.name.clone(), until });
+    }
     // 3. Link-time direct-call audit.
     vino_misfit::verify_direct_calls(&program, &engine.callable).map_err(InstallError::Link)?;
-    // 5. Principal: zero limits, then transfers/billing.
+    // 5. Principal: zero limits, then transfers/billing. Abort-blame
+    // always lands on the installer, whatever the billing mode.
     let principal = engine.rm.borrow_mut().create_graft_principal();
+    engine.rm.borrow_mut().blame_to(principal, installer);
     match &opts.billing {
         BillingMode::Transfer(amounts) => {
             for (kind, amount) in amounts {

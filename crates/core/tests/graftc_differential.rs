@@ -1,14 +1,13 @@
-//! Differential testing for the GraftC compiler: random expression
+//! Differential testing for the GraftC compiler, driven by a seeded
+//! deterministic generator (formerly proptest): random expression
 //! programs are evaluated by a reference AST interpreter and by the
 //! compiled GraftVM code (raw *and* MiSFIT-instrumented); all three
 //! must agree. Miscompilation — silent wrong answers inside the kernel
 //! — is the worst failure mode a graft toolchain can have.
 
-use proptest::prelude::*;
-
 use vino_core::graftc::ast::{BinOp, Expr, Function, Stmt};
 use vino_core::graftc::codegen::compile;
-use vino_sim::VirtualClock;
+use vino_sim::{SplitMix64, VirtualClock};
 use vino_vm::interp::{Exit, NullKernel, Vm};
 use vino_vm::mem::{AddressSpace, Protection};
 
@@ -51,55 +50,48 @@ fn eval(e: &Expr, a: u64, b: u64) -> Option<u64> {
     })
 }
 
-fn bin_op() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Div),
-        Just(BinOp::Rem),
-        Just(BinOp::And),
-        Just(BinOp::Or),
-        Just(BinOp::Xor),
-        Just(BinOp::Shl),
-        Just(BinOp::Shr),
-        Just(BinOp::Eq),
-        Just(BinOp::Ne),
-        Just(BinOp::Lt),
-        Just(BinOp::Le),
-        Just(BinOp::Gt),
-        Just(BinOp::Ge),
-    ]
+const BIN_OPS: &[BinOp] = &[
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Shr,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+];
+
+fn gen_leaf(rng: &mut SplitMix64) -> Expr {
+    match rng.below(3) {
+        0 => Expr::Int(rng.below(1000)),
+        1 => Expr::Var("a".to_string()),
+        _ => Expr::Var("b".to_string()),
+    }
 }
 
 /// Expressions over vars `a`/`b`, bounded so the codegen temp stack
 /// (depth 4) always suffices: right operands are leaves.
-fn expr(depth: u32) -> BoxedStrategy<Expr> {
-    let leaf = prop_oneof![
-        (0u64..1000).prop_map(Expr::Int),
-        Just(Expr::Var("a".to_string())),
-        Just(Expr::Var("b".to_string())),
-    ];
+fn gen_expr(rng: &mut SplitMix64, depth: u32) -> Expr {
     if depth == 0 {
-        leaf.boxed()
-    } else {
-        let inner = expr(depth - 1);
-        let leaf2 = prop_oneof![
-            (0u64..1000).prop_map(Expr::Int),
-            Just(Expr::Var("a".to_string())),
-            Just(Expr::Var("b".to_string())),
-        ];
-        prop_oneof![
-            leaf,
-            (bin_op(), inner.clone(), leaf2).prop_map(|(op, lhs, rhs)| Expr::Bin {
-                op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            }),
-            inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
-            inner.prop_map(|e| Expr::Not(Box::new(e))),
-        ]
-        .boxed()
+        return gen_leaf(rng);
+    }
+    match rng.below(4) {
+        0 => gen_leaf(rng),
+        1 => Expr::Bin {
+            op: BIN_OPS[rng.below(BIN_OPS.len() as u64) as usize],
+            lhs: Box::new(gen_expr(rng, depth - 1)),
+            rhs: Box::new(gen_leaf(rng)),
+        },
+        2 => Expr::Neg(Box::new(gen_expr(rng, depth - 1))),
+        _ => Expr::Not(Box::new(gen_expr(rng, depth - 1))),
     }
 }
 
@@ -117,14 +109,16 @@ fn run_compiled(prog: &vino_vm::isa::Program, a: u64, b: u64) -> Option<u64> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// compiled(raw) == compiled(instrumented) == interpreted, for any
-    /// expression and any inputs; division by zero traps exactly when
-    /// the reference evaluator says so.
-    #[test]
-    fn compiler_matches_reference(e in expr(6), a in any::<u64>(), b in any::<u64>()) {
+/// compiled(raw) == compiled(instrumented) == interpreted, for any
+/// expression and any inputs; division by zero traps exactly when the
+/// reference evaluator says so.
+#[test]
+fn compiler_matches_reference() {
+    let mut rng = SplitMix64::new(0xD1FF_0C0);
+    for _case in 0..512 {
+        let e = gen_expr(&mut rng, 6);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
         let f = Function {
             params: vec!["a".to_string(), "b".to_string()],
             body: vec![Stmt::Return(e.clone())],
@@ -132,16 +126,21 @@ proptest! {
         let prog = compile("diff", &f).expect("bounded exprs always compile");
         let expected = eval(&e, a, b);
         let raw = run_compiled(&prog, a, b);
-        prop_assert_eq!(raw, expected, "raw codegen mismatch on {:?}", e);
+        assert_eq!(raw, expected, "raw codegen mismatch on {e:?}");
         let (inst, _) = vino_misfit::instrument(&prog).expect("instruments");
         let sfi = run_compiled(&inst, a, b);
-        prop_assert_eq!(sfi, expected, "instrumented codegen mismatch on {:?}", e);
+        assert_eq!(sfi, expected, "instrumented codegen mismatch on {e:?}");
     }
+}
 
-    /// Loop semantics: compiled countdown loops terminate with the
-    /// reference value for arbitrary small bounds.
-    #[test]
-    fn loops_match_reference(n in 0u64..200, step in 1u64..5) {
+/// Loop semantics: compiled countdown loops terminate with the
+/// reference value for arbitrary small bounds.
+#[test]
+fn loops_match_reference() {
+    let mut rng = SplitMix64::new(0x100_95);
+    for _case in 0..128 {
+        let n = rng.below(200);
+        let step = rng.range(1, 4);
         let f = Function {
             params: vec!["a".to_string(), "b".to_string()],
             body: vec![
@@ -168,6 +167,6 @@ proptest! {
         let got = run_compiled(&prog, n, step).unwrap();
         // Reference: smallest multiple of `step` that is >= n.
         let expect = n.div_ceil(step) * step;
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
 }

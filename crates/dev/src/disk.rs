@@ -13,6 +13,7 @@
 use std::rc::Rc;
 
 use vino_sim::costs;
+use vino_sim::fault::{FaultPlane, FaultSite};
 use vino_sim::{Cycles, SplitMix64, VirtualClock};
 
 /// A logical block address.
@@ -61,6 +62,10 @@ pub struct DiskStats {
     pub seeks: u64,
     /// Reads satisfied at the current head position (sequential).
     pub sequential_hits: u64,
+    /// Injected transient media errors (each one costs a full retry).
+    pub io_errors: u64,
+    /// Injected head stalls (each one costs the plane's stall latency).
+    pub stalls: u64,
     /// Total cycles spent in the mechanism.
     pub busy: Cycles,
 }
@@ -74,6 +79,7 @@ pub struct Disk {
     head: u64,
     rng: SplitMix64,
     stats: DiskStats,
+    fault: Option<Rc<FaultPlane>>,
 }
 
 impl Disk {
@@ -91,7 +97,17 @@ impl Disk {
             head: 0,
             rng: SplitMix64::new(0x5EED_D15C),
             stats: DiskStats::default(),
+            fault: None,
         }
+    }
+
+    /// Attaches a fault plane. [`FaultSite::DiskRead`] and
+    /// [`FaultSite::DiskWrite`] model transient media errors the driver
+    /// retries — the access is re-done at full mechanical cost, so data
+    /// still arrives but the caller pays twice. [`FaultSite::DiskStall`]
+    /// adds the plane's stall latency on top of any access.
+    pub fn set_fault_plane(&mut self, plane: Rc<FaultPlane>) {
+        self.fault = Some(plane);
     }
 
     /// The geometry in use.
@@ -127,7 +143,8 @@ impl Disk {
     /// the I/O overlaps computation: the file system accounts the cost
     /// on a separate disk-busy timeline instead of the caller's.
     pub fn read_with_cost(&mut self, addr: BlockAddr) -> ([u8; 4096], Cycles) {
-        let cost = self.access_cost(addr);
+        let mut cost = self.access_cost(addr);
+        cost += self.fault_overhead(FaultSite::DiskRead, cost);
         self.stats.reads += 1;
         self.stats.busy += cost;
         let data = match &self.blocks[addr.0 as usize] {
@@ -139,7 +156,8 @@ impl Disk {
 
     /// Writes block `addr`, charging mechanical latency.
     pub fn write(&mut self, addr: BlockAddr, data: &[u8; 4096]) {
-        let cost = self.access_cost(addr);
+        let mut cost = self.access_cost(addr);
+        cost += self.fault_overhead(FaultSite::DiskWrite, cost);
         self.clock.charge(cost);
         self.stats.writes += 1;
         self.stats.busy += cost;
@@ -152,6 +170,25 @@ impl Disk {
         let head = self.head;
         let cost = self.cost_from(head, addr);
         cost
+    }
+
+    /// Extra latency injected faults add to an access whose clean
+    /// mechanical cost is `base`. Media errors cost one full retry;
+    /// stalls cost the plane's configured stall latency.
+    fn fault_overhead(&mut self, site: FaultSite, base: Cycles) -> Cycles {
+        let Some(plane) = &self.fault else {
+            return Cycles(0);
+        };
+        let mut extra = Cycles(0);
+        if plane.fire(site) {
+            self.stats.io_errors += 1;
+            extra += base;
+        }
+        if plane.fire(FaultSite::DiskStall) {
+            self.stats.stalls += 1;
+            extra += plane.stall();
+        }
+        extra
     }
 
     fn access_cost(&mut self, addr: BlockAddr) -> Cycles {
@@ -281,5 +318,57 @@ mod tests {
         let mut d = disk();
         let past_end = d.block_count();
         d.read(BlockAddr(past_end));
+    }
+
+    #[test]
+    fn injected_read_error_doubles_cost_and_counts() {
+        use vino_sim::fault::{FaultPlane, FaultSite};
+        let mut d = disk();
+        let clock = Rc::clone(&d.clock);
+        d.read(BlockAddr(10)); // Position the head for sequential reads.
+        let plane = FaultPlane::seeded(1);
+        plane.arm(FaultSite::DiskRead, 1);
+        d.set_fault_plane(plane);
+        let t0 = clock.now();
+        d.read(BlockAddr(11)); // Faulted: transfer + one retry.
+        let faulted = clock.since(t0);
+        let t1 = clock.now();
+        d.read(BlockAddr(12)); // Clean sequential read.
+        let clean = clock.since(t1);
+        assert_eq!(faulted.get(), clean.get() * 2, "retry pays the access again");
+        assert_eq!(d.stats().io_errors, 1);
+        assert_eq!(&d.read(BlockAddr(11))[..4], &[0; 4], "data still served");
+    }
+
+    #[test]
+    fn injected_stall_adds_configured_latency() {
+        use vino_sim::fault::{FaultPlane, FaultSite};
+        let mut d = disk();
+        let clock = Rc::clone(&d.clock);
+        d.write(BlockAddr(5), &[1; 4096]);
+        let plane = FaultPlane::seeded(2);
+        plane.set_stall(Cycles::from_ms(7));
+        plane.arm(FaultSite::DiskStall, 1);
+        d.set_fault_plane(Rc::clone(&plane));
+        d.read(BlockAddr(5)); // Seek back — stall fires on top.
+        assert_eq!(d.stats().stalls, 1);
+        assert!(d.stats().busy >= Cycles::from_ms(7), "stall latency accounted");
+    }
+
+    #[test]
+    fn fault_schedule_is_seed_deterministic() {
+        use vino_sim::fault::{FaultPlane, FaultSite};
+        let run = |seed: u64| {
+            let mut d = disk();
+            let plane = FaultPlane::seeded(seed);
+            plane.set_rate(FaultSite::DiskWrite, 1, 3);
+            d.set_fault_plane(plane);
+            for i in 0..200 {
+                d.write(BlockAddr(i), &[0; 4096]);
+            }
+            d.stats().io_errors
+        };
+        assert_eq!(run(42), run(42), "same seed, same error schedule");
+        assert!(run(42) > 30, "1-in-3 rate must actually inject");
     }
 }

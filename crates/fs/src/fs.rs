@@ -228,6 +228,12 @@ impl FileSystem {
         self.disk.stats()
     }
 
+    /// Attaches a fault plane to the underlying disk (injected media
+    /// errors and stalls; see `vino_sim::fault`).
+    pub fn set_fault_plane(&mut self, plane: Rc<vino_sim::fault::FaultPlane>) {
+        self.disk.set_fault_plane(plane);
+    }
+
     /// Creates a file of `size` bytes, pre-allocated (extent-based
     /// first-fit, at most [`MAX_EXTENTS`] runs).
     pub fn create(&mut self, name: &str, size: u64) -> Result<(), FsError> {

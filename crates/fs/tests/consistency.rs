@@ -1,4 +1,5 @@
-//! Model-based consistency tests for the file system.
+//! Model-based consistency tests for the file system, driven by a
+//! seeded deterministic generator (formerly proptest).
 //!
 //! Runs arbitrary operation sequences against both the real extent FS
 //! (on the simulated disk, through the buffer cache and prefetch
@@ -8,11 +9,9 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use proptest::prelude::*;
-
 use vino_dev::disk::{Disk, DiskGeometry};
 use vino_fs::{Fd, FileSystem};
-use vino_sim::VirtualClock;
+use vino_sim::{SplitMix64, VirtualClock};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -23,19 +22,25 @@ enum Op {
     Remount,
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..5, 1u8..6).prop_map(|(name, blocks)| Op::Create { name, blocks }),
-        (0u8..5).prop_map(|name| Op::Remove { name }),
-        (0u8..5, 0u16..2048, proptest::collection::vec(any::<u8>(), 1..64))
-            .prop_map(|(name, offset, data)| Op::Write { name, offset, data }),
-        (0u8..5, 0u16..2048, 1u8..64).prop_map(|(name, offset, len)| Op::Read {
-            name,
-            offset,
-            len
-        }),
-        Just(Op::Remount),
-    ]
+fn gen_op(rng: &mut SplitMix64) -> Op {
+    match rng.below(5) {
+        0 => Op::Create { name: rng.below(5) as u8, blocks: rng.range(1, 5) as u8 },
+        1 => Op::Remove { name: rng.below(5) as u8 },
+        2 => {
+            let len = rng.range(1, 63) as usize;
+            Op::Write {
+                name: rng.below(5) as u8,
+                offset: rng.below(2048) as u16,
+                data: (0..len).map(|_| rng.next_u64() as u8).collect(),
+            }
+        }
+        3 => Op::Read {
+            name: rng.below(5) as u8,
+            offset: rng.below(2048) as u16,
+            len: rng.range(1, 63) as u8,
+        },
+        _ => Op::Remount,
+    }
 }
 
 #[derive(Default)]
@@ -73,22 +78,22 @@ fn name_of(n: u8) -> String {
     format!("file-{n}")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn real_fs_matches_model(ops in proptest::collection::vec(op(), 1..40)) {
+#[test]
+fn real_fs_matches_model() {
+    let mut rng = SplitMix64::new(0xF5_C0817);
+    for _case in 0..64 {
+        let n_ops = rng.range(1, 39) as usize;
         let mut model = Model::default();
         let mut real = Real::new();
-        for o in ops {
-            match o {
+        for _ in 0..n_ops {
+            match gen_op(&mut rng) {
                 Op::Create { name, blocks } => {
                     let name = name_of(name);
                     let size = blocks as u64 * 4096;
                     let model_has = model.files.contains_key(&name);
                     let res = real.fs.create(&name, size);
                     if model_has {
-                        prop_assert!(res.is_err(), "duplicate create must fail");
+                        assert!(res.is_err(), "duplicate create must fail");
                     } else if res.is_ok() {
                         model.files.insert(name, vec![0; size as usize]);
                     }
@@ -99,7 +104,7 @@ proptest! {
                     let name = name_of(name);
                     let model_has = model.files.remove(&name).is_some();
                     let res = real.fs.remove(&name);
-                    prop_assert_eq!(res.is_ok(), model_has, "remove({}) divergence", name);
+                    assert_eq!(res.is_ok(), model_has, "remove({name}) divergence");
                     real.fds.remove(&name);
                 }
                 Op::Write { name, offset, data } => {
@@ -108,12 +113,11 @@ proptest! {
                         continue;
                     };
                     let Some(fd) = real.fd(&name) else {
-                        prop_assert!(false, "model has {} but fs cannot open it", name);
-                        continue;
+                        panic!("model has {name} but fs cannot open it");
                     };
                     let fits = offset as usize + data.len() <= content_len;
                     let res = real.fs.write(fd, offset as u64, &data);
-                    prop_assert_eq!(res.is_ok(), fits, "write fit divergence");
+                    assert_eq!(res.is_ok(), fits, "write fit divergence");
                     if fits {
                         let file = model.files.get_mut(&name).expect("checked");
                         file[offset as usize..offset as usize + data.len()]
@@ -124,15 +128,14 @@ proptest! {
                     let name = name_of(name);
                     let Some(content) = model.files.get(&name) else { continue };
                     let Some(fd) = real.fd(&name) else {
-                        prop_assert!(false, "model has {} but fs cannot open it", name);
-                        continue;
+                        panic!("model has {name} but fs cannot open it");
                     };
                     let fits = offset as usize + len as usize <= content.len();
                     let res = real.fs.read(fd, offset as u64, len as u64);
-                    prop_assert_eq!(res.is_ok(), fits, "read fit divergence");
+                    assert_eq!(res.is_ok(), fits, "read fit divergence");
                     if let Ok(bytes) = res {
                         let expect = &content[offset as usize..offset as usize + len as usize];
-                        prop_assert_eq!(&bytes[..], expect, "content divergence on {}", name);
+                        assert_eq!(&bytes[..], expect, "content divergence on {name}");
                     }
                 }
                 Op::Remount => {
@@ -157,7 +160,7 @@ proptest! {
             let content = model.files[&name].clone();
             let fd = real.fd(&name).expect("model file must open");
             let bytes = real.fs.read(fd, 0, content.len() as u64).expect("full read");
-            prop_assert_eq!(bytes, content, "final content of {}", name);
+            assert_eq!(bytes, content, "final content of {name}");
         }
     }
 }

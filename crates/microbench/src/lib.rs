@@ -1,0 +1,216 @@
+//! A tiny, dependency-free stand-in for the `criterion` benchmark
+//! harness, so `cargo build`/`cargo test`/`cargo bench` resolve without
+//! a crates-io mirror. The bench sources under `crates/bench/benches/`
+//! compile unchanged against this crate via a Cargo dependency rename
+//! (`criterion = { path = "../microbench", package = "vino-microbench" }`).
+//!
+//! The subset implemented is exactly what those benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`Throughput`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed
+//! over enough iterations to fill a short measurement window; the
+//! harness reports mean wall-clock time per iteration (and derived
+//! throughput when one was declared). It intentionally skips criterion's
+//! statistical machinery — this is a smoke-and-ballpark harness, not a
+//! regression detector.
+
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work too.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// Declared work per iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to the closure given to `bench_function`; drives the timing
+/// loop.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    iters_hint: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, recording mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few calls, also used to size the measured batch.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || (warm_start.elapsed() < WARMUP && warm_iters < 1_000_000) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_call = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let batch = if per_call.is_zero() {
+            self.iters_hint
+        } else {
+            (MEASURE.as_nanos() / per_call.as_nanos().max(1)) as u64
+        }
+        .clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.samples.push(total / batch.max(1) as u32);
+    }
+}
+
+const WARMUP: Duration = Duration::from_millis(30);
+const MEASURE: Duration = Duration::from_millis(120);
+
+/// The harness entry point, compatible with criterion's `Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(id, None, &mut f);
+        self
+    }
+
+    /// Opens a named group; the group supports `throughput`,
+    /// `bench_function` and `finish` like criterion's.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and an optional
+/// throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed by one iteration of subsequent
+    /// benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (formatting no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(id: &str, throughput: Option<Throughput>, f: &mut F) {
+    let mut samples = Vec::new();
+    let mut b = Bencher { samples: &mut samples, iters_hint: 100 };
+    f(&mut b);
+    let mean = match samples.last() {
+        Some(d) => *d,
+        None => {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+    };
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(
+            "  {:>10.1} MiB/s",
+            n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0)
+        ),
+        Throughput::Elements(n) => {
+            format!("  {:>10.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+    });
+    println!("{id:<40} {:>12}{}", format_duration(mean), rate.unwrap_or_default());
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Collects bench functions under one group name, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running each group, honouring `--bench`-style extra
+/// args by ignoring them (cargo passes `--bench` when `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure_and_records() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("t", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_with_throughput_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(4096));
+        g.bench_function("x", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn format_duration_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(2)), "2.00 µs");
+        assert!(format_duration(Duration::from_millis(3)).ends_with("ms"));
+    }
+}

@@ -11,8 +11,11 @@
 //! tooling; an HMAC keeps the reproduction self-contained while giving
 //! the same property: only images produced by the keyed tool verify).
 
+use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
 
+use vino_sim::fault::{FaultPlane, FaultSite};
 use vino_vm::encode::{decode, encode, DecodeError};
 use vino_vm::isa::Program;
 
@@ -82,12 +85,22 @@ impl std::error::Error for VerifyError {}
 #[derive(Debug, Clone)]
 pub struct MisfitTool {
     key: SigningKey,
+    fault: RefCell<Option<Rc<FaultPlane>>>,
 }
 
 impl MisfitTool {
     /// Creates a tool instance holding the signing key.
     pub fn new(key: SigningKey) -> MisfitTool {
-        MisfitTool { key }
+        MisfitTool { key, fault: RefCell::new(None) }
+    }
+
+    /// Attaches a fault plane: each
+    /// [`verify_and_decode`](Self::verify_and_decode) call visits
+    /// [`FaultSite::ImageCorrupt`]; when it fires the image is rejected
+    /// as if corrupted in transit. `&self` because the kernel holds its
+    /// tool instance behind shared references.
+    pub fn set_fault_plane(&self, plane: Rc<FaultPlane>) {
+        *self.fault.borrow_mut() = Some(plane);
     }
 
     /// The full MiSFIT pipeline: SFI-instrument `prog`, encode it, and
@@ -110,6 +123,11 @@ impl MisfitTool {
     /// Kernel-side verification: recompute the checksum, compare, and
     /// decode. Exactly the §3.3 load sequence.
     pub fn verify_and_decode(&self, image: &SignedImage) -> Result<Program, VerifyError> {
+        if self.fault.borrow().as_ref().is_some_and(|p| p.fire(FaultSite::ImageCorrupt)) {
+            // Injected corruption: the checksum comparison fails exactly
+            // as it would for a genuinely damaged image.
+            return Err(VerifyError::BadSignature);
+        }
         let expect = self.key.sign(&image.bytes);
         if !ct_eq(&expect, &image.signature) {
             return Err(VerifyError::BadSignature);
@@ -173,6 +191,18 @@ mod tests {
         let attacker = MisfitTool::new(SigningKey::from_passphrase("attacker"));
         let img = attacker.seal(&sample());
         assert_eq!(tool().verify_and_decode(&img), Err(VerifyError::BadSignature));
+    }
+
+    #[test]
+    fn injected_corruption_rejects_then_passes() {
+        use vino_sim::fault::{FaultPlane, FaultSite};
+        let t = tool();
+        let (img, _) = t.process(&sample()).unwrap();
+        let plane = FaultPlane::seeded(0);
+        plane.arm(FaultSite::ImageCorrupt, 1);
+        t.set_fault_plane(plane);
+        assert_eq!(t.verify_and_decode(&img), Err(VerifyError::BadSignature));
+        assert!(t.verify_and_decode(&img).is_ok(), "one-shot spent; image is fine");
     }
 
     #[test]

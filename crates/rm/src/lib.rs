@@ -18,6 +18,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
+
+use vino_sim::fault::{FaultPlane, FaultSite};
 
 /// The kinds of quantity-constrained resources the kernel accounts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -159,6 +162,18 @@ struct Account {
     used: Limits,
     peak: Limits,
     billed_to: Option<PrincipalId>,
+    /// Who answers for this principal's abort-blame. Independent of
+    /// `billed_to`: a Transfer-mode graft pays for its own allocations
+    /// out of transferred limits, but the blame for its aborts still
+    /// belongs to the installer who vouched for it.
+    blamed_on: Option<PrincipalId>,
+    /// Accumulated abort-blame, in cycles of kernel time spent cleaning
+    /// up after this principal's grafts (§3.2's accounting turned into a
+    /// reliability signal).
+    blame: u64,
+    /// Optional ceiling on blame; once reached the kernel may refuse
+    /// further graft installs from this principal.
+    blame_limit: Option<u64>,
 }
 
 /// The kernel's resource accountant.
@@ -166,12 +181,23 @@ struct Account {
 pub struct ResourceAccountant {
     accounts: HashMap<PrincipalId, Account>,
     next: u64,
+    fault: Option<Rc<FaultPlane>>,
 }
 
 impl ResourceAccountant {
     /// An empty accountant.
     pub fn new() -> ResourceAccountant {
         ResourceAccountant::default()
+    }
+
+    /// Attaches a fault plane: each [`charge`](Self::charge) visits
+    /// [`FaultSite::ResourceExhaust`]; when it fires the charge is
+    /// denied as over-limit even though the payer has headroom —
+    /// simulating transient kernel-wide exhaustion (§3.2: "when the
+    /// process would normally be denied requests [...] the graft's
+    /// requests also fail").
+    pub fn set_fault_plane(&mut self, plane: Rc<FaultPlane>) {
+        self.fault = Some(plane);
     }
 
     /// Creates a principal (a thread) with the given limits.
@@ -266,6 +292,16 @@ impl ResourceAccountant {
         amount: u64,
     ) -> Result<(), ResourceError> {
         let payer = self.payer_of(principal);
+        if self.fault.as_ref().is_some_and(|p| p.fire(FaultSite::ResourceExhaust)) {
+            // Injected denial: indistinguishable from a genuine limit
+            // hit, and like one it has no partial effect.
+            return Err(ResourceError::LimitExceeded {
+                principal: payer,
+                kind,
+                requested: amount,
+                available: 0,
+            });
+        }
         let acc = self.accounts.get_mut(&payer).ok_or(ResourceError::NoSuchPrincipal(payer))?;
         let used = acc.used.get(kind);
         let limit = acc.limits.get(kind);
@@ -318,6 +354,54 @@ impl ResourceAccountant {
     /// transfers (property-tested).
     pub fn total_limit(&self, kind: ResourceKind) -> u64 {
         self.accounts.values().map(|a| a.limits.get(kind)).sum()
+    }
+
+    /// Directs `graft`'s abort-blame at `installer` (set by the loader
+    /// for every install, whatever the billing mode).
+    pub fn blame_to(&mut self, graft: PrincipalId, installer: PrincipalId) {
+        if let Some(acc) = self.accounts.get_mut(&graft) {
+            acc.blamed_on = Some(installer);
+        }
+    }
+
+    /// Bills `amount` cycles of abort-blame against whoever answers for
+    /// `principal`: its [`blame_to`](Self::blame_to) installer if one
+    /// was recorded, else the [`bill_to`](Self::bill_to) payer chain.
+    /// Returns the account that was debited. Blame only accumulates —
+    /// aborts are sunk kernel time; there is no refund path.
+    pub fn charge_blame(&mut self, principal: PrincipalId, amount: u64) -> PrincipalId {
+        let payer = self
+            .accounts
+            .get(&principal)
+            .and_then(|a| a.blamed_on)
+            .unwrap_or_else(|| self.payer_of(principal));
+        if let Some(acc) = self.accounts.get_mut(&payer) {
+            acc.blame = acc.blame.saturating_add(amount);
+        }
+        payer
+    }
+
+    /// Accumulated abort-blame on `principal`'s own account, in cycles.
+    pub fn blame(&self, principal: PrincipalId) -> u64 {
+        self.accounts.get(&principal).map_or(0, |a| a.blame)
+    }
+
+    /// Sets a blame ceiling for `principal`. Once
+    /// [`blame_exceeded`](Self::blame_exceeded) reports true, the
+    /// grafting layer refuses further installs from the principal.
+    pub fn set_blame_limit(&mut self, principal: PrincipalId, limit: u64) {
+        if let Some(acc) = self.accounts.get_mut(&principal) {
+            acc.blame_limit = Some(limit);
+        }
+    }
+
+    /// True when `principal` has a blame ceiling and has reached it.
+    /// Principals without an explicit ceiling are never cut off (blame
+    /// still accumulates for diagnostics).
+    pub fn blame_exceeded(&self, principal: PrincipalId) -> bool {
+        self.accounts
+            .get(&principal)
+            .is_some_and(|a| a.blame_limit.is_some_and(|l| a.blame >= l))
     }
 
     /// Removes a principal (graft unload), returning its remaining
@@ -481,6 +565,52 @@ mod tests {
             Err(ResourceError::NoSuchPrincipal(_))
         ));
         assert!(matches!(ra.bill_to(real, ghost), Err(ResourceError::NoSuchPrincipal(_))));
+    }
+
+    #[test]
+    fn injected_exhaustion_denies_despite_headroom() {
+        let mut ra = ResourceAccountant::new();
+        let app = ra.create_principal(Limits::of(&[(Memory, 1000)]));
+        let plane = FaultPlane::seeded(0);
+        plane.arm(FaultSite::ResourceExhaust, 1);
+        ra.set_fault_plane(plane);
+        let err = ra.charge(app, Memory, 10).unwrap_err();
+        assert!(matches!(err, ResourceError::LimitExceeded { available: 0, .. }));
+        assert_eq!(ra.used(app, Memory), 0, "denied charge has no partial effect");
+        // The one-shot is spent; the same charge now succeeds.
+        ra.charge(app, Memory, 10).unwrap();
+        assert_eq!(ra.used(app, Memory), 10);
+    }
+
+    #[test]
+    fn blame_follows_the_billing_chain() {
+        let mut ra = ResourceAccountant::new();
+        let installer = ra.create_principal(Limits::of(&[(Memory, 100)]));
+        let graft = ra.create_graft_principal();
+        ra.bill_to(graft, installer).unwrap();
+        let payer = ra.charge_blame(graft, 4200);
+        assert_eq!(payer, installer, "blame lands on the installer");
+        assert_eq!(ra.blame(installer), 4200);
+        assert_eq!(ra.blame(graft), 0);
+        // No ceiling: never cut off.
+        assert!(!ra.blame_exceeded(installer));
+        ra.set_blame_limit(installer, 5000);
+        assert!(!ra.blame_exceeded(installer));
+        ra.charge_blame(graft, 800);
+        assert!(ra.blame_exceeded(installer), "5000 reached");
+    }
+
+    #[test]
+    fn blame_to_overrides_the_billing_chain() {
+        // Transfer-mode shape: the graft pays for its own resources (no
+        // bill_to link) yet its abort-blame still reaches the installer.
+        let mut ra = ResourceAccountant::new();
+        let installer = ra.create_principal(Limits::of(&[(Memory, 100)]));
+        let graft = ra.create_graft_principal();
+        ra.blame_to(graft, installer);
+        assert_eq!(ra.charge_blame(graft, 900), installer);
+        assert_eq!(ra.blame(installer), 900);
+        assert_eq!(ra.blame(graft), 0);
     }
 
     #[test]

@@ -1,13 +1,13 @@
-//! Property tests for resource accounting invariants (§3.2).
+//! Randomised tests for resource accounting invariants (§3.2), driven
+//! by a seeded deterministic generator (formerly proptest).
 //!
 //! - Transfers conserve the total limit across all principals.
 //! - Usage never exceeds the (effective) limit, under any interleaving
 //!   of charges, releases, transfers and billing changes.
 //! - Failed operations have no partial effect.
 
-use proptest::prelude::*;
-
 use vino_rm::{Limits, PrincipalId, ResourceAccountant, ResourceKind};
+use vino_sim::SplitMix64;
 
 const KIND: ResourceKind = ResourceKind::Memory;
 
@@ -19,14 +19,17 @@ enum Op {
     BillTo { graft: usize, installer: usize },
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0usize..6, 0usize..6, 0u32..2000)
-            .prop_map(|(from, to, amount)| Op::Transfer { from, to, amount }),
-        (0usize..6, 0u32..2000).prop_map(|(who, amount)| Op::Charge { who, amount }),
-        (0usize..6, 0u32..2000).prop_map(|(who, amount)| Op::Release { who, amount }),
-        (0usize..6, 0usize..6).prop_map(|(graft, installer)| Op::BillTo { graft, installer }),
-    ]
+fn gen_op(rng: &mut SplitMix64) -> Op {
+    match rng.below(4) {
+        0 => Op::Transfer {
+            from: rng.below(6) as usize,
+            to: rng.below(6) as usize,
+            amount: rng.below(2000) as u32,
+        },
+        1 => Op::Charge { who: rng.below(6) as usize, amount: rng.below(2000) as u32 },
+        2 => Op::Release { who: rng.below(6) as usize, amount: rng.below(2000) as u32 },
+        _ => Op::BillTo { graft: rng.below(6) as usize, installer: rng.below(6) as usize },
+    }
 }
 
 fn setup() -> (ResourceAccountant, Vec<PrincipalId>) {
@@ -43,15 +46,15 @@ fn setup() -> (ResourceAccountant, Vec<PrincipalId>) {
     (ra, principals)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn invariants_hold_under_arbitrary_ops(ops in proptest::collection::vec(op(), 1..60)) {
+#[test]
+fn invariants_hold_under_arbitrary_ops() {
+    let mut rng = SplitMix64::new(0xC0_5E17);
+    for _case in 0..256 {
         let (mut ra, ps) = setup();
         let total0 = ra.total_limit(KIND);
-        for o in ops {
-            match o {
+        let n_ops = rng.range(1, 59) as usize;
+        for _ in 0..n_ops {
+            match gen_op(&mut rng) {
                 Op::Transfer { from, to, amount } => {
                     let _ = ra.transfer(ps[from], ps[to], KIND, amount as u64);
                 }
@@ -66,27 +69,31 @@ proptest! {
                 }
             }
             // Invariant 1: transfers never mint or destroy limit.
-            prop_assert_eq!(ra.total_limit(KIND), total0);
+            assert_eq!(ra.total_limit(KIND), total0);
             // Invariant 2: every payer's usage stays within its limit.
             for p in &ps {
                 let payer_used = ra.used(*p, KIND);
                 let payer_limit = ra.limit(*p, KIND);
-                prop_assert!(
+                assert!(
                     payer_used <= payer_limit,
                     "{p}: used {payer_used} > limit {payer_limit}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn denied_charges_are_exactly_over_limit(extra in 1u64..10_000) {
+#[test]
+fn denied_charges_are_exactly_over_limit() {
+    let mut rng = SplitMix64::new(0xDE_4411);
+    for _case in 0..256 {
+        let extra = rng.range(1, 9_999);
         let mut ra = ResourceAccountant::new();
         let p = ra.create_principal(Limits::of(&[(KIND, 5000)]));
         ra.charge(p, KIND, 5000).unwrap();
-        prop_assert!(ra.charge(p, KIND, extra).is_err());
-        prop_assert_eq!(ra.used(p, KIND), 5000);
+        assert!(ra.charge(p, KIND, extra).is_err());
+        assert_eq!(ra.used(p, KIND), 5000);
         ra.release(p, KIND, extra.min(5000));
-        prop_assert!(ra.charge(p, KIND, extra.min(5000)).is_ok());
+        assert!(ra.charge(p, KIND, extra.min(5000)).is_ok());
     }
 }

@@ -1,18 +1,18 @@
-//! Scheduler property tests: round-robin fairness, delegation
-//! conservation, and robustness of the verification path.
-
-use proptest::prelude::*;
+//! Scheduler randomised tests: round-robin fairness, delegation
+//! conservation, and robustness of the verification path. Driven by a
+//! seeded deterministic generator (formerly proptest).
 
 use vino_sched::{SchedSnapshot, Scheduler};
-use vino_sim::{ThreadId, VirtualClock};
+use vino_sim::{SplitMix64, ThreadId, VirtualClock};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Without delegates, round-robin gives every thread within one
-    /// slice of its fair share.
-    #[test]
-    fn round_robin_is_fair(threads in 1usize..20, rounds in 1usize..200) {
+/// Without delegates, round-robin gives every thread within one slice
+/// of its fair share.
+#[test]
+fn round_robin_is_fair() {
+    let mut rng = SplitMix64::new(0xFA_1234);
+    for _case in 0..128 {
+        let threads = rng.range(1, 19) as usize;
+        let rounds = rng.range(1, 199) as usize;
         let mut s = Scheduler::new(VirtualClock::new());
         let ids: Vec<ThreadId> = (0..threads).map(|i| s.spawn(format!("t{i}"))).collect();
         for _ in 0..rounds {
@@ -21,17 +21,22 @@ proptest! {
         let share = rounds / threads;
         for id in &ids {
             let got = s.thread(*id).unwrap().slices as usize;
-            prop_assert!(
+            assert!(
                 got == share || got == share + 1,
                 "{id}: {got} slices, fair share {share}"
             );
         }
     }
+}
 
-    /// Delegation conserves total slices: redirecting never creates or
-    /// destroys scheduling opportunities.
-    #[test]
-    fn delegation_conserves_slices(threads in 2usize..12, rounds in 1usize..100) {
+/// Delegation conserves total slices: redirecting never creates or
+/// destroys scheduling opportunities.
+#[test]
+fn delegation_conserves_slices() {
+    let mut rng = SplitMix64::new(0xDE_1E64);
+    for _case in 0..128 {
+        let threads = rng.range(2, 11) as usize;
+        let rounds = rng.range(1, 99) as usize;
         let mut s = Scheduler::new(VirtualClock::new());
         let ids: Vec<ThreadId> = (0..threads).map(|i| s.spawn(format!("t{i}"))).collect();
         // Every thread donates to thread 0.
@@ -43,16 +48,22 @@ proptest! {
             s.pick_and_switch().unwrap();
         }
         let total: u64 = ids.iter().map(|id| s.thread(*id).unwrap().slices).sum();
-        prop_assert_eq!(total as usize, rounds, "every round granted exactly one slice");
+        assert_eq!(total as usize, rounds, "every round granted exactly one slice");
         // And the target collected every donated slice.
         let target_slices = s.thread(target).unwrap().slices as usize;
-        prop_assert!(target_slices >= rounds.saturating_sub(rounds / threads) / 1, "{target_slices}");
+        assert!(target_slices >= rounds.saturating_sub(rounds / threads), "{target_slices}");
     }
+}
 
-    /// A delegate returning garbage ids never wedges scheduling and
-    /// never grants a slice to a non-existent thread.
-    #[test]
-    fn garbage_delegates_never_wedge(threads in 1usize..8, garbage in any::<u64>(), rounds in 1usize..50) {
+/// A delegate returning garbage ids never wedges scheduling and never
+/// grants a slice to a non-existent thread.
+#[test]
+fn garbage_delegates_never_wedge() {
+    let mut rng = SplitMix64::new(0x6A_4BA6);
+    for _case in 0..128 {
+        let threads = rng.range(1, 7) as usize;
+        let garbage = rng.next_u64();
+        let rounds = rng.range(1, 49) as usize;
         let mut s = Scheduler::new(VirtualClock::new());
         let ids: Vec<ThreadId> = (0..threads).map(|i| s.spawn(format!("t{i}"))).collect();
         for id in &ids {
@@ -60,19 +71,21 @@ proptest! {
         }
         for _ in 0..rounds {
             let (winner, _) = s.pick_and_switch().expect("progress");
-            prop_assert!(ids.contains(&winner) , "granted to an unknown thread");
+            assert!(ids.contains(&winner), "granted to an unknown thread");
         }
         let total: u64 = ids.iter().map(|id| s.thread(*id).unwrap().slices).sum();
-        prop_assert_eq!(total as usize, rounds);
+        assert_eq!(total as usize, rounds);
     }
+}
 
-    /// Exiting threads mid-stream never breaks the rotation.
-    #[test]
-    fn exits_do_not_break_rotation(
-        threads in 2usize..10,
-        exit_round in 0usize..20,
-        rounds in 21usize..60,
-    ) {
+/// Exiting threads mid-stream never breaks the rotation.
+#[test]
+fn exits_do_not_break_rotation() {
+    let mut rng = SplitMix64::new(0xE8_1770);
+    for _case in 0..128 {
+        let threads = rng.range(2, 9) as usize;
+        let exit_round = rng.below(20) as usize;
+        let rounds = rng.range(21, 59) as usize;
         let mut s = Scheduler::new(VirtualClock::new());
         let ids: Vec<ThreadId> = (0..threads).map(|i| s.spawn(format!("t{i}"))).collect();
         for round in 0..rounds {
@@ -83,9 +96,8 @@ proptest! {
                 break;
             }
             if let Some((winner, _)) = s.pick_and_switch() {
-                prop_assert_ne!(
-                    (round > exit_round, winner),
-                    (true, ids[0]),
+                assert!(
+                    !(round > exit_round && winner == ids[0]),
                     "exited thread must not run again"
                 );
             }

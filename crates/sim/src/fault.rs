@@ -1,0 +1,285 @@
+//! Deterministic fault injection for the whole simulated kernel.
+//!
+//! The paper's claim is not "grafts usually behave" but "the kernel
+//! *survives* when they don't" (Rule 9: forward progress despite faulty
+//! extensions). Exercising that claim needs faults on demand: disk
+//! errors and stalls, traps in the middle of graft execution, lock
+//! time-out storms, resource-limit exhaustion, and corrupted images at
+//! load time. This module is the one shared schedule all subsystems
+//! consult, so a single seed reproduces an entire disaster scenario
+//! exactly, run after run.
+//!
+//! Each subsystem threads a [`FaultPlane`] handle to its named
+//! [`FaultSite`] and calls [`FaultPlane::fire`] at the instrumentation
+//! point ("should this visit fail?"). Sites fire two ways, composable:
+//!
+//! - **rate faults** — `set_rate(site, num, den)` makes each visit fail
+//!   with probability `num/den`, drawn from the plane's seeded RNG;
+//! - **armed one-shots** — `arm(site, nth)` makes exactly the `nth`
+//!   visit (1-based, counted from plane creation) fail, which is how
+//!   "trap at the Nth interpreted instruction" is expressed.
+//!
+//! The plane is passive and single-threaded like the rest of the
+//! simulator: interior mutability behind `Rc`, no locking, and no
+//! wall-clock anywhere.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use crate::clock::Cycles;
+use crate::rng::SplitMix64;
+
+/// A named injection point threaded through the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// A disk read fails with a media error (`vino-dev::disk`).
+    DiskRead,
+    /// A disk write fails with a media error (`vino-dev::disk`).
+    DiskWrite,
+    /// A disk access stalls for [`FaultPlane::stall`] extra model time
+    /// before completing (`vino-dev::disk`).
+    DiskStall,
+    /// The GraftVM traps at this interpreted instruction (`vino-vm`).
+    VmTrap,
+    /// A granted transactional lock acquisition is scheduled for an
+    /// immediate forced time-out — a storm of them aborts holders as
+    /// fast as the clock ticks (`vino-txn`).
+    LockTimeoutStorm,
+    /// A resource charge is denied as over-limit even though the
+    /// principal had headroom (`vino-rm`).
+    ResourceExhaust,
+    /// A signed graft image fails verification at load time, as if
+    /// corrupted in transit (`vino-misfit`).
+    ImageCorrupt,
+}
+
+/// Every site, for iteration in diagnostics and docs.
+pub const ALL_SITES: &[FaultSite] = &[
+    FaultSite::DiskRead,
+    FaultSite::DiskWrite,
+    FaultSite::DiskStall,
+    FaultSite::VmTrap,
+    FaultSite::LockTimeoutStorm,
+    FaultSite::ResourceExhaust,
+    FaultSite::ImageCorrupt,
+];
+
+const N_SITES: usize = 7;
+
+fn idx(site: FaultSite) -> usize {
+    match site {
+        FaultSite::DiskRead => 0,
+        FaultSite::DiskWrite => 1,
+        FaultSite::DiskStall => 2,
+        FaultSite::VmTrap => 3,
+        FaultSite::LockTimeoutStorm => 4,
+        FaultSite::ResourceExhaust => 5,
+        FaultSite::ImageCorrupt => 6,
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct SiteState {
+    /// Per-visit failure probability as `num/den`; `None` = never.
+    rate: Option<(u64, u64)>,
+    /// 1-based visit indices that must fail (one-shots), sorted.
+    armed: Vec<u64>,
+    /// Visits so far.
+    visits: u64,
+    /// Faults injected so far.
+    fired: u64,
+}
+
+/// The shared, seeded fault schedule. See the module docs.
+#[derive(Debug)]
+pub struct FaultPlane {
+    rng: RefCell<SplitMix64>,
+    sites: RefCell<[SiteState; N_SITES]>,
+    /// Extra latency charged when [`FaultSite::DiskStall`] fires.
+    stall: Cell<Cycles>,
+}
+
+/// Default extra latency for an injected disk stall: 50 ms, the same
+/// order as a worst-case seek storm on the simulated device.
+pub const DEFAULT_STALL: Cycles = Cycles::from_ms(50);
+
+impl FaultPlane {
+    /// A plane with every site disabled; `fire` always answers `false`.
+    /// This is what subsystems get when nobody is injecting faults.
+    pub fn inert() -> Rc<FaultPlane> {
+        FaultPlane::seeded(0)
+    }
+
+    /// A plane whose rate faults draw from a SplitMix64 stream seeded
+    /// with `seed`. All sites start disabled; configure with
+    /// [`set_rate`](FaultPlane::set_rate) and [`arm`](FaultPlane::arm).
+    pub fn seeded(seed: u64) -> Rc<FaultPlane> {
+        Rc::new(FaultPlane {
+            rng: RefCell::new(SplitMix64::new(seed)),
+            sites: RefCell::new(Default::default()),
+            stall: Cell::new(DEFAULT_STALL),
+        })
+    }
+
+    /// Makes every visit to `site` fail with probability `num/den`.
+    /// `num = 0` disables rate faults for the site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or `num > den`.
+    pub fn set_rate(&self, site: FaultSite, num: u64, den: u64) {
+        assert!(den > 0 && num <= den, "rate must be a probability: {num}/{den}");
+        self.sites.borrow_mut()[idx(site)].rate = if num == 0 { None } else { Some((num, den)) };
+    }
+
+    /// Arms a one-shot: the `nth` visit to `site` (1-based, counted
+    /// from plane creation) will fail. Arming an already-passed index
+    /// is a no-op. Multiple one-shots may be armed on one site.
+    pub fn arm(&self, site: FaultSite, nth: u64) {
+        let mut sites = self.sites.borrow_mut();
+        let st = &mut sites[idx(site)];
+        if nth > st.visits && !st.armed.contains(&nth) {
+            st.armed.push(nth);
+            st.armed.sort_unstable();
+        }
+    }
+
+    /// The instrumentation-point query: records one visit to `site` and
+    /// answers whether this visit must fail. Deterministic for a given
+    /// seed and call sequence.
+    pub fn fire(&self, site: FaultSite) -> bool {
+        let mut sites = self.sites.borrow_mut();
+        let st = &mut sites[idx(site)];
+        st.visits += 1;
+        let visit = st.visits;
+        let mut hit = false;
+        if let Some(pos) = st.armed.iter().position(|n| *n == visit) {
+            st.armed.remove(pos);
+            hit = true;
+        }
+        if !hit {
+            if let Some((num, den)) = st.rate {
+                hit = self.rng.borrow_mut().chance(num, den);
+            }
+        }
+        if hit {
+            st.fired += 1;
+        }
+        hit
+    }
+
+    /// Extra model latency a fired [`FaultSite::DiskStall`] costs.
+    pub fn stall(&self) -> Cycles {
+        self.stall.get()
+    }
+
+    /// Overrides the injected-stall latency.
+    pub fn set_stall(&self, d: Cycles) {
+        self.stall.set(d);
+    }
+
+    /// Visits recorded at `site` so far.
+    pub fn visits(&self, site: FaultSite) -> u64 {
+        self.sites.borrow()[idx(site)].visits
+    }
+
+    /// Faults injected at `site` so far.
+    pub fn injected(&self, site: FaultSite) -> u64 {
+        self.sites.borrow()[idx(site)].fired
+    }
+
+    /// Faults injected across all sites.
+    pub fn total_injected(&self) -> u64 {
+        self.sites.borrow().iter().map(|s| s.fired).sum()
+    }
+
+    /// Disarms every site (rates and one-shots), keeping counters.
+    pub fn disarm_all(&self) {
+        for st in self.sites.borrow_mut().iter_mut() {
+            st.rate = None;
+            st.armed.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plane_never_fires() {
+        let p = FaultPlane::inert();
+        for _ in 0..1000 {
+            for s in ALL_SITES {
+                assert!(!p.fire(*s));
+            }
+        }
+        assert_eq!(p.total_injected(), 0);
+        assert_eq!(p.visits(FaultSite::DiskRead), 1000);
+    }
+
+    #[test]
+    fn armed_one_shot_fires_exactly_once_at_nth_visit() {
+        let p = FaultPlane::seeded(1);
+        p.arm(FaultSite::VmTrap, 5);
+        let fired: Vec<bool> = (0..8).map(|_| p.fire(FaultSite::VmTrap)).collect();
+        assert_eq!(fired, [false, false, false, false, true, false, false, false]);
+        assert_eq!(p.injected(FaultSite::VmTrap), 1);
+    }
+
+    #[test]
+    fn arming_a_passed_visit_is_a_noop() {
+        let p = FaultPlane::seeded(1);
+        for _ in 0..10 {
+            p.fire(FaultSite::DiskRead);
+        }
+        p.arm(FaultSite::DiskRead, 3);
+        for _ in 0..10 {
+            assert!(!p.fire(FaultSite::DiskRead));
+        }
+    }
+
+    #[test]
+    fn rate_faults_are_seed_deterministic_and_calibrated() {
+        let a = FaultPlane::seeded(99);
+        let b = FaultPlane::seeded(99);
+        a.set_rate(FaultSite::DiskWrite, 1, 4);
+        b.set_rate(FaultSite::DiskWrite, 1, 4);
+        let run =
+            |p: &FaultPlane| (0..10_000).map(|_| p.fire(FaultSite::DiskWrite)).collect::<Vec<_>>();
+        let ra = run(&a);
+        assert_eq!(ra, run(&b), "same seed, same schedule");
+        let frac = ra.iter().filter(|x| **x).count() as f64 / 10_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let p = FaultPlane::seeded(7);
+        p.set_rate(FaultSite::ResourceExhaust, 1, 1);
+        assert!(p.fire(FaultSite::ResourceExhaust));
+        assert!(!p.fire(FaultSite::DiskRead));
+        assert!(!p.fire(FaultSite::ImageCorrupt));
+        p.set_rate(FaultSite::ResourceExhaust, 0, 1);
+        assert!(!p.fire(FaultSite::ResourceExhaust));
+    }
+
+    #[test]
+    fn disarm_all_stops_everything() {
+        let p = FaultPlane::seeded(3);
+        p.set_rate(FaultSite::DiskRead, 1, 1);
+        p.arm(FaultSite::VmTrap, 2);
+        p.disarm_all();
+        assert!(!p.fire(FaultSite::DiskRead));
+        assert!(!p.fire(FaultSite::VmTrap));
+        assert!(!p.fire(FaultSite::VmTrap));
+    }
+
+    #[test]
+    fn stall_is_configurable() {
+        let p = FaultPlane::inert();
+        assert_eq!(p.stall(), DEFAULT_STALL);
+        p.set_stall(Cycles::from_ms(5));
+        assert_eq!(p.stall(), Cycles::from_ms(5));
+    }
+}

@@ -12,11 +12,13 @@
 pub mod clock;
 pub mod costs;
 pub mod event;
+pub mod fault;
 pub mod ids;
 pub mod rng;
 pub mod stats;
 
 pub use clock::{Cycles, VirtualClock};
 pub use event::{EventQueue, TimerId};
+pub use fault::{FaultPlane, FaultSite};
 pub use ids::ThreadId;
-pub use rng::SplitMix64;
+pub use rng::{SplitMix64, XorShift64};

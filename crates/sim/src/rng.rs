@@ -69,9 +69,83 @@ impl SplitMix64 {
     }
 }
 
+/// A vendored xorshift64* generator: the tiny fallback that replaces
+/// the external `rand` crate so the workspace builds with no crates-io
+/// mirror (Marsaglia's xorshift with Vigna's multiplier; public domain).
+///
+/// Weaker than [`SplitMix64`] statistically but byte-for-byte
+/// reproducible and dependency-free; use it where test or bench code
+/// previously reached for `rand` and any deterministic stream will do.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a seed; a zero seed (the one fixed
+    /// point of xorshift) is remapped to a fixed non-zero constant.
+    pub fn new(seed: u64) -> XorShift64 {
+        XorShift64 { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit value (xorshift64 step, then the `*` multiply).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)` via Lemire's multiply-shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a positive bound");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// A random boolean with probability `num/den` of being true.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn xorshift_deterministic_and_nonzero_safe() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Zero seed must not wedge at the xorshift fixed point.
+        let mut z = XorShift64::new(0);
+        assert_ne!(z.next_u64(), 0);
+        assert_ne!(z.next_u64(), z.next_u64());
+    }
+
+    #[test]
+    fn xorshift_bounds_hold() {
+        let mut r = XorShift64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.below(13) < 13);
+            let v = r.range(3, 5);
+            assert!((3..=5).contains(&v));
+        }
+    }
 
     #[test]
     fn deterministic_across_instances() {

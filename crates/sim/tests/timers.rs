@@ -3,10 +3,8 @@
 //! cover `schedule`, interleaved cancellation, and clock-driven draining
 //! as the transaction manager uses it).
 
-use proptest::prelude::*;
-
 use vino_sim::costs::CLOCK_TICK;
-use vino_sim::{Cycles, EventQueue, VirtualClock};
+use vino_sim::{Cycles, EventQueue, SplitMix64, VirtualClock};
 
 #[test]
 fn schedule_rounds_to_boundaries_and_fires_in_order() {
@@ -53,11 +51,16 @@ fn cancel_between_ticks() {
     assert!(q.is_empty());
 }
 
-proptest! {
-    /// Every scheduled deadline fires on a tick boundary, no earlier
-    /// than requested and less than one tick late.
-    #[test]
-    fn tick_rounding_bounds(deadlines in proptest::collection::vec(1u64..10 * CLOCK_TICK.get(), 1..20)) {
+/// Every scheduled deadline fires on a tick boundary, no earlier than
+/// requested and less than one tick late. Seeded deterministic sweep
+/// (formerly a proptest).
+#[test]
+fn tick_rounding_bounds() {
+    let mut rng = SplitMix64::new(0xE11E_75);
+    for _case in 0..256 {
+        let n = rng.range(1, 19) as usize;
+        let deadlines: Vec<u64> =
+            (0..n).map(|_| rng.range(1, 10 * CLOCK_TICK.get() - 1)).collect();
         let mut q = EventQueue::new();
         for (i, d) in deadlines.iter().enumerate() {
             q.schedule(Cycles(*d), i);
@@ -69,14 +72,14 @@ proptest! {
             for (_, i) in q.fire_due(Cycles(now)) {
                 fired.push((i, now));
             }
-            prop_assert!(now < 20 * CLOCK_TICK.get(), "queue must drain");
+            assert!(now < 20 * CLOCK_TICK.get(), "queue must drain");
         }
-        prop_assert_eq!(fired.len(), deadlines.len());
+        assert_eq!(fired.len(), deadlines.len());
         for (i, fired_at) in fired {
             let want = deadlines[i];
-            prop_assert!(fired_at >= want, "timer {i} fired early");
-            prop_assert!(fired_at < want + 2 * CLOCK_TICK.get(), "timer {i} fired too late");
-            prop_assert_eq!(fired_at % CLOCK_TICK.get(), 0, "on a boundary");
+            assert!(fired_at >= want, "timer {i} fired early");
+            assert!(fired_at < want + 2 * CLOCK_TICK.get(), "timer {i} fired too late");
+            assert_eq!(fired_at % CLOCK_TICK.get(), 0, "on a boundary");
         }
     }
 }

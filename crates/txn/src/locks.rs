@@ -191,6 +191,17 @@ impl LockTable {
         self.locks.get(&lock).map(|s| s.class)
     }
 
+    /// Number of locks currently held by any thread — the survival
+    /// battery's lock-leak detector (must be zero at quiescence).
+    pub fn held_count(&self) -> usize {
+        self.locks.values().filter(|s| s.holder.is_some()).count()
+    }
+
+    /// Number of threads parked on any waiter list.
+    pub fn waiter_count(&self) -> usize {
+        self.locks.values().map(|s| s.waiters.len()).sum()
+    }
+
     fn state_mut(&mut self, lock: LockId) -> &mut LockState {
         self.locks.get_mut(&lock).expect("lock id was never created")
     }

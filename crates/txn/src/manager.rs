@@ -19,6 +19,7 @@ use std::rc::Rc;
 
 use vino_sim::costs;
 use vino_sim::event::EventQueue;
+use vino_sim::fault::{FaultPlane, FaultSite};
 use vino_sim::{Cycles, ThreadId, VirtualClock};
 
 use crate::locks::{AcquireOutcome, LockClass, LockId, LockTable};
@@ -160,6 +161,11 @@ struct PendingTimeout {
     waiter: ThreadId,
 }
 
+/// Sentinel waiter used by injected time-out storms
+/// ([`FaultSite::LockTimeoutStorm`]): never a real thread, so the fired
+/// time-out always targets the holder.
+const STORM_WAITER: ThreadId = ThreadId(u64::MAX);
+
 /// The default VINO transaction manager (§3.1).
 pub struct TxnManager {
     clock: Rc<VirtualClock>,
@@ -168,6 +174,13 @@ pub struct TxnManager {
     timeouts: EventQueue<PendingTimeout>,
     next_txn: u64,
     stats: TxnStats,
+    fault: Option<Rc<FaultPlane>>,
+    /// Abort reports from fired time-outs, keyed by the aborted holder.
+    /// The graft wrapper consumes these to discover that its transaction
+    /// was stolen out from under it (see [`take_forced_abort`]).
+    ///
+    /// [`take_forced_abort`]: TxnManager::take_forced_abort
+    forced: HashMap<ThreadId, AbortReport>,
 }
 
 impl TxnManager {
@@ -180,12 +193,51 @@ impl TxnManager {
             timeouts: EventQueue::new(),
             next_txn: 0,
             stats: TxnStats::default(),
+            fault: None,
+            forced: HashMap::new(),
         }
     }
 
     /// Lifetime counters.
     pub fn stats(&self) -> TxnStats {
         self.stats
+    }
+
+    /// The clock this manager charges costs to.
+    pub fn clock(&self) -> &Rc<VirtualClock> {
+        &self.clock
+    }
+
+    /// Wires a fault-injection plane. When [`FaultSite::LockTimeoutStorm`]
+    /// fires on a granted transactional acquire, the manager schedules a
+    /// forced time-out against the holder at the next clock tick — as if
+    /// a phantom waiter had contended the lock since the beginning of
+    /// time.
+    pub fn set_fault_plane(&mut self, plane: Rc<FaultPlane>) {
+        self.fault = Some(plane);
+    }
+
+    /// Number of active transactions across all threads (the survival
+    /// battery asserts this returns to zero after every scenario).
+    pub fn active_txns(&self) -> usize {
+        self.stacks.values().map(Vec::len).sum()
+    }
+
+    /// Consumes the abort report of transaction `txn` if a fired
+    /// time-out aborted it out from under `thread`.
+    ///
+    /// A running graft holds no reference to its wrapper transaction; if
+    /// a waiter's time-out (genuine contention or an injected storm)
+    /// aborts that transaction while the graft is still executing, the
+    /// wrapper discovers it only when its own commit/abort fails. The
+    /// report is matched by [`TxnId`] so a stale entry from an earlier
+    /// transaction on the same thread is never mistaken for the current
+    /// one.
+    pub fn take_forced_abort(&mut self, thread: ThreadId, txn: TxnId) -> Option<AbortReport> {
+        match self.forced.get(&thread) {
+            Some(r) if r.txn == txn => self.forced.remove(&thread),
+            _ => None,
+        }
     }
 
     /// Registers a lockable object.
@@ -263,13 +315,30 @@ impl TxnManager {
     pub fn lock(&mut self, lock: LockId, thread: ThreadId) -> LockOutcome {
         match self.table.acquire(lock, thread) {
             AcquireOutcome::Granted => {
-                if let Some(frame) = self.stacks.get_mut(&thread).and_then(|s| s.last_mut()) {
-                    self.clock.charge(costs::TXN_LOCK_ACQUIRE);
-                    if !frame.locks.contains(&lock) {
-                        frame.locks.push(lock);
+                match self.stacks.get_mut(&thread) {
+                    Some(stack) if !stack.is_empty() => {
+                        self.clock.charge(costs::TXN_LOCK_ACQUIRE);
+                        // The lock belongs to the frame that FIRST
+                        // acquired it: re-recording a re-entrant grant
+                        // in an inner frame would make an inner abort
+                        // release a lock the outer transaction still
+                        // holds (breaking two-phase locking).
+                        if !stack.iter().any(|f| f.locks.contains(&lock)) {
+                            stack.last_mut().expect("non-empty").locks.push(lock);
+                        }
+                        if let Some(plane) = &self.fault {
+                            if plane.fire(FaultSite::LockTimeoutStorm) {
+                                let deadline = EventQueue::<PendingTimeout>::round_to_tick(
+                                    self.clock.now() + Cycles(1),
+                                );
+                                self.timeouts.schedule_exact(
+                                    deadline,
+                                    PendingTimeout { lock, waiter: STORM_WAITER },
+                                );
+                            }
+                        }
                     }
-                } else {
-                    self.clock.charge(costs::MUTEX_PAIR);
+                    _ => self.clock.charge(costs::MUTEX_PAIR),
                 }
                 LockOutcome::Granted
             }
@@ -390,6 +459,7 @@ impl TxnManager {
                             .abort(h, AbortReason::LockTimeout(lock))
                             .expect("holder verified in txn");
                         self.stats.timeout_aborts += 1;
+                        self.forced.insert(h, report.clone());
                         events.push(TimeoutEvent::HolderAborted { lock, holder: h, report });
                     } else {
                         events.push(TimeoutEvent::HolderNotInTxn { lock, holder: h });

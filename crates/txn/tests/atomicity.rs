@@ -1,4 +1,5 @@
-//! Property tests for transaction atomicity and nesting laws.
+//! Randomised tests for transaction atomicity and nesting laws, driven
+//! by a seeded deterministic generator (formerly proptest).
 //!
 //! The contract of §3.1: for *any* sequence of kernel-state mutations a
 //! graft performs through accessor functions, abort restores exactly the
@@ -9,9 +10,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use proptest::prelude::*;
-
-use vino_sim::{Cycles, ThreadId, VirtualClock};
+use vino_sim::{Cycles, SplitMix64, ThreadId, VirtualClock};
 use vino_txn::manager::{AbortReason, TxnManager};
 
 const T: ThreadId = ThreadId(1);
@@ -30,12 +29,17 @@ enum Op {
     Swap { a: usize, b: usize },
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0usize..8, any::<i32>()).prop_map(|(cell, delta)| Op::Add { cell, delta }),
-        (0usize..8, any::<i32>()).prop_map(|(cell, value)| Op::Set { cell, value }),
-        (0usize..8, 0usize..8).prop_map(|(a, b)| Op::Swap { a, b }),
-    ]
+fn gen_op(rng: &mut SplitMix64) -> Op {
+    match rng.below(3) {
+        0 => Op::Add { cell: rng.below(8) as usize, delta: rng.next_u64() as i32 },
+        1 => Op::Set { cell: rng.below(8) as usize, value: rng.next_u64() as i32 },
+        _ => Op::Swap { a: rng.below(8) as usize, b: rng.below(8) as usize },
+    }
+}
+
+fn gen_ops(rng: &mut SplitMix64, max: u64) -> Vec<Op> {
+    let n = rng.below(max) as usize;
+    (0..n).map(|_| gen_op(rng)).collect()
 }
 
 /// Applies `o` through the "accessor function" protocol: mutate state,
@@ -72,12 +76,12 @@ fn apply(m: &mut TxnManager, store: &Store, o: Op) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Abort restores the exact pre-transaction state for any op mix.
-    #[test]
-    fn abort_is_exact_inverse(ops in proptest::collection::vec(op(), 0..40)) {
+/// Abort restores the exact pre-transaction state for any op mix.
+#[test]
+fn abort_is_exact_inverse() {
+    let mut rng = SplitMix64::new(0xAB_0127);
+    for _case in 0..256 {
+        let ops = gen_ops(&mut rng, 40);
         let store: Store = Rc::new(RefCell::new([3, 1, 4, 1, 5, 9, 2, 6]));
         let before = *store.borrow();
         let mut m = TxnManager::new(VirtualClock::new());
@@ -86,13 +90,17 @@ proptest! {
             apply(&mut m, &store, *o);
         }
         let rep = m.abort(T, AbortReason::Explicit).unwrap();
-        prop_assert_eq!(rep.undo_ops, ops.len());
-        prop_assert_eq!(*store.borrow(), before);
+        assert_eq!(rep.undo_ops, ops.len());
+        assert_eq!(*store.borrow(), before);
     }
+}
 
-    /// Commit preserves the exact post-state (undo never runs).
-    #[test]
-    fn commit_preserves_mutations(ops in proptest::collection::vec(op(), 0..40)) {
+/// Commit preserves the exact post-state (undo never runs).
+#[test]
+fn commit_preserves_mutations() {
+    let mut rng = SplitMix64::new(0xC0_3317);
+    for _case in 0..256 {
+        let ops = gen_ops(&mut rng, 40);
         let store: Store = Rc::new(RefCell::new([0; 8]));
         let mut m = TxnManager::new(VirtualClock::new());
         m.begin(T);
@@ -101,18 +109,20 @@ proptest! {
         }
         let after = *store.borrow();
         m.commit(T).unwrap();
-        prop_assert_eq!(*store.borrow(), after);
+        assert_eq!(*store.borrow(), after);
     }
+}
 
-    /// Nesting law: outer(A); inner(B) aborted; outer aborted — final
-    /// state is pristine. And: inner committed then outer aborted —
-    /// also pristine (inner merges into outer).
-    #[test]
-    fn nested_composition(
-        outer_ops in proptest::collection::vec(op(), 0..15),
-        inner_ops in proptest::collection::vec(op(), 0..15),
-        inner_commits in any::<bool>(),
-    ) {
+/// Nesting law: outer(A); inner(B) aborted; outer aborted — final
+/// state is pristine. And: inner committed then outer aborted —
+/// also pristine (inner merges into outer).
+#[test]
+fn nested_composition() {
+    let mut rng = SplitMix64::new(0x4E_57ED);
+    for _case in 0..256 {
+        let outer_ops = gen_ops(&mut rng, 15);
+        let inner_ops = gen_ops(&mut rng, 15);
+        let inner_commits = rng.chance(1, 2);
         let store: Store = Rc::new(RefCell::new([7; 8]));
         let before = *store.borrow();
         let mut m = TxnManager::new(VirtualClock::new());
@@ -130,18 +140,23 @@ proptest! {
         } else {
             m.abort(T, AbortReason::Explicit).unwrap();
             // Inner abort alone restores the mid-state.
-            prop_assert_eq!(*store.borrow(), mid);
+            assert_eq!(*store.borrow(), mid);
         }
         m.abort(T, AbortReason::Explicit).unwrap();
-        prop_assert_eq!(*store.borrow(), before);
+        assert_eq!(*store.borrow(), before);
     }
+}
 
-    /// The abort charge always satisfies the §4.5 equation with the
-    /// exact undo costs logged.
-    #[test]
-    fn abort_cost_equation_holds(n_ops in 0usize..30, n_locks in 0usize..6) {
-        use vino_sim::costs;
-        use vino_txn::locks::LockClass;
+/// The abort charge always satisfies the §4.5 equation with the exact
+/// undo costs logged.
+#[test]
+fn abort_cost_equation_holds() {
+    use vino_sim::costs;
+    use vino_txn::locks::LockClass;
+    let mut rng = SplitMix64::new(0xE0_0A71);
+    for _case in 0..256 {
+        let n_ops = rng.below(30) as usize;
+        let n_locks = rng.below(6) as usize;
         let mut m = TxnManager::new(VirtualClock::new());
         let locks: Vec<_> = (0..n_locks).map(|_| m.create_lock(LockClass::Buffer)).collect();
         m.begin(T);
@@ -156,6 +171,6 @@ proptest! {
         let expect = costs::TXN_ABORT_OVERHEAD
             + Cycles(costs::ABORT_UNLOCK.0 * n_locks as u64)
             + Cycles(per_op.0 * n_ops as u64);
-        prop_assert_eq!(rep.cost, expect);
+        assert_eq!(rep.cost, expect);
     }
 }

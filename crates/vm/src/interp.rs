@@ -12,6 +12,7 @@
 use std::rc::Rc;
 
 use vino_sim::costs;
+use vino_sim::fault::{FaultPlane, FaultSite};
 use vino_sim::{Cycles, VirtualClock};
 
 use crate::isa::{AluOp, Cond, HostFnId, Instr, Program};
@@ -43,6 +44,10 @@ pub enum Trap {
     /// A kernel (host) function failed; the code identifies the error and
     /// is interpreted by the grafting layer (e.g. resource-limit denial).
     HostError { code: u64 },
+    /// An injected fault ([`FaultSite::VmTrap`]) fired at this
+    /// instruction — the simulated equivalent of a hardware fault or
+    /// latent graft bug surfacing mid-execution.
+    Injected { pc: usize },
 }
 
 impl std::fmt::Display for Trap {
@@ -57,6 +62,7 @@ impl std::fmt::Display for Trap {
             Trap::RetWithoutCall => write!(f, "ret without call"),
             Trap::DivByZero => write!(f, "division by zero"),
             Trap::HostError { code } => write!(f, "host error code {code}"),
+            Trap::Injected { pc } => write!(f, "injected fault at pc {pc}"),
         }
     }
 }
@@ -157,6 +163,7 @@ pub struct Vm {
     /// Per-run counters.
     pub stats: RunStats,
     cfg: VmConfig,
+    fault: Option<Rc<FaultPlane>>,
 }
 
 impl Vm {
@@ -167,7 +174,22 @@ impl Vm {
 
     /// Creates a context with an explicit configuration.
     pub fn with_config(mem: AddressSpace, cfg: VmConfig) -> Vm {
-        Vm { regs: [0; 16], pc: 0, call_stack: Vec::new(), mem, stats: RunStats::default(), cfg }
+        Vm {
+            regs: [0; 16],
+            pc: 0,
+            call_stack: Vec::new(),
+            mem,
+            stats: RunStats::default(),
+            cfg,
+            fault: None,
+        }
+    }
+
+    /// Attaches a fault plane: each interpreted instruction visits
+    /// [`FaultSite::VmTrap`], so `plane.arm(VmTrap, n)` traps this VM at
+    /// its `n`th instruction (counted across runs and resumes).
+    pub fn set_fault_plane(&mut self, plane: Rc<FaultPlane>) {
+        self.fault = Some(plane);
     }
 
     /// Resets pc/registers/stats for a fresh invocation, keeping memory.
@@ -198,6 +220,11 @@ impl Vm {
             let Some(&instr) = prog.instrs.get(self.pc) else {
                 return Exit::Trapped(Trap::PcOutOfRange { pc: self.pc });
             };
+            if let Some(plane) = &self.fault {
+                if plane.fire(FaultSite::VmTrap) {
+                    return Exit::Trapped(Trap::Injected { pc: self.pc });
+                }
+            }
             *fuel -= 1;
             self.stats.instrs += 1;
             self.pc += 1;
@@ -621,6 +648,37 @@ mod tests {
         assert_eq!(vm.pc, 0);
         assert_eq!(vm.regs, [0; 16]);
         assert_eq!(vm.mem.graft_read_u32(0), Some(99), "memory survives reset");
+    }
+
+    #[test]
+    fn injected_trap_fires_at_nth_instruction() {
+        use vino_sim::fault::{FaultPlane, FaultSite};
+        let (mut vm, clock) = ctx();
+        let plane = FaultPlane::seeded(0);
+        plane.arm(FaultSite::VmTrap, 3);
+        vm.set_fault_plane(plane);
+        let prog = Program::new("spin", vec![Instr::Jmp { target: 0 }]);
+        let mut fuel = 100;
+        let exit = vm.run(&prog, &mut NullKernel, &clock, &mut fuel);
+        assert_eq!(exit, Exit::Trapped(Trap::Injected { pc: 0 }));
+        assert_eq!(vm.stats.instrs, 2, "the third instruction never retires");
+        assert_eq!(fuel, 98, "the trapped instruction consumes no fuel");
+    }
+
+    #[test]
+    fn injected_trap_counts_across_resumes() {
+        use vino_sim::fault::{FaultPlane, FaultSite};
+        let (mut vm, clock) = ctx();
+        let plane = FaultPlane::seeded(0);
+        plane.arm(FaultSite::VmTrap, 5);
+        vm.set_fault_plane(plane);
+        let prog = Program::new("spin", vec![Instr::Jmp { target: 0 }]);
+        let mut fuel = 3;
+        assert_eq!(vm.run(&prog, &mut NullKernel, &clock, &mut fuel), Exit::Preempted);
+        let mut fuel = 100;
+        let exit = vm.run(&prog, &mut NullKernel, &clock, &mut fuel);
+        assert_eq!(exit, Exit::Trapped(Trap::Injected { pc: 0 }));
+        assert_eq!(vm.stats.instrs, 4, "trap lands on the fifth visit overall");
     }
 
     #[test]

@@ -1,79 +1,85 @@
-//! Fuzz/property tests for the graft image codec and the assembler.
+//! Fuzz tests for the graft image codec and the assembler, driven by a
+//! seeded deterministic generator (formerly proptest).
 //!
 //! The loader decodes images only after signature verification, but the
 //! codec must still be total: arbitrary bytes must produce an error,
 //! never a panic or a wild allocation — a kernel parses untrusted input
 //! defensively even behind a MAC.
 
-use proptest::prelude::*;
-
+use vino_sim::SplitMix64;
 use vino_vm::asm::{assemble, disassemble, SymbolTable};
 use vino_vm::encode::{decode, encode};
 use vino_vm::isa::{AluOp, Cond, HostFnId, Instr, Program, Reg};
 
-fn reg() -> impl Strategy<Value = Reg> {
-    (0u8..16).prop_map(Reg)
+fn gen_reg(rng: &mut SplitMix64) -> Reg {
+    Reg(rng.below(16) as u8)
 }
 
-fn alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::Div),
-        Just(AluOp::Rem),
-        Just(AluOp::Xor),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-    ]
+const ALU_OPS: &[AluOp] = &[
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Div,
+    AluOp::Rem,
+    AluOp::Xor,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Shl,
+    AluOp::Shr,
+];
+
+const CONDS: &[Cond] = &[Cond::Eq, Cond::Ne, Cond::LtU, Cond::GeU, Cond::LtS, Cond::GeS];
+
+fn gen_alu_op(rng: &mut SplitMix64) -> AluOp {
+    ALU_OPS[rng.below(ALU_OPS.len() as u64) as usize]
 }
 
-fn cond() -> impl Strategy<Value = Cond> {
-    prop_oneof![
-        Just(Cond::Eq),
-        Just(Cond::Ne),
-        Just(Cond::LtU),
-        Just(Cond::GeU),
-        Just(Cond::LtS),
-        Just(Cond::GeS),
-    ]
+fn gen_cond(rng: &mut SplitMix64) -> Cond {
+    CONDS[rng.below(CONDS.len() as u64) as usize]
 }
 
 /// Any instruction with branch targets within `len`.
-fn instr(len: u32) -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (reg(), any::<i64>()).prop_map(|(d, imm)| Instr::Const { d, imm }),
-        (reg(), reg()).prop_map(|(d, s)| Instr::Mov { d, s }),
-        (alu_op(), reg(), reg(), reg()).prop_map(|(op, d, a, b)| Instr::Alu { op, d, a, b }),
-        (alu_op(), reg(), reg(), any::<i64>())
-            .prop_map(|(op, d, a, imm)| Instr::AluI { op, d, a, imm }),
-        (reg(), reg(), any::<i32>()).prop_map(|(d, addr, off)| Instr::LoadW { d, addr, off }),
-        (reg(), reg(), any::<i32>()).prop_map(|(s, addr, off)| Instr::StoreW { s, addr, off }),
-        (reg(), reg(), any::<i32>()).prop_map(|(d, addr, off)| Instr::LoadB { d, addr, off }),
-        (reg(), reg(), any::<i32>()).prop_map(|(s, addr, off)| Instr::StoreB { s, addr, off }),
-        (0..len).prop_map(|target| Instr::Jmp { target }),
-        (cond(), reg(), reg(), 0..len)
-            .prop_map(|(cond, a, b, target)| Instr::Br { cond, a, b, target }),
+fn gen_instr(rng: &mut SplitMix64, len: u32) -> Instr {
+    match rng.below(18) {
+        0 => Instr::Const { d: gen_reg(rng), imm: rng.next_u64() as i64 },
+        1 => Instr::Mov { d: gen_reg(rng), s: gen_reg(rng) },
+        2 => Instr::Alu { op: gen_alu_op(rng), d: gen_reg(rng), a: gen_reg(rng), b: gen_reg(rng) },
+        3 => Instr::AluI {
+            op: gen_alu_op(rng),
+            d: gen_reg(rng),
+            a: gen_reg(rng),
+            imm: rng.next_u64() as i64,
+        },
+        4 => Instr::LoadW { d: gen_reg(rng), addr: gen_reg(rng), off: rng.next_u64() as i32 },
+        5 => Instr::StoreW { s: gen_reg(rng), addr: gen_reg(rng), off: rng.next_u64() as i32 },
+        6 => Instr::LoadB { d: gen_reg(rng), addr: gen_reg(rng), off: rng.next_u64() as i32 },
+        7 => Instr::StoreB { s: gen_reg(rng), addr: gen_reg(rng), off: rng.next_u64() as i32 },
+        8 => Instr::Jmp { target: rng.below(len as u64) as u32 },
+        9 => Instr::Br {
+            cond: gen_cond(rng),
+            a: gen_reg(rng),
+            b: gen_reg(rng),
+            target: rng.below(len as u64) as u32,
+        },
         // Direct calls restricted to a small known-name id space so the
         // disassembly round-trip can resolve them.
-        (0u32..4).prop_map(|i| Instr::Call { func: HostFnId(i) }),
-        reg().prop_map(|r| Instr::CallI { target: r }),
-        (0..len).prop_map(|target| Instr::CallLocal { target }),
-        Just(Instr::Ret),
-        reg().prop_map(|r| Instr::Halt { result: r }),
-        reg().prop_map(|r| Instr::Clamp { r }),
-        reg().prop_map(|r| Instr::CheckCall { r }),
-        Just(Instr::Nop),
-    ]
+        10 => Instr::Call { func: HostFnId(rng.below(4) as u32) },
+        11 => Instr::CallI { target: gen_reg(rng) },
+        12 => Instr::CallLocal { target: rng.below(len as u64) as u32 },
+        13 => Instr::Ret,
+        14 => Instr::Halt { result: gen_reg(rng) },
+        15 => Instr::Clamp { r: gen_reg(rng) },
+        16 => Instr::CheckCall { r: gen_reg(rng) },
+        _ => Instr::Nop,
+    }
 }
 
-fn program() -> impl Strategy<Value = Program> {
-    (1u32..64).prop_flat_map(|n| {
-        (proptest::collection::vec(instr(n), n as usize), "[a-z]{0,12}")
-            .prop_map(|(instrs, name)| Program { instrs, name })
-    })
+fn gen_program(rng: &mut SplitMix64) -> Program {
+    let n = rng.range(1, 63) as u32;
+    let instrs = (0..n).map(|_| gen_instr(rng, n)).collect();
+    let name_len = rng.below(13) as usize;
+    let name: String = (0..name_len).map(|_| (b'a' + rng.below(26) as u8) as char).collect();
+    Program { instrs, name }
 }
 
 fn syms() -> SymbolTable {
@@ -84,53 +90,78 @@ fn syms() -> SymbolTable {
     s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// Encode/decode is the identity on arbitrary valid programs.
-    #[test]
-    fn codec_round_trips(p in program()) {
+/// Encode/decode is the identity on arbitrary valid programs.
+#[test]
+fn codec_round_trips() {
+    let mut rng = SplitMix64::new(0xC0DEC_01);
+    for _case in 0..512 {
+        let p = gen_program(&mut rng);
         let bytes = encode(&p);
         let back = decode(&bytes).expect("valid program must decode");
-        prop_assert_eq!(p, back);
+        assert_eq!(p, back);
     }
+}
 
-    /// Decoding arbitrary garbage never panics.
-    #[test]
-    fn decode_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+/// Decoding arbitrary garbage never panics.
+#[test]
+fn decode_is_total_on_garbage() {
+    let mut rng = SplitMix64::new(0x6A_4BA6E);
+    for _case in 0..512 {
+        let n = rng.below(512) as usize;
+        let bytes: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
         let _ = decode(&bytes); // Ok or Err — never a panic.
     }
+}
 
-    /// Decoding a valid image with a flipped byte never panics, and if
-    /// it decodes, it decodes to a *valid* program (branch targets in
-    /// range) — the invariant the interpreter relies on.
-    #[test]
-    fn decode_of_corrupted_images_stays_safe(
-        p in program(),
-        flip_at in any::<prop::sample::Index>(),
-        flip_bits in 1u8..=255,
-    ) {
+/// Decoding a valid image with a flipped byte never panics, and if it
+/// decodes, it decodes to a *valid* program (branch targets in range) —
+/// the invariant the interpreter relies on.
+#[test]
+fn decode_of_corrupted_images_stays_safe() {
+    let mut rng = SplitMix64::new(0xF11_BAD);
+    for _case in 0..512 {
+        let p = gen_program(&mut rng);
         let mut bytes = encode(&p);
-        let i = flip_at.index(bytes.len());
+        let i = rng.below(bytes.len() as u64) as usize;
+        let flip_bits = rng.range(1, 255) as u8;
         bytes[i] ^= flip_bits;
         if let Ok(q) = decode(&bytes) {
-            prop_assert!(q.validate().is_ok(), "decoded program must be internally valid");
+            assert!(q.validate().is_ok(), "decoded program must be internally valid");
         }
     }
+}
 
-    /// Disassembly reassembles to the identical instruction stream.
-    #[test]
-    fn disassembly_round_trips(p in program()) {
-        let s = syms();
+/// Disassembly reassembles to the identical instruction stream.
+#[test]
+fn disassembly_round_trips() {
+    let mut rng = SplitMix64::new(0xD15_A55);
+    let s = syms();
+    for _case in 0..512 {
+        let p = gen_program(&mut rng);
         let text = disassemble(&p, &s);
         let back = assemble(&p.name, &text, &s)
             .unwrap_or_else(|e| panic!("disassembly must reassemble: {e}\n{text}"));
-        prop_assert_eq!(p.instrs, back.instrs);
+        assert_eq!(p.instrs, back.instrs);
     }
+}
 
-    /// The assembler never panics on arbitrary text.
-    #[test]
-    fn assembler_is_total_on_garbage(text in "[ -~\\n]{0,400}") {
-        let _ = assemble("fuzz", &text, &syms());
+/// The assembler never panics on arbitrary printable text.
+#[test]
+fn assembler_is_total_on_garbage() {
+    let mut rng = SplitMix64::new(0xA55E_7B1E);
+    let syms = syms();
+    for _case in 0..512 {
+        let n = rng.below(400) as usize;
+        let text: String = (0..n)
+            .map(|_| {
+                // Printable ASCII plus newlines, like the old regex.
+                if rng.chance(1, 10) {
+                    '\n'
+                } else {
+                    (b' ' + rng.below(95) as u8) as char
+                }
+            })
+            .collect();
+        let _ = assemble("fuzz", &text, &syms);
     }
 }

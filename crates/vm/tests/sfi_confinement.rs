@@ -1,4 +1,5 @@
-//! Property tests for the GraftVM's SFI memory model.
+//! Randomised tests for the GraftVM's SFI memory model, driven by a
+//! seeded deterministic generator (formerly proptest).
 //!
 //! The central safety claim of §3.3 is that a MiSFIT-processed graft can
 //! never read or write memory outside its own segment: "Code is added to
@@ -8,12 +9,10 @@
 //! guarantees; `vino-misfit` has its own tests that it inserts them) and
 //! assert that no execution ever touches the kernel region.
 
-use proptest::prelude::*;
-
+use vino_sim::{SplitMix64, VirtualClock};
 use vino_vm::interp::{Exit, NullKernel, Trap, Vm};
 use vino_vm::isa::{AluOp, Cond, Instr, Program, Reg};
 use vino_vm::mem::{AddressSpace, Protection};
-use vino_sim::VirtualClock;
 
 /// The dedicated SFI sandbox register (Wahbe et al.'s reserved
 /// register): only sandboxing sequences write it, so it always holds an
@@ -21,33 +20,30 @@ use vino_sim::VirtualClock;
 /// branch jumps into the middle of a sandbox sequence.
 const SANDBOX: Reg = Reg(14);
 
-fn reg() -> impl Strategy<Value = Reg> {
+fn gen_reg(rng: &mut SplitMix64) -> Reg {
     // User code never touches the reserved sandbox register.
-    (0u8..14).prop_map(Reg)
+    Reg(rng.below(14) as u8)
 }
 
-fn alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::Xor),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-    ]
+const ALU_OPS: &[AluOp] = &[
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Xor,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Shl,
+    AluOp::Shr,
+];
+
+const CONDS: &[Cond] = &[Cond::Eq, Cond::Ne, Cond::LtU, Cond::GeU, Cond::LtS, Cond::GeS];
+
+fn gen_alu_op(rng: &mut SplitMix64) -> AluOp {
+    ALU_OPS[rng.below(ALU_OPS.len() as u64) as usize]
 }
 
-fn cond() -> impl Strategy<Value = Cond> {
-    prop_oneof![
-        Just(Cond::Eq),
-        Just(Cond::Ne),
-        Just(Cond::LtU),
-        Just(Cond::GeU),
-        Just(Cond::LtS),
-        Just(Cond::GeS),
-    ]
+fn gen_cond(rng: &mut SplitMix64) -> Cond {
+    CONDS[rng.below(CONDS.len() as u64) as usize]
 }
 
 /// One "logical" instruction of an instrumented program. Memory accesses
@@ -61,20 +57,35 @@ enum Piece {
     Jump,
 }
 
-fn piece() -> impl Strategy<Value = Piece> {
-    prop_oneof![
-        (reg(), any::<i64>()).prop_map(|(d, imm)| Piece::Plain(Instr::Const { d, imm })),
-        (reg(), reg()).prop_map(|(d, s)| Piece::Plain(Instr::Mov { d, s })),
-        (alu_op(), reg(), reg(), reg())
-            .prop_map(|(op, d, a, b)| Piece::Plain(Instr::Alu { op, d, a, b })),
-        (alu_op(), reg(), reg(), any::<i32>()).prop_map(|(op, d, a, imm)| Piece::Plain(
-            Instr::AluI { op, d, a, imm: imm as i64 }
-        )),
-        (reg(), reg(), -64i32..64).prop_map(|(d, addr, off)| Piece::ClampedLoad { d, addr, off }),
-        (reg(), reg(), -64i32..64).prop_map(|(s, addr, off)| Piece::ClampedStore { s, addr, off }),
-        (cond(), reg(), reg()).prop_map(|(cond, a, b)| Piece::Branch { cond, a, b }),
-        Just(Piece::Jump),
-    ]
+fn gen_piece(rng: &mut SplitMix64) -> Piece {
+    match rng.below(8) {
+        0 => Piece::Plain(Instr::Const { d: gen_reg(rng), imm: rng.next_u64() as i64 }),
+        1 => Piece::Plain(Instr::Mov { d: gen_reg(rng), s: gen_reg(rng) }),
+        2 => Piece::Plain(Instr::Alu {
+            op: gen_alu_op(rng),
+            d: gen_reg(rng),
+            a: gen_reg(rng),
+            b: gen_reg(rng),
+        }),
+        3 => Piece::Plain(Instr::AluI {
+            op: gen_alu_op(rng),
+            d: gen_reg(rng),
+            a: gen_reg(rng),
+            imm: rng.next_u64() as i32 as i64,
+        }),
+        4 => Piece::ClampedLoad {
+            d: gen_reg(rng),
+            addr: gen_reg(rng),
+            off: rng.range(0, 127) as i32 - 64,
+        },
+        5 => Piece::ClampedStore {
+            s: gen_reg(rng),
+            addr: gen_reg(rng),
+            off: rng.range(0, 127) as i32 - 64,
+        },
+        6 => Piece::Branch { cond: gen_cond(rng), a: gen_reg(rng), b: gen_reg(rng) },
+        _ => Piece::Jump,
+    }
 }
 
 /// Expands pieces into an instrumented program. Branch/jump targets are
@@ -126,16 +137,15 @@ fn build_program(pieces: Vec<Piece>, seed: u32) -> Program {
     Program::new("fuzz", instrs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Arbitrary instrumented programs never write the kernel region and
-    /// never fault with an SFI violation: every access lands in-segment.
-    #[test]
-    fn instrumented_programs_stay_in_segment(
-        pieces in proptest::collection::vec(piece(), 1..60),
-        seed in any::<u32>(),
-    ) {
+/// Arbitrary instrumented programs never write the kernel region and
+/// never fault with an SFI violation: every access lands in-segment.
+#[test]
+fn instrumented_programs_stay_in_segment() {
+    let mut rng = SplitMix64::new(0x5F1_C04F);
+    for _case in 0..256 {
+        let n = rng.range(1, 59) as usize;
+        let pieces: Vec<Piece> = (0..n).map(|_| gen_piece(&mut rng)).collect();
+        let seed = rng.next_u64() as u32;
         let prog = build_program(pieces, seed);
         prog.validate().expect("generated program must be well-formed");
         let mem = AddressSpace::new(4096, 4096, Protection::Sfi);
@@ -148,59 +158,73 @@ proptest! {
         // The only acceptable outcomes: normal halt, preemption, or a
         // *non-memory* trap. Any MemError means confinement failed
         // (clamped accesses cannot be unmapped or kernel-region).
-        match &exit {
-            Exit::Trapped(Trap::Mem(e)) => {
-                prop_assert!(false, "memory fault escaped SFI: {e:?}");
-            }
-            _ => {}
+        if let Exit::Trapped(Trap::Mem(e)) = &exit {
+            panic!("memory fault escaped SFI: {e:?}");
         }
-        prop_assert_eq!(vm.mem.kernel_write_count(), 0);
+        assert_eq!(vm.mem.kernel_write_count(), 0);
         let sentinel = vm.mem.kernel_bytes(0, 4).unwrap();
-        prop_assert_eq!(sentinel, &0xDEADBEEFu32.to_le_bytes()[..]);
+        assert_eq!(sentinel, &0xDEADBEEFu32.to_le_bytes()[..]);
     }
+}
 
-    /// Clamp is idempotent and always lands in-segment, for any address.
-    #[test]
-    fn clamp_idempotent_and_confining(addr in any::<u64>(), size_pow in 8u32..20) {
+/// Clamp is idempotent and always lands in-segment, for any address.
+#[test]
+fn clamp_idempotent_and_confining() {
+    let mut rng = SplitMix64::new(0xC1A_3417);
+    for _case in 0..256 {
+        let addr = rng.next_u64();
+        let size_pow = rng.range(8, 19) as u32;
         let mem = AddressSpace::new(1usize << size_pow, 64, Protection::Sfi);
         let c1 = mem.clamp(addr);
-        prop_assert!(mem.in_segment(c1));
-        prop_assert_eq!(mem.clamp(c1), c1);
+        assert!(mem.in_segment(c1));
+        assert_eq!(mem.clamp(c1), c1);
     }
+}
 
-    /// Un-instrumented programs CAN corrupt the kernel region — the
-    /// disaster SFI prevents. This is the control experiment: a direct
-    /// store to a kernel address must succeed in Unprotected mode.
-    #[test]
-    fn unprotected_wild_store_corrupts(off in 0u64..1000, val in 1u32..u32::MAX) {
+/// Un-instrumented programs CAN corrupt the kernel region — the
+/// disaster SFI prevents. This is the control experiment: a direct
+/// store to a kernel address must succeed in Unprotected mode.
+#[test]
+fn unprotected_wild_store_corrupts() {
+    let mut rng = SplitMix64::new(0x0B_AD);
+    for _case in 0..256 {
+        let off = rng.below(1000);
+        let val = rng.range(1, u32::MAX as u64 - 1) as u32;
         let mem = AddressSpace::new(4096, 4096, Protection::Unprotected);
         let kaddr = mem.kernel_base() + (off & !3);
-        let prog = Program::new("wild", vec![
-            Instr::Const { d: Reg(1), imm: kaddr as i64 },
-            Instr::Const { d: Reg(2), imm: val as i64 },
-            Instr::StoreW { s: Reg(2), addr: Reg(1), off: 0 },
-            Instr::Halt { result: Reg(0) },
-        ]);
+        let prog = Program::new(
+            "wild",
+            vec![
+                Instr::Const { d: Reg(1), imm: kaddr as i64 },
+                Instr::Const { d: Reg(2), imm: val as i64 },
+                Instr::StoreW { s: Reg(2), addr: Reg(1), off: 0 },
+                Instr::Halt { result: Reg(0) },
+            ],
+        );
         let mut vm = Vm::new(mem);
         let clock = VirtualClock::new();
         let mut fuel = 100;
         let exit = vm.run(&prog, &mut NullKernel, &clock, &mut fuel);
-        prop_assert_eq!(exit, Exit::Halted(0));
-        prop_assert_eq!(vm.mem.kernel_write_count(), 1);
+        assert_eq!(exit, Exit::Halted(0));
+        assert_eq!(vm.mem.kernel_write_count(), 1);
     }
+}
 
-    /// Fuel is an exact instruction budget: a spin loop retires exactly
-    /// `fuel` instructions and then preempts (Rule 1).
-    #[test]
-    fn fuel_bounds_execution_exactly(fuel_in in 1u64..10_000) {
+/// Fuel is an exact instruction budget: a spin loop retires exactly
+/// `fuel` instructions and then preempts (Rule 1).
+#[test]
+fn fuel_bounds_execution_exactly() {
+    let mut rng = SplitMix64::new(0xF0E1);
+    for _case in 0..256 {
+        let fuel_in = rng.range(1, 9_999);
         let mem = AddressSpace::new(256, 0, Protection::Sfi);
         let prog = Program::new("spin", vec![Instr::Jmp { target: 0 }]);
         let mut vm = Vm::new(mem);
         let clock = VirtualClock::new();
         let mut fuel = fuel_in;
         let exit = vm.run(&prog, &mut NullKernel, &clock, &mut fuel);
-        prop_assert_eq!(exit, Exit::Preempted);
-        prop_assert_eq!(fuel, 0);
-        prop_assert_eq!(vm.stats.instrs, fuel_in);
+        assert_eq!(exit, Exit::Preempted);
+        assert_eq!(fuel, 0);
+        assert_eq!(vm.stats.instrs, fuel_in);
     }
 }

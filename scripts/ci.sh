@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Tier-1 verification: build, full test suite, and the survival battery
+# pinned to three fixed seeds. Everything is offline and deterministic;
+# a green run here is the repository's definition of "working".
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== workspace tests =="
+cargo test -q --workspace
+
+echo "== survival battery (pinned seeds) =="
+SURVIVAL_SEEDS="3405691582,1122334455,987654321" cargo test -q --test survival
+
+echo "== ci.sh: all green =="
