@@ -20,6 +20,7 @@
 //! | [`lockfig`] | Figures 4/5 — policy-encapsulation indirection cost |
 //! | [`benefit`] | §4.1.1 / §4.2.2 — cost-benefit crossover figures |
 //! | [`ablation`] | design-choice ablations: eviction policy, time-out sweep |
+//! | [`tracecount`] | trace-plane event census (observability tripwire) |
 
 pub mod ablation;
 pub mod benefit;
@@ -32,6 +33,7 @@ pub mod table4;
 pub mod table5;
 pub mod table6;
 pub mod table7;
+pub mod tracecount;
 pub mod world;
 
 pub use render::{PathTable, Row};
@@ -62,5 +64,7 @@ pub fn full_report(reps: usize) -> String {
     out.push_str(&ablation::eviction_policy().render());
     out.push('\n');
     out.push_str(&ablation::lock_timeout_sweep().render());
+    out.push('\n');
+    out.push_str(&tracecount::run().render());
     out
 }

@@ -16,6 +16,7 @@ use std::rc::Rc;
 use vino_misfit::CallableTable;
 use vino_rm::{PrincipalId, ResourceAccountant, ResourceKind};
 use vino_sim::fault::FaultPlane;
+use vino_sim::trace::{AbortKind, GraftTag, TraceEvent, TracePlane};
 use vino_sim::{costs, Cycles, ThreadId, VirtualClock};
 use vino_txn::locks::{LockClass, LockId};
 use vino_txn::manager::{AbortReason, AbortReport, TxnId, TxnManager};
@@ -81,6 +82,9 @@ pub struct GraftEngine {
     nest_depth: std::cell::Cell<u32>,
     /// Fault plane attached to every subsequently created instance's VM.
     fault: RefCell<Option<Rc<FaultPlane>>>,
+    /// Trace plane shared with every subsequently created instance's VM
+    /// and with the wrapper's lifecycle events.
+    trace: RefCell<Option<Rc<TracePlane>>>,
 }
 
 impl GraftEngine {
@@ -98,6 +102,7 @@ impl GraftEngine {
             subgrafts: RefCell::new(Vec::new()),
             nest_depth: std::cell::Cell::new(0),
             fault: RefCell::new(None),
+            trace: RefCell::new(None),
         })
     }
 
@@ -112,6 +117,21 @@ impl GraftEngine {
     /// The attached fault plane, if any.
     pub fn fault_plane(&self) -> Option<Rc<FaultPlane>> {
         self.fault.borrow().clone()
+    }
+
+    /// Attaches a trace plane to the engine: every graft instance
+    /// created *after* this call traces its VM windows and SFI checks,
+    /// and every wrapper invocation emits `graft.*` lifecycle events
+    /// plus a flight-recorder post-mortem on abort. (Subsystem planes —
+    /// fs, txn, rm, reliability — are wired by
+    /// [`crate::Kernel::attach_trace_plane`].)
+    pub fn set_trace_plane(&self, plane: Rc<TracePlane>) {
+        *self.trace.borrow_mut() = Some(plane);
+    }
+
+    /// The attached trace plane, if any.
+    pub fn trace_plane(&self) -> Option<Rc<TracePlane>> {
+        self.trace.borrow().clone()
     }
 
     /// Registers a lockable kernel object and exposes it to grafts as a
@@ -403,6 +423,8 @@ pub struct GraftInstance {
     /// detector for grafts in the kernel's path).
     pub max_slices: u32,
     stats: InvokeStats,
+    /// Interned trace tag for this graft's name (if a plane is wired).
+    tag: Option<GraftTag>,
 }
 
 impl GraftInstance {
@@ -418,6 +440,14 @@ impl GraftInstance {
         if let Some(plane) = engine.fault_plane() {
             vm.set_fault_plane(plane);
         }
+        // Intern the graft name once at install time (the only point a
+        // trace event may allocate) and announce the install.
+        let tag = engine.trace_plane().map(|tp| {
+            vm.set_trace_plane(Rc::clone(&tp));
+            let tag = tp.tag(&program.name);
+            tp.emit(TraceEvent::GraftInstall { graft: tag });
+            tag
+        });
         GraftInstance {
             name: program.name.clone(),
             engine,
@@ -428,6 +458,13 @@ impl GraftInstance {
             dead: false,
             max_slices: 16,
             stats: InvokeStats::default(),
+            tag,
+        }
+    }
+
+    fn emit(&self, ev: TraceEvent) {
+        if let Some(tp) = self.engine.trace.borrow().as_ref() {
+            tp.emit(ev);
         }
     }
 
@@ -480,9 +517,15 @@ impl GraftInstance {
     /// [`GraftInstance::invoke`] with an explicit commit mode.
     pub fn invoke_mode(&mut self, args: [u64; 4], mode: CommitMode) -> InvokeOutcome {
         if self.dead {
+            if let Some(tag) = self.tag {
+                self.emit(TraceEvent::FallbackServed { graft: tag });
+            }
             return InvokeOutcome::Dead;
         }
         self.stats.invocations += 1;
+        if let Some(tag) = self.tag {
+            self.emit(TraceEvent::GraftInvoke { graft: tag });
+        }
         let engine = Rc::clone(&self.engine);
         let txn_id = engine.txn.borrow_mut().begin(self.thread);
         self.vm.reset();
@@ -501,6 +544,9 @@ impl GraftInstance {
                             let committed = engine.txn.borrow_mut().commit(self.thread).is_ok();
                             if committed {
                                 self.stats.commits += 1;
+                                if let Some(tag) = self.tag {
+                                    self.emit(TraceEvent::GraftCommit { graft: tag });
+                                }
                                 InvokeOutcome::Ok { result, extents: host.extents, log: host.log }
                             } else {
                                 // A fired lock time-out stole the wrapper
@@ -593,12 +639,37 @@ impl GraftInstance {
         self.dead = true;
         let kind = reliability::classify(&why);
         self.engine.rm.borrow_mut().charge_blame(self.principal, report.cost.get());
+        if let Some(tp) = self.engine.trace_plane() {
+            let abort_kind = abort_kind_of(&why);
+            if let Some(tag) = self.tag {
+                tp.emit(TraceEvent::GraftAbort { graft: tag, kind: abort_kind });
+            }
+            // The flight recorder: snapshot the trace tail and the
+            // abort's vital signs (abort path, allocation allowed).
+            tp.record_post_mortem(
+                &self.name,
+                abort_kind,
+                report.locks_released,
+                report.undo_ops,
+                report.cost,
+            );
+        }
         self.engine.reliability.borrow_mut().record_abort(
             &self.name,
             kind,
             self.engine.clock.now(),
         );
         InvokeOutcome::Aborted { why, report }
+    }
+}
+
+/// Maps the engine's abort cause onto the sim-level trace encoding.
+pub fn abort_kind_of(why: &AbortedWhy) -> AbortKind {
+    match why {
+        AbortedWhy::Trap(_) => AbortKind::Trap,
+        AbortedWhy::CpuHog => AbortKind::CpuHog,
+        AbortedWhy::LockTimeout => AbortKind::LockTimeout,
+        AbortedWhy::Requested => AbortKind::Requested,
     }
 }
 

@@ -2,7 +2,7 @@
 //! install entry points for each graft class and the network-event
 //! dispatch loop of §3.5.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -13,6 +13,7 @@ use vino_mem::{MemorySystem, VasId};
 use vino_misfit::{MisfitTool, SignedImage, SigningKey};
 use vino_rm::{Limits, PrincipalId};
 use vino_sim::fault::FaultPlane;
+use vino_sim::trace::{PostMortem, TracePlane};
 use vino_sim::{ThreadId, VirtualClock};
 use vino_vm::isa::Program;
 
@@ -65,6 +66,30 @@ impl Default for KernelConfig {
     }
 }
 
+/// Rejected plane attachment.
+///
+/// Both [`Kernel::attach_fault_plane`] and [`Kernel::attach_trace_plane`]
+/// are attach-once: subsystems clone the `Rc` at attach time and grafts
+/// bind the plane at install time, so silently swapping planes mid-run
+/// would leave earlier grafts and subsystems on the old plane — a
+/// half-attached state with nondeterministic coverage. The contract is
+/// therefore *error on double attach*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttachError {
+    /// A plane of this kind is already attached to this kernel.
+    AlreadyAttached,
+}
+
+impl std::fmt::Display for AttachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttachError::AlreadyAttached => f.write_str("a plane is already attached"),
+        }
+    }
+}
+
+impl std::error::Error for AttachError {}
+
 /// The result of dispatching one network event.
 #[derive(Debug)]
 pub struct EventReport {
@@ -93,6 +118,8 @@ pub struct Kernel {
     namespace: RefCell<GraftNamespace>,
     event_points: RefCell<HashMap<Port, EventPoint>>,
     fn_grafts: RefCell<HashMap<String, SharedGraft>>,
+    fault_attached: Cell<bool>,
+    trace_attached: Cell<bool>,
 }
 
 impl Kernel {
@@ -123,6 +150,8 @@ impl Kernel {
             namespace: RefCell::new(ns),
             event_points: RefCell::new(HashMap::new()),
             fn_grafts: RefCell::new(HashMap::new()),
+            fault_attached: Cell::new(false),
+            trace_attached: Cell::new(false),
             engine,
             clock,
         })
@@ -138,12 +167,46 @@ impl Kernel {
     /// image verification, and — for grafts loaded after this call —
     /// the VM's per-instruction trap site. One plane, one seed, one
     /// deterministic schedule across the whole kernel.
-    pub fn attach_fault_plane(&self, plane: Rc<FaultPlane>) {
+    ///
+    /// Attach-once: a second call returns
+    /// [`AttachError::AlreadyAttached`] (see [`AttachError`] for why a
+    /// silent swap would be wrong).
+    pub fn attach_fault_plane(&self, plane: Rc<FaultPlane>) -> Result<(), AttachError> {
+        if self.fault_attached.replace(true) {
+            return Err(AttachError::AlreadyAttached);
+        }
         self.fs.borrow_mut().set_fault_plane(Rc::clone(&plane));
         self.engine.txn.borrow_mut().set_fault_plane(Rc::clone(&plane));
         self.engine.rm.borrow_mut().set_fault_plane(Rc::clone(&plane));
         self.tool.set_fault_plane(Rc::clone(&plane));
         self.engine.set_fault_plane(plane);
+        Ok(())
+    }
+
+    /// Attaches one trace plane to every instrumented subsystem: file
+    /// system, transaction manager, resource accountant, reliability
+    /// manager, and — for grafts loaded after this call — the VM and
+    /// the wrapper's graft-lifecycle events. One plane, one canonical
+    /// event stream across the whole kernel (see `docs/TRACING.md`).
+    ///
+    /// Attach-once, like [`attach_fault_plane`](Self::attach_fault_plane).
+    pub fn attach_trace_plane(&self, plane: Rc<TracePlane>) -> Result<(), AttachError> {
+        if self.trace_attached.replace(true) {
+            return Err(AttachError::AlreadyAttached);
+        }
+        self.fs.borrow_mut().set_trace_plane(Rc::clone(&plane));
+        self.engine.txn.borrow_mut().set_trace_plane(Rc::clone(&plane));
+        self.engine.rm.borrow_mut().set_trace_plane(Rc::clone(&plane));
+        self.engine.reliability.borrow_mut().set_trace_plane(Rc::clone(&plane));
+        self.engine.set_trace_plane(plane);
+        Ok(())
+    }
+
+    /// The flight recorder's latest abort snapshot, if any invocation
+    /// has aborted since the trace plane was attached. `None` when no
+    /// plane is attached or every invocation committed cleanly.
+    pub fn post_mortem(&self) -> Option<PostMortem> {
+        self.engine.trace_plane().and_then(|tp| tp.post_mortem())
     }
 
     /// The engine's reliability manager (failure ledgers, quarantine).
@@ -593,7 +656,7 @@ mod tests {
         let t = k.spawn_thread("app");
         let plane = FaultPlane::seeded(42);
         plane.arm(FaultSite::VmTrap, 2);
-        k.attach_fault_plane(plane);
+        k.attach_fault_plane(plane).unwrap();
         let image = k.compile_graft("victim", "const r1, 1\nconst r2, 2\nhalt r0").unwrap();
         let g = k
             .install_function_graft(point_names::COMPUTE_RA, &image, a, t, &InstallOpts::default())
@@ -613,6 +676,49 @@ mod tests {
             k.reliability().ledger("victim").unwrap().count(crate::reliability::FailureKind::InjectedFault),
             1,
             "injected fault ledgered"
+        );
+    }
+
+    #[test]
+    fn attach_planes_error_on_double_attach() {
+        use vino_sim::fault::FaultPlane;
+        use vino_sim::trace::TracePlane;
+        let k = boot();
+        k.attach_fault_plane(FaultPlane::seeded(1)).unwrap();
+        assert_eq!(
+            k.attach_fault_plane(FaultPlane::seeded(2)).unwrap_err(),
+            AttachError::AlreadyAttached
+        );
+        let tp = TracePlane::new(Rc::clone(&k.clock));
+        k.attach_trace_plane(Rc::clone(&tp)).unwrap();
+        assert_eq!(
+            k.attach_trace_plane(tp).unwrap_err(),
+            AttachError::AlreadyAttached
+        );
+    }
+
+    #[test]
+    fn attached_trace_plane_feeds_post_mortem() {
+        use vino_sim::trace::{AbortKind, TracePlane};
+        let k = boot();
+        let a = app(&k);
+        let t = k.spawn_thread("app");
+        let tp = TracePlane::new(Rc::clone(&k.clock));
+        k.attach_trace_plane(Rc::clone(&tp)).unwrap();
+        assert!(k.post_mortem().is_none(), "no aborts yet, no post-mortem");
+        // A graft that traps (div by zero) — one invocation, one abort.
+        let image = k.compile_graft("crasher", "const r1, 0\ndiv r0, r1, r1\nhalt r0").unwrap();
+        let g = k
+            .install_function_graft(point_names::COMPUTE_RA, &image, a, t, &InstallOpts::default())
+            .unwrap();
+        g.borrow_mut().invoke([0; 4]);
+        let pm = k.post_mortem().expect("abort produced a post-mortem");
+        assert_eq!(pm.graft, "crasher");
+        assert_eq!(pm.kind, AbortKind::Trap);
+        assert!(
+            pm.lines.iter().any(|l| l.contains("graft.abort")),
+            "flight recorder window holds the abort event: {:#?}",
+            pm.lines
         );
     }
 

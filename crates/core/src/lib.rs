@@ -40,7 +40,7 @@ pub mod points;
 pub mod reliability;
 
 pub use engine::{GraftEngine, GraftInstance, InvokeOutcome, InvokeStats};
-pub use kernel::Kernel;
+pub use kernel::{AttachError, Kernel};
 pub use loader::{BillingMode, InstallError, InstallOpts};
 pub use points::{EventPoint, GraftNamespace, PointKind};
 pub use reliability::{FailureKind, QuarantinePolicy, ReliabilityManager, Verdict};

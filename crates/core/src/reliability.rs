@@ -19,7 +19,9 @@
 //! a graft (Rule 9: the kernel keeps serving regardless).
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
+use vino_sim::trace::{TraceEvent, TracePlane};
 use vino_sim::Cycles;
 use vino_vm::interp::Trap;
 
@@ -133,10 +135,20 @@ pub enum Verdict {
 }
 
 /// The kernel-side reliability manager. One per [`crate::GraftEngine`].
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct ReliabilityManager {
     policy: QuarantinePolicy,
     ledgers: HashMap<String, GraftLedger>,
+    trace: Option<Rc<TracePlane>>,
+}
+
+impl std::fmt::Debug for ReliabilityManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReliabilityManager")
+            .field("policy", &self.policy)
+            .field("ledgers", &self.ledgers)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ReliabilityManager {
@@ -154,6 +166,12 @@ impl ReliabilityManager {
     pub fn set_policy(&mut self, policy: QuarantinePolicy) {
         assert!(policy.threshold > 0, "a zero threshold would quarantine on install");
         self.policy = policy;
+    }
+
+    /// Wires a trace plane: quarantine trips emit `graft.quarantine`
+    /// events (see `docs/TRACING.md`).
+    pub fn set_trace_plane(&mut self, plane: Rc<TracePlane>) {
+        self.trace = Some(plane);
     }
 
     /// Records one abort of `graft` at virtual time `now`, returning
@@ -183,6 +201,10 @@ impl ReliabilityManager {
         ledger.recent.clear();
         let until = now + backoff;
         ledger.quarantined_until = Some(until);
+        if let Some(tp) = &self.trace {
+            let tag = tp.tag(graft);
+            tp.emit(TraceEvent::GraftQuarantine { graft: tag, until: until.get() });
+        }
         Verdict::Quarantined { until }
     }
 

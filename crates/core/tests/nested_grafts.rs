@@ -186,6 +186,72 @@ fn nesting_depth_is_bounded() {
     }
 }
 
+#[test]
+fn post_mortem_empty_after_clean_commit() {
+    use vino_sim::trace::TracePlane;
+    let engine = GraftEngine::new(VirtualClock::new());
+    let tp = TracePlane::new(Rc::clone(&engine.clock));
+    engine.set_trace_plane(Rc::clone(&tp));
+    let mut g = instance(&engine, "clean", "const r0, 7\nhalt r0");
+    assert!(matches!(g.invoke([0; 4]), InvokeOutcome::Ok { result: 7, .. }));
+    assert!(tp.post_mortem().is_none(), "clean commit leaves no post-mortem");
+}
+
+#[test]
+fn post_mortem_captures_nested_transaction_abort() {
+    use vino_sim::trace::{AbortKind, TracePlane};
+    let engine = GraftEngine::new(VirtualClock::new());
+    let tp = TracePlane::new(Rc::clone(&engine.clock));
+    engine.set_trace_plane(Rc::clone(&tp));
+    // Engine-level test: wire the txn manager by hand (the kernel's
+    // attach_trace_plane does this when booting the full stack).
+    engine.txn.borrow_mut().set_trace_plane(Rc::clone(&tp));
+    // Callee: one undoable kv write, then a trap — its nested wrapper
+    // transaction aborts while the caller's survives.
+    let callee = share(instance(
+        &engine,
+        "crasher",
+        "
+        const r1, 5
+        const r2, 99
+        call $kv_set
+        const r3, 0
+        div r0, r3, r3
+        halt r0
+        ",
+    ));
+    let h = engine.register_subgraft(Rc::clone(&callee));
+    let mut caller = instance(
+        &engine,
+        "caller",
+        &format!("const r1, {h}\ncall $call_graft\nhalt r0"),
+    );
+    match caller.invoke([0; 4]) {
+        InvokeOutcome::Ok { .. } => {}
+        other => panic!("caller must survive the nested abort: {other:?}"),
+    }
+    let pm = tp.post_mortem().expect("nested abort snapshotted by the flight recorder");
+    assert_eq!(pm.graft, "crasher", "post-mortem names the nested callee, not the caller");
+    assert_eq!(pm.kind, AbortKind::Trap);
+    assert_eq!(pm.undo_depth, 1, "the callee's kv_set was the one undo op");
+    assert_eq!(pm.held_locks, 0);
+    assert!(
+        pm.lines.iter().any(|l| l.contains("txn.begin") && l.contains("depth=2")),
+        "window shows the nested begin: {:#?}",
+        pm.lines
+    );
+    assert!(
+        pm.lines.iter().any(|l| l.contains("txn.undo-run thread=1 ops=1")),
+        "window shows the undo run: {:#?}",
+        pm.lines
+    );
+    assert!(
+        pm.lines.iter().any(|l| l.contains("graft.abort g=crasher kind=trap")),
+        "window shows the abort itself: {:#?}",
+        pm.lines
+    );
+}
+
 /// Test-only accessor: re-fetch a registered subgraft by handle. (The
 /// engine does not expose enumeration; tests register and remember.)
 fn engine_subgraft_for_test(

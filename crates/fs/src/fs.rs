@@ -146,6 +146,7 @@ pub struct FileSystem {
     open: HashMap<Fd, OpenFile>,
     next_fd: u64,
     stats: FsStats,
+    trace: Option<Rc<vino_sim::trace::TracePlane>>,
 }
 
 impl FileSystem {
@@ -174,6 +175,7 @@ impl FileSystem {
             open: HashMap::new(),
             next_fd: 3,
             stats: FsStats::default(),
+            trace: None,
         };
         fs
     }
@@ -210,6 +212,7 @@ impl FileSystem {
             open: HashMap::new(),
             next_fd: 3,
             stats: FsStats::default(),
+            trace: None,
         })
     }
 
@@ -232,6 +235,18 @@ impl FileSystem {
     /// errors and stalls; see `vino_sim::fault`).
     pub fn set_fault_plane(&mut self, plane: Rc<vino_sim::fault::FaultPlane>) {
         self.disk.set_fault_plane(plane);
+    }
+
+    /// Wires a trace plane: served reads/writes and issued prefetches
+    /// emit `fs.*` events (see `docs/TRACING.md`).
+    pub fn set_trace_plane(&mut self, plane: Rc<vino_sim::trace::TracePlane>) {
+        self.trace = Some(plane);
+    }
+
+    fn emit(&self, ev: vino_sim::trace::TraceEvent) {
+        if let Some(tp) = &self.trace {
+            tp.emit(ev);
+        }
     }
 
     /// Creates a file of `size` bytes, pre-allocated (extent-based
@@ -378,6 +393,7 @@ impl FileSystem {
             return Err(FsError::PastEof);
         }
         self.stats.reads += 1;
+        self.emit(vino_sim::trace::TraceEvent::FsRead { fd: fd.0, len });
         // Read the covered blocks through the cache.
         let mut out = Vec::with_capacity(len as usize);
         let first = (offset / BLOCK_SIZE as u64) as u32;
@@ -422,6 +438,7 @@ impl FileSystem {
             return Err(FsError::PastEof);
         }
         self.stats.writes += 1;
+        self.emit(vino_sim::trace::TraceEvent::FsWrite { fd: fd.0, len: data.len() as u64 });
         let mut pos = 0usize;
         while pos < data.len() {
             let abs_off = offset + pos as u64;
@@ -486,7 +503,10 @@ impl FileSystem {
             };
             let Some(abs) = self.inodes[inode_idx].block_of(lbn) else { continue };
             match self.cache.prefetch(&mut self.disk, BlockAddr(abs as u64)) {
-                PrefetchOutcome::Issued => self.stats.prefetches_issued += 1,
+                PrefetchOutcome::Issued => {
+                    self.stats.prefetches_issued += 1;
+                    self.emit(vino_sim::trace::TraceEvent::FsPrefetch { fd: fd.0 });
+                }
                 PrefetchOutcome::AlreadyCached => {}
                 PrefetchOutcome::NoRoom => {
                     // Keep the request queued for the next opportunity.

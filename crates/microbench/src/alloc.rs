@@ -1,0 +1,66 @@
+//! A counting global allocator, for zero-allocation assertions.
+//!
+//! Install as the `#[global_allocator]` of a bench binary, snapshot
+//! [`CountingAlloc::allocations`] around the code under test, and
+//! assert the delta. Every `alloc`/`alloc_zeroed`/`realloc` counts as
+//! one allocation; frees are not counted (a hot path that only frees
+//! is still heap-quiet for the purpose of these proofs).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Forwards to the system allocator, counting allocation calls.
+pub struct CountingAlloc {
+    allocations: AtomicU64,
+}
+
+impl CountingAlloc {
+    /// A fresh counter (const, so it can be a `static`).
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc { allocations: AtomicU64::new(0) }
+    }
+
+    /// Allocation calls observed so far.
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_allocations() {
+        // Not installed as the global allocator here; drive it directly.
+        let a = CountingAlloc::new();
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            a.dealloc(p, layout);
+        }
+        assert_eq!(a.allocations(), 1);
+    }
+}

@@ -16,6 +16,8 @@
 //! statistical machinery — this is a smoke-and-ballpark harness, not a
 //! regression detector.
 
+pub mod alloc;
+
 use std::hint::black_box as hint_black_box;
 use std::time::{Duration, Instant};
 

@@ -21,6 +21,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use vino_sim::fault::{FaultPlane, FaultSite};
+use vino_sim::trace::{TraceEvent, TracePlane};
 
 /// The kinds of quantity-constrained resources the kernel accounts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,6 +47,13 @@ impl ResourceKind {
         ResourceKind::NetBuffers,
         ResourceKind::Threads,
     ];
+
+    /// Stable small-integer encoding, used by trace events (the sim
+    /// crate cannot name `ResourceKind`, so `rm.*` trace lines carry
+    /// this index).
+    pub fn index(self) -> u8 {
+        self.idx() as u8
+    }
 
     fn idx(self) -> usize {
         match self {
@@ -182,6 +190,7 @@ pub struct ResourceAccountant {
     accounts: HashMap<PrincipalId, Account>,
     next: u64,
     fault: Option<Rc<FaultPlane>>,
+    trace: Option<Rc<TracePlane>>,
 }
 
 impl ResourceAccountant {
@@ -198,6 +207,18 @@ impl ResourceAccountant {
     /// requests also fail").
     pub fn set_fault_plane(&mut self, plane: Rc<FaultPlane>) {
         self.fault = Some(plane);
+    }
+
+    /// Wires a trace plane: grants, releases and limit denials emit
+    /// `rm.*` events (see `docs/TRACING.md`).
+    pub fn set_trace_plane(&mut self, plane: Rc<TracePlane>) {
+        self.trace = Some(plane);
+    }
+
+    fn emit(&self, ev: TraceEvent) {
+        if let Some(tp) = &self.trace {
+            tp.emit(ev);
+        }
     }
 
     /// Creates a principal (a thread) with the given limits.
@@ -295,6 +316,11 @@ impl ResourceAccountant {
         if self.fault.as_ref().is_some_and(|p| p.fire(FaultSite::ResourceExhaust)) {
             // Injected denial: indistinguishable from a genuine limit
             // hit, and like one it has no partial effect.
+            self.emit(TraceEvent::ResLimitHit {
+                principal: payer.0,
+                kind: kind.index(),
+                requested: amount,
+            });
             return Err(ResourceError::LimitExceeded {
                 principal: payer,
                 kind,
@@ -307,6 +333,11 @@ impl ResourceAccountant {
         let limit = acc.limits.get(kind);
         let available = limit.saturating_sub(used);
         if amount > available {
+            self.emit(TraceEvent::ResLimitHit {
+                principal: payer.0,
+                kind: kind.index(),
+                requested: amount,
+            });
             return Err(ResourceError::LimitExceeded {
                 principal: payer,
                 kind,
@@ -319,6 +350,7 @@ impl ResourceAccountant {
             let new_peak = acc.used.get(kind);
             acc.peak.set(kind, new_peak);
         }
+        self.emit(TraceEvent::ResGrant { principal: payer.0, kind: kind.index(), amount });
         Ok(())
     }
 
@@ -330,6 +362,7 @@ impl ResourceAccountant {
         if let Some(acc) = self.accounts.get_mut(&payer) {
             let used = acc.used.get(kind);
             acc.used.set(kind, used.saturating_sub(amount));
+            self.emit(TraceEvent::ResRelease { principal: payer.0, kind: kind.index(), amount });
         }
     }
 
@@ -620,6 +653,29 @@ mod tests {
         ra.charge(app, Memory, 60).unwrap();
         assert!(ra.charge(app, Memory, 50).is_err());
         assert_eq!(ra.used(app, Memory), 60, "failed charge must not partially apply");
+    }
+
+    #[test]
+    fn trace_plane_sees_grants_releases_and_denials() {
+        use vino_sim::trace::TracePlane;
+        use vino_sim::VirtualClock;
+        let mut ra = ResourceAccountant::new();
+        let plane = TracePlane::new(VirtualClock::new());
+        ra.set_trace_plane(Rc::clone(&plane));
+        let app = ra.create_principal(Limits::of(&[(Memory, 100)]));
+        ra.charge(app, Memory, 60).unwrap();
+        ra.release(app, Memory, 10);
+        assert!(ra.charge(app, Memory, 90).is_err());
+        let evs: Vec<TraceEvent> = plane.records().iter().map(|r| r.event).collect();
+        let k = Memory.index();
+        assert_eq!(
+            evs,
+            vec![
+                TraceEvent::ResGrant { principal: app.0, kind: k, amount: 60 },
+                TraceEvent::ResRelease { principal: app.0, kind: k, amount: 10 },
+                TraceEvent::ResLimitHit { principal: app.0, kind: k, requested: 90 },
+            ]
+        );
     }
 
     #[test]

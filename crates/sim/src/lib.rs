@@ -16,9 +16,14 @@ pub mod fault;
 pub mod ids;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 pub use clock::{Cycles, VirtualClock};
 pub use event::{EventQueue, TimerId};
 pub use fault::{FaultPlane, FaultSite};
 pub use ids::ThreadId;
 pub use rng::{SplitMix64, XorShift64};
+pub use trace::{
+    AbortKind, GraftTag, PostMortem, SfiKind, TraceEvent, TracePlane, TraceRecord, TraceStats,
+    VmExitKind,
+};

@@ -1,0 +1,786 @@
+//! The deterministic trace plane and abort flight recorder.
+//!
+//! The paper's claim is not only that the kernel *survives* misbehaved
+//! grafts but that every survival is *explainable*: an abort unwinds a
+//! known undo stack, releases an enumerable set of locks, and falls back
+//! to the default path. This module turns that story into an artifact.
+//! Every instrumented subsystem emits [`TraceEvent`]s into one shared
+//! [`TracePlane`] — a pre-allocated ring buffer, so the hot path never
+//! touches the heap — and because the whole simulation is
+//! single-threaded and seeded, the event sequence is bit-identical run
+//! after run. Traces serialize to a canonical line format
+//! ([`TracePlane::serialize`]) that golden tests diff directly.
+//!
+//! On every wrapper abort the grafting layer calls
+//! [`TracePlane::record_post_mortem`], which snapshots the last N ring
+//! records together with the abort's vital signs (graft, abort kind,
+//! locks held, undo depth, cycle cost) into a [`PostMortem`] — the
+//! flight recorder of `docs/TRACING.md`.
+//!
+//! Like [`crate::fault::FaultPlane`], the plane is passive and shared
+//! behind `Rc` with interior mutability; subsystems thread a handle via
+//! their `set_trace_plane` methods and the kernel wires everything with
+//! one `attach_trace_plane` call.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::clock::{Cycles, VirtualClock};
+
+/// Default ring capacity, in records.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// Default flight-recorder window: records snapshotted per post-mortem.
+pub const DEFAULT_POST_MORTEM_WINDOW: usize = 32;
+
+/// An interned graft name. Tags are assigned in first-intern order, so
+/// they are deterministic for a deterministic install sequence; the
+/// plane's name table maps them back for rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GraftTag(pub u16);
+
+/// How a traced VM run window ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmExitKind {
+    /// The graft executed `halt`.
+    Halt,
+    /// Fuel exhausted; the run may resume.
+    Preempt,
+    /// The graft trapped.
+    Trap,
+}
+
+/// Which MiSFIT sandbox check executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SfiKind {
+    /// Address clamp before a load/store.
+    Clamp,
+    /// Indirect-call target check.
+    CheckCall,
+}
+
+/// Coarse abort cause carried by graft-abort events and post-mortems
+/// (the sim-level mirror of the engine's `AbortedWhy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortKind {
+    /// The graft trapped (memory fault, forbidden call, host error…).
+    Trap,
+    /// The graft exceeded its CPU-slice budget.
+    CpuHog,
+    /// A fired lock time-out stole the wrapper transaction.
+    LockTimeout,
+    /// The caller requested an abort-instead-of-commit run.
+    Requested,
+}
+
+impl AbortKind {
+    fn label(self) -> &'static str {
+        match self {
+            AbortKind::Trap => "trap",
+            AbortKind::CpuHog => "cpu-hog",
+            AbortKind::LockTimeout => "lock-timeout",
+            AbortKind::Requested => "requested",
+        }
+    }
+}
+
+/// One traced occurrence. All payloads are `Copy` and fixed-size so the
+/// ring buffer never allocates; graft names travel as interned
+/// [`GraftTag`]s and resource kinds as their small-integer index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    // -- vm ------------------------------------------------------------
+    /// One fuel window of interpreted execution ended.
+    VmWindow {
+        /// Instructions retired in this window.
+        instrs: u64,
+        /// How the window ended.
+        exit: VmExitKind,
+    },
+    /// A MiSFIT sandbox check executed.
+    SfiCheck {
+        /// Which check.
+        kind: SfiKind,
+        /// The checked instruction's pc.
+        pc: u64,
+    },
+    // -- txn -----------------------------------------------------------
+    /// A transaction began (`txn` is the new id, `depth` after push).
+    TxnBegin {
+        /// The owning thread.
+        thread: u64,
+        /// The new transaction id.
+        txn: u64,
+        /// Nesting depth after the begin.
+        depth: u64,
+    },
+    /// A transaction committed.
+    TxnCommit {
+        /// The owning thread.
+        thread: u64,
+        /// The committed transaction id.
+        txn: u64,
+        /// True for a nested merge into the parent.
+        nested: bool,
+        /// Locks released (zero for nested commits).
+        locks: u64,
+    },
+    /// A transaction aborted (undo already ran; see `UndoRun`).
+    TxnAbort {
+        /// The owning thread.
+        thread: u64,
+        /// The aborted transaction id.
+        txn: u64,
+        /// Locks released by the abort.
+        locks: u64,
+    },
+    /// A transactional lock acquire was granted.
+    LockAcquire {
+        /// The lock.
+        lock: u64,
+        /// The acquiring thread.
+        thread: u64,
+    },
+    /// A lock acquire contended; a time-out was scheduled.
+    LockBlocked {
+        /// The lock.
+        lock: u64,
+        /// The blocked waiter.
+        waiter: u64,
+        /// The current holder.
+        holder: u64,
+    },
+    /// A lock time-out fired and aborted the holder's transaction.
+    LockTimeout {
+        /// The contended lock.
+        lock: u64,
+        /// The aborted holder.
+        holder: u64,
+    },
+    /// A wrapper discovered its transaction was stolen by a fired
+    /// time-out (consumed the forced-abort report).
+    LockSteal {
+        /// The thread whose transaction was stolen.
+        thread: u64,
+        /// The stolen transaction id.
+        txn: u64,
+    },
+    /// An undo record was pushed (`depth` = records pending after push).
+    UndoPush {
+        /// The owning thread.
+        thread: u64,
+        /// Undo-stack depth after the push.
+        depth: u64,
+    },
+    /// An abort unwound the undo stack.
+    UndoRun {
+        /// The owning thread.
+        thread: u64,
+        /// Undo operations executed (LIFO).
+        ops: u64,
+    },
+    // -- rm ------------------------------------------------------------
+    /// A resource charge was granted.
+    ResGrant {
+        /// The charged principal (after billing indirection).
+        principal: u64,
+        /// Resource kind index (see `vino_rm::ResourceKind`).
+        kind: u8,
+        /// Amount granted.
+        amount: u64,
+    },
+    /// A resource release.
+    ResRelease {
+        /// The releasing principal (after billing indirection).
+        principal: u64,
+        /// Resource kind index.
+        kind: u8,
+        /// Amount released.
+        amount: u64,
+    },
+    /// A resource charge was denied (genuine limit hit or injected).
+    ResLimitHit {
+        /// The denied principal.
+        principal: u64,
+        /// Resource kind index.
+        kind: u8,
+        /// Requested amount.
+        requested: u64,
+    },
+    // -- fs ------------------------------------------------------------
+    /// A file-system read was served.
+    FsRead {
+        /// The descriptor.
+        fd: u64,
+        /// Bytes read.
+        len: u64,
+    },
+    /// A file-system write was served.
+    FsWrite {
+        /// The descriptor.
+        fd: u64,
+        /// Bytes written.
+        len: u64,
+    },
+    /// A prefetch I/O was issued from a per-file queue.
+    FsPrefetch {
+        /// The descriptor whose queue issued.
+        fd: u64,
+    },
+    // -- graft lifecycle -----------------------------------------------
+    /// A graft was installed (loader pipeline passed).
+    GraftInstall {
+        /// The installed graft.
+        graft: GraftTag,
+    },
+    /// A graft invocation began (wrapper transaction opened).
+    GraftInvoke {
+        /// The invoked graft.
+        graft: GraftTag,
+    },
+    /// A graft invocation committed.
+    GraftCommit {
+        /// The committed graft.
+        graft: GraftTag,
+    },
+    /// A graft invocation aborted; the graft is forcibly unloaded.
+    GraftAbort {
+        /// The aborted graft.
+        graft: GraftTag,
+        /// Why.
+        kind: AbortKind,
+    },
+    /// The reliability manager quarantined the graft name.
+    GraftQuarantine {
+        /// The quarantined graft.
+        graft: GraftTag,
+        /// Absolute virtual-clock deadline (cycles).
+        until: u64,
+    },
+    /// An invocation found the graft dead; the caller serves the
+    /// default path instead (§3.6 fallback).
+    FallbackServed {
+        /// The dead graft.
+        graft: GraftTag,
+    },
+}
+
+/// The subsystem a [`TraceEvent`] belongs to, for [`TraceStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceCategory {
+    /// GraftVM interpreter events.
+    Vm,
+    /// Transaction/lock/undo events.
+    Txn,
+    /// Resource-accountant events.
+    Rm,
+    /// File-system events.
+    Fs,
+    /// Graft-lifecycle events.
+    Graft,
+}
+
+impl TraceEvent {
+    /// The subsystem this event belongs to.
+    pub fn category(&self) -> TraceCategory {
+        use TraceEvent::*;
+        match self {
+            VmWindow { .. } | SfiCheck { .. } => TraceCategory::Vm,
+            TxnBegin { .. } | TxnCommit { .. } | TxnAbort { .. } | LockAcquire { .. }
+            | LockBlocked { .. } | LockTimeout { .. } | LockSteal { .. } | UndoPush { .. }
+            | UndoRun { .. } => TraceCategory::Txn,
+            ResGrant { .. } | ResRelease { .. } | ResLimitHit { .. } => TraceCategory::Rm,
+            FsRead { .. } | FsWrite { .. } | FsPrefetch { .. } => TraceCategory::Fs,
+            GraftInstall { .. } | GraftInvoke { .. } | GraftCommit { .. } | GraftAbort { .. }
+            | GraftQuarantine { .. } | FallbackServed { .. } => TraceCategory::Graft,
+        }
+    }
+}
+
+/// One ring-buffer record: a sequence number, a virtual-clock stamp and
+/// the event itself. `Copy`, so ring writes are plain stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Monotonic sequence number (never wraps; survives ring eviction).
+    pub seq: u64,
+    /// Virtual-clock time the event was emitted.
+    pub at: Cycles,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Per-subsystem event counters for the plane's lifetime (evicted ring
+/// records stay counted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// GraftVM events.
+    pub vm: u64,
+    /// Transaction/lock/undo events.
+    pub txn: u64,
+    /// Resource-accountant events.
+    pub rm: u64,
+    /// File-system events.
+    pub fs: u64,
+    /// Graft-lifecycle events.
+    pub graft: u64,
+    /// All events emitted.
+    pub total: u64,
+    /// Events overwritten after the ring filled.
+    pub dropped: u64,
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "vm={} txn={} rm={} fs={} graft={} total={} dropped={}",
+            self.vm, self.txn, self.rm, self.fs, self.graft, self.total, self.dropped
+        )
+    }
+}
+
+/// The flight-recorder snapshot taken at an abort. Owns its data (the
+/// graft name is resolved, the tail is copied out of the ring), so it
+/// stays meaningful however the plane evolves afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PostMortem {
+    /// The aborted graft's name.
+    pub graft: String,
+    /// Why it aborted.
+    pub kind: AbortKind,
+    /// Locks the wrapper transaction held (and released) at abort.
+    pub held_locks: usize,
+    /// Undo operations the abort executed.
+    pub undo_depth: usize,
+    /// Cycle cost charged for the abort (§4.5 equation).
+    pub cost: Cycles,
+    /// Virtual-clock time of the abort.
+    pub at: Cycles,
+    /// The last N trace records before (and including) the abort,
+    /// oldest first.
+    pub tail: Vec<TraceRecord>,
+    /// The tail rendered in canonical line format (resolved names).
+    pub lines: Vec<String>,
+}
+
+impl fmt::Display for PostMortem {
+    /// The text format documented in `docs/TRACING.md`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== post-mortem: graft `{}` ==", self.graft)?;
+        writeln!(f, "abort-kind:  {}", self.kind.label())?;
+        writeln!(f, "at:          {}cyc", self.at.get())?;
+        writeln!(f, "held-locks:  {}", self.held_locks)?;
+        writeln!(f, "undo-depth:  {}", self.undo_depth)?;
+        writeln!(f, "abort-cost:  {}cyc", self.cost.get())?;
+        writeln!(f, "last {} events:", self.lines.len())?;
+        for line in &self.lines {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+struct Ring {
+    buf: Vec<TraceRecord>,
+    cap: usize,
+    /// Next overwrite slot once `buf.len() == cap`.
+    head: usize,
+}
+
+impl Ring {
+    fn push(&mut self, rec: TraceRecord) -> bool {
+        if self.buf.len() < self.cap {
+            self.buf.push(rec); // Within reserved capacity: no alloc.
+            false
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.cap;
+            true
+        }
+    }
+
+    /// Records oldest → newest.
+    fn ordered(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+/// The shared trace plane. See the module docs.
+pub struct TracePlane {
+    clock: Rc<VirtualClock>,
+    ring: RefCell<Ring>,
+    seq: Cell<u64>,
+    stats: Cell<TraceStats>,
+    names: RefCell<Vec<String>>,
+    tags: RefCell<HashMap<String, GraftTag>>,
+    post: RefCell<Option<PostMortem>>,
+    pm_window: Cell<usize>,
+}
+
+impl TracePlane {
+    /// A plane with the default ring capacity, stamping events from
+    /// `clock`.
+    pub fn new(clock: Rc<VirtualClock>) -> Rc<TracePlane> {
+        TracePlane::with_capacity(clock, DEFAULT_CAPACITY)
+    }
+
+    /// A plane whose ring holds the last `capacity` records. The ring is
+    /// fully reserved here; [`emit`](Self::emit) never allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(clock: Rc<VirtualClock>, capacity: usize) -> Rc<TracePlane> {
+        assert!(capacity > 0, "trace ring capacity must be non-zero");
+        Rc::new(TracePlane {
+            clock,
+            ring: RefCell::new(Ring { buf: Vec::with_capacity(capacity), cap: capacity, head: 0 }),
+            seq: Cell::new(0),
+            stats: Cell::new(TraceStats::default()),
+            names: RefCell::new(Vec::new()),
+            tags: RefCell::new(HashMap::new()),
+            post: RefCell::new(None),
+            pm_window: Cell::new(DEFAULT_POST_MORTEM_WINDOW),
+        })
+    }
+
+    /// The clock events are stamped from.
+    pub fn clock(&self) -> &Rc<VirtualClock> {
+        &self.clock
+    }
+
+    /// Interns `name`, returning its stable tag. The first intern of a
+    /// name allocates (install paths); later look-ups do not.
+    pub fn tag(&self, name: &str) -> GraftTag {
+        if let Some(t) = self.tags.borrow().get(name) {
+            return *t;
+        }
+        let mut names = self.names.borrow_mut();
+        let tag = GraftTag(u16::try_from(names.len()).expect("more than 65535 graft names"));
+        names.push(name.to_string());
+        self.tags.borrow_mut().insert(name.to_string(), tag);
+        tag
+    }
+
+    /// The name behind `tag` (or a placeholder for a foreign tag).
+    pub fn name_of(&self, tag: GraftTag) -> String {
+        self.names
+            .borrow()
+            .get(tag.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("?tag{}", tag.0))
+    }
+
+    /// The instrumentation point: stamps and records one event. The hot
+    /// path — a counter bump, a stat bump and a ring store; no heap
+    /// allocation (verified by the `trace_plane` microbench).
+    pub fn emit(&self, event: TraceEvent) {
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
+        let rec = TraceRecord { seq, at: self.clock.now(), event };
+        let mut stats = self.stats.get();
+        stats.total += 1;
+        match event.category() {
+            TraceCategory::Vm => stats.vm += 1,
+            TraceCategory::Txn => stats.txn += 1,
+            TraceCategory::Rm => stats.rm += 1,
+            TraceCategory::Fs => stats.fs += 1,
+            TraceCategory::Graft => stats.graft += 1,
+        }
+        if self.ring.borrow_mut().push(rec) {
+            stats.dropped += 1;
+        }
+        self.stats.set(stats);
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> TraceStats {
+        self.stats.get()
+    }
+
+    /// Events emitted so far (equals the next record's `seq`).
+    pub fn len(&self) -> u64 {
+        self.seq.get()
+    }
+
+    /// True when nothing was ever emitted.
+    pub fn is_empty(&self) -> bool {
+        self.seq.get() == 0
+    }
+
+    /// The ring's current records, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.ring.borrow().ordered()
+    }
+
+    /// Sets the flight-recorder window (records per post-mortem).
+    pub fn set_post_mortem_window(&self, n: usize) {
+        self.pm_window.set(n.max(1));
+    }
+
+    /// Takes the flight-recorder snapshot for an abort: the last
+    /// window's records plus the abort's vital signs. Called by the
+    /// grafting layer from its single abort exit path; the abort path
+    /// may allocate (it is not the hot path). The latest post-mortem
+    /// replaces any earlier one.
+    pub fn record_post_mortem(
+        &self,
+        graft: &str,
+        kind: AbortKind,
+        held_locks: usize,
+        undo_depth: usize,
+        cost: Cycles,
+    ) {
+        let all = self.ring.borrow().ordered();
+        let n = self.pm_window.get().min(all.len());
+        let tail: Vec<TraceRecord> = all[all.len() - n..].to_vec();
+        let lines = tail.iter().map(|r| self.render(r)).collect();
+        *self.post.borrow_mut() = Some(PostMortem {
+            graft: graft.to_string(),
+            kind,
+            held_locks,
+            undo_depth,
+            cost,
+            at: self.clock.now(),
+            tail,
+            lines,
+        });
+    }
+
+    /// The most recent post-mortem, if any abort happened.
+    pub fn post_mortem(&self) -> Option<PostMortem> {
+        self.post.borrow().clone()
+    }
+
+    /// Clears the stored post-mortem (tests isolating scenarios).
+    pub fn clear_post_mortem(&self) {
+        *self.post.borrow_mut() = None;
+    }
+
+    /// Renders one record in the canonical line format:
+    /// `SEQ @CYCLES category.kind key=value…` (see `docs/TRACING.md`).
+    pub fn render(&self, r: &TraceRecord) -> String {
+        use TraceEvent::*;
+        let body = match r.event {
+            VmWindow { instrs, exit } => {
+                let e = match exit {
+                    VmExitKind::Halt => "halt",
+                    VmExitKind::Preempt => "preempt",
+                    VmExitKind::Trap => "trap",
+                };
+                format!("vm.window instrs={instrs} exit={e}")
+            }
+            SfiCheck { kind, pc } => {
+                let k = match kind {
+                    SfiKind::Clamp => "clamp",
+                    SfiKind::CheckCall => "checkcall",
+                };
+                format!("vm.sfi kind={k} pc={pc}")
+            }
+            TxnBegin { thread, txn, depth } => {
+                format!("txn.begin thread={thread} txn={txn} depth={depth}")
+            }
+            TxnCommit { thread, txn, nested, locks } => {
+                format!("txn.commit thread={thread} txn={txn} nested={nested} locks={locks}")
+            }
+            TxnAbort { thread, txn, locks } => {
+                format!("txn.abort thread={thread} txn={txn} locks={locks}")
+            }
+            LockAcquire { lock, thread } => format!("txn.lock lock={lock} thread={thread}"),
+            LockBlocked { lock, waiter, holder } => {
+                format!("txn.blocked lock={lock} waiter={waiter} holder={holder}")
+            }
+            LockTimeout { lock, holder } => {
+                format!("txn.timeout lock={lock} holder={holder}")
+            }
+            LockSteal { thread, txn } => format!("txn.steal thread={thread} txn={txn}"),
+            UndoPush { thread, depth } => format!("txn.undo-push thread={thread} depth={depth}"),
+            UndoRun { thread, ops } => format!("txn.undo-run thread={thread} ops={ops}"),
+            ResGrant { principal, kind, amount } => {
+                format!("rm.grant principal={principal} kind={kind} amount={amount}")
+            }
+            ResRelease { principal, kind, amount } => {
+                format!("rm.release principal={principal} kind={kind} amount={amount}")
+            }
+            ResLimitHit { principal, kind, requested } => {
+                format!("rm.limit-hit principal={principal} kind={kind} requested={requested}")
+            }
+            FsRead { fd, len } => format!("fs.read fd={fd} len={len}"),
+            FsWrite { fd, len } => format!("fs.write fd={fd} len={len}"),
+            FsPrefetch { fd } => format!("fs.prefetch fd={fd}"),
+            GraftInstall { graft } => format!("graft.install g={}", self.name_of(graft)),
+            GraftInvoke { graft } => format!("graft.invoke g={}", self.name_of(graft)),
+            GraftCommit { graft } => format!("graft.commit g={}", self.name_of(graft)),
+            GraftAbort { graft, kind } => {
+                format!("graft.abort g={} kind={}", self.name_of(graft), kind.label())
+            }
+            GraftQuarantine { graft, until } => {
+                format!("graft.quarantine g={} until={until}", self.name_of(graft))
+            }
+            FallbackServed { graft } => format!("graft.fallback g={}", self.name_of(graft)),
+        };
+        format!("{:06} @{:012} {}", r.seq, r.at.get(), body)
+    }
+
+    /// Serializes the ring's current records (oldest first) to the
+    /// canonical line format, one record per line, trailing newline.
+    /// Identical seeds and call sequences yield byte-identical output.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        for r in self.records() {
+            out.push_str(&self.render(&r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Debug for TracePlane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TracePlane")
+            .field("len", &self.seq.get())
+            .field("stats", &self.stats.get())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(cap: usize) -> Rc<TracePlane> {
+        TracePlane::with_capacity(VirtualClock::new(), cap)
+    }
+
+    #[test]
+    fn emits_are_sequenced_and_stamped() {
+        let p = plane(8);
+        p.clock().charge(Cycles(100));
+        p.emit(TraceEvent::FsRead { fd: 3, len: 512 });
+        p.clock().charge(Cycles(50));
+        p.emit(TraceEvent::FsWrite { fd: 3, len: 64 });
+        let recs = p.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq, 0);
+        assert_eq!(recs[0].at, Cycles(100));
+        assert_eq!(recs[1].seq, 1);
+        assert_eq!(recs[1].at, Cycles(150));
+    }
+
+    #[test]
+    fn ring_wraps_at_capacity_keeping_newest() {
+        // The flight-recorder satellite: wraparound at capacity.
+        let p = plane(4);
+        for i in 0..10 {
+            p.emit(TraceEvent::FsPrefetch { fd: i });
+        }
+        let recs = p.records();
+        assert_eq!(recs.len(), 4, "ring holds exactly its capacity");
+        let fds: Vec<u64> = recs
+            .iter()
+            .map(|r| match r.event {
+                TraceEvent::FsPrefetch { fd } => fd,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(fds, [6, 7, 8, 9], "oldest evicted first, order preserved");
+        assert_eq!(recs[0].seq, 6, "sequence numbers survive eviction");
+        let s = p.stats();
+        assert_eq!(s.total, 10);
+        assert_eq!(s.dropped, 6);
+    }
+
+    #[test]
+    fn stats_count_per_category() {
+        let p = plane(16);
+        p.emit(TraceEvent::VmWindow { instrs: 5, exit: VmExitKind::Halt });
+        p.emit(TraceEvent::LockAcquire { lock: 0, thread: 1 });
+        p.emit(TraceEvent::UndoPush { thread: 1, depth: 1 });
+        p.emit(TraceEvent::ResGrant { principal: 2, kind: 2, amount: 64 });
+        p.emit(TraceEvent::FsRead { fd: 3, len: 10 });
+        let g = p.tag("g");
+        p.emit(TraceEvent::GraftCommit { graft: g });
+        let s = p.stats();
+        assert_eq!((s.vm, s.txn, s.rm, s.fs, s.graft), (1, 2, 1, 1, 1));
+        assert_eq!(s.total, 6);
+        assert_eq!(s.dropped, 0);
+    }
+
+    #[test]
+    fn tags_are_stable_and_resolved() {
+        let p = plane(8);
+        let a = p.tag("alpha");
+        let b = p.tag("beta");
+        assert_ne!(a, b);
+        assert_eq!(p.tag("alpha"), a, "re-intern returns the same tag");
+        assert_eq!(p.name_of(a), "alpha");
+        assert_eq!(p.name_of(GraftTag(99)), "?tag99");
+    }
+
+    #[test]
+    fn serialization_is_canonical_and_deterministic() {
+        let build = || {
+            let p = plane(8);
+            let g = p.tag("div0");
+            p.clock().charge(Cycles(4242));
+            p.emit(TraceEvent::GraftInvoke { graft: g });
+            p.emit(TraceEvent::GraftAbort { graft: g, kind: AbortKind::Trap });
+            p.serialize()
+        };
+        let a = build();
+        assert_eq!(a, build(), "same call sequence, byte-identical trace");
+        assert_eq!(
+            a,
+            "000000 @000000004242 graft.invoke g=div0\n\
+             000001 @000000004242 graft.abort g=div0 kind=trap\n"
+        );
+    }
+
+    #[test]
+    fn post_mortem_snapshots_tail_and_vitals() {
+        let p = plane(64);
+        p.set_post_mortem_window(3);
+        let g = p.tag("hog");
+        for i in 0..5 {
+            p.emit(TraceEvent::UndoPush { thread: 7, depth: i + 1 });
+        }
+        p.emit(TraceEvent::GraftAbort { graft: g, kind: AbortKind::CpuHog });
+        p.record_post_mortem("hog", AbortKind::CpuHog, 2, 5, Cycles(999));
+        let pm = p.post_mortem().expect("post-mortem stored");
+        assert_eq!(pm.graft, "hog");
+        assert_eq!(pm.kind, AbortKind::CpuHog);
+        assert_eq!(pm.held_locks, 2);
+        assert_eq!(pm.undo_depth, 5);
+        assert_eq!(pm.cost, Cycles(999));
+        assert_eq!(pm.tail.len(), 3, "window bounds the snapshot");
+        assert_eq!(pm.lines.len(), 3);
+        assert!(pm.lines[2].contains("graft.abort g=hog kind=cpu-hog"));
+        let text = pm.to_string();
+        assert!(text.contains("== post-mortem: graft `hog` =="));
+        assert!(text.contains("abort-kind:  cpu-hog"));
+        assert!(text.contains("held-locks:  2"));
+        assert!(text.contains("undo-depth:  5"));
+    }
+
+    #[test]
+    fn no_post_mortem_before_any_abort() {
+        let p = plane(8);
+        p.emit(TraceEvent::FsRead { fd: 1, len: 1 });
+        assert!(p.post_mortem().is_none());
+        p.record_post_mortem("x", AbortKind::Trap, 0, 0, Cycles::ZERO);
+        assert!(p.post_mortem().is_some());
+        p.clear_post_mortem();
+        assert!(p.post_mortem().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = plane(0);
+    }
+}

@@ -20,6 +20,7 @@ use std::rc::Rc;
 use vino_sim::costs;
 use vino_sim::event::EventQueue;
 use vino_sim::fault::{FaultPlane, FaultSite};
+use vino_sim::trace::{TraceEvent, TracePlane};
 use vino_sim::{Cycles, ThreadId, VirtualClock};
 
 use crate::locks::{AcquireOutcome, LockClass, LockId, LockTable};
@@ -175,6 +176,7 @@ pub struct TxnManager {
     next_txn: u64,
     stats: TxnStats,
     fault: Option<Rc<FaultPlane>>,
+    trace: Option<Rc<TracePlane>>,
     /// Abort reports from fired time-outs, keyed by the aborted holder.
     /// The graft wrapper consumes these to discover that its transaction
     /// was stolen out from under it (see [`take_forced_abort`]).
@@ -194,6 +196,7 @@ impl TxnManager {
             next_txn: 0,
             stats: TxnStats::default(),
             fault: None,
+            trace: None,
             forced: HashMap::new(),
         }
     }
@@ -217,6 +220,19 @@ impl TxnManager {
         self.fault = Some(plane);
     }
 
+    /// Wires a trace plane: begins/commits/aborts, lock grants,
+    /// contention, fired time-outs, steals and undo activity all emit
+    /// `txn.*` events (see `docs/TRACING.md`).
+    pub fn set_trace_plane(&mut self, plane: Rc<TracePlane>) {
+        self.trace = Some(plane);
+    }
+
+    fn emit(&self, ev: TraceEvent) {
+        if let Some(tp) = &self.trace {
+            tp.emit(ev);
+        }
+    }
+
     /// Number of active transactions across all threads (the survival
     /// battery asserts this returns to zero after every scenario).
     pub fn active_txns(&self) -> usize {
@@ -235,7 +251,10 @@ impl TxnManager {
     /// one.
     pub fn take_forced_abort(&mut self, thread: ThreadId, txn: TxnId) -> Option<AbortReport> {
         match self.forced.get(&thread) {
-            Some(r) if r.txn == txn => self.forced.remove(&thread),
+            Some(r) if r.txn == txn => {
+                self.emit(TraceEvent::LockSteal { thread: thread.0, txn: txn.0 });
+                self.forced.remove(&thread)
+            }
             _ => None,
         }
     }
@@ -257,10 +276,10 @@ impl TxnManager {
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
         self.stats.begins += 1;
-        self.stacks
-            .entry(thread)
-            .or_default()
-            .push(TxnFrame { id, undo: UndoStack::new(), locks: Vec::new() });
+        let stack = self.stacks.entry(thread).or_default();
+        stack.push(TxnFrame { id, undo: UndoStack::new(), locks: Vec::new() });
+        let depth = stack.len() as u64;
+        self.emit(TraceEvent::TxnBegin { thread: thread.0, txn: id.0, depth });
         id
     }
 
@@ -295,6 +314,8 @@ impl TxnManager {
             .ok_or(TxnError::NoTransaction(thread))?;
         self.clock.charge(Cycles(costs::UNDO_PUSH.0));
         frame.undo.push(UndoRecord::new(label, cost, op));
+        let depth = frame.undo.len() as u64;
+        self.emit(TraceEvent::UndoPush { thread: thread.0, depth });
         Ok(())
     }
 
@@ -326,6 +347,9 @@ impl TxnManager {
                         if !stack.iter().any(|f| f.locks.contains(&lock)) {
                             stack.last_mut().expect("non-empty").locks.push(lock);
                         }
+                        if let Some(tp) = &self.trace {
+                            tp.emit(TraceEvent::LockAcquire { lock: lock.0, thread: thread.0 });
+                        }
                         if let Some(plane) = &self.fault {
                             if plane.fire(FaultSite::LockTimeoutStorm) {
                                 let deadline = EventQueue::<PendingTimeout>::round_to_tick(
@@ -346,6 +370,11 @@ impl TxnManager {
                 let deadline =
                     EventQueue::<PendingTimeout>::round_to_tick(self.clock.now() + timeout);
                 self.timeouts.schedule_exact(deadline, PendingTimeout { lock, waiter: thread });
+                self.emit(TraceEvent::LockBlocked {
+                    lock: lock.0,
+                    waiter: thread.0,
+                    holder: holder.0,
+                });
                 LockOutcome::Blocked { holder, deadline }
             }
         }
@@ -381,6 +410,12 @@ impl TxnManager {
                     parent.locks.push(l);
                 }
             }
+            self.emit(TraceEvent::TxnCommit {
+                thread: thread.0,
+                txn: frame.id.0,
+                nested: true,
+                locks: 0,
+            });
             Ok(CommitReport { txn: frame.id, nested: true, locks_released: 0, handoffs: Vec::new() })
         } else {
             self.clock.charge(costs::TXN_COMMIT);
@@ -393,6 +428,12 @@ impl TxnManager {
                     handoffs.push((*l, next));
                 }
             }
+            self.emit(TraceEvent::TxnCommit {
+                thread: thread.0,
+                txn: frame.id.0,
+                nested: false,
+                locks: released as u64,
+            });
             Ok(CommitReport {
                 txn: frame.id,
                 nested: false,
@@ -423,6 +464,14 @@ impl TxnManager {
         }
         self.stats.aborts += 1;
         self.stats.undo_ops_run += undo_ops as u64;
+        if undo_ops > 0 {
+            self.emit(TraceEvent::UndoRun { thread: thread.0, ops: undo_ops as u64 });
+        }
+        self.emit(TraceEvent::TxnAbort {
+            thread: thread.0,
+            txn: frame.id.0,
+            locks: released as u64,
+        });
         Ok(AbortReport {
             txn: frame.id,
             reason,
@@ -455,6 +504,7 @@ impl TxnManager {
             match holder {
                 Some(h) if h != waiter => {
                     if self.in_txn(h) {
+                        self.emit(TraceEvent::LockTimeout { lock: lock.0, holder: h.0 });
                         let report = self
                             .abort(h, AbortReason::LockTimeout(lock))
                             .expect("holder verified in txn");
@@ -805,6 +855,36 @@ mod tests {
         let rep = m.abort(T1, AbortReason::Explicit).unwrap();
         assert_eq!(rep.locks_released, 1, "re-entrant holds count as one lock");
         assert_eq!(m.lock_table().holder(l), None);
+    }
+
+    #[test]
+    fn trace_plane_sees_lock_lifecycle() {
+        use vino_sim::trace::TracePlane;
+        let mut m = mgr();
+        let plane = TracePlane::new(Rc::clone(m.clock()));
+        m.set_trace_plane(Rc::clone(&plane));
+        let l = m.create_lock(LockClass::Buffer);
+        let txn = m.begin(T1);
+        m.lock(l, T1);
+        m.log_undo(T1, "x", Cycles(1), || {}).unwrap();
+        let LockOutcome::Blocked { deadline, .. } = m.lock(l, T2) else { panic!() };
+        m.clock.advance_to(deadline);
+        m.fire_due_timeouts();
+        assert!(m.take_forced_abort(T1, txn).is_some());
+        let evs: Vec<TraceEvent> = plane.records().iter().map(|r| r.event).collect();
+        assert_eq!(
+            evs,
+            vec![
+                TraceEvent::TxnBegin { thread: 1, txn: txn.0, depth: 1 },
+                TraceEvent::LockAcquire { lock: l.0, thread: 1 },
+                TraceEvent::UndoPush { thread: 1, depth: 1 },
+                TraceEvent::LockBlocked { lock: l.0, waiter: 2, holder: 1 },
+                TraceEvent::LockTimeout { lock: l.0, holder: 1 },
+                TraceEvent::UndoRun { thread: 1, ops: 1 },
+                TraceEvent::TxnAbort { thread: 1, txn: txn.0, locks: 1 },
+                TraceEvent::LockSteal { thread: 1, txn: txn.0 },
+            ]
+        );
     }
 
     #[test]

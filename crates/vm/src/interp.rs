@@ -13,6 +13,7 @@ use std::rc::Rc;
 
 use vino_sim::costs;
 use vino_sim::fault::{FaultPlane, FaultSite};
+use vino_sim::trace::{SfiKind, TraceEvent, TracePlane, VmExitKind};
 use vino_sim::{Cycles, VirtualClock};
 
 use crate::isa::{AluOp, Cond, HostFnId, Instr, Program};
@@ -164,6 +165,7 @@ pub struct Vm {
     pub stats: RunStats,
     cfg: VmConfig,
     fault: Option<Rc<FaultPlane>>,
+    trace: Option<Rc<TracePlane>>,
 }
 
 impl Vm {
@@ -182,6 +184,7 @@ impl Vm {
             stats: RunStats::default(),
             cfg,
             fault: None,
+            trace: None,
         }
     }
 
@@ -190,6 +193,13 @@ impl Vm {
     /// its `n`th instruction (counted across runs and resumes).
     pub fn set_fault_plane(&mut self, plane: Rc<FaultPlane>) {
         self.fault = Some(plane);
+    }
+
+    /// Attaches a trace plane: every [`run`](Self::run) window emits a
+    /// `vm.window` event (instructions retired + exit kind) and every
+    /// MiSFIT sandbox check emits a `vm.sfi` event.
+    pub fn set_trace_plane(&mut self, plane: Rc<TracePlane>) {
+        self.trace = Some(plane);
     }
 
     /// Resets pc/registers/stats for a fresh invocation, keeping memory.
@@ -207,6 +217,29 @@ impl Vm {
     /// calling `run` again with fresh fuel. All cycle costs are charged
     /// to `clock` as they accrue.
     pub fn run(
+        &mut self,
+        prog: &Program,
+        env: &mut dyn KernelApi,
+        clock: &Rc<VirtualClock>,
+        fuel: &mut u64,
+    ) -> Exit {
+        let window_start = self.stats.instrs;
+        let exit = self.run_window(prog, env, clock, fuel);
+        if let Some(tp) = &self.trace {
+            let kind = match &exit {
+                Exit::Halted(_) => VmExitKind::Halt,
+                Exit::Preempted => VmExitKind::Preempt,
+                Exit::Trapped(_) => VmExitKind::Trap,
+            };
+            tp.emit(TraceEvent::VmWindow {
+                instrs: self.stats.instrs - window_start,
+                exit: kind,
+            });
+        }
+        exit
+    }
+
+    fn run_window(
         &mut self,
         prog: &Program,
         env: &mut dyn KernelApi,
@@ -332,11 +365,23 @@ impl Vm {
             Instr::Clamp { r } => {
                 clock.charge(Cycles(costs::SFI_CLAMP_CYCLES));
                 self.stats.clamps += 1;
+                if let Some(tp) = &self.trace {
+                    tp.emit(TraceEvent::SfiCheck {
+                        kind: SfiKind::Clamp,
+                        pc: (self.pc - 1) as u64,
+                    });
+                }
                 self.regs[r.idx()] = self.mem.clamp(self.regs[r.idx()]);
             }
             Instr::CheckCall { r } => {
                 clock.charge(Cycles(costs::SFI_CALLCHECK_CYCLES));
                 self.stats.checkcalls += 1;
+                if let Some(tp) = &self.trace {
+                    tp.emit(TraceEvent::SfiCheck {
+                        kind: SfiKind::CheckCall,
+                        pc: (self.pc - 1) as u64,
+                    });
+                }
                 let id = HostFnId(self.regs[r.idx()] as u32);
                 if !env.is_callable(id) {
                     return Err(Trap::ForbiddenCall { id });
@@ -679,6 +724,35 @@ mod tests {
         let exit = vm.run(&prog, &mut NullKernel, &clock, &mut fuel);
         assert_eq!(exit, Exit::Trapped(Trap::Injected { pc: 0 }));
         assert_eq!(vm.stats.instrs, 4, "trap lands on the fifth visit overall");
+    }
+
+    #[test]
+    fn trace_plane_sees_windows_and_sfi_checks() {
+        use vino_sim::trace::{SfiKind, TraceEvent, TracePlane, VmExitKind};
+        let (mut vm, clock) = ctx();
+        let plane = TracePlane::new(Rc::clone(&clock));
+        vm.set_trace_plane(Rc::clone(&plane));
+        let prog = Program::new(
+            "t",
+            vec![
+                Instr::Const { d: Reg(1), imm: 64 },
+                Instr::Clamp { r: Reg(1) },
+                Instr::Halt { result: Reg(1) },
+            ],
+        );
+        let mut fuel = 2;
+        assert_eq!(vm.run(&prog, &mut NullKernel, &clock, &mut fuel), Exit::Preempted);
+        let mut fuel = 100;
+        assert!(matches!(vm.run(&prog, &mut NullKernel, &clock, &mut fuel), Exit::Halted(_)));
+        let evs: Vec<TraceEvent> = plane.records().iter().map(|r| r.event).collect();
+        assert_eq!(
+            evs,
+            vec![
+                TraceEvent::SfiCheck { kind: SfiKind::Clamp, pc: 1 },
+                TraceEvent::VmWindow { instrs: 2, exit: VmExitKind::Preempt },
+                TraceEvent::VmWindow { instrs: 1, exit: VmExitKind::Halt },
+            ]
+        );
     }
 
     #[test]

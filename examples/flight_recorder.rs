@@ -1,0 +1,61 @@
+//! The trace plane and abort flight recorder, end to end: attach one
+//! trace plane to a booted kernel, let a graft die, and read back the
+//! canonical event stream and the post-mortem (docs/TRACING.md).
+//!
+//! Run with: `cargo run --example flight_recorder`
+
+use std::rc::Rc;
+
+use vino::core::engine::InvokeOutcome;
+use vino::core::kernel::point_names;
+use vino::core::{AttachError, InstallOpts, Kernel};
+use vino::rm::{Limits, ResourceKind};
+use vino::sim::trace::TracePlane;
+
+fn main() {
+    let kernel = Kernel::boot();
+    let plane = TracePlane::with_capacity(Rc::clone(&kernel.clock), 1024);
+    kernel.attach_trace_plane(Rc::clone(&plane)).expect("first attach");
+
+    // Attach-once: a second plane is refused, never silently swapped.
+    let second = TracePlane::with_capacity(Rc::clone(&kernel.clock), 64);
+    assert_eq!(kernel.attach_trace_plane(second), Err(AttachError::AlreadyAttached));
+
+    let app = kernel.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 16)]));
+    let thread = kernel.spawn_thread("app");
+
+    // A well-behaved graft commits; the recorder stays empty.
+    let good = kernel.compile_graft("good", "mov r0, r1\nhalt r0").expect("compiles");
+    let g = kernel
+        .install_function_graft(point_names::COMPUTE_RA, &good, app, thread, &InstallOpts::default())
+        .expect("installs");
+    assert!(matches!(g.borrow_mut().invoke([42, 0, 0, 0]), InvokeOutcome::Ok { result: 42, .. }));
+    assert!(kernel.post_mortem().is_none(), "clean commit, no post-mortem");
+
+    // A corruptor mutates kernel state and traps; the wrapper aborts,
+    // undoes, unloads — and the flight recorder snapshots the scene.
+    let bad = kernel
+        .compile_graft(
+            "corruptor",
+            "
+            const r1, 5
+            const r2, 99
+            call $kv_set
+            const r3, 0
+            div r0, r3, r3
+            halt r0
+            ",
+        )
+        .expect("compiles");
+    let g = kernel
+        .install_function_graft(point_names::COMPUTE_RA, &bad, app, thread, &InstallOpts::default())
+        .expect("installs");
+    assert!(matches!(g.borrow_mut().invoke([0; 4]), InvokeOutcome::Aborted { .. }));
+
+    println!("-- canonical trace ({} events) --", plane.stats().total);
+    print!("{}", plane.serialize());
+    println!();
+    let pm = kernel.post_mortem().expect("the abort left a post-mortem");
+    println!("{pm}");
+    println!("trace stats: {}", plane.stats());
+}

@@ -15,4 +15,10 @@ cargo test -q --workspace
 echo "== survival battery (pinned seeds) =="
 SURVIVAL_SEEDS="3405691582,1122334455,987654321" cargo test -q --test survival
 
+echo "== golden traces (fails on drift; UPDATE_GOLDENS=1 to regenerate) =="
+cargo test -q --test trace_golden
+
+echo "== trace-plane zero-allocation proof =="
+cargo bench -p vino-bench --bench trace_plane
+
 echo "== ci.sh: all green =="

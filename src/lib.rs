@@ -40,6 +40,16 @@
 
 pub use vino_core as core;
 pub use vino_dev as dev;
+
+// The observability planes, flattened for examples and harnesses: one
+// seeded fault plane and one trace plane attach to a whole kernel
+// (`Kernel::attach_fault_plane` / `Kernel::attach_trace_plane`).
+pub use vino_core::AttachError;
+pub use vino_sim::fault::FaultPlane;
+pub use vino_sim::trace::{
+    AbortKind, PostMortem, TraceEvent, TracePlane, TraceStats,
+};
+
 pub use vino_fs as fs;
 pub use vino_mem as mem;
 pub use vino_misfit as misfit;

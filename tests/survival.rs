@@ -28,6 +28,7 @@ use vino::core::reliability::FailureKind;
 use vino::core::{InstallError, InstallOpts, Kernel};
 use vino::rm::{Limits, ResourceKind};
 use vino::sim::fault::{FaultPlane, FaultSite};
+use vino::sim::trace::TracePlane;
 use vino::sim::{Cycles, SplitMix64};
 use vino::txn::locks::LockClass;
 
@@ -140,6 +141,10 @@ struct Tally {
     aborts: u64,
     install_refusals: u64,
     quarantine_releases: u64,
+    /// The canonical serialization of the battery's trace ring — the
+    /// replay-determinism witness (two same-seed runs must agree byte
+    /// for byte).
+    trace: String,
 }
 
 /// One kernel survives `SCENARIOS_PER_SEED` consecutive fault
@@ -147,7 +152,9 @@ struct Tally {
 fn run_battery(seed: u64) -> Tally {
     let k = Kernel::boot();
     let plane = FaultPlane::seeded(seed);
-    k.attach_fault_plane(Rc::clone(&plane));
+    k.attach_fault_plane(Rc::clone(&plane)).unwrap();
+    let tp = TracePlane::with_capacity(Rc::clone(&k.clock), 1 << 14);
+    k.attach_trace_plane(Rc::clone(&tp)).unwrap();
     let app = k.create_app(Limits::of(&[
         (ResourceKind::KernelHeap, 1 << 30),
         (ResourceKind::Memory, 1 << 30),
@@ -165,8 +172,13 @@ fn run_battery(seed: u64) -> Tally {
     // it, aborts must leave the real state equal to it.
     let mut model = [0u64; 64];
     let mut rng = SplitMix64::new(seed ^ 0x5eed);
-    let mut tally =
-        Tally { commits: 0, aborts: 0, install_refusals: 0, quarantine_releases: 0 };
+    let mut tally = Tally {
+        commits: 0,
+        aborts: 0,
+        install_refusals: 0,
+        quarantine_releases: 0,
+        trace: String::new(),
+    };
 
     for i in 0..SCENARIOS_PER_SEED {
         // Spread scenarios across the quarantine window so the same
@@ -327,6 +339,13 @@ fn run_battery(seed: u64) -> Tally {
     assert!(plane.total_injected() > 0, "no fault ever fired");
     assert_eq!(k.reliability().total_aborts(), tally.aborts);
     assert!(k.engine.rm.borrow().blame(app) > 0, "aborts billed blame to the installer");
+    let ts = tp.stats();
+    assert_eq!(
+        ts.vm + ts.txn + ts.rm + ts.fs + ts.graft,
+        ts.total,
+        "per-subsystem trace counters must sum to the total"
+    );
+    tally.trace = tp.serialize();
     tally
 }
 
@@ -357,6 +376,11 @@ fn survival_battery_is_deterministic() {
     assert_eq!(a.aborts, b.aborts);
     assert_eq!(a.install_refusals, b.install_refusals);
     assert_eq!(a.quarantine_releases, b.quarantine_releases);
+    // The strong form: not just the tallies — the two runs' event
+    // streams (sequence numbers, cycle stamps, payloads) are
+    // byte-identical under the same seed.
+    assert!(!a.trace.is_empty(), "the battery emitted no trace events");
+    assert_eq!(a.trace, b.trace, "same-seed replay must produce a byte-identical trace");
 }
 
 #[test]
@@ -430,7 +454,7 @@ fn storm_stolen_transaction_does_not_panic_the_wrapper() {
     let k = Kernel::boot();
     let plane = FaultPlane::seeded(9);
     plane.set_rate(FaultSite::LockTimeoutStorm, 1, 1);
-    k.attach_fault_plane(Rc::clone(&plane));
+    k.attach_fault_plane(Rc::clone(&plane)).unwrap();
     let app = k.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 20)]));
     let t = k.spawn_thread("app");
     let (_h, lock_id) = k.engine.register_lock(LockClass::Buffer);

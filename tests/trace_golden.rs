@@ -1,0 +1,165 @@
+//! Golden-trace battery: the canonical event stream, frozen.
+//!
+//! Three scenarios run a freshly booted kernel under a fixed seed with
+//! a trace plane attached and compare the serialized event stream (and,
+//! for the abort scenarios, the flight-recorder post-mortem) against
+//! checked-in golden files in `tests/goldens/`. Any change to event
+//! ordering, cycle accounting, lock time-outs, or the canonical line
+//! format shows up as a diff here — that is the point. If the change is
+//! intentional, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test trace_golden
+//! ```
+//!
+//! and commit the updated `.trace` files alongside the change that
+//! caused them. See `docs/TRACING.md` for the line format.
+
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use vino::core::engine::InvokeOutcome;
+use vino::core::kernel::point_names;
+use vino::core::{InstallError, InstallOpts, Kernel};
+use vino::rm::{Limits, ResourceKind};
+use vino::sim::fault::{FaultPlane, FaultSite};
+use vino::sim::trace::TracePlane;
+use vino::sim::ThreadId;
+use vino::txn::locks::LockClass;
+use vino::txn::manager::LockOutcome;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens").join(format!("{name}.trace"))
+}
+
+/// Compares `got` against the golden file, or rewrites the golden when
+/// `UPDATE_GOLDENS=1`. On mismatch the panic message carries a line
+/// diff small enough to read in CI output.
+fn check_golden(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDENS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with UPDATE_GOLDENS=1 cargo test --test trace_golden",
+            path.display()
+        )
+    });
+    if got != want {
+        let mut diff = String::new();
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            if g != w {
+                diff.push_str(&format!("line {}:\n  golden: {w}\n  got:    {g}\n", i + 1));
+            }
+        }
+        let (gl, wl) = (got.lines().count(), want.lines().count());
+        if gl != wl {
+            diff.push_str(&format!("line counts differ: golden {wl}, got {gl}\n"));
+        }
+        panic!(
+            "trace drifted from golden {name} — if intentional, rerun with UPDATE_GOLDENS=1\n{diff}"
+        );
+    }
+}
+
+fn boot_traced() -> (Rc<Kernel>, Rc<TracePlane>) {
+    let k = Kernel::boot();
+    let tp = TracePlane::with_capacity(Rc::clone(&k.clock), 4096);
+    k.attach_trace_plane(Rc::clone(&tp)).unwrap();
+    (k, tp)
+}
+
+/// Scenario 1: a well-behaved graft installs, runs, and commits. The
+/// golden pins the full install → invoke → begin → window → commit
+/// sequence and its cycle accounting.
+#[test]
+fn golden_clean_commit() {
+    let (k, tp) = boot_traced();
+    let app = k.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 20)]));
+    let t = k.spawn_thread("app");
+    let image = k
+        .compile_graft("good-kv", "mov r2, r1\nconst r1, 5\ncall $kv_set\nhalt r2")
+        .unwrap();
+    let g = k
+        .install_function_graft(point_names::COMPUTE_RA, &image, app, t, &InstallOpts::default())
+        .unwrap();
+    let out = g.borrow_mut().invoke([41, 0, 0, 0]);
+    assert!(matches!(out, InvokeOutcome::Ok { result: 41, .. }));
+    assert!(tp.post_mortem().is_none(), "clean commit leaves no post-mortem");
+    check_golden("clean_commit", &tp.serialize());
+}
+
+/// Scenario 2: a lock-timeout storm steals the wrapper transaction out
+/// from under a spinning graft. The golden pins the timeout → undo →
+/// abort → steal sequence (whose cycle stamps depend directly on the
+/// `LockClass::Buffer` time-out constant) plus the rendered
+/// flight-recorder post-mortem.
+#[test]
+fn golden_lock_timeout_abort() {
+    let (k, tp) = boot_traced();
+    let plane = FaultPlane::seeded(9);
+    plane.set_rate(FaultSite::LockTimeoutStorm, 1, 1);
+    k.attach_fault_plane(plane).unwrap();
+    let app = k.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 20)]));
+    let t = k.spawn_thread("app");
+    let _ = k.engine.register_lock(LockClass::Buffer);
+    let image = k
+        .compile_graft("storm-victim", "const r1, 0\ncall $lock\nspin: jmp spin")
+        .unwrap();
+    let g = k
+        .install_function_graft(point_names::COMPUTE_RA, &image, app, t, &InstallOpts::default())
+        .unwrap();
+    g.borrow_mut().max_slices = 4;
+    let out = g.borrow_mut().invoke([0; 4]);
+    assert!(matches!(out, InvokeOutcome::Aborted { .. }));
+    let pm = k.post_mortem().expect("storm abort leaves a post-mortem");
+
+    // Epilogue: a genuine contended-lock time-out (no storm). The
+    // blocked waiter's deadline is `now + LockClass::Buffer.timeout()`
+    // tick-rounded, so the `txn.timeout` / `txn.abort` stamps below
+    // move if anyone touches that constant — the golden is a tripwire
+    // on the time-out table itself.
+    let (holder, waiter) = (ThreadId(8), ThreadId(9));
+    let lock = k.engine.txn.borrow_mut().create_lock(LockClass::Buffer);
+    let mut m = k.engine.txn.borrow_mut();
+    m.begin(holder);
+    assert_eq!(m.lock(lock, holder), LockOutcome::Granted);
+    let LockOutcome::Blocked { deadline, .. } = m.lock(lock, waiter) else {
+        panic!("second taker must block");
+    };
+    drop(m);
+    k.clock.advance_to(deadline);
+    let fired = k.engine.txn.borrow_mut().fire_due_timeouts();
+    assert!(!fired.is_empty(), "the contended time-out fired");
+
+    let got = format!("{}\n{pm}", tp.serialize());
+    check_golden("lock_timeout", &got);
+}
+
+/// Scenario 3: three straight traps trip quarantine. The golden pins
+/// three install/invoke/abort cycles, the `graft.quarantine` event with
+/// its backoff deadline, and the last abort's post-mortem.
+#[test]
+fn golden_quarantine_trip() {
+    let (k, tp) = boot_traced();
+    let app = k.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 20)]));
+    let t = k.spawn_thread("app");
+    let image = k.compile_graft("div0", "const r1, 0\ndiv r0, r1, r1\nhalt r0").unwrap();
+    for _ in 0..3 {
+        let g = k
+            .install_function_graft(point_names::COMPUTE_RA, &image, app, t, &InstallOpts::default())
+            .unwrap();
+        let out = g.borrow_mut().invoke([0; 4]);
+        assert!(matches!(out, InvokeOutcome::Aborted { .. }));
+    }
+    let refused = k
+        .install_function_graft(point_names::COMPUTE_RA, &image, app, t, &InstallOpts::default())
+        .unwrap_err();
+    assert!(matches!(refused, InstallError::Quarantined { .. }));
+    let pm = k.post_mortem().expect("the third trap leaves a post-mortem");
+    let got = format!("{}\n{pm}", tp.serialize());
+    check_golden("quarantine", &got);
+}
