@@ -1,12 +1,12 @@
 //! The §4.5 abort-cost equation: `35 µs + 10L + cG`.
 //!
-//! "The total abort time is represented by the equation: abort overhead
-//! + unlock cost + undo cost. The abort overheads we measured ranged
-//! from 32-38us, and we measured the cost of releasing a lock at 10 us
-//! per lock. The undo cost should be somewhat less than the actual cost
-//! of running the graft [...] where L is the number of locks to be
-//! released, G is the cost of the graft, and c is a constant less than
-//! one."
+//! "The total abort time is represented by the equation: abort
+//! overhead + unlock cost + undo cost. The abort overheads we measured
+//! ranged from 32-38us, and we measured the cost of releasing a lock
+//! at 10 us per lock. The undo cost should be somewhat less than the
+//! actual cost of running the graft [...] where L is the number of
+//! locks to be released, G is the cost of the graft, and c is a
+//! constant less than one."
 //!
 //! This experiment sweeps L (locks held) and G (graft forward cost) and
 //! recovers the intercept, the per-lock slope, and c by least squares.

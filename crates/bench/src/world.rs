@@ -7,6 +7,7 @@ use std::rc::Rc;
 use vino_core::engine::{GraftEngine, GraftInstance};
 use vino_core::hostfn;
 use vino_misfit::{MisfitTool, SigningKey};
+use vino_sim::metrics::MetricsPlane;
 use vino_sim::stats::{trimmed_summary, Summary};
 use vino_sim::{ThreadId, VirtualClock};
 use vino_txn::locks::LockClass;
@@ -47,6 +48,31 @@ pub fn build(src: &str, seg_size: usize, variant: Variant, locks: usize) -> Worl
     let prog = assemble("bench-graft", src, &hostfn::symbols()).expect("bench graft assembles");
     let graft = instance_from(&engine, prog, seg_size, variant);
     World { engine, graft, clock }
+}
+
+/// [`build`] with a metrics plane wired through the engine's
+/// subsystems *before* the instance is created, so the instance interns
+/// its tag and its VM attributes instruction charges. Used by the
+/// runtime-attribution reconciliation tests (`docs/METRICS.md`).
+pub fn build_metered(
+    src: &str,
+    seg_size: usize,
+    variant: Variant,
+    locks: usize,
+) -> (World, Rc<MetricsPlane>) {
+    let clock = VirtualClock::new();
+    let plane = MetricsPlane::new(Rc::clone(&clock));
+    let engine = GraftEngine::new(Rc::clone(&clock));
+    engine.txn.borrow_mut().set_metrics_plane(Rc::clone(&plane));
+    engine.rm.borrow_mut().set_metrics_plane(Rc::clone(&plane));
+    engine.reliability.borrow_mut().set_metrics_plane(Rc::clone(&plane));
+    engine.set_metrics_plane(Rc::clone(&plane));
+    for _ in 0..locks {
+        engine.register_lock(LockClass::SharedBuffer);
+    }
+    let prog = assemble("bench-graft", src, &hostfn::symbols()).expect("bench graft assembles");
+    let graft = instance_from(&engine, prog, seg_size, variant);
+    (World { engine, graft, clock }, plane)
 }
 
 /// Builds an instance from an already-assembled program, running it

@@ -16,6 +16,7 @@ use std::rc::Rc;
 use vino_misfit::CallableTable;
 use vino_rm::{PrincipalId, ResourceAccountant, ResourceKind};
 use vino_sim::fault::FaultPlane;
+use vino_sim::metrics::{MetricTag, MetricsPlane};
 use vino_sim::trace::{AbortKind, GraftTag, TraceEvent, TracePlane};
 use vino_sim::{costs, Cycles, ThreadId, VirtualClock};
 use vino_txn::locks::{LockClass, LockId};
@@ -85,6 +86,9 @@ pub struct GraftEngine {
     /// Trace plane shared with every subsequently created instance's VM
     /// and with the wrapper's lifecycle events.
     trace: RefCell<Option<Rc<TracePlane>>>,
+    /// Metrics plane shared with every subsequently created instance's
+    /// VM and with the wrapper's invocation brackets.
+    metrics: RefCell<Option<Rc<MetricsPlane>>>,
 }
 
 impl GraftEngine {
@@ -103,6 +107,7 @@ impl GraftEngine {
             nest_depth: std::cell::Cell::new(0),
             fault: RefCell::new(None),
             trace: RefCell::new(None),
+            metrics: RefCell::new(None),
         })
     }
 
@@ -132,6 +137,21 @@ impl GraftEngine {
     /// The attached trace plane, if any.
     pub fn trace_plane(&self) -> Option<Rc<TracePlane>> {
         self.trace.borrow().clone()
+    }
+
+    /// Attaches a metrics plane to the engine: every graft instance
+    /// created *after* this call counts its VM activity and attributes
+    /// instruction charges, and every wrapper invocation is bracketed
+    /// into the per-graft overhead-attribution ledger. (Subsystem
+    /// planes — fs, txn, rm, reliability — are wired by
+    /// [`crate::Kernel::attach_metrics_plane`].)
+    pub fn set_metrics_plane(&self, plane: Rc<MetricsPlane>) {
+        *self.metrics.borrow_mut() = Some(plane);
+    }
+
+    /// The attached metrics plane, if any.
+    pub fn metrics_plane(&self) -> Option<Rc<MetricsPlane>> {
+        self.metrics.borrow().clone()
     }
 
     /// Registers a lockable kernel object and exposes it to grafts as a
@@ -425,6 +445,8 @@ pub struct GraftInstance {
     stats: InvokeStats,
     /// Interned trace tag for this graft's name (if a plane is wired).
     tag: Option<GraftTag>,
+    /// Interned metrics tag for this graft's name (if a plane is wired).
+    mtag: Option<MetricTag>,
 }
 
 impl GraftInstance {
@@ -448,6 +470,13 @@ impl GraftInstance {
             tp.emit(TraceEvent::GraftInstall { graft: tag });
             tag
         });
+        // Same install-time interning for the metrics plane.
+        let mtag = engine.metrics_plane().map(|mp| {
+            vm.set_metrics_plane(Rc::clone(&mp));
+            let mtag = mp.tag(&program.name);
+            mp.mark_install(mtag);
+            mtag
+        });
         GraftInstance {
             name: program.name.clone(),
             engine,
@@ -459,6 +488,7 @@ impl GraftInstance {
             max_slices: 16,
             stats: InvokeStats::default(),
             tag,
+            mtag,
         }
     }
 
@@ -520,11 +550,21 @@ impl GraftInstance {
             if let Some(tag) = self.tag {
                 self.emit(TraceEvent::FallbackServed { graft: tag });
             }
+            if let Some(mtag) = self.mtag {
+                if let Some(mp) = self.engine.metrics_plane() {
+                    mp.mark_fallback(mtag);
+                }
+            }
             return InvokeOutcome::Dead;
         }
         self.stats.invocations += 1;
         if let Some(tag) = self.tag {
             self.emit(TraceEvent::GraftInvoke { graft: tag });
+        }
+        if let Some(mtag) = self.mtag {
+            if let Some(mp) = self.engine.metrics_plane() {
+                mp.begin_invocation(mtag);
+            }
         }
         let engine = Rc::clone(&self.engine);
         let txn_id = engine.txn.borrow_mut().begin(self.thread);
@@ -546,6 +586,11 @@ impl GraftInstance {
                                 self.stats.commits += 1;
                                 if let Some(tag) = self.tag {
                                     self.emit(TraceEvent::GraftCommit { graft: tag });
+                                }
+                                if self.mtag.is_some() {
+                                    if let Some(mp) = self.engine.metrics_plane() {
+                                        mp.end_invocation(true);
+                                    }
                                 }
                                 InvokeOutcome::Ok { result, extents: host.extents, log: host.log }
                             } else {
@@ -637,6 +682,11 @@ impl GraftInstance {
     fn fail(&mut self, why: AbortedWhy, report: AbortReport) -> InvokeOutcome {
         self.stats.aborts += 1;
         self.dead = true;
+        if self.mtag.is_some() {
+            if let Some(mp) = self.engine.metrics_plane() {
+                mp.end_invocation(false);
+            }
+        }
         let kind = reliability::classify(&why);
         self.engine.rm.borrow_mut().charge_blame(self.principal, report.cost.get());
         if let Some(tp) = self.engine.trace_plane() {

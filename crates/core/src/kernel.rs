@@ -13,6 +13,7 @@ use vino_mem::{MemorySystem, VasId};
 use vino_misfit::{MisfitTool, SignedImage, SigningKey};
 use vino_rm::{Limits, PrincipalId};
 use vino_sim::fault::FaultPlane;
+use vino_sim::metrics::MetricsPlane;
 use vino_sim::trace::{PostMortem, TracePlane};
 use vino_sim::{ThreadId, VirtualClock};
 use vino_vm::isa::Program;
@@ -68,7 +69,8 @@ impl Default for KernelConfig {
 
 /// Rejected plane attachment.
 ///
-/// Both [`Kernel::attach_fault_plane`] and [`Kernel::attach_trace_plane`]
+/// [`Kernel::attach_fault_plane`], [`Kernel::attach_trace_plane`] and
+/// [`Kernel::attach_metrics_plane`]
 /// are attach-once: subsystems clone the `Rc` at attach time and grafts
 /// bind the plane at install time, so silently swapping planes mid-run
 /// would leave earlier grafts and subsystems on the old plane — a
@@ -120,6 +122,7 @@ pub struct Kernel {
     fn_grafts: RefCell<HashMap<String, SharedGraft>>,
     fault_attached: Cell<bool>,
     trace_attached: Cell<bool>,
+    metrics_attached: Cell<bool>,
 }
 
 impl Kernel {
@@ -152,6 +155,7 @@ impl Kernel {
             fn_grafts: RefCell::new(HashMap::new()),
             fault_attached: Cell::new(false),
             trace_attached: Cell::new(false),
+            metrics_attached: Cell::new(false),
             engine,
             clock,
         })
@@ -200,6 +204,34 @@ impl Kernel {
         self.engine.reliability.borrow_mut().set_trace_plane(Rc::clone(&plane));
         self.engine.set_trace_plane(plane);
         Ok(())
+    }
+
+    /// Attaches one metrics plane to every instrumented subsystem: file
+    /// system, transaction manager, resource accountant, reliability
+    /// manager, and — for grafts loaded after this call — the VM and
+    /// the wrapper's per-invocation overhead-attribution brackets. One
+    /// plane, one set of counters/histograms/ledgers across the whole
+    /// kernel (see `docs/METRICS.md`). Recording never charges the
+    /// virtual clock, so attaching a metrics plane changes no timings.
+    ///
+    /// Attach-once, like [`attach_fault_plane`](Self::attach_fault_plane).
+    pub fn attach_metrics_plane(&self, plane: Rc<MetricsPlane>) -> Result<(), AttachError> {
+        if self.metrics_attached.replace(true) {
+            return Err(AttachError::AlreadyAttached);
+        }
+        self.fs.borrow_mut().set_metrics_plane(Rc::clone(&plane));
+        self.engine.txn.borrow_mut().set_metrics_plane(Rc::clone(&plane));
+        self.engine.rm.borrow_mut().set_metrics_plane(Rc::clone(&plane));
+        self.engine.reliability.borrow_mut().set_metrics_plane(Rc::clone(&plane));
+        self.engine.set_metrics_plane(plane);
+        Ok(())
+    }
+
+    /// The attached metrics plane, for snapshots ([`MetricsPlane::snapshot`],
+    /// [`MetricsPlane::expose`], [`MetricsPlane::health`]). `None` when
+    /// no plane is attached.
+    pub fn metrics(&self) -> Option<Rc<MetricsPlane>> {
+        self.engine.metrics_plane()
     }
 
     /// The flight recorder's latest abort snapshot, if any invocation
@@ -694,6 +726,17 @@ mod tests {
         assert_eq!(
             k.attach_trace_plane(tp).unwrap_err(),
             AttachError::AlreadyAttached
+        );
+        let mp = vino_sim::metrics::MetricsPlane::new(Rc::clone(&k.clock));
+        assert!(k.metrics().is_none(), "no metrics plane before attach");
+        k.attach_metrics_plane(Rc::clone(&mp)).unwrap();
+        assert_eq!(
+            k.attach_metrics_plane(Rc::clone(&mp)).unwrap_err(),
+            AttachError::AlreadyAttached
+        );
+        assert!(
+            Rc::ptr_eq(&k.metrics().expect("attached"), &mp),
+            "Kernel::metrics returns the attached plane"
         );
     }
 

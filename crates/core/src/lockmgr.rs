@@ -208,8 +208,7 @@ impl PolicyLockMgr {
         self.clock.charge(Cycles(costs::INSTR_CYCLES * 4));
         rec.holders.retain(|h| h.thread != thread);
         let mut promoted = Vec::new();
-        loop {
-            let Some(w) = rec.waiters.first().copied() else { break };
+        while let Some(w) = rec.waiters.first().copied() {
             self.clock.charge(Cycles(costs::CALL_CYCLES));
             let view = LockView { holders: &rec.holders, waiters: &rec.waiters[1..] };
             if (self.grant)(&view, w) {

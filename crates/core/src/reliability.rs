@@ -140,6 +140,7 @@ pub struct ReliabilityManager {
     policy: QuarantinePolicy,
     ledgers: HashMap<String, GraftLedger>,
     trace: Option<Rc<TracePlane>>,
+    metrics: Option<Rc<vino_sim::metrics::MetricsPlane>>,
 }
 
 impl std::fmt::Debug for ReliabilityManager {
@@ -174,6 +175,13 @@ impl ReliabilityManager {
         self.trace = Some(plane);
     }
 
+    /// Wires a metrics plane: quarantine trips bump the quarantine
+    /// counter and stamp the graft's health state with the release
+    /// deadline (see `docs/METRICS.md`).
+    pub fn set_metrics_plane(&mut self, plane: Rc<vino_sim::metrics::MetricsPlane>) {
+        self.metrics = Some(plane);
+    }
+
     /// Records one abort of `graft` at virtual time `now`, returning
     /// whether the graft just entered quarantine.
     ///
@@ -204,6 +212,9 @@ impl ReliabilityManager {
         if let Some(tp) = &self.trace {
             let tag = tp.tag(graft);
             tp.emit(TraceEvent::GraftQuarantine { graft: tag, until: until.get() });
+        }
+        if let Some(mp) = &self.metrics {
+            mp.quarantine(graft, until);
         }
         Verdict::Quarantined { until }
     }

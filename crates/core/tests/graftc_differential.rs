@@ -114,7 +114,7 @@ fn run_compiled(prog: &vino_vm::isa::Program, a: u64, b: u64) -> Option<u64> {
 /// reference evaluator says so.
 #[test]
 fn compiler_matches_reference() {
-    let mut rng = SplitMix64::new(0xD1FF_0C0);
+    let mut rng = SplitMix64::new(0xD1FF0C0);
     for _case in 0..512 {
         let e = gen_expr(&mut rng, 6);
         let a = rng.next_u64();
@@ -137,7 +137,7 @@ fn compiler_matches_reference() {
 /// reference value for arbitrary small bounds.
 #[test]
 fn loops_match_reference() {
-    let mut rng = SplitMix64::new(0x100_95);
+    let mut rng = SplitMix64::new(0x10095);
     for _case in 0..128 {
         let n = rng.below(200);
         let step = rng.range(1, 4);

@@ -168,8 +168,7 @@ impl Disk {
     /// performing it (used by the prefetch scheduler).
     pub fn peek_cost(&mut self, addr: BlockAddr) -> Cycles {
         let head = self.head;
-        let cost = self.cost_from(head, addr);
-        cost
+        self.cost_from(head, addr)
     }
 
     /// Extra latency injected faults add to an access whose clean
@@ -344,7 +343,6 @@ mod tests {
     fn injected_stall_adds_configured_latency() {
         use vino_sim::fault::{FaultPlane, FaultSite};
         let mut d = disk();
-        let clock = Rc::clone(&d.clock);
         d.write(BlockAddr(5), &[1; 4096]);
         let plane = FaultPlane::seeded(2);
         plane.set_stall(Cycles::from_ms(7));

@@ -147,6 +147,7 @@ pub struct FileSystem {
     next_fd: u64,
     stats: FsStats,
     trace: Option<Rc<vino_sim::trace::TracePlane>>,
+    metrics: Option<Rc<vino_sim::metrics::MetricsPlane>>,
 }
 
 impl FileSystem {
@@ -165,7 +166,7 @@ impl FileSystem {
             disk.write(BlockAddr(b as u64), &zero);
         }
         let data_blocks = sb.total_blocks - sb.data_start;
-        let fs = FileSystem {
+        FileSystem {
             cache: BufferCache::new(Rc::clone(&clock), cache_blocks),
             clock,
             disk,
@@ -176,8 +177,8 @@ impl FileSystem {
             next_fd: 3,
             stats: FsStats::default(),
             trace: None,
-        };
-        fs
+            metrics: None,
+        }
     }
 
     /// Mounts an existing volume, rebuilding in-memory metadata.
@@ -213,6 +214,7 @@ impl FileSystem {
             next_fd: 3,
             stats: FsStats::default(),
             trace: None,
+            metrics: None,
         })
     }
 
@@ -243,9 +245,22 @@ impl FileSystem {
         self.trace = Some(plane);
     }
 
+    /// Wires a metrics plane: reads/writes/prefetches bump their
+    /// counters, and the `compute-ra` dispatch indirection cost is
+    /// attributed to the graft it dispatches (see `docs/METRICS.md`).
+    pub fn set_metrics_plane(&mut self, plane: Rc<vino_sim::metrics::MetricsPlane>) {
+        self.metrics = Some(plane);
+    }
+
     fn emit(&self, ev: vino_sim::trace::TraceEvent) {
         if let Some(tp) = &self.trace {
             tp.emit(ev);
+        }
+    }
+
+    fn minc(&self, c: vino_sim::metrics::Counter) {
+        if let Some(mp) = &self.metrics {
+            mp.inc(c);
         }
     }
 
@@ -393,6 +408,7 @@ impl FileSystem {
             return Err(FsError::PastEof);
         }
         self.stats.reads += 1;
+        self.minc(vino_sim::metrics::Counter::FsReads);
         self.emit(vino_sim::trace::TraceEvent::FsRead { fd: fd.0, len });
         // Read the covered blocks through the cache.
         let mut out = Vec::with_capacity(len as usize);
@@ -412,13 +428,20 @@ impl FileSystem {
         // compute-ra: default or grafted (§4.1.2).
         let req = RaRequest { offset, len, sequential, file_size: size };
         let extents = {
+            let metrics = self.metrics.clone();
             let f = self.open.get_mut(&fd).expect("checked");
             f.last_end = Some(offset + len);
             match f.ra.as_mut() {
                 Some(graft) => {
                     self.stats.ra_graft_calls += 1;
-                    // Dispatch indirection to the grafted method.
-                    self.clock.charge(Cycles(vino_sim::costs::INDIRECTION_CYCLES));
+                    // Dispatch indirection to the grafted method; the
+                    // metrics plane attributes it to the invocation the
+                    // dispatch produces.
+                    let cost = Cycles(vino_sim::costs::INDIRECTION_CYCLES);
+                    self.clock.charge(cost);
+                    if let Some(mp) = &metrics {
+                        mp.charge(vino_sim::metrics::Component::Indirection, cost);
+                    }
                     graft.compute_ra(&req)
                 }
                 None => default_compute_ra(&req),
@@ -438,6 +461,7 @@ impl FileSystem {
             return Err(FsError::PastEof);
         }
         self.stats.writes += 1;
+        self.minc(vino_sim::metrics::Counter::FsWrites);
         self.emit(vino_sim::trace::TraceEvent::FsWrite { fd: fd.0, len: data.len() as u64 });
         let mut pos = 0usize;
         while pos < data.len() {
@@ -496,15 +520,12 @@ impl FileSystem {
     fn pump_prefetch(&mut self, fd: Fd) -> Result<(), FsError> {
         use crate::cache::PrefetchOutcome;
         let inode_idx = self.open.get(&fd).ok_or(FsError::BadFd(fd))?.inode_idx;
-        loop {
-            let Some(lbn) = self.open.get_mut(&fd).expect("checked").prefetch_q.pop_front()
-            else {
-                break;
-            };
+        while let Some(lbn) = self.open.get_mut(&fd).expect("checked").prefetch_q.pop_front() {
             let Some(abs) = self.inodes[inode_idx].block_of(lbn) else { continue };
             match self.cache.prefetch(&mut self.disk, BlockAddr(abs as u64)) {
                 PrefetchOutcome::Issued => {
                     self.stats.prefetches_issued += 1;
+                    self.minc(vino_sim::metrics::Counter::FsPrefetches);
                     self.emit(vino_sim::trace::TraceEvent::FsPrefetch { fd: fd.0 });
                 }
                 PrefetchOutcome::AlreadyCached => {}

@@ -26,6 +26,12 @@ impl CountingAlloc {
     }
 }
 
+impl Default for CountingAlloc {
+    fn default() -> CountingAlloc {
+        CountingAlloc::new()
+    }
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         self.allocations.fetch_add(1, Ordering::Relaxed);

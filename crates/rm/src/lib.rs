@@ -21,6 +21,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use vino_sim::fault::{FaultPlane, FaultSite};
+use vino_sim::metrics::{Counter, MetricsPlane};
 use vino_sim::trace::{TraceEvent, TracePlane};
 
 /// The kinds of quantity-constrained resources the kernel accounts.
@@ -191,6 +192,7 @@ pub struct ResourceAccountant {
     next: u64,
     fault: Option<Rc<FaultPlane>>,
     trace: Option<Rc<TracePlane>>,
+    metrics: Option<Rc<MetricsPlane>>,
 }
 
 impl ResourceAccountant {
@@ -215,9 +217,22 @@ impl ResourceAccountant {
         self.trace = Some(plane);
     }
 
+    /// Wires a metrics plane: grants, denials and releases bump their
+    /// counters, and each grant raises the per-kind high-water gauge
+    /// (see `docs/METRICS.md`).
+    pub fn set_metrics_plane(&mut self, plane: Rc<MetricsPlane>) {
+        self.metrics = Some(plane);
+    }
+
     fn emit(&self, ev: TraceEvent) {
         if let Some(tp) = &self.trace {
             tp.emit(ev);
+        }
+    }
+
+    fn minc(&self, c: Counter) {
+        if let Some(mp) = &self.metrics {
+            mp.inc(c);
         }
     }
 
@@ -316,6 +331,7 @@ impl ResourceAccountant {
         if self.fault.as_ref().is_some_and(|p| p.fire(FaultSite::ResourceExhaust)) {
             // Injected denial: indistinguishable from a genuine limit
             // hit, and like one it has no partial effect.
+            self.minc(Counter::RmDenials);
             self.emit(TraceEvent::ResLimitHit {
                 principal: payer.0,
                 kind: kind.index(),
@@ -333,6 +349,7 @@ impl ResourceAccountant {
         let limit = acc.limits.get(kind);
         let available = limit.saturating_sub(used);
         if amount > available {
+            self.minc(Counter::RmDenials);
             self.emit(TraceEvent::ResLimitHit {
                 principal: payer.0,
                 kind: kind.index(),
@@ -350,6 +367,11 @@ impl ResourceAccountant {
             let new_peak = acc.used.get(kind);
             acc.peak.set(kind, new_peak);
         }
+        let now_used = acc.used.get(kind);
+        if let Some(mp) = &self.metrics {
+            mp.inc(Counter::RmGrants);
+            mp.observe_rm_peak(kind.index(), now_used);
+        }
         self.emit(TraceEvent::ResGrant { principal: payer.0, kind: kind.index(), amount });
         Ok(())
     }
@@ -362,6 +384,7 @@ impl ResourceAccountant {
         if let Some(acc) = self.accounts.get_mut(&payer) {
             let used = acc.used.get(kind);
             acc.used.set(kind, used.saturating_sub(amount));
+            self.minc(Counter::RmReleases);
             self.emit(TraceEvent::ResRelease { principal: payer.0, kind: kind.index(), amount });
         }
     }

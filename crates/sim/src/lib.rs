@@ -14,6 +14,7 @@ pub mod costs;
 pub mod event;
 pub mod fault;
 pub mod ids;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod trace;
@@ -22,6 +23,7 @@ pub use clock::{Cycles, VirtualClock};
 pub use event::{EventQueue, TimerId};
 pub use fault::{FaultPlane, FaultSite};
 pub use ids::ThreadId;
+pub use metrics::{Attribution, Component, Counter, CycleHistogram, MetricTag, MetricsPlane};
 pub use rng::{SplitMix64, XorShift64};
 pub use trace::{
     AbortKind, GraftTag, PostMortem, SfiKind, TraceEvent, TracePlane, TraceRecord, TraceStats,

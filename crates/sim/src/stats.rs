@@ -35,15 +35,17 @@ impl Summary {
 
 /// Trims the top and bottom 10 % of `samples` and summarises the rest.
 ///
-/// Returns `None` when the input is empty. With fewer than ten samples no
-/// trimming occurs (there is no complete decile to drop), matching the
-/// natural reading of the paper's rule.
+/// Returns `None` when the input is empty or contains a NaN (an
+/// unorderable sample makes every trimmed statistic meaningless, so the
+/// whole set is rejected rather than partially sorted). With fewer than
+/// ten samples no trimming occurs (there is no complete decile to
+/// drop), matching the natural reading of the paper's rule.
 pub fn trimmed_summary(samples: &[f64]) -> Option<Summary> {
-    if samples.is_empty() {
+    if samples.is_empty() || samples.iter().any(|s| s.is_nan()) {
         return None;
     }
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
     let drop = sorted.len() / 10;
     let kept = &sorted[drop..sorted.len() - drop];
     let n = kept.len() as f64;
@@ -91,6 +93,14 @@ mod tests {
     #[test]
     fn empty_gives_none() {
         assert!(trimmed_summary(&[]).is_none());
+    }
+
+    #[test]
+    fn nan_gives_none_instead_of_panicking() {
+        assert!(trimmed_summary(&[f64::NAN]).is_none());
+        assert!(trimmed_summary(&[1.0, f64::NAN, 3.0]).is_none());
+        // A clean set with infinities is still orderable and summarised.
+        assert!(trimmed_summary(&[1.0, f64::INFINITY]).is_some());
     }
 
     #[test]

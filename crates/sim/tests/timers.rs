@@ -56,7 +56,7 @@ fn cancel_between_ticks() {
 /// (formerly a proptest).
 #[test]
 fn tick_rounding_bounds() {
-    let mut rng = SplitMix64::new(0xE11E_75);
+    let mut rng = SplitMix64::new(0xE11E75);
     for _case in 0..256 {
         let n = rng.range(1, 19) as usize;
         let deadlines: Vec<u64> =

@@ -20,6 +20,7 @@ use std::rc::Rc;
 use vino_sim::costs;
 use vino_sim::event::EventQueue;
 use vino_sim::fault::{FaultPlane, FaultSite};
+use vino_sim::metrics::{Component, Counter, MetricsPlane};
 use vino_sim::trace::{TraceEvent, TracePlane};
 use vino_sim::{Cycles, ThreadId, VirtualClock};
 
@@ -177,6 +178,7 @@ pub struct TxnManager {
     stats: TxnStats,
     fault: Option<Rc<FaultPlane>>,
     trace: Option<Rc<TracePlane>>,
+    metrics: Option<Rc<MetricsPlane>>,
     /// Abort reports from fired time-outs, keyed by the aborted holder.
     /// The graft wrapper consumes these to discover that its transaction
     /// was stolen out from under it (see [`take_forced_abort`]).
@@ -197,6 +199,7 @@ impl TxnManager {
             stats: TxnStats::default(),
             fault: None,
             trace: None,
+            metrics: None,
             forced: HashMap::new(),
         }
     }
@@ -227,9 +230,31 @@ impl TxnManager {
         self.trace = Some(plane);
     }
 
+    /// Wires a metrics plane: every `txn.*` trace site also bumps its
+    /// counter twin, and every transaction-envelope cycle charge is
+    /// attributed to its overhead component (begin/commit, lock, undo,
+    /// abort — see `docs/METRICS.md`).
+    pub fn set_metrics_plane(&mut self, plane: Rc<MetricsPlane>) {
+        self.metrics = Some(plane);
+    }
+
     fn emit(&self, ev: TraceEvent) {
         if let Some(tp) = &self.trace {
             tp.emit(ev);
+        }
+    }
+
+    fn minc(&self, c: Counter) {
+        if let Some(mp) = &self.metrics {
+            mp.inc(c);
+        }
+    }
+
+    /// Charges `cost` to the clock and attributes it to `comp`.
+    fn bill(&self, comp: Component, cost: Cycles) {
+        self.clock.charge(cost);
+        if let Some(mp) = &self.metrics {
+            mp.charge(comp, cost);
         }
     }
 
@@ -252,6 +277,7 @@ impl TxnManager {
     pub fn take_forced_abort(&mut self, thread: ThreadId, txn: TxnId) -> Option<AbortReport> {
         match self.forced.get(&thread) {
             Some(r) if r.txn == txn => {
+                self.minc(Counter::LockSteals);
                 self.emit(TraceEvent::LockSteal { thread: thread.0, txn: txn.0 });
                 self.forced.remove(&thread)
             }
@@ -272,7 +298,8 @@ impl TxnManager {
     /// Begins a transaction on `thread`. If the thread already has one,
     /// the new transaction nests inside it (§3.1).
     pub fn begin(&mut self, thread: ThreadId) -> TxnId {
-        self.clock.charge(costs::TXN_BEGIN);
+        self.bill(Component::TxnBegin, costs::TXN_BEGIN);
+        self.minc(Counter::TxnBegins);
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
         self.stats.begins += 1;
@@ -315,6 +342,11 @@ impl TxnManager {
         self.clock.charge(Cycles(costs::UNDO_PUSH.0));
         frame.undo.push(UndoRecord::new(label, cost, op));
         let depth = frame.undo.len() as u64;
+        if let Some(mp) = &self.metrics {
+            mp.charge(Component::Undo, Cycles(costs::UNDO_PUSH.0));
+            mp.inc(Counter::UndoPushes);
+            mp.observe_undo_depth(depth);
+        }
         self.emit(TraceEvent::UndoPush { thread: thread.0, depth });
         Ok(())
     }
@@ -338,6 +370,10 @@ impl TxnManager {
             AcquireOutcome::Granted => {
                 match self.stacks.get_mut(&thread) {
                     Some(stack) if !stack.is_empty() => {
+                        if let Some(mp) = &self.metrics {
+                            mp.charge(Component::Lock, costs::TXN_LOCK_ACQUIRE);
+                            mp.inc(Counter::TxnLockAcquires);
+                        }
                         self.clock.charge(costs::TXN_LOCK_ACQUIRE);
                         // The lock belongs to the frame that FIRST
                         // acquired it: re-recording a re-entrant grant
@@ -362,7 +398,10 @@ impl TxnManager {
                             }
                         }
                     }
-                    _ => self.clock.charge(costs::MUTEX_PAIR),
+                    _ => {
+                        self.bill(Component::Lock, costs::MUTEX_PAIR);
+                        self.minc(Counter::MutexAcquires);
+                    }
                 }
                 LockOutcome::Granted
             }
@@ -370,6 +409,7 @@ impl TxnManager {
                 let deadline =
                     EventQueue::<PendingTimeout>::round_to_tick(self.clock.now() + timeout);
                 self.timeouts.schedule_exact(deadline, PendingTimeout { lock, waiter: thread });
+                self.minc(Counter::LockWaits);
                 self.emit(TraceEvent::LockBlocked {
                     lock: lock.0,
                     waiter: thread.0,
@@ -403,6 +443,10 @@ impl TxnManager {
         if let Some(parent) = stack.last_mut() {
             // Nested commit: merge undo stack and locks into the parent.
             self.clock.charge(costs::TXN_NESTED_COMMIT);
+            if let Some(mp) = &self.metrics {
+                mp.charge(Component::TxnCommit, costs::TXN_NESTED_COMMIT);
+                mp.inc(Counter::TxnNestedCommits);
+            }
             self.stats.nested_commits += 1;
             parent.undo.absorb(frame.undo);
             for l in frame.locks {
@@ -418,7 +462,8 @@ impl TxnManager {
             });
             Ok(CommitReport { txn: frame.id, nested: true, locks_released: 0, handoffs: Vec::new() })
         } else {
-            self.clock.charge(costs::TXN_COMMIT);
+            self.bill(Component::TxnCommit, costs::TXN_COMMIT);
+            self.minc(Counter::TxnCommits);
             self.stats.commits += 1;
             let mut handoffs = Vec::new();
             let mut released = 0;
@@ -450,13 +495,17 @@ impl TxnManager {
         let stack = self.stacks.get_mut(&thread).ok_or(TxnError::NoTransaction(thread))?;
         let mut frame = stack.pop().ok_or(TxnError::NoTransaction(thread))?;
         let start = self.clock.now();
-        self.clock.charge(costs::TXN_ABORT_OVERHEAD);
+        self.bill(Component::Abort, costs::TXN_ABORT_OVERHEAD);
+        self.minc(Counter::TxnAborts);
         let (undo_ops, undo_cost) = frame.undo.unwind();
         self.clock.charge(undo_cost);
+        if let Some(mp) = &self.metrics {
+            mp.charge(Component::Undo, undo_cost);
+        }
         let mut handoffs = Vec::new();
         let mut released = 0;
         for l in &frame.locks {
-            self.clock.charge(costs::ABORT_UNLOCK);
+            self.bill(Component::Abort, costs::ABORT_UNLOCK);
             released += 1;
             if let Some(next) = self.table.release_all_holds(*l, thread) {
                 handoffs.push((*l, next));
@@ -465,6 +514,7 @@ impl TxnManager {
         self.stats.aborts += 1;
         self.stats.undo_ops_run += undo_ops as u64;
         if undo_ops > 0 {
+            self.minc(Counter::UndoRuns);
             self.emit(TraceEvent::UndoRun { thread: thread.0, ops: undo_ops as u64 });
         }
         self.emit(TraceEvent::TxnAbort {
@@ -504,6 +554,7 @@ impl TxnManager {
             match holder {
                 Some(h) if h != waiter => {
                     if self.in_txn(h) {
+                        self.minc(Counter::LockTimeouts);
                         self.emit(TraceEvent::LockTimeout { lock: lock.0, holder: h.0 });
                         let report = self
                             .abort(h, AbortReason::LockTimeout(lock))

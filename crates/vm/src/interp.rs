@@ -13,6 +13,7 @@ use std::rc::Rc;
 
 use vino_sim::costs;
 use vino_sim::fault::{FaultPlane, FaultSite};
+use vino_sim::metrics::{Component, Counter, MetricsPlane};
 use vino_sim::trace::{SfiKind, TraceEvent, TracePlane, VmExitKind};
 use vino_sim::{Cycles, VirtualClock};
 
@@ -166,6 +167,7 @@ pub struct Vm {
     cfg: VmConfig,
     fault: Option<Rc<FaultPlane>>,
     trace: Option<Rc<TracePlane>>,
+    metrics: Option<Rc<MetricsPlane>>,
 }
 
 impl Vm {
@@ -185,6 +187,7 @@ impl Vm {
             cfg,
             fault: None,
             trace: None,
+            metrics: None,
         }
     }
 
@@ -200,6 +203,23 @@ impl Vm {
     /// MiSFIT sandbox check emits a `vm.sfi` event.
     pub fn set_trace_plane(&mut self, plane: Rc<TracePlane>) {
         self.trace = Some(plane);
+    }
+
+    /// Attaches a metrics plane: windows, instructions retired and SFI
+    /// checks are counted, and every instruction's cycle charge is
+    /// attributed to an overhead component ([`Component::Sfi`] for
+    /// sandbox ops, [`Component::GraftFn`] for everything else; host
+    /// functions attribute their own interior costs).
+    pub fn set_metrics_plane(&mut self, plane: Rc<MetricsPlane>) {
+        self.metrics = Some(plane);
+    }
+
+    /// Charges `cost` to the clock and attributes it to `comp`.
+    fn bill(&self, clock: &Rc<VirtualClock>, comp: Component, cost: Cycles) {
+        clock.charge(cost);
+        if let Some(mp) = &self.metrics {
+            mp.charge(comp, cost);
+        }
     }
 
     /// Resets pc/registers/stats for a fresh invocation, keeping memory.
@@ -225,6 +245,10 @@ impl Vm {
     ) -> Exit {
         let window_start = self.stats.instrs;
         let exit = self.run_window(prog, env, clock, fuel);
+        if let Some(mp) = &self.metrics {
+            mp.inc(Counter::VmWindows);
+            mp.add(Counter::VmInstrs, self.stats.instrs - window_start);
+        }
         if let Some(tp) = &self.trace {
             let kind = match &exit {
                 Exit::Halted(_) => VmExitKind::Halt,
@@ -277,65 +301,65 @@ impl Vm {
     ) -> Result<Flow, Trap> {
         match instr {
             Instr::Const { d, imm } => {
-                clock.charge(Cycles(costs::INSTR_CYCLES));
+                self.bill(clock, Component::GraftFn, Cycles(costs::INSTR_CYCLES));
                 self.regs[d.idx()] = imm as u64;
             }
             Instr::Mov { d, s } => {
-                clock.charge(Cycles(costs::INSTR_CYCLES));
+                self.bill(clock, Component::GraftFn, Cycles(costs::INSTR_CYCLES));
                 self.regs[d.idx()] = self.regs[s.idx()];
             }
             Instr::Alu { op, d, a, b } => {
-                clock.charge(Cycles(costs::INSTR_CYCLES));
+                self.bill(clock, Component::GraftFn, Cycles(costs::INSTR_CYCLES));
                 let r = alu(op, self.regs[a.idx()], self.regs[b.idx()])?;
                 self.regs[d.idx()] = r;
             }
             Instr::AluI { op, d, a, imm } => {
-                clock.charge(Cycles(costs::INSTR_CYCLES));
+                self.bill(clock, Component::GraftFn, Cycles(costs::INSTR_CYCLES));
                 let r = alu(op, self.regs[a.idx()], imm as u64)?;
                 self.regs[d.idx()] = r;
             }
             Instr::LoadW { d, addr, off } => {
-                clock.charge(Cycles(costs::LOAD_CYCLES));
+                self.bill(clock, Component::GraftFn, Cycles(costs::LOAD_CYCLES));
                 self.stats.loads += 1;
                 let a = self.regs[addr.idx()].wrapping_add(off as i64 as u64);
                 self.regs[d.idx()] = self.mem.read(a, 4).map_err(Trap::Mem)?;
             }
             Instr::StoreW { s, addr, off } => {
-                clock.charge(Cycles(costs::STORE_CYCLES));
+                self.bill(clock, Component::GraftFn, Cycles(costs::STORE_CYCLES));
                 self.stats.stores += 1;
                 let a = self.regs[addr.idx()].wrapping_add(off as i64 as u64);
                 self.mem.write(a, self.regs[s.idx()], 4).map_err(Trap::Mem)?;
             }
             Instr::LoadB { d, addr, off } => {
-                clock.charge(Cycles(costs::LOAD_CYCLES));
+                self.bill(clock, Component::GraftFn, Cycles(costs::LOAD_CYCLES));
                 self.stats.loads += 1;
                 let a = self.regs[addr.idx()].wrapping_add(off as i64 as u64);
                 self.regs[d.idx()] = self.mem.read(a, 1).map_err(Trap::Mem)?;
             }
             Instr::StoreB { s, addr, off } => {
-                clock.charge(Cycles(costs::STORE_CYCLES));
+                self.bill(clock, Component::GraftFn, Cycles(costs::STORE_CYCLES));
                 self.stats.stores += 1;
                 let a = self.regs[addr.idx()].wrapping_add(off as i64 as u64);
                 self.mem.write(a, self.regs[s.idx()], 1).map_err(Trap::Mem)?;
             }
             Instr::Jmp { target } => {
-                clock.charge(Cycles(costs::BRANCH_CYCLES));
+                self.bill(clock, Component::GraftFn, Cycles(costs::BRANCH_CYCLES));
                 self.pc = target as usize;
             }
             Instr::Br { cond, a, b, target } => {
-                clock.charge(Cycles(costs::BRANCH_CYCLES));
+                self.bill(clock, Component::GraftFn, Cycles(costs::BRANCH_CYCLES));
                 if eval_cond(cond, self.regs[a.idx()], self.regs[b.idx()]) {
                     self.pc = target as usize;
                 }
             }
             Instr::Call { func } => {
-                clock.charge(Cycles(costs::CALL_CYCLES));
+                self.bill(clock, Component::GraftFn, Cycles(costs::CALL_CYCLES));
                 self.stats.host_calls += 1;
                 let args = [self.regs[1], self.regs[2], self.regs[3], self.regs[4]];
                 self.regs[0] = env.host_call(func, args, &mut self.mem)?;
             }
             Instr::CallI { target } => {
-                clock.charge(Cycles(costs::CALL_CYCLES));
+                self.bill(clock, Component::GraftFn, Cycles(costs::CALL_CYCLES));
                 let id = HostFnId(self.regs[target.idx()] as u32);
                 if !env.is_callable(id) {
                     // Un-instrumented code jumping through a wild pointer;
@@ -347,7 +371,7 @@ impl Vm {
                 self.regs[0] = env.host_call(id, args, &mut self.mem)?;
             }
             Instr::CallLocal { target } => {
-                clock.charge(Cycles(costs::CALL_CYCLES));
+                self.bill(clock, Component::GraftFn, Cycles(costs::CALL_CYCLES));
                 if self.call_stack.len() >= self.cfg.max_call_depth {
                     return Err(Trap::CallDepthExceeded);
                 }
@@ -355,16 +379,19 @@ impl Vm {
                 self.pc = target as usize;
             }
             Instr::Ret => {
-                clock.charge(Cycles(costs::RET_CYCLES));
+                self.bill(clock, Component::GraftFn, Cycles(costs::RET_CYCLES));
                 self.pc = self.call_stack.pop().ok_or(Trap::RetWithoutCall)?;
             }
             Instr::Halt { result } => {
-                clock.charge(Cycles(costs::INSTR_CYCLES));
+                self.bill(clock, Component::GraftFn, Cycles(costs::INSTR_CYCLES));
                 return Ok(Flow::Halt(self.regs[result.idx()]));
             }
             Instr::Clamp { r } => {
-                clock.charge(Cycles(costs::SFI_CLAMP_CYCLES));
+                self.bill(clock, Component::Sfi, Cycles(costs::SFI_CLAMP_CYCLES));
                 self.stats.clamps += 1;
+                if let Some(mp) = &self.metrics {
+                    mp.inc(Counter::SfiClamps);
+                }
                 if let Some(tp) = &self.trace {
                     tp.emit(TraceEvent::SfiCheck {
                         kind: SfiKind::Clamp,
@@ -374,8 +401,11 @@ impl Vm {
                 self.regs[r.idx()] = self.mem.clamp(self.regs[r.idx()]);
             }
             Instr::CheckCall { r } => {
-                clock.charge(Cycles(costs::SFI_CALLCHECK_CYCLES));
+                self.bill(clock, Component::Sfi, Cycles(costs::SFI_CALLCHECK_CYCLES));
                 self.stats.checkcalls += 1;
+                if let Some(mp) = &self.metrics {
+                    mp.inc(Counter::SfiCallchecks);
+                }
                 if let Some(tp) = &self.trace {
                     tp.emit(TraceEvent::SfiCheck {
                         kind: SfiKind::CheckCall,
@@ -388,7 +418,7 @@ impl Vm {
                 }
             }
             Instr::Nop => {
-                clock.charge(Cycles(costs::INSTR_CYCLES));
+                self.bill(clock, Component::GraftFn, Cycles(costs::INSTR_CYCLES));
             }
         }
         Ok(Flow::Continue)

@@ -200,7 +200,7 @@ pub struct Program {
 impl Program {
     /// Creates a named program from an instruction vector.
     pub fn new(name: impl Into<String>, instrs: Vec<Instr>) -> Program {
-        Program { instrs: instrs, name: name.into() }
+        Program { instrs, name: name.into() }
     }
 
     /// Every kernel function the program calls *directly*. The dynamic

@@ -155,8 +155,8 @@ impl AddressSpace {
     pub fn write(&mut self, addr: u64, val: u64, len: u32) -> Result<(), MemError> {
         let is_kernel = self.region_of(addr) == Some(Region::Kernel);
         let bytes = self.slice(addr, len as u64, true)?;
-        for i in 0..len as usize {
-            bytes[i] = (val >> (8 * i)) as u8;
+        for (i, b) in bytes.iter_mut().enumerate().take(len as usize) {
+            *b = (val >> (8 * i)) as u8;
         }
         if is_kernel {
             self.kernel_writes += 1;

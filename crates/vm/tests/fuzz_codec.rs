@@ -93,7 +93,7 @@ fn syms() -> SymbolTable {
 /// Encode/decode is the identity on arbitrary valid programs.
 #[test]
 fn codec_round_trips() {
-    let mut rng = SplitMix64::new(0xC0DEC_01);
+    let mut rng = SplitMix64::new(0xC0DEC01);
     for _case in 0..512 {
         let p = gen_program(&mut rng);
         let bytes = encode(&p);

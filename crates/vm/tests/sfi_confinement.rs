@@ -106,8 +106,8 @@ fn build_program(pieces: Vec<Piece>, seed: u32) -> Program {
     }
     let total = len + 1; // + Halt
     let target_for = |i: u32| -> u32 { (i.wrapping_mul(2654435761).wrapping_add(seed)) % total };
-    let mut k = 0u32;
-    for p in pieces {
+    for (k, p) in pieces.into_iter().enumerate() {
+        let k = k as u32;
         match p {
             Piece::Plain(i) => instrs.push(i),
             Piece::ClampedLoad { d, addr, off } => {
@@ -131,7 +131,6 @@ fn build_program(pieces: Vec<Piece>, seed: u32) -> Program {
             }
             Piece::Jump => instrs.push(Instr::Jmp { target: target_for(k) }),
         }
-        k += 1;
     }
     instrs.push(Instr::Halt { result: Reg(0) });
     Program::new("fuzz", instrs)

@@ -1,0 +1,100 @@
+//! A top(1)-style view of the metrics plane: attach one plane to a
+//! booted kernel, drive a mixed workload (a committing graft, an
+//! occasional aborter, a quarantine-tripping crasher), then print the
+//! live health view, each graft's Table-3-shaped overhead attribution,
+//! and the Prometheus-style exposition (docs/METRICS.md).
+//!
+//! Run with: `cargo run --example vino_top`
+
+use std::rc::Rc;
+
+use vino::core::engine::InvokeOutcome;
+use vino::core::kernel::point_names;
+use vino::core::{AttachError, InstallError, InstallOpts, Kernel};
+use vino::rm::{Limits, ResourceKind};
+use vino::sim::metrics::MetricsPlane;
+
+fn main() {
+    let kernel = Kernel::boot();
+    let plane = MetricsPlane::new(Rc::clone(&kernel.clock));
+    kernel.attach_metrics_plane(Rc::clone(&plane)).expect("first attach");
+
+    // Attach-once: a second plane is refused, never silently swapped.
+    let second = MetricsPlane::new(Rc::clone(&kernel.clock));
+    assert_eq!(kernel.attach_metrics_plane(second), Err(AttachError::AlreadyAttached));
+    assert!(Rc::ptr_eq(&kernel.metrics().expect("attached"), &plane));
+
+    let app = kernel.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 20)]));
+    let thread = kernel.spawn_thread("app");
+
+    // A well-behaved key-value graft: commits on every invocation.
+    let good = kernel
+        .compile_graft("good-kv", "mov r2, r1\nconst r1, 5\ncall $kv_set\nhalt r2")
+        .expect("compiles");
+    for i in 0..32u64 {
+        let g = kernel
+            .install_function_graft(point_names::COMPUTE_RA, &good, app, thread, &InstallOpts::default())
+            .expect("installs");
+        let out = g.borrow_mut().invoke([i, 0, 0, 0]);
+        assert!(matches!(out, InvokeOutcome::Ok { .. }));
+    }
+
+    // A sometimes-aborter: divides by args[0], so one in four calls
+    // (arg 0, 4, 8, ...) traps and aborts — a visible abort rate.
+    let flaky = kernel
+        .compile_graft("flaky-div", "const r2, 4\nrem r3, r1, r2\ndiv r0, r1, r3\nhalt r0")
+        .expect("compiles");
+    for i in 0..16u64 {
+        let g = match kernel.install_function_graft(
+            point_names::COMPUTE_RA,
+            &flaky,
+            app,
+            thread,
+            &InstallOpts::default(),
+        ) {
+            Ok(g) => g,
+            // Three traps quarantine the graft; wait out the backoff
+            // and reinstall — quarantine is backoff, not a ban.
+            Err(InstallError::Quarantined { until, .. }) => {
+                kernel.clock.advance_to(until);
+                kernel
+                    .install_function_graft(
+                        point_names::COMPUTE_RA,
+                        &flaky,
+                        app,
+                        thread,
+                        &InstallOpts::default(),
+                    )
+                    .expect("backoff expired")
+            }
+            Err(e) => panic!("unexpected refusal: {e}"),
+        };
+        let _ = g.borrow_mut().invoke([i, 0, 0, 0]);
+    }
+
+    // A hard crasher: three straight traps trip quarantine, which the
+    // health view shows with its backoff deadline.
+    let bad = kernel
+        .compile_graft("div0", "const r1, 0\ndiv r0, r1, r1\nhalt r0")
+        .expect("compiles");
+    for _ in 0..3 {
+        let g = kernel
+            .install_function_graft(point_names::COMPUTE_RA, &bad, app, thread, &InstallOpts::default())
+            .expect("installs until quarantined");
+        let out = g.borrow_mut().invoke([0; 4]);
+        assert!(matches!(out, InvokeOutcome::Aborted { .. }));
+    }
+
+    println!("== vino top — health (virtual cycle {}) ==", kernel.clock.now().get());
+    print!("{}", plane.health());
+
+    println!();
+    println!("== per-graft overhead attribution (Table 3 components) ==");
+    for tag in plane.tags_in_order() {
+        print!("{}", plane.render_attribution(tag));
+    }
+
+    println!();
+    println!("== Prometheus exposition ==");
+    print!("{}", plane.expose());
+}

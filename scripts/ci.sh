@@ -18,7 +18,16 @@ SURVIVAL_SEEDS="3405691582,1122334455,987654321" cargo test -q --test survival
 echo "== golden traces (fails on drift; UPDATE_GOLDENS=1 to regenerate) =="
 cargo test -q --test trace_golden
 
+echo "== golden metrics snapshots (fails on drift; UPDATE_GOLDENS=1 to regenerate) =="
+cargo test -q --test metrics_golden
+
 echo "== trace-plane zero-allocation proof =="
 cargo bench -p vino-bench --bench trace_plane
+
+echo "== metrics-plane zero-allocation proof =="
+cargo bench -p vino-bench --bench metrics_plane
+
+echo "== lint (clippy, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== ci.sh: all green =="

@@ -1,0 +1,141 @@
+//! Golden metrics-snapshot battery: the canonical metrics plane
+//! output, frozen.
+//!
+//! The same three scenarios as the golden-trace battery run with a
+//! metrics plane attached and compare the full snapshot (Prometheus
+//! exposition + per-graft attribution ledgers + health view) against
+//! checked-in golden files in `tests/goldens/`. Any change to counter
+//! placement, cycle attribution, histogram bucketing, or the rendered
+//! formats shows up as a diff here. If the change is intentional,
+//! regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test metrics_golden
+//! ```
+//!
+//! and commit the updated `.metrics` files alongside the change that
+//! caused them. See `docs/METRICS.md` for the snapshot format.
+
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use vino::core::engine::InvokeOutcome;
+use vino::core::kernel::point_names;
+use vino::core::{InstallError, InstallOpts, Kernel};
+use vino::rm::{Limits, ResourceKind};
+use vino::sim::fault::{FaultPlane, FaultSite};
+use vino::sim::metrics::MetricsPlane;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens").join(format!("{name}.metrics"))
+}
+
+/// Compares `got` against the golden file, or rewrites the golden when
+/// `UPDATE_GOLDENS=1`. On mismatch the panic message carries a line
+/// diff small enough to read in CI output.
+fn check_golden(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDENS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with UPDATE_GOLDENS=1 cargo test --test metrics_golden",
+            path.display()
+        )
+    });
+    if got != want {
+        let mut diff = String::new();
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            if g != w {
+                diff.push_str(&format!("line {}:\n  golden: {w}\n  got:    {g}\n", i + 1));
+            }
+        }
+        let (gl, wl) = (got.lines().count(), want.lines().count());
+        if gl != wl {
+            diff.push_str(&format!("line counts differ: golden {wl}, got {gl}\n"));
+        }
+        panic!(
+            "metrics drifted from golden {name} — if intentional, rerun with UPDATE_GOLDENS=1\n{diff}"
+        );
+    }
+}
+
+fn boot_metered() -> (Rc<Kernel>, Rc<MetricsPlane>) {
+    let k = Kernel::boot();
+    let mp = MetricsPlane::new(Rc::clone(&k.clock));
+    k.attach_metrics_plane(Rc::clone(&mp)).unwrap();
+    (k, mp)
+}
+
+/// Scenario 1: a well-behaved graft installs, runs, and commits. The
+/// golden pins the clean-path counter census, the full attribution
+/// ledger (txn envelope + lock + graft fn + indirection), and a
+/// single-commit health row.
+#[test]
+fn golden_clean_commit_metrics() {
+    let (k, mp) = boot_metered();
+    let app = k.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 20)]));
+    let t = k.spawn_thread("app");
+    let image = k
+        .compile_graft("good-kv", "mov r2, r1\nconst r1, 5\ncall $kv_set\nhalt r2")
+        .unwrap();
+    let g = k
+        .install_function_graft(point_names::COMPUTE_RA, &image, app, t, &InstallOpts::default())
+        .unwrap();
+    let out = g.borrow_mut().invoke([41, 0, 0, 0]);
+    assert!(matches!(out, InvokeOutcome::Ok { result: 41, .. }));
+    check_golden("clean_commit", &mp.snapshot());
+}
+
+/// Scenario 2: a lock-timeout storm steals the wrapper transaction out
+/// from under a spinning graft. The golden pins the timeout / steal /
+/// abort counters and the abort-side attribution (undo + abort rows
+/// non-zero, commit row zero).
+#[test]
+fn golden_lock_timeout_abort_metrics() {
+    let (k, mp) = boot_metered();
+    let plane = FaultPlane::seeded(9);
+    plane.set_rate(FaultSite::LockTimeoutStorm, 1, 1);
+    k.attach_fault_plane(plane).unwrap();
+    let app = k.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 20)]));
+    let t = k.spawn_thread("app");
+    let _ = k.engine.register_lock(vino::txn::locks::LockClass::Buffer);
+    let image = k
+        .compile_graft("storm-victim", "const r1, 0\ncall $lock\nspin: jmp spin")
+        .unwrap();
+    let g = k
+        .install_function_graft(point_names::COMPUTE_RA, &image, app, t, &InstallOpts::default())
+        .unwrap();
+    g.borrow_mut().max_slices = 4;
+    let out = g.borrow_mut().invoke([0; 4]);
+    assert!(matches!(out, InvokeOutcome::Aborted { .. }));
+    check_golden("lock_timeout", &mp.snapshot());
+}
+
+/// Scenario 3: three straight traps trip quarantine. The golden pins
+/// three install/invoke/abort cycles, the quarantine counter, a 100%
+/// abort rate, and the `quarantined@` state in the health view.
+#[test]
+fn golden_quarantine_trip_metrics() {
+    let (k, mp) = boot_metered();
+    let app = k.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 20)]));
+    let t = k.spawn_thread("app");
+    let image = k.compile_graft("div0", "const r1, 0\ndiv r0, r1, r1\nhalt r0").unwrap();
+    for _ in 0..3 {
+        let g = k
+            .install_function_graft(point_names::COMPUTE_RA, &image, app, t, &InstallOpts::default())
+            .unwrap();
+        let out = g.borrow_mut().invoke([0; 4]);
+        assert!(matches!(out, InvokeOutcome::Aborted { .. }));
+    }
+    let refused = k
+        .install_function_graft(point_names::COMPUTE_RA, &image, app, t, &InstallOpts::default())
+        .unwrap_err();
+    assert!(matches!(refused, InstallError::Quarantined { .. }));
+    assert_eq!(mp.get(vino::sim::metrics::Counter::GraftQuarantines), 1);
+    assert!(mp.snapshot().contains("quarantined@"), "health shows the backoff deadline");
+    check_golden("quarantine", &mp.snapshot());
+}

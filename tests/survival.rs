@@ -28,6 +28,7 @@ use vino::core::reliability::FailureKind;
 use vino::core::{InstallError, InstallOpts, Kernel};
 use vino::rm::{Limits, ResourceKind};
 use vino::sim::fault::{FaultPlane, FaultSite};
+use vino::sim::metrics::{Counter, MetricsPlane};
 use vino::sim::trace::TracePlane;
 use vino::sim::{Cycles, SplitMix64};
 use vino::txn::locks::LockClass;
@@ -145,6 +146,9 @@ struct Tally {
     /// replay-determinism witness (two same-seed runs must agree byte
     /// for byte).
     trace: String,
+    /// The metrics plane's full snapshot — the second determinism
+    /// witness, and the cross-plane reconciliation substrate.
+    metrics: String,
 }
 
 /// One kernel survives `SCENARIOS_PER_SEED` consecutive fault
@@ -155,6 +159,8 @@ fn run_battery(seed: u64) -> Tally {
     k.attach_fault_plane(Rc::clone(&plane)).unwrap();
     let tp = TracePlane::with_capacity(Rc::clone(&k.clock), 1 << 14);
     k.attach_trace_plane(Rc::clone(&tp)).unwrap();
+    let mp = MetricsPlane::new(Rc::clone(&k.clock));
+    k.attach_metrics_plane(Rc::clone(&mp)).unwrap();
     let app = k.create_app(Limits::of(&[
         (ResourceKind::KernelHeap, 1 << 30),
         (ResourceKind::Memory, 1 << 30),
@@ -178,6 +184,7 @@ fn run_battery(seed: u64) -> Tally {
         install_refusals: 0,
         quarantine_releases: 0,
         trace: String::new(),
+        metrics: String::new(),
     };
 
     for i in 0..SCENARIOS_PER_SEED {
@@ -345,7 +352,59 @@ fn run_battery(seed: u64) -> Tally {
         ts.total,
         "per-subsystem trace counters must sum to the total"
     );
+
+    // ---- Cross-plane reconciliation ----
+    // Every reconciling metrics counter is incremented at the same
+    // code site as its trace-event twin, so each subsystem's trace
+    // count must equal the sum of that subsystem's counters. (The
+    // measurement-only counters — VmInstrs, MutexAcquires — have no
+    // trace twin and are excluded.)
+    let g = |c| mp.get(c);
+    assert_eq!(
+        ts.vm,
+        g(Counter::VmWindows) + g(Counter::SfiClamps) + g(Counter::SfiCallchecks),
+        "vm trace events must reconcile with vm counters"
+    );
+    assert_eq!(
+        ts.txn,
+        g(Counter::TxnBegins)
+            + g(Counter::TxnCommits)
+            + g(Counter::TxnNestedCommits)
+            + g(Counter::TxnAborts)
+            + g(Counter::TxnLockAcquires)
+            + g(Counter::LockWaits)
+            + g(Counter::LockTimeouts)
+            + g(Counter::LockSteals)
+            + g(Counter::UndoPushes)
+            + g(Counter::UndoRuns),
+        "txn trace events must reconcile with txn counters"
+    );
+    assert_eq!(
+        ts.rm,
+        g(Counter::RmGrants) + g(Counter::RmDenials) + g(Counter::RmReleases),
+        "rm trace events must reconcile with rm counters"
+    );
+    assert_eq!(
+        ts.fs,
+        g(Counter::FsReads) + g(Counter::FsWrites) + g(Counter::FsPrefetches),
+        "fs trace events must reconcile with fs counters"
+    );
+    assert_eq!(
+        ts.graft,
+        g(Counter::GraftInstalls)
+            + g(Counter::GraftInvocations)
+            + g(Counter::GraftCommits)
+            + g(Counter::GraftAborts)
+            + g(Counter::GraftQuarantines)
+            + g(Counter::GraftFallbacks),
+        "graft trace events must reconcile with graft counters"
+    );
+    // The planes also agree with the battery's own tally.
+    assert_eq!(g(Counter::GraftCommits), tally.commits);
+    assert_eq!(g(Counter::GraftAborts), tally.aborts);
+
     tally.trace = tp.serialize();
+    tally.metrics = mp.snapshot();
     tally
 }
 
@@ -381,6 +440,12 @@ fn survival_battery_is_deterministic() {
     // byte-identical under the same seed.
     assert!(!a.trace.is_empty(), "the battery emitted no trace events");
     assert_eq!(a.trace, b.trace, "same-seed replay must produce a byte-identical trace");
+    // And the same holds for the metrics plane: counters, attribution
+    // ledgers, latency quantiles and health rows are all derived from
+    // the virtual clock, so two same-seed runs snapshot byte-for-byte
+    // identically.
+    assert!(!a.metrics.is_empty(), "the battery recorded no metrics");
+    assert_eq!(a.metrics, b.metrics, "same-seed replay must produce a byte-identical snapshot");
 }
 
 #[test]
