@@ -1,0 +1,17 @@
+//! Bench for the packet-filter path census and batched-dispatch sweep.
+//!
+//! Prints the reproduced table once (six protection levels plus the
+//! per-packet amortization rows), then wall-clock-benchmarks the
+//! measurement harness itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", vino_bench::netfilter::run(50).render());
+    c.bench_function("netfilter/census", |b| {
+        b.iter(|| std::hint::black_box(vino_bench::netfilter::run(3)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -54,11 +54,9 @@ pub fn eviction_policy() -> PathTable {
         id: "A1",
         title: "Ablation: global eviction policy (LRU vs clock)".to_string(),
         rows,
-        notes: vec![
-            "same hot-set + scan workload; the two level-1 policies the level-2 \
+        notes: vec!["same hot-set + scan workload; the two level-1 policies the level-2 \
              graft hook composes with (§4.2)"
-                .into(),
-        ],
+            .into()],
     }
 }
 
@@ -83,21 +81,16 @@ pub fn lock_timeout_sweep() -> PathTable {
     let mut rows = Vec::new();
     for timeout_us in [100u32, 1_000, 5_000, 10_000, 50_000, 200_000] {
         let stall = waiter_stall_us(timeout_us);
-        rows.push(Row::value(
-            format!("timeout {:>6} us -> waiter stall (us)", timeout_us),
-            stall,
-        ));
+        rows.push(Row::value(format!("timeout {:>6} us -> waiter stall (us)", timeout_us), stall));
     }
     PathTable {
         id: "A2",
         title: "Ablation: lock time-out vs waiter stall (§4.5)".to_string(),
         rows,
-        notes: vec![
-            "time-outs quantise to 10 ms clock ticks: sub-tick time-outs all stall \
+        notes: vec!["time-outs quantise to 10 ms clock ticks: sub-tick time-outs all stall \
              ~one tick; past the tick the stall tracks the configured value + up to \
              one tick (the paper's 10-20 ms observation)"
-                .into(),
-        ],
+            .into()],
     }
 }
 

@@ -100,10 +100,7 @@ pub fn readahead_crossover() -> PathTable {
         if crossover.is_none() && win > 0.0 {
             crossover = Some(compute_us);
         }
-        rows.push(Row::value(
-            format!("compute {compute_us:>3} us: net win per read (us)"),
-            win,
-        ));
+        rows.push(Row::value(format!("compute {compute_us:>3} us: net win per read (us)"), win));
     }
     let note = match crossover {
         Some(c) => format!(
@@ -152,10 +149,7 @@ mod tests {
         // With 250 us of compute per read the graft wins clearly.
         let plain = elapsed_per_read(false, 250);
         let grafted = elapsed_per_read(true, 250);
-        assert!(
-            grafted < plain,
-            "grafted {grafted:.1} us/read must beat plain {plain:.1}"
-        );
+        assert!(grafted < plain, "grafted {grafted:.1} us/read must beat plain {plain:.1}");
     }
 
     #[test]

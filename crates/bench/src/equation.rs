@@ -42,8 +42,7 @@ pub fn abort_cost(locks: usize, undo_us: u64) -> f64 {
 /// Sweep results: (intercept µs, per-lock slope µs, c).
 pub fn fit() -> (f64, f64, f64) {
     // Sweep L at G = 0.
-    let lock_points: Vec<(f64, f64)> =
-        (0..=8).map(|l| (l as f64, abort_cost(l, 0))).collect();
+    let lock_points: Vec<(f64, f64)> = (0..=8).map(|l| (l as f64, abort_cost(l, 0))).collect();
     let (intercept, per_lock) = linear_fit(&lock_points).expect("two points");
 
     // Sweep G at L = 0: abort(G) = 35 + undo(G); undo = c*G by the
@@ -77,9 +76,7 @@ pub fn run() -> PathTable {
         id: "E1",
         title: "§4.5 Abort-cost equation: 35us + 10L + cG".to_string(),
         rows,
-        notes: vec![
-            "paper: overhead 32-38 us, 10 us/lock, c < 1".into(),
-        ],
+        notes: vec!["paper: overhead 32-38 us, 10 us/lock, c < 1".into()],
     }
 }
 

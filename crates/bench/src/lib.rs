@@ -21,12 +21,14 @@
 //! | [`benefit`] | §4.1.1 / §4.2.2 — cost-benefit crossover figures |
 //! | [`ablation`] | design-choice ablations: eviction policy, time-out sweep |
 //! | [`tracecount`] | trace-plane event census (observability tripwire) |
+//! | [`netfilter`] | packet-filter path census + batched-dispatch sweep |
 
 pub mod ablation;
 pub mod benefit;
 pub mod equation;
 pub mod lockfig;
 pub mod misfit_micro;
+pub mod netfilter;
 pub mod render;
 pub mod table3;
 pub mod table4;
@@ -64,6 +66,8 @@ pub fn full_report(reps: usize) -> String {
     out.push_str(&ablation::eviction_policy().render());
     out.push('\n');
     out.push_str(&ablation::lock_timeout_sweep().render());
+    out.push('\n');
+    out.push_str(&netfilter::run(reps).render());
     out.push('\n');
     out.push_str(&tracecount::run().render());
     out

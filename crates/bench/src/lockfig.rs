@@ -28,9 +28,13 @@ fn ex(t: u64) -> Waiter {
 /// Runs the ablation and renders it.
 pub fn run(reps: usize) -> PathTable {
     // Granted path.
-    let simple_grant = measure(reps, || (SimpleLockMgr::new(), VirtualClock::new()), |(m, c), _| {
-        m.get_lock(c, 1, sh(1));
-    });
+    let simple_grant = measure(
+        reps,
+        || (SimpleLockMgr::new(), VirtualClock::new()),
+        |(m, c), _| {
+            m.get_lock(c, 1, sh(1));
+        },
+    );
     let policy_grant = measure(
         reps,
         || {
@@ -47,14 +51,18 @@ pub fn run(reps: usize) -> PathTable {
         },
     );
     // Queued path (holder conflicts).
-    let simple_queue = measure(reps, || {
-        let c = VirtualClock::new();
-        let mut m = SimpleLockMgr::new();
-        m.get_lock(&c, 1, ex(1));
-        (m, c)
-    }, |(m, c), _| {
-        m.get_lock(c, 1, ex(2));
-    });
+    let simple_queue = measure(
+        reps,
+        || {
+            let c = VirtualClock::new();
+            let mut m = SimpleLockMgr::new();
+            m.get_lock(&c, 1, ex(1));
+            (m, c)
+        },
+        |(m, c), _| {
+            m.get_lock(c, 1, ex(2));
+        },
+    );
     let policy_queue = measure(
         reps,
         || {
@@ -73,17 +81,21 @@ pub fn run(reps: usize) -> PathTable {
     );
     // Release storm: exclusive holder releases over 8 shared waiters;
     // the encapsulated manager pays one grant-policy call per waiter.
-    let simple_release = measure(reps, || {
-        let c = VirtualClock::new();
-        let mut m = SimpleLockMgr::new();
-        m.get_lock(&c, 1, ex(1));
-        for t in 2..10 {
-            m.get_lock(&c, 1, sh(t));
-        }
-        (m, c)
-    }, |(m, c), _| {
-        m.release(c, 1, ThreadId(1));
-    });
+    let simple_release = measure(
+        reps,
+        || {
+            let c = VirtualClock::new();
+            let mut m = SimpleLockMgr::new();
+            m.get_lock(&c, 1, ex(1));
+            for t in 2..10 {
+                m.get_lock(&c, 1, sh(t));
+            }
+            (m, c)
+        },
+        |(m, c), _| {
+            m.release(c, 1, ThreadId(1));
+        },
+    );
     let policy_release = measure(
         reps,
         || {

@@ -99,9 +99,7 @@ pub fn run() -> PathTable {
             Row::value("Per load/store (cycles)", per_access),
             Row::value("Per indirect call check (cycles)", per_call),
         ],
-        notes: vec![
-            "paper: 2-5 cycles per load/store; 10-15 cycles per indirect call".into(),
-        ],
+        notes: vec!["paper: 2-5 cycles per load/store; 10-15 cycles per indirect call".into()],
     }
 }
 

@@ -1,0 +1,209 @@
+//! Packet-filter path overhead — the Table 3 census applied to the
+//! `net/packet-filter` graft point, plus the batched-dispatch sweep.
+//!
+//! The measured quantity is one packet's trip through the filter
+//! decision: header marshalled into the graft segment, a checksum over
+//! the payload prefix, and a drop-odd-source verdict. The six levels
+//! mirror Table 3 (base / VINO / null / unsafe / safe / abort); the
+//! sweep then re-runs the safe path through
+//! [`vino_core::engine::GraftInstance::invoke_batch`] at increasing
+//! batch sizes, showing the transaction envelope (begin + commit,
+//! 66 us) amortizing across the batch — the packet plane's whole case
+//! for batched dispatch.
+
+use vino_core::engine::{BatchOutcome, CommitMode};
+use vino_sim::{costs, Cycles, VirtualClock};
+use vino_vm::mem::AddressSpace;
+
+use crate::render::{PathTable, Row};
+use crate::world::{build, measure, Variant, World};
+
+/// The filter under test: checksum the first eight payload words, then
+/// drop packets with an odd source address. Args: r1 = port, r2 = len,
+/// r3 = src, r4 = dst; payload at segment offset 1024.
+pub const FILTER_SRC: &str = "
+    call $shared_base
+    addi r5, r0, 1024    ; payload prefix
+    const r6, 0          ; checksum acc
+    const r7, 0          ; word index
+    const r8, 8
+    const r10, 0
+sum:
+    bgeu r7, r8, done
+    loadw r9, [r5+0]
+    add r6, r6, r9
+    addi r5, r5, 4
+    addi r7, r7, 1
+    jmp sum
+done:
+    andi r9, r3, 1       ; odd source?
+    bne r9, r10, toss
+    const r2, 0
+    halt r2              ; accept
+toss:
+    const r2, 1
+    halt r2              ; drop
+";
+
+/// Batch sizes for the amortization sweep.
+pub const BATCH_SWEEP: [usize; 4] = [1, 8, 32, 128];
+
+/// Marshals one synthetic packet for run `i` of a batch: the header
+/// contract of `vino-net` (`packet::header`) plus an 8-word payload.
+fn marshal(i: usize, mem: &mut AddressSpace) -> [u64; 4] {
+    let src = i as u32;
+    let _ = mem.graft_write_u32(0, 80); // port
+    let _ = mem.graft_write_u32(4, 0); // proto
+    let _ = mem.graft_write_u32(8, 32); // len
+    let _ = mem.graft_write_u32(12, src);
+    let _ = mem.graft_write_u32(16, 0xDEAD); // dst
+    for w in 0..8u32 {
+        let _ = mem.graft_write_u32(1024 + 4 * w as usize, w);
+    }
+    [80, 32, src as u64, 0xDEAD]
+}
+
+fn filter_world(variant: Variant) -> World {
+    build(FILTER_SRC, 8192, variant, 0)
+}
+
+/// One un-batched filtered packet: indirection + marshal + invoke.
+fn one_packet(w: &mut World, clock: &std::rc::Rc<VirtualClock>, mode: CommitMode) {
+    clock.charge(Cycles(costs::INDIRECTION_CYCLES));
+    let args = marshal(0, w.graft.mem());
+    let _ = w.graft.invoke_mode(args, mode);
+}
+
+/// The native accept-all default filter — the un-graftable base path.
+fn base_decide(clock: &std::rc::Rc<VirtualClock>) {
+    clock.charge(Cycles(60));
+}
+
+/// Runs the census and the batch sweep, rendering one table.
+pub fn run(reps: usize) -> PathTable {
+    let base = measure(reps, VirtualClock::new, |_, clock| base_decide(clock));
+    let vino = measure(reps, VirtualClock::new, |_, clock| {
+        clock.charge(Cycles(costs::INDIRECTION_CYCLES));
+        base_decide(clock);
+    });
+    let null = measure(
+        reps,
+        || build("halt r0", 8192, Variant::Safe, 0),
+        |w, clock| {
+            clock.charge(Cycles(costs::INDIRECTION_CYCLES));
+            let _ = w.graft.invoke([80, 32, 0, 0xDEAD]);
+        },
+    );
+    let unsafe_ = measure(
+        reps,
+        || filter_world(Variant::Unsafe),
+        |w, clock| one_packet(w, clock, CommitMode::Commit),
+    );
+    let safe = measure(
+        reps,
+        || filter_world(Variant::Safe),
+        |w, clock| one_packet(w, clock, CommitMode::Commit),
+    );
+    let abort = measure(
+        reps,
+        || filter_world(Variant::Safe),
+        |w, clock| one_packet(w, clock, CommitMode::AbortAtEnd),
+    );
+
+    let begin = costs::TXN_BEGIN.as_us();
+    let commit = costs::TXN_COMMIT.as_us();
+    let mut rows = vec![
+        Row::path("Base path (accept-all)", base.mean),
+        Row::component("Indirection cost", vino.mean - base.mean),
+        Row::path("VINO path", vino.mean),
+        Row::component("Transaction begin", begin),
+        Row::component("Null graft cost", null.mean - vino.mean - begin - commit),
+        Row::component("Transaction commit", commit),
+        Row::path("Null path", null.mean),
+        Row::component("Filter function", unsafe_.mean - null.mean),
+        Row::path("Unsafe path", unsafe_.mean),
+        Row::component("MiSFIT overhead", safe.mean - unsafe_.mean),
+        Row::path("Safe path", safe.mean),
+        Row::component("Abort cost (additional)", abort.mean - safe.mean),
+        Row::path("Abort path", abort.mean),
+    ];
+
+    // The amortization sweep: per-packet cost of the safe path when the
+    // wrapper transaction covers n packets at a time.
+    let mut per_packet = Vec::new();
+    for n in BATCH_SWEEP {
+        let s = measure(
+            reps,
+            || filter_world(Variant::Safe),
+            |w, clock| {
+                clock.charge(Cycles(costs::INDIRECTION_CYCLES));
+                let out = w.graft.invoke_batch(n, marshal);
+                assert!(matches!(out, BatchOutcome::Ok { .. }));
+            },
+        );
+        let us = s.mean / n as f64;
+        per_packet.push((n, us));
+        rows.push(Row::path(format!("Batched safe path (n={n}, per packet)"), us));
+    }
+
+    let win = per_packet[0].1 - per_packet.iter().find(|(n, _)| *n == 32).unwrap().1;
+    PathTable {
+        id: "NF",
+        title: "Packet-Filter Path Overhead".to_string(),
+        rows,
+        notes: vec![
+            format!(
+                "txn envelope {}+{} us amortizes over the batch; n=32 saves {win:.1} us/packet vs n=1",
+                begin, commit
+            ),
+            "verdicts: accept / drop / steer, decoded by the plane's result check".to_string(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_census_matches_table3_shape() {
+        let t = run(20);
+        let path = |label: &str| {
+            t.rows
+                .iter()
+                .find(|r| r.label == label)
+                .and_then(|r| r.elapsed_us)
+                .unwrap_or_else(|| panic!("missing {label}"))
+        };
+        let base = path("Base path (accept-all)");
+        let vino = path("VINO path");
+        let null = path("Null path");
+        let unsafe_ = path("Unsafe path");
+        let safe = path("Safe path");
+        let abort = path("Abort path");
+        assert!(base < vino && vino < null && null < unsafe_ && unsafe_ < safe && safe < abort);
+        assert!(base < 2.0);
+        assert!((vino - base - 1.0).abs() < 0.5, "indirection ~1us");
+        assert!((60.0..80.0).contains(&null), "null {null}");
+    }
+
+    #[test]
+    fn batching_amortizes_the_envelope() {
+        let t = run(20);
+        let per = |n: usize| {
+            t.rows
+                .iter()
+                .find(|r| r.label == format!("Batched safe path (n={n}, per packet)"))
+                .and_then(|r| r.elapsed_us)
+                .unwrap()
+        };
+        let (p1, p8, p32, p128) = (per(1), per(8), per(32), per(128));
+        assert!(p1 > p8 && p8 > p32 && p32 > p128, "monotone in batch size");
+        // The acceptance bar: a measurable per-packet win at n >= 32.
+        // Envelope is 66 us; at n=32 all but ~2 us of it amortizes away.
+        assert!(p1 - p32 > 50.0, "n=32 win {:.1} us", p1 - p32);
+        // Beyond the envelope, the residual per-packet cost is the
+        // filter itself — n=128 gains little over n=32.
+        assert!(p32 - p128 < 3.0, "diminishing returns past n=32");
+    }
+}

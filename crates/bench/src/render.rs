@@ -50,10 +50,7 @@ impl PathTable {
         out.push_str(&format!("[{}] {}\n", self.id, self.title));
         out.push_str(&"-".repeat(width));
         out.push('\n');
-        out.push_str(&format!(
-            "{:<40} {:>11} {:>12}\n",
-            "", "Overhead", "Elapsed"
-        ));
+        out.push_str(&format!("{:<40} {:>11} {:>12}\n", "", "Overhead", "Elapsed"));
         out.push_str(&format!("{:<40} {:>11} {:>12}\n", "", "(us)", "time (us)"));
         out.push_str(&"-".repeat(width));
         out.push('\n');

@@ -79,23 +79,38 @@ pub fn run(reps: usize) -> PathTable {
         clock.charge(Cycles(costs::INDIRECTION_CYCLES));
         base_compute(clock);
     });
-    let null = measure(reps, || build("halt r0", 8192, Variant::Safe, 1), |w, clock| {
-        clock.charge(Cycles(costs::INDIRECTION_CYCLES));
-        w.graft.invoke([MATCH_AT as u64 * 4096, 4096, 0, 1 << 24]);
-    });
-    let unsafe_ = measure(reps, || make_world(Variant::Unsafe), |w, clock| {
-        clock.charge(Cycles(costs::INDIRECTION_CYCLES));
-        w.graft.invoke([MATCH_AT as u64 * 4096, 4096, 0, 1 << 24]);
-    });
-    let safe = measure(reps, || make_world(Variant::Safe), |w, clock| {
-        clock.charge(Cycles(costs::INDIRECTION_CYCLES));
-        w.graft.invoke([MATCH_AT as u64 * 4096, 4096, 0, 1 << 24]);
-    });
-    let abort = measure(reps, || make_world(Variant::Safe), |w, clock| {
-        clock.charge(Cycles(costs::INDIRECTION_CYCLES));
-        w.graft
-            .invoke_mode([MATCH_AT as u64 * 4096, 4096, 0, 1 << 24], CommitMode::AbortAtEnd);
-    });
+    let null = measure(
+        reps,
+        || build("halt r0", 8192, Variant::Safe, 1),
+        |w, clock| {
+            clock.charge(Cycles(costs::INDIRECTION_CYCLES));
+            w.graft.invoke([MATCH_AT as u64 * 4096, 4096, 0, 1 << 24]);
+        },
+    );
+    let unsafe_ = measure(
+        reps,
+        || make_world(Variant::Unsafe),
+        |w, clock| {
+            clock.charge(Cycles(costs::INDIRECTION_CYCLES));
+            w.graft.invoke([MATCH_AT as u64 * 4096, 4096, 0, 1 << 24]);
+        },
+    );
+    let safe = measure(
+        reps,
+        || make_world(Variant::Safe),
+        |w, clock| {
+            clock.charge(Cycles(costs::INDIRECTION_CYCLES));
+            w.graft.invoke([MATCH_AT as u64 * 4096, 4096, 0, 1 << 24]);
+        },
+    );
+    let abort = measure(
+        reps,
+        || make_world(Variant::Safe),
+        |w, clock| {
+            clock.charge(Cycles(costs::INDIRECTION_CYCLES));
+            w.graft.invoke_mode([MATCH_AT as u64 * 4096, 4096, 0, 1 << 24], CommitMode::AbortAtEnd);
+        },
+    );
 
     let begin = costs::TXN_BEGIN.as_us();
     let commit = costs::TXN_COMMIT.as_us();
@@ -122,9 +137,7 @@ pub fn run(reps: usize) -> PathTable {
             Row::path("Abort path", abort.mean),
         ],
         notes: vec![
-            format!(
-                "paper: base 0.5 / VINO 1.5 / null 67 / unsafe 104 / safe 107 / abort 108 us"
-            ),
+            format!("paper: base 0.5 / VINO 1.5 / null 67 / unsafe 104 / safe 107 / abort 108 us"),
             format!(
                 "grafting overhead (safe - VINO) = {:.1} us (paper: 105.5 us)",
                 safe.mean - vino.mean
@@ -234,4 +247,3 @@ mod tests {
         assert!(attr.of(Component::Sfi) > Cycles(0));
     }
 }
-

@@ -136,35 +136,51 @@ pub fn run(reps: usize) -> PathTable {
         c.charge(Cycles(costs::INDIRECTION_CYCLES));
         c.charge(costs::RESULT_CHECK);
     });
-    let null = measure(reps, || build("mov r0, r1\nhalt r0", 8192, Variant::Safe, 0), |w, c| {
-        base_machinery(c);
-        c.charge(Cycles(costs::INDIRECTION_CYCLES));
-        w.graft.invoke(invoke_args());
-        c.charge(costs::RESULT_CHECK);
-    });
-    let unsafe_ = measure(reps, || make_world(Variant::Unsafe), |w, c| {
-        base_machinery(c);
-        c.charge(Cycles(costs::INDIRECTION_CYCLES));
-        w.graft.invoke(invoke_args());
-        // Overrule: verification plus the Cao LRU-slot swap.
-        c.charge(costs::RESULT_CHECK);
-        c.charge(costs::RESULT_CHECK);
-    });
-    let safe = measure(reps, || make_world(Variant::Safe), |w, c| {
-        base_machinery(c);
-        c.charge(Cycles(costs::INDIRECTION_CYCLES));
-        w.graft.invoke(invoke_args());
-        c.charge(costs::RESULT_CHECK);
-        c.charge(costs::RESULT_CHECK);
-    });
-    let abort = measure(reps, || make_world(Variant::Safe), |w, c| {
-        base_machinery(c);
-        c.charge(Cycles(costs::INDIRECTION_CYCLES));
-        w.graft.invoke_mode(invoke_args(), CommitMode::AbortAtEnd);
-        // Abort falls back to the original victim: "results checking
-        // and list manipulation are simplified" (Table 4 caption).
-        c.charge(costs::RESULT_CHECK);
-    });
+    let null = measure(
+        reps,
+        || build("mov r0, r1\nhalt r0", 8192, Variant::Safe, 0),
+        |w, c| {
+            base_machinery(c);
+            c.charge(Cycles(costs::INDIRECTION_CYCLES));
+            w.graft.invoke(invoke_args());
+            c.charge(costs::RESULT_CHECK);
+        },
+    );
+    let unsafe_ = measure(
+        reps,
+        || make_world(Variant::Unsafe),
+        |w, c| {
+            base_machinery(c);
+            c.charge(Cycles(costs::INDIRECTION_CYCLES));
+            w.graft.invoke(invoke_args());
+            // Overrule: verification plus the Cao LRU-slot swap.
+            c.charge(costs::RESULT_CHECK);
+            c.charge(costs::RESULT_CHECK);
+        },
+    );
+    let safe = measure(
+        reps,
+        || make_world(Variant::Safe),
+        |w, c| {
+            base_machinery(c);
+            c.charge(Cycles(costs::INDIRECTION_CYCLES));
+            w.graft.invoke(invoke_args());
+            c.charge(costs::RESULT_CHECK);
+            c.charge(costs::RESULT_CHECK);
+        },
+    );
+    let abort = measure(
+        reps,
+        || make_world(Variant::Safe),
+        |w, c| {
+            base_machinery(c);
+            c.charge(Cycles(costs::INDIRECTION_CYCLES));
+            w.graft.invoke_mode(invoke_args(), CommitMode::AbortAtEnd);
+            // Abort falls back to the original victim: "results checking
+            // and list manipulation are simplified" (Table 4 caption).
+            c.charge(costs::RESULT_CHECK);
+        },
+    );
 
     let begin = costs::TXN_BEGIN.as_us();
     let commit = costs::TXN_COMMIT.as_us();

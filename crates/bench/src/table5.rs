@@ -12,11 +12,11 @@
 //! The per-entry `examine` is a subroutine call (the unoptimized
 //! collection-class accessor, ~35 cycles a call).
 
+use std::rc::Rc;
 use vino_core::adapters::{share, SchedGraftAdapter};
 use vino_core::engine::CommitMode;
-use vino_sim::{costs, VirtualClock};
 use vino_sched::Scheduler;
-use std::rc::Rc;
+use vino_sim::{costs, VirtualClock};
 
 use crate::render::{PathTable, Row};
 use crate::world::{build, measure, HasClock, Variant, World};
@@ -82,68 +82,81 @@ fn make_sched_world(variant: Variant, mode: CommitMode) -> SchedWorld {
 fn build_instance_like(w: &World, variant: Variant) -> vino_core::engine::GraftInstance {
     // Rebuild the graft program on the *same* engine/clock as `w` so
     // both charge one clock.
-    let prog = vino_vm::asm::assemble(
-        "sched-graft",
-        SCHED_GRAFT_SRC,
-        &vino_core::hostfn::symbols(),
-    )
-    .expect("assembles");
+    let prog =
+        vino_vm::asm::assemble("sched-graft", SCHED_GRAFT_SRC, &vino_core::hostfn::symbols())
+            .expect("assembles");
     crate::world::instance_from(&w.engine, prog, 4096, variant)
 }
 
 /// Runs the experiment and renders Table 5.
 pub fn run(reps: usize) -> PathTable {
     // Base: two switches, no delegates.
-    let base = measure(reps, || {
-        let clock = VirtualClock::new();
-        let mut s = Scheduler::new(Rc::clone(&clock));
-        for i in 0..PROC_LIST {
-            s.spawn(format!("p{i}"));
-        }
-        (s, clock)
-    }, |(s, _), _| {
-        s.pick_and_switch();
-        s.pick_and_switch();
-    });
+    let base = measure(
+        reps,
+        || {
+            let clock = VirtualClock::new();
+            let mut s = Scheduler::new(Rc::clone(&clock));
+            for i in 0..PROC_LIST {
+                s.spawn(format!("p{i}"));
+            }
+            (s, clock)
+        },
+        |(s, _), _| {
+            s.pick_and_switch();
+            s.pick_and_switch();
+        },
+    );
 
     // VINO path: a native delegate that returns the chosen id —
     // indirection + valid-id hash probe + two switches.
-    let vino = measure(reps, || {
-        let clock = VirtualClock::new();
-        let mut s = Scheduler::new(Rc::clone(&clock));
-        let first = s.spawn("delegated");
-        for i in 0..PROC_LIST - 1 {
-            s.spawn(format!("p{i}"));
-        }
-        s.set_delegate(first, Box::new(|snap: &vino_sched::SchedSnapshot<'_>| snap.chosen));
-        (s, clock)
-    }, |(s, _), _| {
-        s.pick_and_switch();
-        s.pick_and_switch();
-    });
+    let vino = measure(
+        reps,
+        || {
+            let clock = VirtualClock::new();
+            let mut s = Scheduler::new(Rc::clone(&clock));
+            let first = s.spawn("delegated");
+            for i in 0..PROC_LIST - 1 {
+                s.spawn(format!("p{i}"));
+            }
+            s.set_delegate(first, Box::new(|snap: &vino_sched::SchedSnapshot<'_>| snap.chosen));
+            (s, clock)
+        },
+        |(s, _), _| {
+            s.pick_and_switch();
+            s.pick_and_switch();
+        },
+    );
 
     // Graft paths: the delegate runs a graft through the adapter.
     let graft_path = |variant: Variant, mode: CommitMode| {
-        measure(reps, move || make_sched_world(variant, mode), |sw, _| {
-            sw.sched.pick_and_switch();
-            sw.sched.pick_and_switch();
-        })
+        measure(
+            reps,
+            move || make_sched_world(variant, mode),
+            |sw, _| {
+                sw.sched.pick_and_switch();
+                sw.sched.pick_and_switch();
+            },
+        )
     };
     // Null path: null graft through the adapter, committing.
-    let null = measure(reps, || {
-        let world = build("mov r0, r1\nhalt r0", 4096, Variant::Safe, 1);
-        let mut sched = Scheduler::new(world.clock());
-        let delegated = sched.spawn("delegated");
-        for i in 0..PROC_LIST - 1 {
-            sched.spawn(format!("p{i}"));
-        }
-        let inst = build_null_instance(&world);
-        sched.set_delegate(delegated, Box::new(SchedGraftAdapter::new(share(inst))));
-        SchedWorld { world, sched }
-    }, |sw, _| {
-        sw.sched.pick_and_switch();
-        sw.sched.pick_and_switch();
-    });
+    let null = measure(
+        reps,
+        || {
+            let world = build("mov r0, r1\nhalt r0", 4096, Variant::Safe, 1);
+            let mut sched = Scheduler::new(world.clock());
+            let delegated = sched.spawn("delegated");
+            for i in 0..PROC_LIST - 1 {
+                sched.spawn(format!("p{i}"));
+            }
+            let inst = build_null_instance(&world);
+            sched.set_delegate(delegated, Box::new(SchedGraftAdapter::new(share(inst))));
+            SchedWorld { world, sched }
+        },
+        |sw, _| {
+            sw.sched.pick_and_switch();
+            sw.sched.pick_and_switch();
+        },
+    );
     let unsafe_ = graft_path(Variant::Unsafe, CommitMode::Commit);
     let safe = graft_path(Variant::Safe, CommitMode::Commit);
     let abort = graft_path(Variant::Safe, CommitMode::AbortAtEnd);
@@ -185,9 +198,8 @@ pub fn run(reps: usize) -> PathTable {
 }
 
 fn build_null_instance(w: &World) -> vino_core::engine::GraftInstance {
-    let prog =
-        vino_vm::asm::assemble("null", "mov r0, r1\nhalt r0", &vino_core::hostfn::symbols())
-            .expect("assembles");
+    let prog = vino_vm::asm::assemble("null", "mov r0, r1\nhalt r0", &vino_core::hostfn::symbols())
+        .expect("assembles");
     crate::world::instance_from(&w.engine, prog, 4096, Variant::Safe)
 }
 

@@ -75,30 +75,46 @@ pub fn run(reps: usize) -> PathTable {
         c.charge(Cycles(costs::INDIRECTION_CYCLES));
         charge_bcopy(c);
     });
-    let null = measure(reps, || build("halt r0", 1024, Variant::Safe, 0), |w, c| {
-        c.charge(Cycles(costs::INDIRECTION_CYCLES));
-        w.graft.invoke([0; 4]);
-        charge_bcopy(c);
-        charge_l1(c);
-    });
-    let unsafe_ = measure(reps, || make_world(Variant::Unsafe), |w, c| {
-        c.charge(Cycles(costs::INDIRECTION_CYCLES));
-        let args = invoke_args(w);
-        w.graft.invoke(args);
-        charge_l1(c);
-    });
-    let safe = measure(reps, || make_world(Variant::Safe), |w, c| {
-        c.charge(Cycles(costs::INDIRECTION_CYCLES));
-        let args = invoke_args(w);
-        w.graft.invoke(args);
-        charge_l1(c);
-    });
-    let abort = measure(reps, || make_world(Variant::Safe), |w, c| {
-        c.charge(Cycles(costs::INDIRECTION_CYCLES));
-        let args = invoke_args(w);
-        w.graft.invoke_mode(args, CommitMode::AbortAtEnd);
-        charge_l1(c);
-    });
+    let null = measure(
+        reps,
+        || build("halt r0", 1024, Variant::Safe, 0),
+        |w, c| {
+            c.charge(Cycles(costs::INDIRECTION_CYCLES));
+            w.graft.invoke([0; 4]);
+            charge_bcopy(c);
+            charge_l1(c);
+        },
+    );
+    let unsafe_ = measure(
+        reps,
+        || make_world(Variant::Unsafe),
+        |w, c| {
+            c.charge(Cycles(costs::INDIRECTION_CYCLES));
+            let args = invoke_args(w);
+            w.graft.invoke(args);
+            charge_l1(c);
+        },
+    );
+    let safe = measure(
+        reps,
+        || make_world(Variant::Safe),
+        |w, c| {
+            c.charge(Cycles(costs::INDIRECTION_CYCLES));
+            let args = invoke_args(w);
+            w.graft.invoke(args);
+            charge_l1(c);
+        },
+    );
+    let abort = measure(
+        reps,
+        || make_world(Variant::Safe),
+        |w, c| {
+            c.charge(Cycles(costs::INDIRECTION_CYCLES));
+            let args = invoke_args(w);
+            w.graft.invoke_mode(args, CommitMode::AbortAtEnd);
+            charge_l1(c);
+        },
+    );
 
     let begin = costs::TXN_BEGIN.as_us();
     let commit = costs::TXN_COMMIT.as_us();
@@ -126,8 +142,7 @@ pub fn run(reps: usize) -> PathTable {
                 "safe path = {:.1}x bcopy (paper: 5.2x); MiSFIT overhead = {:.0}% of the graft \
                  function (paper: >100%)",
                 safe.mean / base.mean,
-                100.0 * (safe.mean - unsafe_.mean)
-                    / (unsafe_.mean - null.mean + base.mean)
+                100.0 * (safe.mean - unsafe_.mean) / (unsafe_.mean - null.mean + base.mean)
             ),
         ],
     }

@@ -157,18 +157,12 @@ mod tests {
         // The encryption graft holds no locks and logs no undo: its
         // full abort equals the null abort (paper: 36/36).
         let enc = by_name["Encryption"];
-        assert!(
-            (enc.full_abort - enc.null_abort).abs() < 1.0,
-            "encryption {enc:?}"
-        );
+        assert!((enc.full_abort - enc.null_abort).abs() < 1.0, "encryption {enc:?}");
         // "the full abort cost is only 0% to 40% more than the null
         // abort cost" (§4.5).
         for (name, p) in &ps {
             let ratio = p.full_abort / p.null_abort;
-            assert!(
-                (1.0..=1.45).contains(&ratio),
-                "{name}: full/null = {ratio}"
-            );
+            assert!((1.0..=1.45).contains(&ratio), "{name}: full/null = {ratio}");
         }
     }
 }

@@ -45,9 +45,7 @@ pub fn run() -> PathTable {
     let s = tp.stats();
     PathTable {
         id: "TR",
-        title: format!(
-            "Trace-plane event census ({INVOKES} commits + {INVOKES} aborts)"
-        ),
+        title: format!("Trace-plane event census ({INVOKES} commits + {INVOKES} aborts)"),
         rows: vec![
             Row::value("vm events", s.vm as f64),
             Row::value("txn events", s.txn as f64),
@@ -57,9 +55,7 @@ pub fn run() -> PathTable {
             Row::value("total emitted", s.total as f64),
             Row::value("dropped (ring wrap)", s.dropped as f64),
         ],
-        notes: vec![
-            "counts are event totals, not µs; see docs/TRACING.md".to_string(),
-        ],
+        notes: vec!["counts are event totals, not µs; see docs/TRACING.md".to_string()],
     }
 }
 

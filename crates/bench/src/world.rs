@@ -99,7 +99,11 @@ pub fn instance_from(
 
 /// Measures `op` `reps` times, each against a fresh state produced by
 /// `mk`, returning the trimmed summary of per-rep elapsed microseconds.
-pub fn measure<S>(reps: usize, mut mk: impl FnMut() -> S, mut op: impl FnMut(&mut S, &Rc<VirtualClock>)) -> Summary
+pub fn measure<S>(
+    reps: usize,
+    mut mk: impl FnMut() -> S,
+    mut op: impl FnMut(&mut S, &Rc<VirtualClock>),
+) -> Summary
 where
     S: HasClock,
 {

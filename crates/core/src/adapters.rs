@@ -79,18 +79,15 @@ impl ReadAheadDelegate for RaGraftAdapter {
             mem.graft_write_u32(16, (req.offset >> 32) as u32);
             mem.graft_write_u32(20, (req.file_size >> 32) as u32);
         }
-        let out = g.invoke_mode(
-            [req.offset, req.len, req.sequential as u64, req.file_size],
-            self.mode,
-        );
+        let out =
+            g.invoke_mode([req.offset, req.len, req.sequential as u64, req.file_size], self.mode);
         if self.mode == CommitMode::AbortAtEnd {
             g.revive();
         }
         match out {
-            InvokeOutcome::Ok { extents, .. } => extents
-                .into_iter()
-                .map(|(offset, len)| Extent { offset, len })
-                .collect(),
+            InvokeOutcome::Ok { extents, .. } => {
+                extents.into_iter().map(|(offset, len)| Extent { offset, len }).collect()
+            }
             // Abort ⇒ forcibly unloaded ⇒ default policy (§3.6).
             InvokeOutcome::Aborted { .. } | InvokeOutcome::Dead => default_compute_ra(req),
         }

@@ -341,9 +341,7 @@ impl KernelApi for KernelHost {
             }
             // Defence in depth: restricted functions refuse even if the
             // link/run-time checks were somehow bypassed.
-            other if other.0 >= hostfn::FIRST_RESTRICTED => {
-                Err(Trap::ForbiddenCall { id: other })
-            }
+            other if other.0 >= hostfn::FIRST_RESTRICTED => Err(Trap::ForbiddenCall { id: other }),
             other => Err(Trap::UnknownFunction { id: other }),
         }
     }
@@ -403,6 +401,34 @@ impl InvokeOutcome {
             _ => None,
         }
     }
+}
+
+/// The result of one batched invocation: a single wrapper transaction
+/// covering up to `count` back-to-back runs of the graft function
+/// (§4.1.3's per-invocation overhead argument — the begin/commit
+/// envelope is paid once per batch instead of once per run).
+#[derive(Debug)]
+pub enum BatchOutcome {
+    /// Every run halted and the whole batch committed; `results[i]` is
+    /// run `i`'s halt value.
+    Ok {
+        /// Halt values, one per run, in run order.
+        results: Vec<u64>,
+    },
+    /// Run `failed_at` misbehaved. The batch is one atomicity domain:
+    /// the wrapper transaction was aborted, every earlier run's effects
+    /// were undone, and the graft is now dead (§3.6).
+    Aborted {
+        /// Index of the run that misbehaved.
+        failed_at: usize,
+        /// Why.
+        why: AbortedWhy,
+        /// The transaction manager's abort report.
+        report: AbortReport,
+    },
+    /// The graft was already unloaded; the caller should run the
+    /// default function for the whole batch.
+    Dead,
 }
 
 /// Commit-or-abort mode for an invocation (benchmarks measure both).
@@ -537,6 +563,25 @@ impl GraftInstance {
         self.dead = false;
     }
 
+    /// Forcibly unloads the graft from outside an invocation — the
+    /// discipline path for misbehaviour that the wrapper cannot see
+    /// from inside one transaction (e.g. the packet plane's
+    /// steer-cycle tolerance). The failure is recorded in the
+    /// reliability ledger, so repeated condemnation quarantines the
+    /// graft name exactly like in-invocation aborts. The caller owns
+    /// any trace/metrics emission for the event that triggered it.
+    pub fn condemn(&mut self) {
+        if self.dead {
+            return;
+        }
+        self.dead = true;
+        self.engine.reliability.borrow_mut().record_abort(
+            &self.name,
+            reliability::FailureKind::OtherTrap,
+            self.engine.clock.now(),
+        );
+    }
+
     /// Invokes the graft through the full wrapper: transaction begin,
     /// fuel-bounded execution, commit/abort, forcible unload on
     /// misbehaviour.
@@ -644,6 +689,118 @@ impl GraftInstance {
         }
     }
 
+    /// Invokes the graft `count` times under ONE wrapper transaction.
+    ///
+    /// `marshal(i, mem)` prepares the graft memory for run `i` (e.g.
+    /// writes packet `i`'s header and payload into the segment) and
+    /// returns the run's register arguments. The transaction envelope —
+    /// begin, commit, the invocation metrics bracket and the `graft.*`
+    /// lifecycle trace events — is paid once for the whole batch, which
+    /// is the batched dispatcher's per-packet win. The batch is one
+    /// atomicity domain: if any run traps, hogs the CPU or loses its
+    /// locks, the whole batch aborts, every run's effects are undone
+    /// and the graft is forcibly unloaded, exactly as a single-run
+    /// abort.
+    pub fn invoke_batch<F>(&mut self, count: usize, mut marshal: F) -> BatchOutcome
+    where
+        F: FnMut(usize, &mut AddressSpace) -> [u64; 4],
+    {
+        if self.dead {
+            if let Some(tag) = self.tag {
+                self.emit(TraceEvent::FallbackServed { graft: tag });
+            }
+            if let Some(mtag) = self.mtag {
+                if let Some(mp) = self.engine.metrics_plane() {
+                    mp.mark_fallback(mtag);
+                }
+            }
+            return BatchOutcome::Dead;
+        }
+        if count == 0 {
+            return BatchOutcome::Ok { results: Vec::new() };
+        }
+        self.stats.invocations += 1;
+        if let Some(tag) = self.tag {
+            self.emit(TraceEvent::GraftInvoke { graft: tag });
+        }
+        if let Some(mtag) = self.mtag {
+            if let Some(mp) = self.engine.metrics_plane() {
+                mp.begin_invocation(mtag);
+            }
+        }
+        let engine = Rc::clone(&self.engine);
+        let txn_id = engine.txn.borrow_mut().begin(self.thread);
+        let mut host = KernelHost::new(Rc::clone(&engine), self.thread, self.principal);
+        let mut results = Vec::with_capacity(count);
+        for i in 0..count {
+            self.vm.reset();
+            let args = marshal(i, &mut self.vm.mem);
+            self.vm.regs[1] = args[0];
+            self.vm.regs[2] = args[1];
+            self.vm.regs[3] = args[2];
+            self.vm.regs[4] = args[3];
+            let mut slices = 0u32;
+            loop {
+                let mut fuel = vino_sched::Scheduler::timeslice_fuel();
+                match self.vm.run(&self.program, &mut host, &engine.clock, &mut fuel) {
+                    Exit::Halted(result) => {
+                        results.push(result);
+                        break;
+                    }
+                    Exit::Preempted => {
+                        self.stats.preemptions += 1;
+                        slices += 1;
+                        engine.clock.charge(costs::CONTEXT_SWITCH);
+                        engine.clock.charge(costs::CONTEXT_SWITCH);
+                        engine.txn.borrow_mut().fire_due_timeouts();
+                        if let Some(report) =
+                            engine.txn.borrow_mut().take_forced_abort(self.thread, txn_id)
+                        {
+                            let out = self.fail(AbortedWhy::LockTimeout, report);
+                            return batch_aborted(i, out);
+                        }
+                        if slices >= self.max_slices {
+                            let report = self.abort_wrapper(txn_id, AbortReason::Explicit);
+                            let out = self.fail(AbortedWhy::CpuHog, report);
+                            return batch_aborted(i, out);
+                        }
+                    }
+                    Exit::Trapped(trap) => {
+                        let reason = match trap {
+                            Trap::HostError { code: errcode::NOMEM } => AbortReason::ResourceLimit,
+                            Trap::HostError { code: errcode::LOCK_TIMEOUT } => {
+                                AbortReason::LockTimeout(LockId(u64::MAX))
+                            }
+                            _ => AbortReason::Explicit,
+                        };
+                        let report = self.abort_wrapper(txn_id, reason);
+                        let out = self.fail(AbortedWhy::Trap(trap), report);
+                        return batch_aborted(i, out);
+                    }
+                }
+            }
+        }
+        let committed = engine.txn.borrow_mut().commit(self.thread).is_ok();
+        if committed {
+            self.stats.commits += 1;
+            if let Some(tag) = self.tag {
+                self.emit(TraceEvent::GraftCommit { graft: tag });
+            }
+            if self.mtag.is_some() {
+                if let Some(mp) = self.engine.metrics_plane() {
+                    mp.end_invocation(true);
+                }
+            }
+            BatchOutcome::Ok { results }
+        } else {
+            // A fired lock time-out stole the wrapper transaction
+            // between the last run and the commit.
+            let report = self.stolen_report(txn_id);
+            let out = self.fail(AbortedWhy::LockTimeout, report);
+            batch_aborted(count - 1, out)
+        }
+    }
+
     /// Aborts the wrapper transaction; if a fired lock time-out already
     /// stole it (aborted this thread's innermost frame from under the
     /// running graft), recovers that abort's report instead of
@@ -710,6 +867,14 @@ impl GraftInstance {
             self.engine.clock.now(),
         );
         InvokeOutcome::Aborted { why, report }
+    }
+}
+
+/// Re-shapes a single-run abort outcome into its batch counterpart.
+fn batch_aborted(failed_at: usize, out: InvokeOutcome) -> BatchOutcome {
+    match out {
+        InvokeOutcome::Aborted { why, report } => BatchOutcome::Aborted { failed_at, why, report },
+        _ => unreachable!("fail() always returns Aborted"),
     }
 }
 
@@ -957,6 +1122,75 @@ mod tests {
         assert!(g.is_dead());
         g.revive();
         assert!(matches!(g.invoke([0; 4]), InvokeOutcome::Ok { .. }));
+    }
+
+    #[test]
+    fn batch_pays_one_transaction_envelope_for_n_runs() {
+        let mut g = instance("add r0, r1, r2\nhalt r0");
+        let out = g.invoke_batch(8, |i, _mem| [i as u64, 100, 0, 0]);
+        match out {
+            BatchOutcome::Ok { results } => {
+                assert_eq!(results, (100..108).collect::<Vec<u64>>());
+            }
+            other => panic!("{other:?}"),
+        }
+        let t = g.engine.txn.borrow().stats();
+        assert_eq!(t.begins, 1, "one begin for the whole batch");
+        assert_eq!(t.commits, 1, "one commit for the whole batch");
+        assert_eq!(g.stats().commits, 1);
+    }
+
+    #[test]
+    fn batch_abort_undoes_every_earlier_run() {
+        // Each run writes kv[run]; run 5 divides by zero. The whole
+        // batch is one atomicity domain: all five earlier writes must
+        // be undone.
+        let mut g = instance(
+            "
+            mov r5, r1        ; slot = run index
+            const r2, 1
+            mov r1, r5
+            call $kv_set
+            const r3, 5
+            bne r5, r3, fine
+            const r3, 0
+            div r0, r2, r3    ; run 5 traps
+        fine:
+            halt r0
+            ",
+        );
+        match g.invoke_batch(8, |i, _mem| [i as u64, 0, 0, 0]) {
+            BatchOutcome::Aborted { failed_at, why: AbortedWhy::Trap(Trap::DivByZero), report } => {
+                assert_eq!(failed_at, 5);
+                assert_eq!(report.undo_ops, 6, "five earlier writes plus run 5's own");
+            }
+            other => panic!("{other:?}"),
+        }
+        for slot in 0..6 {
+            assert_eq!(g.engine.kv_read(slot), 0, "kv[{slot}] restored");
+        }
+        assert!(g.is_dead(), "batch abort forcibly unloads the graft");
+        assert!(matches!(g.invoke_batch(4, |_, _| [0; 4]), BatchOutcome::Dead));
+    }
+
+    #[test]
+    fn batch_cpu_hog_aborts_whole_batch() {
+        let mut g = instance("spin: jmp spin");
+        g.max_slices = 2;
+        match g.invoke_batch(4, |_, _| [0; 4]) {
+            BatchOutcome::Aborted { failed_at: 0, why: AbortedWhy::CpuHog, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(g.is_dead());
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut g = instance("halt r0");
+        assert!(
+            matches!(g.invoke_batch(0, |_, _| [0; 4]), BatchOutcome::Ok { results } if results.is_empty())
+        );
+        assert_eq!(g.engine.txn.borrow().stats().begins, 0);
     }
 
     #[test]

@@ -37,12 +37,8 @@ struct Cg {
 
 /// Compiles a parsed function into a program named `name`.
 pub fn compile(name: &str, f: &Function) -> Result<Program, String> {
-    let mut cg = Cg {
-        instrs: Vec::new(),
-        vars: Vec::new(),
-        temp_depth: 0,
-        syms: hostfn::symbols(),
-    };
+    let mut cg =
+        Cg { instrs: Vec::new(), vars: Vec::new(), temp_depth: 0, syms: hostfn::symbols() };
     // Prologue: copy parameters out of the argument registers so calls
     // can re-use r1..r4 for marshalling.
     for (i, p) in f.params.iter().enumerate() {
@@ -64,9 +60,7 @@ impl Cg {
             return Err(format!("variable `{name}` already declared"));
         }
         if self.vars.len() >= MAX_VARS {
-            return Err(format!(
-                "too many variables (max {MAX_VARS}); grafts are small by design"
-            ));
+            return Err(format!("too many variables (max {MAX_VARS}); grafts are small by design"));
         }
         self.vars.push(name.to_string());
         Ok(Reg(VAR_BASE + (self.vars.len() - 1) as u8))
@@ -158,8 +152,7 @@ impl Cg {
                 self.body(body)?;
                 self.instrs.push(Instr::Jmp { target: top });
                 let end = self.here();
-                self.instrs[br_end as usize] =
-                    self.instrs[br_end as usize].with_branch_target(end);
+                self.instrs[br_end as usize] = self.instrs[br_end as usize].with_branch_target(end);
             }
             Stmt::Return(e) => {
                 let t = self.expr(e)?;
@@ -468,10 +461,8 @@ mod tests {
         assert!(e("fn main() { return nosuchfn(); }").contains("unknown kernel function"));
         assert!(e("fn main() { return y; }").contains("unknown variable"));
         assert!(e("fn main(a) { let a = 1; }").contains("already declared"));
-        assert!(e(
-            "fn main() { let a=1; let b=1; let c=1; let d=1; let e=1; let f=1; let g=1; }"
-        )
-        .contains("too many variables"));
+        assert!(e("fn main() { let a=1; let b=1; let c=1; let d=1; let e=1; let f=1; let g=1; }")
+            .contains("too many variables"));
         // Deep nesting exhausts the temp stack (no silent spill).
         assert!(e("fn main(a) { return a+(a+(a+(a+(a+a)))); }").contains("temp stack"));
     }

@@ -122,22 +122,70 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     i += 1;
                 }
             }
-            '(' => { out.push(Spanned { tok: Token::LParen, line }); i += 1; }
-            ')' => { out.push(Spanned { tok: Token::RParen, line }); i += 1; }
-            '{' => { out.push(Spanned { tok: Token::LBrace, line }); i += 1; }
-            '}' => { out.push(Spanned { tok: Token::RBrace, line }); i += 1; }
-            '[' => { out.push(Spanned { tok: Token::LBracket, line }); i += 1; }
-            ']' => { out.push(Spanned { tok: Token::RBracket, line }); i += 1; }
-            ',' => { out.push(Spanned { tok: Token::Comma, line }); i += 1; }
-            ';' => { out.push(Spanned { tok: Token::Semi, line }); i += 1; }
-            '+' => { out.push(Spanned { tok: Token::Plus, line }); i += 1; }
-            '-' => { out.push(Spanned { tok: Token::Minus, line }); i += 1; }
-            '*' => { out.push(Spanned { tok: Token::Star, line }); i += 1; }
-            '/' => { out.push(Spanned { tok: Token::Slash, line }); i += 1; }
-            '%' => { out.push(Spanned { tok: Token::Percent, line }); i += 1; }
-            '&' => { out.push(Spanned { tok: Token::Amp, line }); i += 1; }
-            '|' => { out.push(Spanned { tok: Token::Pipe, line }); i += 1; }
-            '^' => { out.push(Spanned { tok: Token::Caret, line }); i += 1; }
+            '(' => {
+                out.push(Spanned { tok: Token::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { tok: Token::RParen, line });
+                i += 1;
+            }
+            '{' => {
+                out.push(Spanned { tok: Token::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                out.push(Spanned { tok: Token::RBrace, line });
+                i += 1;
+            }
+            '[' => {
+                out.push(Spanned { tok: Token::LBracket, line });
+                i += 1;
+            }
+            ']' => {
+                out.push(Spanned { tok: Token::RBracket, line });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { tok: Token::Comma, line });
+                i += 1;
+            }
+            ';' => {
+                out.push(Spanned { tok: Token::Semi, line });
+                i += 1;
+            }
+            '+' => {
+                out.push(Spanned { tok: Token::Plus, line });
+                i += 1;
+            }
+            '-' => {
+                out.push(Spanned { tok: Token::Minus, line });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned { tok: Token::Star, line });
+                i += 1;
+            }
+            '/' => {
+                out.push(Spanned { tok: Token::Slash, line });
+                i += 1;
+            }
+            '%' => {
+                out.push(Spanned { tok: Token::Percent, line });
+                i += 1;
+            }
+            '&' => {
+                out.push(Spanned { tok: Token::Amp, line });
+                i += 1;
+            }
+            '|' => {
+                out.push(Spanned { tok: Token::Pipe, line });
+                i += 1;
+            }
+            '^' => {
+                out.push(Spanned { tok: Token::Caret, line });
+                i += 1;
+            }
             '<' => {
                 if bytes.get(i + 1) == Some(&'<') {
                     out.push(Spanned { tok: Token::Shl, line });
@@ -222,9 +270,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 };
                 out.push(Spanned { tok, line });
             }
-            other => {
-                return Err(LexError { line, msg: format!("unexpected character `{other}`") })
-            }
+            other => return Err(LexError { line, msg: format!("unexpected character `{other}`") }),
         }
     }
     Ok(out)

@@ -391,8 +391,8 @@ mod tests {
 
     #[test]
     fn while_and_assign() {
-        let f = parse_src("fn main() { let i = 0; while (i < 10) { i = i + 1; } return i; }")
-            .unwrap();
+        let f =
+            parse_src("fn main() { let i = 0; while (i < 10) { i = i + 1; } return i; }").unwrap();
         assert!(matches!(f.body[1], Stmt::While { .. }));
     }
 

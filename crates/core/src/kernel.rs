@@ -41,6 +41,10 @@ pub mod point_names {
     pub const GLOBAL_SCHEDULER: &str = "kernel/global-scheduler";
     /// The security-enforcement module — restricted (Rule 5).
     pub const SECURITY_POLICY: &str = "kernel/security-policy";
+    /// Per-port packet filter / steering point on the RX path
+    /// (`vino-net`'s graftable demux — the canonical packet-filter
+    /// extension).
+    pub const PACKET_FILTER: &str = "net/packet-filter";
 }
 
 /// Boot-time configuration.
@@ -144,6 +148,7 @@ impl Kernel {
         ns.define(point_names::STREAM_TRANSFORM, PointKind::Function { restricted: false });
         ns.define(point_names::GLOBAL_SCHEDULER, PointKind::Function { restricted: true });
         ns.define(point_names::SECURITY_POLICY, PointKind::Function { restricted: true });
+        ns.define(point_names::PACKET_FILTER, PointKind::Function { restricted: false });
         Rc::new(Kernel {
             sched: RefCell::new(vino_sched::Scheduler::new(Rc::clone(&clock))),
             mem: RefCell::new(MemorySystem::new(Rc::clone(&clock), cfg.memory_pages)),
@@ -223,6 +228,7 @@ impl Kernel {
         self.engine.txn.borrow_mut().set_metrics_plane(Rc::clone(&plane));
         self.engine.rm.borrow_mut().set_metrics_plane(Rc::clone(&plane));
         self.engine.reliability.borrow_mut().set_metrics_plane(Rc::clone(&plane));
+        self.nic.borrow_mut().set_metrics_plane(Rc::clone(&plane));
         self.engine.set_metrics_plane(plane);
         Ok(())
     }
@@ -342,10 +348,9 @@ impl Kernel {
     ) -> Result<SharedGraft, InstallError> {
         self.check_point(point_names::PICK_VICTIM, opts)?;
         let graft = self.load(image, installer, thread, opts)?;
-        self.mem.borrow_mut().set_eviction_delegate(
-            vas,
-            Box::new(EvictGraftAdapter::new(Rc::clone(&graft))),
-        );
+        self.mem
+            .borrow_mut()
+            .set_eviction_delegate(vas, Box::new(EvictGraftAdapter::new(Rc::clone(&graft))));
         Ok(graft)
     }
 
@@ -359,10 +364,10 @@ impl Kernel {
     ) -> Result<SharedGraft, InstallError> {
         self.check_point(point_names::SCHEDULE_DELEGATE, opts)?;
         let graft = self.load(image, installer, target, opts)?;
-        let ok = self.sched.borrow_mut().set_delegate(
-            target,
-            Box::new(SchedGraftAdapter::new(Rc::clone(&graft))),
-        );
+        let ok = self
+            .sched
+            .borrow_mut()
+            .set_delegate(target, Box::new(SchedGraftAdapter::new(Rc::clone(&graft))));
         if !ok {
             return Err(InstallError::NoSuchPoint(format!("thread {target}")));
         }
@@ -407,6 +412,27 @@ impl Kernel {
     /// Looks up a function graft installed by name.
     pub fn function_graft(&self, point: &str) -> Option<SharedGraft> {
         self.fn_grafts.borrow().get(point).cloned()
+    }
+
+    /// Installs a packet-filter graft for one port's RX path. The full
+    /// loader pipeline applies — MiSFIT verification, quarantine and
+    /// blame gates — and the graft is registered under
+    /// `net/packet-filter/port-N` so diagnostics can find it. The packet
+    /// plane (`vino-net`) calls this and owns the per-port dispatch.
+    pub fn install_packet_filter(
+        &self,
+        port: Port,
+        image: &SignedImage,
+        installer: PrincipalId,
+        thread: ThreadId,
+        opts: &InstallOpts,
+    ) -> Result<SharedGraft, InstallError> {
+        self.check_point(point_names::PACKET_FILTER, opts)?;
+        let graft = self.load(image, installer, thread, opts)?;
+        self.fn_grafts
+            .borrow_mut()
+            .insert(format!("{}/port-{}", point_names::PACKET_FILTER, port.0), Rc::clone(&graft));
+        Ok(graft)
     }
 
     /// Registers an event graft point for a port (e.g. TCP 80 for the
@@ -561,8 +587,7 @@ mod tests {
         assert!(matches!(err, InstallError::Restricted { .. }));
         // Privileged install: accepted.
         let opts = InstallOpts { privileged: true, ..InstallOpts::default() };
-        k.install_function_graft(point_names::GLOBAL_SCHEDULER, &image, a, t, &opts)
-            .unwrap();
+        k.install_function_graft(point_names::GLOBAL_SCHEDULER, &image, a, t, &opts).unwrap();
         assert!(k.function_graft(point_names::GLOBAL_SCHEDULER).is_some());
     }
 
@@ -610,9 +635,8 @@ mod tests {
         let a = app(&k);
         k.define_event_point(Port(80));
         let bad = k.compile_graft("bad", "const r1, 0\ndiv r0, r1, r1\nhalt r0").unwrap();
-        let good = k
-            .compile_graft("good", "const r1, 11\nconst r2, 1\ncall $kv_set\nhalt r0")
-            .unwrap();
+        let good =
+            k.compile_graft("good", "const r1, 11\nconst r2, 1\ncall $kv_set\nhalt r0").unwrap();
         k.install_event_graft(Port(80), 0, &bad, a, &InstallOpts::default()).unwrap();
         k.install_event_graft(Port(80), 1, &good, a, &InstallOpts::default()).unwrap();
         k.nic.borrow_mut().inject_tcp_connect(Port(80));
@@ -705,7 +729,10 @@ mod tests {
             "armed VmTrap fault fired inside the graft: {out:?}"
         );
         assert_eq!(
-            k.reliability().ledger("victim").unwrap().count(crate::reliability::FailureKind::InjectedFault),
+            k.reliability()
+                .ledger("victim")
+                .unwrap()
+                .count(crate::reliability::FailureKind::InjectedFault),
             1,
             "injected fault ledgered"
         );
@@ -723,10 +750,7 @@ mod tests {
         );
         let tp = TracePlane::new(Rc::clone(&k.clock));
         k.attach_trace_plane(Rc::clone(&tp)).unwrap();
-        assert_eq!(
-            k.attach_trace_plane(tp).unwrap_err(),
-            AttachError::AlreadyAttached
-        );
+        assert_eq!(k.attach_trace_plane(tp).unwrap_err(), AttachError::AlreadyAttached);
         let mp = vino_sim::metrics::MetricsPlane::new(Rc::clone(&k.clock));
         assert!(k.metrics().is_none(), "no metrics plane before attach");
         k.attach_metrics_plane(Rc::clone(&mp)).unwrap();
@@ -827,8 +851,7 @@ mod tests {
                 ",
             )
             .unwrap();
-        let mut stream =
-            k.install_stream_graft(&image, a, t, &InstallOpts::default()).unwrap();
+        let mut stream = k.install_stream_graft(&image, a, t, &InstallOpts::default()).unwrap();
         let out = stream.transform(b"attack at dawn").unwrap();
         let back: Vec<u8> = out.iter().map(|b| b ^ 0xFF).collect();
         assert_eq!(back, b"attack at dawn");

@@ -137,8 +137,7 @@ pub fn load_graft(
     }
     // 1-2. Signature + decode.
     let program = tool.verify_and_decode(image).map_err(InstallError::Verify)?;
-    if let Err(until) =
-        engine.reliability.borrow().check_install(&program.name, engine.clock.now())
+    if let Err(until) = engine.reliability.borrow().check_install(&program.name, engine.clock.now())
     {
         return Err(InstallError::Quarantined { graft: program.name.clone(), until });
     }
@@ -195,15 +194,9 @@ mod tests {
         let (engine, tool, installer) = setup();
         let prog = assemble("ok", "call $kv_get\nhalt r0", &hostfn::symbols()).unwrap();
         let (image, _) = tool.process(&prog).unwrap();
-        let mut g = load_graft(
-            &engine,
-            &tool,
-            &image,
-            installer,
-            ThreadId(1),
-            &InstallOpts::default(),
-        )
-        .unwrap();
+        let mut g =
+            load_graft(&engine, &tool, &image, installer, ThreadId(1), &InstallOpts::default())
+                .unwrap();
         assert_eq!(g.name, "ok");
         assert!(matches!(g.invoke([0; 4]), crate::engine::InvokeOutcome::Ok { .. }));
     }
@@ -214,8 +207,9 @@ mod tests {
         let prog = assemble("evil", "halt r0", &hostfn::symbols()).unwrap();
         let (mut image, _) = tool.process(&prog).unwrap();
         image.signature[3] ^= 0x40;
-        let err = load_graft(&engine, &tool, &image, installer, ThreadId(1), &InstallOpts::default())
-            .unwrap_err();
+        let err =
+            load_graft(&engine, &tool, &image, installer, ThreadId(1), &InstallOpts::default())
+                .unwrap_err();
         assert!(matches!(err, InstallError::Verify(VerifyError::BadSignature)));
     }
 
@@ -228,8 +222,9 @@ mod tests {
         let rogue = MisfitTool::new(SigningKey::from_passphrase("rogue"));
         let prog = assemble("evil", "halt r0", &hostfn::symbols()).unwrap();
         let (image, _) = rogue.process(&prog).unwrap();
-        let err = load_graft(&engine, &tool, &image, installer, ThreadId(1), &InstallOpts::default())
-            .unwrap_err();
+        let err =
+            load_graft(&engine, &tool, &image, installer, ThreadId(1), &InstallOpts::default())
+                .unwrap_err();
         assert!(matches!(err, InstallError::Verify(VerifyError::BadSignature)));
     }
 
@@ -239,8 +234,9 @@ mod tests {
         let (engine, tool, installer) = setup();
         let prog = assemble("evil", "call $shutdown\nhalt r0", &hostfn::symbols()).unwrap();
         let (image, _) = tool.process(&prog).unwrap();
-        let err = load_graft(&engine, &tool, &image, installer, ThreadId(1), &InstallOpts::default())
-            .unwrap_err();
+        let err =
+            load_graft(&engine, &tool, &image, installer, ThreadId(1), &InstallOpts::default())
+                .unwrap_err();
         assert!(matches!(err, InstallError::Link(LinkError::ForbiddenDirectCall { .. })));
     }
 
@@ -249,25 +245,30 @@ mod tests {
         // Rule 4: functions returning data the graft is not entitled to
         // are not graft-callable.
         let (engine, tool, installer) = setup();
-        let prog =
-            assemble("snoop", "call $read_user_data\nhalt r0", &hostfn::symbols()).unwrap();
+        let prog = assemble("snoop", "call $read_user_data\nhalt r0", &hostfn::symbols()).unwrap();
         let (image, _) = tool.process(&prog).unwrap();
-        assert!(load_graft(&engine, &tool, &image, installer, ThreadId(1), &InstallOpts::default())
-            .is_err());
+        assert!(load_graft(
+            &engine,
+            &tool,
+            &image,
+            installer,
+            ThreadId(1),
+            &InstallOpts::default()
+        )
+        .is_err());
     }
 
     #[test]
     fn transfer_billing_applies() {
         let (engine, tool, installer) = setup();
-        let prog = assemble("alloc", "const r1, 100\ncall $kalloc\nhalt r0", &hostfn::symbols())
-            .unwrap();
+        let prog =
+            assemble("alloc", "const r1, 100\ncall $kalloc\nhalt r0", &hostfn::symbols()).unwrap();
         let (image, _) = tool.process(&prog).unwrap();
         let opts = InstallOpts {
             billing: BillingMode::Transfer(vec![(ResourceKind::KernelHeap, 512)]),
             ..InstallOpts::default()
         };
-        let mut g =
-            load_graft(&engine, &tool, &image, installer, ThreadId(1), &opts).unwrap();
+        let mut g = load_graft(&engine, &tool, &image, installer, ThreadId(1), &opts).unwrap();
         assert_eq!(engine.rm.borrow().limit(g.principal, ResourceKind::KernelHeap), 512);
         assert!(matches!(g.invoke([0; 4]), crate::engine::InvokeOutcome::Ok { .. }));
     }
@@ -288,15 +289,10 @@ mod tests {
     #[test]
     fn bill_installer_mode() {
         let (engine, tool, installer) = setup();
-        let prog = assemble(
-            "alloc",
-            "const r1, 4096\ncall $kalloc\nhalt r0",
-            &hostfn::symbols(),
-        )
-        .unwrap();
+        let prog =
+            assemble("alloc", "const r1, 4096\ncall $kalloc\nhalt r0", &hostfn::symbols()).unwrap();
         let (image, _) = tool.process(&prog).unwrap();
-        let opts =
-            InstallOpts { billing: BillingMode::BillInstaller, ..InstallOpts::default() };
+        let opts = InstallOpts { billing: BillingMode::BillInstaller, ..InstallOpts::default() };
         let mut g = load_graft(&engine, &tool, &image, installer, ThreadId(1), &opts).unwrap();
         assert!(matches!(g.invoke([0; 4]), crate::engine::InvokeOutcome::Ok { .. }));
         assert_eq!(
@@ -324,8 +320,9 @@ mod tests {
         )
         .unwrap();
         let (image, _) = tool.process(&prog).unwrap();
-        let mut g = load_graft(&engine, &tool, &image, installer, ThreadId(1), &InstallOpts::default())
-            .unwrap();
+        let mut g =
+            load_graft(&engine, &tool, &image, installer, ThreadId(1), &InstallOpts::default())
+                .unwrap();
         match g.invoke([0; 4]) {
             crate::engine::InvokeOutcome::Ok { .. } => {}
             other => panic!("instrumented graft should run to completion: {other:?}"),

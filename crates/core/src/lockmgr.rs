@@ -80,9 +80,7 @@ impl SimpleLockMgr {
     pub fn get_lock(&mut self, clock: &VirtualClock, id: u64, w: Waiter) -> GetLock {
         // The body itself: a compare loop over holders.
         let rec = self.locks.entry(id).or_default();
-        clock.charge(Cycles(
-            costs::INSTR_CYCLES * (2 + rec.holders.len() as u64),
-        ));
+        clock.charge(Cycles(costs::INSTR_CYCLES * (2 + rec.holders.len() as u64)));
         if compatible(&rec.holders, w.mode) {
             rec.holders.push(w);
             GetLock::Granted
@@ -171,7 +169,9 @@ impl PolicyLockMgr {
     /// Writers-first queueing: exclusive requests jump ahead of shared.
     pub fn writers_first() -> QueuePolicy {
         Box::new(|waiters, w| match w.mode {
-            Mode::Exclusive => waiters.iter().position(|x| x.mode == Mode::Shared).unwrap_or(waiters.len()),
+            Mode::Exclusive => {
+                waiters.iter().position(|x| x.mode == Mode::Shared).unwrap_or(waiters.len())
+            }
             Mode::Shared => waiters.len(),
         })
     }

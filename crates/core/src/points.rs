@@ -123,10 +123,7 @@ impl EventPoint {
         let mut reports = Vec::with_capacity(self.handlers.len());
         for h in &self.handlers {
             let outcome = h.graft.borrow_mut().invoke(args);
-            reports.push(HandlerReport {
-                graft: h.graft.borrow().name.clone(),
-                outcome,
-            });
+            reports.push(HandlerReport { graft: h.graft.borrow().name.clone(), outcome });
         }
         reports
     }
@@ -173,7 +170,10 @@ mod tests {
         // Handlers record their order in kernel-state slots via the
         // accessor: slot = handler id, value = a counter they bump.
         let a = graft(&engine, "const r1, 1\nmov r2, r1\ncall $kv_set\nhalt r0");
-        let b = graft(&engine, "const r1, 1\ncall $kv_get\nmov r2, r0\nconst r1, 2\ncall $kv_set\nhalt r0");
+        let b = graft(
+            &engine,
+            "const r1, 1\ncall $kv_get\nmov r2, r0\nconst r1, 2\ncall $kv_set\nhalt r0",
+        );
         ep.add_handler(b, 10); // Added first but ordered second.
         ep.add_handler(a, 5);
         let reports = ep.dispatch([0; 4]);

@@ -203,8 +203,8 @@ impl ReliabilityManager {
         }
         // Threshold crossed: quarantine with exponential backoff.
         let shift = ledger.episodes.min(u64::BITS - 1);
-        let backoff = Cycles(policy.base_backoff.get().saturating_mul(1u64 << shift))
-            .min(policy.max_backoff);
+        let backoff =
+            Cycles(policy.base_backoff.get().saturating_mul(1u64 << shift)).min(policy.max_backoff);
         ledger.episodes += 1;
         ledger.recent.clear();
         let until = now + backoff;
@@ -360,9 +360,6 @@ mod tests {
             classify(&AbortedWhy::Trap(Trap::ForbiddenCall { id: HostFnId(9) })),
             FailureKind::ForbiddenCall
         );
-        assert_eq!(
-            classify(&AbortedWhy::Trap(Trap::RetWithoutCall)),
-            FailureKind::OtherTrap
-        );
+        assert_eq!(classify(&AbortedWhy::Trap(Trap::RetWithoutCall)), FailureKind::OtherTrap);
     }
 }

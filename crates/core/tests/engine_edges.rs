@@ -83,10 +83,8 @@ fn repeated_invocations_accumulate_stats_and_share_memory() {
 #[test]
 fn kfree_returns_headroom_for_later_allocations() {
     let e = engine();
-    let installer = e
-        .rm
-        .borrow_mut()
-        .create_principal(Limits::of(&[(ResourceKind::KernelHeap, 1000)]));
+    let installer =
+        e.rm.borrow_mut().create_principal(Limits::of(&[(ResourceKind::KernelHeap, 1000)]));
     let mut g = instance(
         &e,
         "
@@ -99,9 +97,7 @@ fn kfree_returns_headroom_for_later_allocations() {
         halt r0
         ",
     );
-    e.rm.borrow_mut()
-        .transfer(installer, g.principal, ResourceKind::KernelHeap, 1000)
-        .unwrap();
+    e.rm.borrow_mut().transfer(installer, g.principal, ResourceKind::KernelHeap, 1000).unwrap();
     assert!(matches!(g.invoke([0; 4]), InvokeOutcome::Ok { .. }));
 }
 

@@ -101,17 +101,11 @@ fn caller_abort_reverses_committed_callee_work() {
     // The nested-commit merge: the callee's undo records fold into the
     // caller's transaction, so a later caller abort reverses them too.
     let engine = GraftEngine::new(VirtualClock::new());
-    let callee = share(instance(
-        &engine,
-        "writer",
-        "const r1, 9\nconst r2, 1\ncall $kv_set\nhalt r0",
-    ));
+    let callee =
+        share(instance(&engine, "writer", "const r1, 9\nconst r2, 1\ncall $kv_set\nhalt r0"));
     let h = engine.register_subgraft(callee);
-    let mut caller = instance(
-        &engine,
-        "caller",
-        &format!("const r1, {h}\ncall $call_graft\nhalt r0"),
-    );
+    let mut caller =
+        instance(&engine, "caller", &format!("const r1, {h}\ncall $call_graft\nhalt r0"));
     engine.kv_write(9, 5);
     match caller.invoke_mode([0; 4], CommitMode::AbortAtEnd) {
         InvokeOutcome::Aborted { report, .. } => {
@@ -125,8 +119,7 @@ fn caller_abort_reverses_committed_callee_work() {
 #[test]
 fn unknown_handle_traps_caller() {
     let engine = GraftEngine::new(VirtualClock::new());
-    let mut caller =
-        instance(&engine, "caller", "const r1, 999\ncall $call_graft\nhalt r0");
+    let mut caller = instance(&engine, "caller", "const r1, 999\ncall $call_graft\nhalt r0");
     match caller.invoke([0; 4]) {
         InvokeOutcome::Aborted { why, .. } => {
             assert!(format!("{why:?}").contains(&errcode::BAD_GRAFT.to_string()));
@@ -139,11 +132,7 @@ fn unknown_handle_traps_caller() {
 fn self_recursion_is_refused() {
     let engine = GraftEngine::new(VirtualClock::new());
     // The graft calls itself through its own handle.
-    let myself = share(instance(
-        &engine,
-        "ouroboros",
-        "const r1, 0\ncall $call_graft\nhalt r0",
-    ));
+    let myself = share(instance(&engine, "ouroboros", "const r1, 0\ncall $call_graft\nhalt r0"));
     let h = engine.register_subgraft(Rc::clone(&myself));
     assert_eq!(h, 0);
     let out = myself.borrow_mut().invoke([0; 4]);
@@ -221,11 +210,8 @@ fn post_mortem_captures_nested_transaction_abort() {
         ",
     ));
     let h = engine.register_subgraft(Rc::clone(&callee));
-    let mut caller = instance(
-        &engine,
-        "caller",
-        &format!("const r1, {h}\ncall $call_graft\nhalt r0"),
-    );
+    let mut caller =
+        instance(&engine, "caller", &format!("const r1, {h}\ncall $call_graft\nhalt r0"));
     match caller.invoke([0; 4]) {
         InvokeOutcome::Ok { .. } => {}
         other => panic!("caller must survive the nested abort: {other:?}"),

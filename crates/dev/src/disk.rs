@@ -293,10 +293,7 @@ mod tests {
         let rand = clock.since(t1);
         // Sequential is transfer-bound (~1.6 ms/block at the 1996 media
         // rate); random adds seek + rotation (~10 ms) on top.
-        assert!(
-            rand.get() > seq.get() * 5,
-            "random ({rand}) must dwarf sequential ({seq})"
-        );
+        assert!(rand.get() > seq.get() * 5, "random ({rand}) must dwarf sequential ({seq})");
     }
 
     #[test]

@@ -6,12 +6,25 @@
 //! begins a transaction." The NIC is the source of those events: tests
 //! and benchmarks inject traffic, the kernel's event-graft dispatcher
 //! drains it.
+//!
+//! Overload is observable: the device keeps global and per-port drop
+//! tallies, and when a [`MetricsPlane`] is attached it mirrors
+//! delivered/dropped into [`Counter::NicDelivered`] /
+//! [`Counter::NicDropped`] so a health snapshot shows device-level loss
+//! next to the packet plane's own shedding.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use vino_sim::metrics::{Counter, MetricsPlane};
 
 /// A TCP or UDP port number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Port(pub u16);
+
+/// The first connection descriptor a fresh NIC hands out. Descriptor
+/// allocation wraps back here rather than overflowing.
+pub const FIRST_CONN_FD: u32 = 1000;
 
 /// A network event the kernel may dispatch to event grafts.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,13 +63,30 @@ pub struct Nic {
     next_fd: u32,
     delivered: u64,
     dropped: u64,
+    dropped_by_port: BTreeMap<Port, u64>,
     capacity: usize,
+    metrics: Option<Rc<MetricsPlane>>,
 }
 
 impl Nic {
     /// Creates a NIC with the default receive-queue capacity.
     pub fn new() -> Nic {
-        Nic { capacity: 1024, next_fd: 1000, ..Nic::default() }
+        Nic { capacity: 1024, next_fd: FIRST_CONN_FD, ..Nic::default() }
+    }
+
+    /// Attaches the metrics plane; delivered/dropped events are mirrored
+    /// into [`Counter::NicDelivered`] / [`Counter::NicDropped`] from now
+    /// on.
+    pub fn set_metrics_plane(&mut self, mp: Rc<MetricsPlane>) {
+        self.metrics = Some(mp);
+    }
+
+    fn drop_event(&mut self, port: Port) {
+        self.dropped += 1;
+        *self.dropped_by_port.entry(port).or_insert(0) += 1;
+        if let Some(mp) = &self.metrics {
+            mp.inc(Counter::NicDropped);
+        }
     }
 
     /// Injects a TCP connection-established event, returning the
@@ -65,11 +95,14 @@ impl Nic {
     /// drop packets under overload).
     pub fn inject_tcp_connect(&mut self, port: Port) -> Option<u32> {
         if self.queue.len() >= self.capacity {
-            self.dropped += 1;
+            self.drop_event(port);
             return None;
         }
         let fd = self.next_fd;
-        self.next_fd += 1;
+        // Descriptors are per-connection and transient; a long-lived
+        // simulation must wrap, not overflow, and must never re-enter
+        // the well-known low descriptor range.
+        self.next_fd = self.next_fd.checked_add(1).unwrap_or(FIRST_CONN_FD);
         self.queue.push_back(NetEvent::TcpConnect { port, conn_fd: fd });
         Some(fd)
     }
@@ -77,7 +110,7 @@ impl Nic {
     /// Injects a UDP datagram. Returns false if dropped on overflow.
     pub fn inject_udp(&mut self, port: Port, payload: Vec<u8>) -> bool {
         if self.queue.len() >= self.capacity {
-            self.dropped += 1;
+            self.drop_event(port);
             return false;
         }
         self.queue.push_back(NetEvent::UdpPacket { port, payload });
@@ -89,6 +122,9 @@ impl Nic {
         let e = self.queue.pop_front();
         if e.is_some() {
             self.delivered += 1;
+            if let Some(mp) = &self.metrics {
+                mp.inc(Counter::NicDelivered);
+            }
         }
         e
     }
@@ -107,11 +143,22 @@ impl Nic {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Events dropped on `port` specifically.
+    pub fn dropped_on(&self, port: Port) -> u64 {
+        self.dropped_by_port.get(&port).copied().unwrap_or(0)
+    }
+
+    /// Per-port drop tallies, ordered by port.
+    pub fn drops_by_port(&self) -> impl Iterator<Item = (Port, u64)> + '_ {
+        self.dropped_by_port.iter().map(|(p, n)| (*p, *n))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vino_sim::VirtualClock;
 
     #[test]
     fn fifo_delivery() {
@@ -149,5 +196,48 @@ mod tests {
         assert_eq!(accepted, 1024);
         assert_eq!(n.dropped(), 2000 - 1024);
         assert_eq!(n.pending(), 1024);
+    }
+
+    #[test]
+    fn drops_are_accounted_per_port() {
+        let mut n = Nic::new();
+        for _ in 0..1024 {
+            assert!(n.inject_udp(Port(9), vec![]));
+        }
+        // Queue full: everything below drops, attributed to its port.
+        n.inject_udp(Port(9), vec![]);
+        n.inject_udp(Port(9), vec![]);
+        n.inject_udp(Port(53), vec![]);
+        assert!(n.inject_tcp_connect(Port(80)).is_none());
+        assert_eq!(n.dropped(), 4);
+        assert_eq!(n.dropped_on(Port(9)), 2);
+        assert_eq!(n.dropped_on(Port(53)), 1);
+        assert_eq!(n.dropped_on(Port(80)), 1);
+        assert_eq!(n.dropped_on(Port(7)), 0);
+        let per_port: Vec<(Port, u64)> = n.drops_by_port().collect();
+        assert_eq!(per_port, [(Port(9), 2), (Port(53), 1), (Port(80), 1)]);
+    }
+
+    #[test]
+    fn conn_fd_allocation_wraps_instead_of_overflowing() {
+        let mut n = Nic::new();
+        n.next_fd = u32::MAX;
+        let last = n.inject_tcp_connect(Port(80)).unwrap();
+        assert_eq!(last, u32::MAX);
+        let wrapped = n.inject_tcp_connect(Port(80)).unwrap();
+        assert_eq!(wrapped, FIRST_CONN_FD, "wraps to the base, not to 0");
+    }
+
+    #[test]
+    fn metrics_plane_sees_delivered_and_dropped() {
+        let mp = MetricsPlane::new(VirtualClock::new());
+        let mut n = Nic::new();
+        n.set_metrics_plane(Rc::clone(&mp));
+        for _ in 0..1025 {
+            n.inject_udp(Port(9), vec![]);
+        }
+        assert!(n.poll().is_some());
+        assert_eq!(mp.get(Counter::NicDelivered), 1);
+        assert_eq!(mp.get(Counter::NicDropped), 1);
     }
 }

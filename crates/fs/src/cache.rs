@@ -10,9 +10,9 @@
 
 use std::collections::HashMap;
 
+use std::rc::Rc;
 use vino_dev::disk::{BlockAddr, Disk};
 use vino_sim::{Cycles, VirtualClock};
-use std::rc::Rc;
 
 /// Cost of a buffer-cache lookup hit (hash probe plus LRU bump).
 pub const CACHE_HIT_COST: Cycles = Cycles(60);

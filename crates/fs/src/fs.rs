@@ -273,11 +273,7 @@ impl FileSystem {
         if self.lookup(name).is_some() {
             return Err(FsError::Exists(name.to_string()));
         }
-        let idx = self
-            .inodes
-            .iter()
-            .position(|i| !i.used)
-            .ok_or(FsError::VolumeFull)?;
+        let idx = self.inodes.iter().position(|i| !i.used).ok_or(FsError::VolumeFull)?;
         let mut needed = (size.div_ceil(BLOCK_SIZE as u64)) as u32;
         if self.bitmap.free_count() < needed {
             return Err(FsError::NoSpace);
@@ -377,7 +373,11 @@ impl FileSystem {
 
     /// Installs a read-ahead graft on the open-file object, replacing
     /// the default sequential policy (Figure 1's `replace` call).
-    pub fn set_ra_delegate(&mut self, fd: Fd, d: Box<dyn ReadAheadDelegate>) -> Result<(), FsError> {
+    pub fn set_ra_delegate(
+        &mut self,
+        fd: Fd,
+        d: Box<dyn ReadAheadDelegate>,
+    ) -> Result<(), FsError> {
         self.open.get_mut(&fd).ok_or(FsError::BadFd(fd))?.ra = Some(d);
         Ok(())
     }
@@ -531,11 +531,7 @@ impl FileSystem {
                 PrefetchOutcome::AlreadyCached => {}
                 PrefetchOutcome::NoRoom => {
                     // Keep the request queued for the next opportunity.
-                    self.open
-                        .get_mut(&fd)
-                        .expect("checked")
-                        .prefetch_q
-                        .push_front(lbn);
+                    self.open.get_mut(&fd).expect("checked").prefetch_q.push_front(lbn);
                     break;
                 }
             }
@@ -663,10 +659,7 @@ mod tests {
             vino_dev::disk::DiskGeometry { blocks: 64, ..Default::default() },
         );
         let mut fs = FileSystem::format(clock, disk, 4, 16);
-        assert!(matches!(
-            fs.create("big", 10 * 1024 * 1024),
-            Err(FsError::NoSpace)
-        ));
+        assert!(matches!(fs.create("big", 10 * 1024 * 1024), Err(FsError::NoSpace)));
     }
 
     #[test]
@@ -700,10 +693,7 @@ mod tests {
     fn mount_rejects_unformatted() {
         let clock = VirtualClock::new();
         let disk = Disk::new(Rc::clone(&clock));
-        assert!(matches!(
-            FileSystem::mount(clock, disk, 8),
-            Err(FsError::BadVolume)
-        ));
+        assert!(matches!(FileSystem::mount(clock, disk, 8), Err(FsError::BadVolume)));
     }
 
     #[test]
@@ -756,9 +746,9 @@ mod tests {
             fd,
             Box::new(|_req: &RaRequest| {
                 vec![
-                    Extent { offset: 1 << 40, len: 4096 },   // Past EOF.
-                    Extent { offset: 0, len: 0 },            // Zero length.
-                    Extent { offset: 4096, len: 1 << 40 },   // Overflowing.
+                    Extent { offset: 1 << 40, len: 4096 }, // Past EOF.
+                    Extent { offset: 0, len: 0 },          // Zero length.
+                    Extent { offset: 4096, len: 1 << 40 }, // Overflowing.
                 ]
             }),
         )

@@ -273,10 +273,7 @@ mod tests {
             used: true,
             name: "f".into(),
             size: 0,
-            extents: vec![
-                DiskExtent { start: 10, len: 3 },
-                DiskExtent { start: 100, len: 2 },
-            ],
+            extents: vec![DiskExtent { start: 10, len: 3 }, DiskExtent { start: 100, len: 2 }],
         };
         assert_eq!(ino.block_of(0), Some(10));
         assert_eq!(ino.block_of(2), Some(12));

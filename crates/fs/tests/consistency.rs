@@ -120,8 +120,7 @@ fn real_fs_matches_model() {
                     assert_eq!(res.is_ok(), fits, "write fit divergence");
                     if fits {
                         let file = model.files.get_mut(&name).expect("checked");
-                        file[offset as usize..offset as usize + data.len()]
-                            .copy_from_slice(&data);
+                        file[offset as usize..offset as usize + data.len()].copy_from_slice(&data);
                     }
                 }
                 Op::Read { name, offset, len } => {

@@ -288,10 +288,9 @@ impl MemorySystem {
         // Table 4's 39 us base.
         self.clock.charge(costs::EVICT_MACHINERY);
         let victim_pos = match self.policy {
-            GlobalPolicy::Lru => self
-                .lru
-                .iter()
-                .position(|p| self.pages.get(p).is_some_and(|pg| !pg.wired))?,
+            GlobalPolicy::Lru => {
+                self.lru.iter().position(|p| self.pages.get(p).is_some_and(|pg| !pg.wired))?
+            }
             GlobalPolicy::Clock => self.clock_sweep()?,
         };
         let victim = self.lru[victim_pos];
@@ -306,10 +305,7 @@ impl MemorySystem {
             self.delegates.insert(vas, d);
             // Verification: belongs to this VAS and not wired (§4.2.1).
             self.clock.charge(costs::RESULT_CHECK);
-            let valid = self
-                .pages
-                .get(&choice)
-                .is_some_and(|pg| pg.vas == vas && !pg.wired);
+            let valid = self.pages.get(&choice).is_some_and(|pg| pg.vas == vas && !pg.wired);
             if !valid {
                 self.stats.graft_rejections += 1;
                 EvictOutcome::GraftRejected
@@ -319,11 +315,8 @@ impl MemorySystem {
                 // Cao swap: the original victim takes the replacement's
                 // LRU slot; extra list manipulation charged.
                 self.clock.charge(costs::RESULT_CHECK);
-                let repl_pos = self
-                    .lru
-                    .iter()
-                    .position(|p| *p == choice)
-                    .expect("verified page is resident");
+                let repl_pos =
+                    self.lru.iter().position(|p| *p == choice).expect("verified page is resident");
                 self.lru.swap(victim_pos, repl_pos);
                 self.stats.graft_overrules += 1;
                 EvictOutcome::GraftOverruled { replacement: choice }

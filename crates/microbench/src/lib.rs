@@ -137,10 +137,9 @@ fn run_one<F: FnMut(&mut Bencher<'_>)>(id: &str, throughput: Option<Throughput>,
         }
     };
     let rate = throughput.map(|t| match t {
-        Throughput::Bytes(n) => format!(
-            "  {:>10.1} MiB/s",
-            n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0)
-        ),
+        Throughput::Bytes(n) => {
+            format!("  {:>10.1} MiB/s", n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0))
+        }
         Throughput::Elements(n) => {
             format!("  {:>10.0} elem/s", n as f64 / mean.as_secs_f64())
         }

@@ -40,12 +40,7 @@ impl Default for CallableTable {
 impl CallableTable {
     /// Creates an empty table.
     pub fn new() -> CallableTable {
-        CallableTable {
-            slots: vec![None; 16],
-            len: 0,
-            probes: Cell::new(0),
-            lookups: Cell::new(0),
-        }
+        CallableTable { slots: vec![None; 16], len: 0, probes: Cell::new(0), lookups: Cell::new(0) }
     }
 
     /// Number of registered functions.

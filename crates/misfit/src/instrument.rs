@@ -83,10 +83,7 @@ pub fn instrument(prog: &Program) -> Result<(Program, InstrumentStats), Instrume
     prog.validate().map_err(|reason| InstrumentError::Malformed { reason })?;
     check_source(prog)?;
 
-    let mut stats = InstrumentStats {
-        input_len: prog.instrs.len(),
-        ..InstrumentStats::default()
-    };
+    let mut stats = InstrumentStats { input_len: prog.instrs.len(), ..InstrumentStats::default() };
 
     // First pass: compute the new index of each source instruction.
     // Index 0 of the output is the prologue clamp.
@@ -138,9 +135,7 @@ pub fn instrument(prog: &Program) -> Result<(Program, InstrumentStats), Instrume
     debug_assert_eq!(out.len() as u32, prologue_and_total);
 
     let instrumented = Program::new(prog.name.clone(), out);
-    instrumented
-        .validate()
-        .map_err(|reason| InstrumentError::Malformed { reason })?;
+    instrumented.validate().map_err(|reason| InstrumentError::Malformed { reason })?;
     Ok((instrumented, stats))
 }
 
@@ -195,7 +190,10 @@ fn uses_reg(i: &Instr, r: Reg) -> bool {
         Instr::CallI { target } => target == r,
         Instr::Halt { result } => result == r,
         Instr::Clamp { r: c } | Instr::CheckCall { r: c } => c == r,
-        Instr::Jmp { .. } | Instr::Call { .. } | Instr::CallLocal { .. } | Instr::Ret
+        Instr::Jmp { .. }
+        | Instr::Call { .. }
+        | Instr::CallLocal { .. }
+        | Instr::Ret
         | Instr::Nop => false,
     }
 }
@@ -259,11 +257,11 @@ mod tests {
         let p = Program::new(
             "t",
             vec![
-                Instr::Const { d: Reg(1), imm: 3 },                                  // 0
-                Instr::StoreW { s: Reg(1), addr: Reg(2), off: 0 },                   // 1 <- loop
-                Instr::AluI { op: AluOp::Sub, d: Reg(1), a: Reg(1), imm: 1 },        // 2
-                Instr::Br { cond: Cond::Ne, a: Reg(1), b: Reg(0), target: 1 },       // 3
-                Instr::Halt { result: Reg(1) },                                      // 4
+                Instr::Const { d: Reg(1), imm: 3 },                            // 0
+                Instr::StoreW { s: Reg(1), addr: Reg(2), off: 0 },             // 1 <- loop
+                Instr::AluI { op: AluOp::Sub, d: Reg(1), a: Reg(1), imm: 1 },  // 2
+                Instr::Br { cond: Cond::Ne, a: Reg(1), b: Reg(0), target: 1 }, // 3
+                Instr::Halt { result: Reg(1) },                                // 4
             ],
         );
         let (q, _) = instrument(&p).unwrap();
@@ -345,8 +343,7 @@ mod tests {
         let (_, _, clock_sfi) = run(&inst, Protection::Sfi);
         let delta = clock_sfi.now().get() as i64 - clock_raw.now().get() as i64;
         // Subtract the one-off prologue clamp.
-        let per_access =
-            (delta - vino_sim::costs::SFI_CLAMP_CYCLES as i64) as f64 / n as f64;
+        let per_access = (delta - vino_sim::costs::SFI_CLAMP_CYCLES as i64) as f64 / n as f64;
         assert!(
             (2.0..=5.0).contains(&per_access),
             "per-access overhead {per_access} outside the paper's 2-5 cycle range"

@@ -17,14 +17,8 @@ mod tests {
         // (message bytes, expected digest) from the NIST CAVP
         // SHA256ShortMsg set.
         let cases: &[(&[u8], &str)] = &[
-            (
-                &[0xd3],
-                "28969cdfa74a12c82f3bad960b0b000aca2ac329deea5c2328ebc6f2ba9802c1",
-            ),
-            (
-                &[0x11, 0xaf],
-                "5ca7133fa735326081558ac312c620eeca9970d1e70a4b95533d956f072d1f98",
-            ),
+            (&[0xd3], "28969cdfa74a12c82f3bad960b0b000aca2ac329deea5c2328ebc6f2ba9802c1"),
+            (&[0x11, 0xaf], "5ca7133fa735326081558ac312c620eeca9970d1e70a4b95533d956f072d1f98"),
             (
                 &[0x74, 0xba, 0x25, 0x21],
                 "b16aa56be3880d18cd41e68384cf1ec8c17680c45a02b1575dc1518923ae8b0e",

@@ -106,7 +106,10 @@ impl MisfitTool {
     /// The full MiSFIT pipeline: SFI-instrument `prog`, encode it, and
     /// sign the encoded bytes. This is what "compiled with the correct
     /// compiler" (§2.3) means in this reproduction.
-    pub fn process(&self, prog: &Program) -> Result<(SignedImage, InstrumentStats), InstrumentError> {
+    pub fn process(
+        &self,
+        prog: &Program,
+    ) -> Result<(SignedImage, InstrumentStats), InstrumentError> {
         let (instrumented, stats) = instrument(prog)?;
         Ok((self.seal(&instrumented), stats))
     }

@@ -1,0 +1,30 @@
+//! vino-net: the deterministic in-kernel packet plane.
+//!
+//! This crate layers a packet RX path over `vino-dev`'s NIC model and
+//! `vino-core`'s graft machinery:
+//!
+//! - [`packet`] — typed packets and the filter marshalling contract
+//!   (header layout at the graft segment base, payload prefix at
+//!   `APP_BUF`).
+//! - [`ring`] — per-port bounded RX rings with deterministic watermark
+//!   backpressure (shed every second arrival above high water, recover
+//!   at low water; hard drop at capacity).
+//! - [`plane`] — the [`PacketPlane`]: protocol demux into rings, the
+//!   graftable `net/packet-filter` point with batched transactional
+//!   dispatch, steer handling with a hop budget, and the accept-all
+//!   default filter that takes over when a filter graft aborts (§3.6).
+//!
+//! Everything is single-threaded and deterministic: given the same
+//! seed, the same packets produce the same verdicts, traces and
+//! metrics, byte for byte. See `docs/NET.md` for the guided tour.
+
+pub mod packet;
+pub mod plane;
+pub mod ring;
+
+pub use packet::{Packet, Proto, PAYLOAD_CAP};
+pub use plane::{
+    decode_verdict, verdict_code, PacketPlane, PortStats, PumpSummary, Verdict, DEFAULT_BATCH,
+    DEFAULT_HOP_BUDGET,
+};
+pub use ring::{Admit, RxRing, DEFAULT_RING_CAPACITY};

@@ -1,0 +1,187 @@
+//! Per-port bounded RX rings with watermark admission control.
+//!
+//! Backpressure is deterministic: a ring that climbs to its high
+//! watermark enters a shedding state in which every second arrival is
+//! refused, and leaves it once depth falls back to the low watermark.
+//! A ring at capacity refuses everything. Both refusals are distinct,
+//! observable outcomes ([`Admit::ShedWatermark`] vs
+//! [`Admit::DropOverflow`]) so overload diagnosis can tell graceful
+//! load-shedding from hard overflow.
+
+use std::collections::VecDeque;
+
+use crate::packet::Packet;
+
+/// Default ring capacity, in packets.
+pub const DEFAULT_RING_CAPACITY: usize = 1024;
+
+/// The admission verdict for one arriving packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Enqueued.
+    Admitted,
+    /// Refused by watermark shedding (ring above high water).
+    ShedWatermark,
+    /// Refused at capacity (or by an injected overflow).
+    DropOverflow,
+}
+
+/// One port's bounded RX ring.
+#[derive(Debug)]
+pub struct RxRing {
+    q: VecDeque<Packet>,
+    capacity: usize,
+    high: usize,
+    low: usize,
+    shedding: bool,
+    shed_toggle: bool,
+    /// Packets admitted over the ring's lifetime.
+    pub admitted: u64,
+    /// Packets refused by watermark shedding.
+    pub shed: u64,
+    /// Packets refused at capacity.
+    pub overflowed: u64,
+}
+
+impl RxRing {
+    /// A ring holding at most `capacity` packets, with watermarks at
+    /// 3/4 (high) and 1/2 (low) of capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> RxRing {
+        RxRing::with_watermarks(capacity, capacity * 3 / 4, capacity / 2)
+    }
+
+    /// A ring with explicit watermarks (`low <= high <= capacity`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ordering is violated or `capacity == 0`.
+    pub fn with_watermarks(capacity: usize, high: usize, low: usize) -> RxRing {
+        assert!(capacity > 0, "ring capacity must be non-zero");
+        assert!(low <= high && high <= capacity, "watermarks must satisfy low <= high <= capacity");
+        RxRing {
+            q: VecDeque::with_capacity(capacity),
+            capacity,
+            high,
+            low,
+            shedding: false,
+            shed_toggle: false,
+            admitted: 0,
+            shed: 0,
+            overflowed: 0,
+        }
+    }
+
+    /// Admission control for one arrival. `forced_overflow` is the
+    /// fault plane's injected verdict: treat this arrival as if the
+    /// ring were full.
+    pub fn admit(&mut self, pkt: Packet, forced_overflow: bool) -> Admit {
+        if forced_overflow || self.q.len() >= self.capacity {
+            self.overflowed += 1;
+            return Admit::DropOverflow;
+        }
+        // Hysteresis: enter shedding at high water, leave at low.
+        if !self.shedding && self.q.len() >= self.high {
+            self.shedding = true;
+            self.shed_toggle = false;
+        } else if self.shedding && self.q.len() <= self.low {
+            self.shedding = false;
+        }
+        if self.shedding {
+            self.shed_toggle = !self.shed_toggle;
+            if self.shed_toggle {
+                self.shed += 1;
+                return Admit::ShedWatermark;
+            }
+        }
+        self.q.push_back(pkt);
+        self.admitted += 1;
+        Admit::Admitted
+    }
+
+    /// Removes the oldest queued packet.
+    pub fn pop(&mut self) -> Option<Packet> {
+        self.q.pop_front()
+    }
+
+    /// Queued packets.
+    pub fn depth(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True while the ring is between its watermarks shedding load.
+    pub fn is_shedding(&self) -> bool {
+        self.shedding
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vino_dev::Port;
+
+    fn pkt() -> Packet {
+        Packet::udp(1, 2, Port(9), vec![0; 8])
+    }
+
+    #[test]
+    fn admits_until_capacity() {
+        let mut r = RxRing::with_watermarks(4, 4, 4);
+        for _ in 0..4 {
+            assert_eq!(r.admit(pkt(), false), Admit::Admitted);
+        }
+        assert_eq!(r.admit(pkt(), false), Admit::DropOverflow);
+        assert_eq!(r.depth(), 4);
+        assert_eq!((r.admitted, r.overflowed), (4, 1));
+    }
+
+    #[test]
+    fn forced_overflow_drops_regardless_of_depth() {
+        let mut r = RxRing::new(1024);
+        assert_eq!(r.admit(pkt(), true), Admit::DropOverflow);
+        assert_eq!(r.depth(), 0);
+    }
+
+    #[test]
+    fn watermark_shedding_is_every_other_arrival_with_hysteresis() {
+        // capacity 8, high 4, low 2.
+        let mut r = RxRing::with_watermarks(8, 4, 2);
+        for _ in 0..4 {
+            assert_eq!(r.admit(pkt(), false), Admit::Admitted);
+        }
+        assert!(!r.is_shedding());
+        // Depth 4 = high water: shedding starts, every second arrival
+        // refused starting with this one.
+        assert_eq!(r.admit(pkt(), false), Admit::ShedWatermark);
+        assert!(r.is_shedding());
+        assert_eq!(r.admit(pkt(), false), Admit::Admitted);
+        assert_eq!(r.admit(pkt(), false), Admit::ShedWatermark);
+        // Drain to the low watermark: shedding stops.
+        while r.depth() > 2 {
+            r.pop();
+        }
+        assert_eq!(r.admit(pkt(), false), Admit::Admitted);
+        assert!(!r.is_shedding(), "left shedding at low water");
+        assert_eq!(r.admit(pkt(), false), Admit::Admitted);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = RxRing::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "low <= high")]
+    fn bad_watermarks_rejected() {
+        let _ = RxRing::with_watermarks(8, 2, 4);
+    }
+}

@@ -150,10 +150,9 @@ pub enum ResourceError {
 impl fmt::Display for ResourceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ResourceError::LimitExceeded { principal, kind, requested, available } => write!(
-                f,
-                "{principal}: {kind} charge of {requested} exceeds available {available}"
-            ),
+            ResourceError::LimitExceeded { principal, kind, requested, available } => {
+                write!(f, "{principal}: {kind} charge of {requested} exceeds available {available}")
+            }
             ResourceError::InsufficientHeadroom { from, kind } => {
                 write!(f, "{from}: insufficient unused {kind} headroom to transfer")
             }
@@ -296,10 +295,8 @@ impl ResourceAccountant {
             }
             cur = self.accounts.get(&p).and_then(|a| a.billed_to);
         }
-        self.accounts
-            .get_mut(&graft)
-            .ok_or(ResourceError::NoSuchPrincipal(graft))?
-            .billed_to = Some(installer);
+        self.accounts.get_mut(&graft).ok_or(ResourceError::NoSuchPrincipal(graft))?.billed_to =
+            Some(installer);
         Ok(())
     }
 
@@ -455,9 +452,7 @@ impl ResourceAccountant {
     /// Principals without an explicit ceiling are never cut off (blame
     /// still accumulates for diagnostics).
     pub fn blame_exceeded(&self, principal: PrincipalId) -> bool {
-        self.accounts
-            .get(&principal)
-            .is_some_and(|a| a.blame_limit.is_some_and(|l| a.blame >= l))
+        self.accounts.get(&principal).is_some_and(|a| a.blame_limit.is_some_and(|l| a.blame >= l))
     }
 
     /// Removes a principal (graft unload), returning its remaining

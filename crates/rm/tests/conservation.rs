@@ -74,10 +74,7 @@ fn invariants_hold_under_arbitrary_ops() {
             for p in &ps {
                 let payer_used = ra.used(*p, KIND);
                 let payer_limit = ra.limit(*p, KIND);
-                assert!(
-                    payer_used <= payer_limit,
-                    "{p}: used {payer_used} > limit {payer_limit}"
-                );
+                assert!(payer_used <= payer_limit, "{p}: used {payer_used} > limit {payer_limit}");
             }
         }
     }

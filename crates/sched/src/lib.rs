@@ -139,10 +139,8 @@ impl Scheduler {
     pub fn spawn(&mut self, name: impl Into<String>) -> ThreadId {
         let id = ThreadId(self.next_id);
         self.next_id += 1;
-        self.threads.insert(
-            id,
-            Thread { id, name: name.into(), state: ThreadState::Ready, slices: 0 },
-        );
+        self.threads
+            .insert(id, Thread { id, name: name.into(), state: ThreadState::Ready, slices: 0 });
         self.valid.insert(id);
         self.runq.push_back(id);
         id
@@ -255,9 +253,8 @@ impl Scheduler {
         }
         // Indirection to the (graftable) delegate function.
         self.clock.charge(Cycles(costs::INDIRECTION_CYCLES));
-        let runnable: Vec<ThreadId> = std::iter::once(chosen)
-            .chain(self.runq.iter().copied())
-            .collect();
+        let runnable: Vec<ThreadId> =
+            std::iter::once(chosen).chain(self.runq.iter().copied()).collect();
         let snapshot = SchedSnapshot { chosen, runnable: &runnable };
         let mut d = self.delegates.remove(&chosen).expect("checked above");
         let proposed = d.delegate(&snapshot);
@@ -324,8 +321,7 @@ mod tests {
         let a = s.spawn("a");
         let b = s.spawn("b");
         let c = s.spawn("c");
-        let order: Vec<ThreadId> =
-            (0..6).map(|_| s.pick_and_switch().unwrap().0).collect();
+        let order: Vec<ThreadId> = (0..6).map(|_| s.pick_and_switch().unwrap().0).collect();
         assert_eq!(order, vec![a, b, c, a, b, c]);
     }
 
@@ -462,8 +458,8 @@ mod tests {
         let t0 = clock.now();
         s.pick_and_switch().unwrap();
         let cost = clock.since(t0);
-        let expect = Cycles(costs::INDIRECTION_CYCLES + costs::HASH_PROBE_CYCLES)
-            + costs::CONTEXT_SWITCH;
+        let expect =
+            Cycles(costs::INDIRECTION_CYCLES + costs::HASH_PROBE_CYCLES) + costs::CONTEXT_SWITCH;
         assert_eq!(cost, expect);
     }
 

@@ -21,10 +21,7 @@ fn round_robin_is_fair() {
         let share = rounds / threads;
         for id in &ids {
             let got = s.thread(*id).unwrap().slices as usize;
-            assert!(
-                got == share || got == share + 1,
-                "{id}: {got} slices, fair share {share}"
-            );
+            assert!(got == share || got == share + 1, "{id}: {got} slices, fair share {share}");
         }
     }
 }

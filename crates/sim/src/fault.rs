@@ -51,6 +51,17 @@ pub enum FaultSite {
     /// A signed graft image fails verification at load time, as if
     /// corrupted in transit (`vino-misfit`).
     ImageCorrupt,
+    /// A packet admitted to an RX ring is forced to drop as if the ring
+    /// were full, regardless of actual depth (`vino-net`).
+    NetRxOverflow,
+    /// The next packet-filter batch traps mid-run: the plane arms a
+    /// [`FaultSite::VmTrap`] one-shot on the filter's first interpreted
+    /// instruction (`vino-net`).
+    NetFilterTrap,
+    /// A steer verdict is redirected back at the port it came from,
+    /// manufacturing a steering cycle the hop budget must cut
+    /// (`vino-net`).
+    NetSteerLoop,
 }
 
 /// Every site, for iteration in diagnostics and docs.
@@ -62,9 +73,12 @@ pub const ALL_SITES: &[FaultSite] = &[
     FaultSite::LockTimeoutStorm,
     FaultSite::ResourceExhaust,
     FaultSite::ImageCorrupt,
+    FaultSite::NetRxOverflow,
+    FaultSite::NetFilterTrap,
+    FaultSite::NetSteerLoop,
 ];
 
-const N_SITES: usize = 7;
+const N_SITES: usize = 10;
 
 fn idx(site: FaultSite) -> usize {
     match site {
@@ -75,6 +89,9 @@ fn idx(site: FaultSite) -> usize {
         FaultSite::LockTimeoutStorm => 4,
         FaultSite::ResourceExhaust => 5,
         FaultSite::ImageCorrupt => 6,
+        FaultSite::NetRxOverflow => 7,
+        FaultSite::NetFilterTrap => 8,
+        FaultSite::NetSteerLoop => 9,
     }
 }
 

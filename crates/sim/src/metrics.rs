@@ -116,11 +116,34 @@ pub enum Counter {
     GraftFallbacks,
     /// Quarantine trips (mirrors `graft.quarantine`).
     GraftQuarantines,
+    /// Packets admitted to an RX ring (mirrors `net.rx`).
+    NetRxPackets,
+    /// Admissions refused at capacity (mirrors `net.shed kind=overflow`).
+    NetRxOverflows,
+    /// Admissions shed above the high watermark (mirrors
+    /// `net.shed kind=watermark`).
+    NetRxSheds,
+    /// Accept verdicts (mirrors `net.verdict v=accept`).
+    NetAccepts,
+    /// Drop verdicts (mirrors `net.verdict v=drop`).
+    NetDrops,
+    /// Steer verdicts (mirrors `net.verdict v=steer`).
+    NetSteers,
+    /// Steer hops performed (mirrors `net.steer`).
+    NetSteerHops,
+    /// Packets dropped by the steer-hop budget (mirrors `net.loop-cut`).
+    NetLoopCuts,
+    /// Batched filter dispatches (mirrors `net.batch`).
+    NetBatchDispatches,
+    /// NIC events delivered to a poller (measurement-only; no trace twin).
+    NicDelivered,
+    /// NIC events dropped at the device queue (measurement-only).
+    NicDropped,
 }
 
 impl Counter {
     /// Number of counter slots.
-    pub const COUNT: usize = 27;
+    pub const COUNT: usize = 38;
 
     /// Every counter, in canonical exposition order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -151,6 +174,17 @@ impl Counter {
         Counter::GraftAborts,
         Counter::GraftFallbacks,
         Counter::GraftQuarantines,
+        Counter::NetRxPackets,
+        Counter::NetRxOverflows,
+        Counter::NetRxSheds,
+        Counter::NetAccepts,
+        Counter::NetDrops,
+        Counter::NetSteers,
+        Counter::NetSteerHops,
+        Counter::NetLoopCuts,
+        Counter::NetBatchDispatches,
+        Counter::NicDelivered,
+        Counter::NicDropped,
     ];
 
     /// The Prometheus series name (always a monotone counter).
@@ -183,6 +217,17 @@ impl Counter {
             Counter::GraftAborts => "vino_graft_aborts_total",
             Counter::GraftFallbacks => "vino_graft_fallbacks_total",
             Counter::GraftQuarantines => "vino_graft_quarantines_total",
+            Counter::NetRxPackets => "vino_net_rx_packets_total",
+            Counter::NetRxOverflows => "vino_net_rx_overflows_total",
+            Counter::NetRxSheds => "vino_net_rx_sheds_total",
+            Counter::NetAccepts => "vino_net_filter_accepts_total",
+            Counter::NetDrops => "vino_net_filter_drops_total",
+            Counter::NetSteers => "vino_net_filter_steers_total",
+            Counter::NetSteerHops => "vino_net_steer_hops_total",
+            Counter::NetLoopCuts => "vino_net_loop_cuts_total",
+            Counter::NetBatchDispatches => "vino_net_batches_total",
+            Counter::NicDelivered => "vino_nic_events_delivered_total",
+            Counter::NicDropped => "vino_nic_events_dropped_total",
         }
     }
 }
@@ -477,7 +522,7 @@ impl MetricsPlane {
             grafts: RefCell::new(Vec::with_capacity(grafts)),
             names: RefCell::new(Vec::with_capacity(grafts)),
             tags: RefCell::new(HashMap::with_capacity(grafts)),
-        all_latency: RefCell::new(CycleHistogram::new()),
+            all_latency: RefCell::new(CycleHistogram::new()),
         })
     }
 
@@ -500,11 +545,7 @@ impl MetricsPlane {
 
     /// The interned name for `tag` (`?tagN` for unknown tags).
     pub fn name_of(&self, tag: MetricTag) -> String {
-        self.names
-            .borrow()
-            .get(tag.0 as usize)
-            .cloned()
-            .unwrap_or_else(|| format!("?tag{}", tag.0))
+        self.names.borrow().get(tag.0 as usize).cloned().unwrap_or_else(|| format!("?tag{}", tag.0))
     }
 
     // -- counters -----------------------------------------------------------
@@ -662,10 +703,10 @@ impl MetricsPlane {
 
     /// The attribution ledger for `tag`, if interned.
     pub fn attribution(&self, tag: MetricTag) -> Option<Attribution> {
-        self.grafts.borrow().get(tag.0 as usize).map(|s| Attribution {
-            cycles: s.comps,
-            invocations: s.invocations,
-        })
+        self.grafts
+            .borrow()
+            .get(tag.0 as usize)
+            .map(|s| Attribution { cycles: s.comps, invocations: s.invocations })
     }
 
     /// Cycles attributed to kernel-side work outside any invocation.

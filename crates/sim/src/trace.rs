@@ -52,6 +52,46 @@ pub enum VmExitKind {
     Trap,
 }
 
+/// Why a packet was refused admission to an RX ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedKind {
+    /// The ring was at capacity (or an injected overflow said so).
+    Overflow,
+    /// Deterministic load shedding above the high watermark.
+    Watermark,
+}
+
+impl ShedKind {
+    fn label(self) -> &'static str {
+        match self {
+            ShedKind::Overflow => "overflow",
+            ShedKind::Watermark => "watermark",
+        }
+    }
+}
+
+/// A packet-filter verdict, as traced (the steer target travels in the
+/// separate `NetSteer` event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictKind {
+    /// Deliver to the port's consumer.
+    Accept,
+    /// Discard.
+    Drop,
+    /// Re-enqueue on another port's ring.
+    Steer,
+}
+
+impl VerdictKind {
+    fn label(self) -> &'static str {
+        match self {
+            VerdictKind::Accept => "accept",
+            VerdictKind::Drop => "drop",
+            VerdictKind::Steer => "steer",
+        }
+    }
+}
+
 /// Which MiSFIT sandbox check executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SfiKind {
@@ -265,6 +305,47 @@ pub enum TraceEvent {
         /// The dead graft.
         graft: GraftTag,
     },
+    // -- net -----------------------------------------------------------
+    /// A packet was admitted to a port's RX ring.
+    NetRx {
+        /// The destination port.
+        port: u16,
+        /// Payload length in bytes.
+        len: u64,
+    },
+    /// A packet was refused admission (overflow or watermark shedding).
+    NetShed {
+        /// The destination port.
+        port: u16,
+        /// Why it was shed.
+        kind: ShedKind,
+    },
+    /// The packet filter returned a verdict for one packet.
+    NetVerdict {
+        /// The filtered port.
+        port: u16,
+        /// The verdict.
+        verdict: VerdictKind,
+    },
+    /// A steered packet hopped from one port's ring to another's.
+    NetSteer {
+        /// The port it left.
+        from: u16,
+        /// The port it joined.
+        to: u16,
+    },
+    /// A packet exhausted its steer-hop budget and was dropped.
+    NetLoopCut {
+        /// The port where the cycle was cut.
+        port: u16,
+    },
+    /// One batched filter dispatch ran (one transaction envelope).
+    NetBatch {
+        /// The filtered port.
+        port: u16,
+        /// Packets covered by the batch.
+        n: u64,
+    },
 }
 
 /// The subsystem a [`TraceEvent`] belongs to, for [`TraceStats`].
@@ -280,6 +361,8 @@ pub enum TraceCategory {
     Fs,
     /// Graft-lifecycle events.
     Graft,
+    /// Packet-plane events.
+    Net,
 }
 
 impl TraceEvent {
@@ -288,13 +371,29 @@ impl TraceEvent {
         use TraceEvent::*;
         match self {
             VmWindow { .. } | SfiCheck { .. } => TraceCategory::Vm,
-            TxnBegin { .. } | TxnCommit { .. } | TxnAbort { .. } | LockAcquire { .. }
-            | LockBlocked { .. } | LockTimeout { .. } | LockSteal { .. } | UndoPush { .. }
+            TxnBegin { .. }
+            | TxnCommit { .. }
+            | TxnAbort { .. }
+            | LockAcquire { .. }
+            | LockBlocked { .. }
+            | LockTimeout { .. }
+            | LockSteal { .. }
+            | UndoPush { .. }
             | UndoRun { .. } => TraceCategory::Txn,
             ResGrant { .. } | ResRelease { .. } | ResLimitHit { .. } => TraceCategory::Rm,
             FsRead { .. } | FsWrite { .. } | FsPrefetch { .. } => TraceCategory::Fs,
-            GraftInstall { .. } | GraftInvoke { .. } | GraftCommit { .. } | GraftAbort { .. }
-            | GraftQuarantine { .. } | FallbackServed { .. } => TraceCategory::Graft,
+            GraftInstall { .. }
+            | GraftInvoke { .. }
+            | GraftCommit { .. }
+            | GraftAbort { .. }
+            | GraftQuarantine { .. }
+            | FallbackServed { .. } => TraceCategory::Graft,
+            NetRx { .. }
+            | NetShed { .. }
+            | NetVerdict { .. }
+            | NetSteer { .. }
+            | NetLoopCut { .. }
+            | NetBatch { .. } => TraceCategory::Net,
         }
     }
 }
@@ -325,6 +424,8 @@ pub struct TraceStats {
     pub fs: u64,
     /// Graft-lifecycle events.
     pub graft: u64,
+    /// Packet-plane events.
+    pub net: u64,
     /// All events emitted.
     pub total: u64,
     /// Events overwritten after the ring filled.
@@ -335,8 +436,8 @@ impl fmt::Display for TraceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "vm={} txn={} rm={} fs={} graft={} total={} dropped={}",
-            self.vm, self.txn, self.rm, self.fs, self.graft, self.total, self.dropped
+            "vm={} txn={} rm={} fs={} graft={} net={} total={} dropped={}",
+            self.vm, self.txn, self.rm, self.fs, self.graft, self.net, self.total, self.dropped
         )
     }
 }
@@ -469,11 +570,7 @@ impl TracePlane {
 
     /// The name behind `tag` (or a placeholder for a foreign tag).
     pub fn name_of(&self, tag: GraftTag) -> String {
-        self.names
-            .borrow()
-            .get(tag.0 as usize)
-            .cloned()
-            .unwrap_or_else(|| format!("?tag{}", tag.0))
+        self.names.borrow().get(tag.0 as usize).cloned().unwrap_or_else(|| format!("?tag{}", tag.0))
     }
 
     /// The instrumentation point: stamps and records one event. The hot
@@ -491,6 +588,7 @@ impl TracePlane {
             TraceCategory::Rm => stats.rm += 1,
             TraceCategory::Fs => stats.fs += 1,
             TraceCategory::Graft => stats.graft += 1,
+            TraceCategory::Net => stats.net += 1,
         }
         if self.ring.borrow_mut().push(rec) {
             stats.dropped += 1;
@@ -623,6 +721,14 @@ impl TracePlane {
                 format!("graft.quarantine g={} until={until}", self.name_of(graft))
             }
             FallbackServed { graft } => format!("graft.fallback g={}", self.name_of(graft)),
+            NetRx { port, len } => format!("net.rx port={port} len={len}"),
+            NetShed { port, kind } => format!("net.shed port={port} kind={}", kind.label()),
+            NetVerdict { port, verdict } => {
+                format!("net.verdict port={port} v={}", verdict.label())
+            }
+            NetSteer { from, to } => format!("net.steer from={from} to={to}"),
+            NetLoopCut { port } => format!("net.loop-cut port={port}"),
+            NetBatch { port, n } => format!("net.batch port={port} n={n}"),
         };
         format!("{:06} @{:012} {}", r.seq, r.at.get(), body)
     }
@@ -709,6 +815,29 @@ mod tests {
         assert_eq!((s.vm, s.txn, s.rm, s.fs, s.graft), (1, 2, 1, 1, 1));
         assert_eq!(s.total, 6);
         assert_eq!(s.dropped, 0);
+    }
+
+    #[test]
+    fn net_events_render_and_count() {
+        let p = plane(16);
+        p.emit(TraceEvent::NetRx { port: 80, len: 512 });
+        p.emit(TraceEvent::NetShed { port: 80, kind: ShedKind::Overflow });
+        p.emit(TraceEvent::NetShed { port: 80, kind: ShedKind::Watermark });
+        p.emit(TraceEvent::NetVerdict { port: 80, verdict: VerdictKind::Steer });
+        p.emit(TraceEvent::NetSteer { from: 80, to: 81 });
+        p.emit(TraceEvent::NetLoopCut { port: 81 });
+        p.emit(TraceEvent::NetBatch { port: 80, n: 32 });
+        let s = p.stats();
+        assert_eq!(s.net, 7);
+        assert_eq!(s.total, 7);
+        let lines = p.serialize();
+        assert!(lines.contains("net.rx port=80 len=512"));
+        assert!(lines.contains("net.shed port=80 kind=overflow"));
+        assert!(lines.contains("net.shed port=80 kind=watermark"));
+        assert!(lines.contains("net.verdict port=80 v=steer"));
+        assert!(lines.contains("net.steer from=80 to=81"));
+        assert!(lines.contains("net.loop-cut port=81"));
+        assert!(lines.contains("net.batch port=80 n=32"));
     }
 
     #[test]

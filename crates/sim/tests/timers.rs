@@ -59,8 +59,7 @@ fn tick_rounding_bounds() {
     let mut rng = SplitMix64::new(0xE11E75);
     for _case in 0..256 {
         let n = rng.range(1, 19) as usize;
-        let deadlines: Vec<u64> =
-            (0..n).map(|_| rng.range(1, 10 * CLOCK_TICK.get() - 1)).collect();
+        let deadlines: Vec<u64> = (0..n).map(|_| rng.range(1, 10 * CLOCK_TICK.get() - 1)).collect();
         let mut q = EventQueue::new();
         for (i, d) in deadlines.iter().enumerate() {
             q.schedule(Cycles(*d), i);

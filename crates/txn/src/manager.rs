@@ -460,7 +460,12 @@ impl TxnManager {
                 nested: true,
                 locks: 0,
             });
-            Ok(CommitReport { txn: frame.id, nested: true, locks_released: 0, handoffs: Vec::new() })
+            Ok(CommitReport {
+                txn: frame.id,
+                nested: true,
+                locks_released: 0,
+                handoffs: Vec::new(),
+            })
         } else {
             self.bill(Component::TxnCommit, costs::TXN_COMMIT);
             self.minc(Counter::TxnCommits);
@@ -479,19 +484,18 @@ impl TxnManager {
                 nested: false,
                 locks: released as u64,
             });
-            Ok(CommitReport {
-                txn: frame.id,
-                nested: false,
-                locks_released: released,
-                handoffs,
-            })
+            Ok(CommitReport { txn: frame.id, nested: false, locks_released: released, handoffs })
         }
     }
 
     /// Aborts `thread`'s current (innermost) transaction: runs the undo
     /// call stack in LIFO order, releases the transaction's locks, and
     /// charges `35 µs + 10 µs × L + Σ undo` (§4.5).
-    pub fn abort(&mut self, thread: ThreadId, reason: AbortReason) -> Result<AbortReport, TxnError> {
+    pub fn abort(
+        &mut self,
+        thread: ThreadId,
+        reason: AbortReason,
+    ) -> Result<AbortReport, TxnError> {
         let stack = self.stacks.get_mut(&thread).ok_or(TxnError::NoTransaction(thread))?;
         let mut frame = stack.pop().ok_or(TxnError::NoTransaction(thread))?;
         let start = self.clock.now();
@@ -891,9 +895,7 @@ mod tests {
         m.lock(l, T1);
         let (ok, events) = m.lock_blocking(l, T2, 3);
         assert!(ok, "Rule 9: waiter must eventually make progress");
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, TimeoutEvent::HolderAborted { .. })));
+        assert!(events.iter().any(|e| matches!(e, TimeoutEvent::HolderAborted { .. })));
     }
 
     #[test]

@@ -98,8 +98,7 @@ fn undo_ordering_across_many_accessors() {
         let old = state.borrow()[obj];
         state.borrow_mut()[obj] = old + i;
         let s = Rc::clone(&state);
-        m.log_undo(T1, "set", vino_sim::Cycles(10), move || s.borrow_mut()[obj] = old)
-            .unwrap();
+        m.log_undo(T1, "set", vino_sim::Cycles(10), move || s.borrow_mut()[obj] = old).unwrap();
     }
     assert_ne!(*state.borrow(), [10, 20, 30]);
     let rep = m.abort(T1, AbortReason::Explicit).unwrap();

@@ -133,11 +133,8 @@ fn parse_instr(
         Some((o, r)) => (o, r.trim()),
         None => (text, ""),
     };
-    let args: Vec<&str> = if rest.is_empty() {
-        Vec::new()
-    } else {
-        rest.split(',').map(str::trim).collect()
-    };
+    let args: Vec<&str> =
+        if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
     let nargs = |n: usize| -> Result<(), AsmError> {
         if args.len() == n {
             Ok(())
@@ -149,8 +146,7 @@ fn parse_instr(
         let body = s
             .strip_prefix('r')
             .ok_or_else(|| err(line, format!("expected register, got `{s}`")))?;
-        let i: u8 =
-            body.parse().map_err(|_| err(line, format!("bad register `{s}`")))?;
+        let i: u8 = body.parse().map_err(|_| err(line, format!("bad register `{s}`")))?;
         Reg::new(i).ok_or_else(|| err(line, format!("register out of range `{s}`")))
     };
     let imm = |s: &str| -> Result<i64, AsmError> {
@@ -182,9 +178,8 @@ fn parse_instr(
         } else {
             (inner.trim(), 0)
         };
-        let off: i32 = off
-            .try_into()
-            .map_err(|_| err(line, format!("offset out of range in `{s}`")))?;
+        let off: i32 =
+            off.try_into().map_err(|_| err(line, format!("offset out of range in `{s}`")))?;
         Ok((reg(r)?, off))
     };
 
@@ -211,8 +206,7 @@ fn parse_instr(
             nargs(3)?;
             alu_reg(alu_op(op), &args)
         }
-        "addi" | "subi" | "muli" | "divi" | "remi" | "xori" | "andi" | "ori" | "shli"
-        | "shri" => {
+        "addi" | "subi" | "muli" | "divi" | "remi" | "xori" | "andi" | "ori" | "shli" | "shri" => {
             nargs(3)?;
             alu_imm(alu_op(&op[..op.len() - 1]), &args)
         }
@@ -240,12 +234,30 @@ fn parse_instr(
             nargs(1)?;
             Ok(Instr::Jmp { target: label(args[0])? })
         }
-        "beq" => branch(Cond::Eq, &{ nargs(3)?; args.clone() }),
-        "bne" => branch(Cond::Ne, &{ nargs(3)?; args.clone() }),
-        "bltu" => branch(Cond::LtU, &{ nargs(3)?; args.clone() }),
-        "bgeu" => branch(Cond::GeU, &{ nargs(3)?; args.clone() }),
-        "blts" => branch(Cond::LtS, &{ nargs(3)?; args.clone() }),
-        "bges" => branch(Cond::GeS, &{ nargs(3)?; args.clone() }),
+        "beq" => branch(Cond::Eq, &{
+            nargs(3)?;
+            args.clone()
+        }),
+        "bne" => branch(Cond::Ne, &{
+            nargs(3)?;
+            args.clone()
+        }),
+        "bltu" => branch(Cond::LtU, &{
+            nargs(3)?;
+            args.clone()
+        }),
+        "bgeu" => branch(Cond::GeU, &{
+            nargs(3)?;
+            args.clone()
+        }),
+        "blts" => branch(Cond::LtS, &{
+            nargs(3)?;
+            args.clone()
+        }),
+        "bges" => branch(Cond::GeS, &{
+            nargs(3)?;
+            args.clone()
+        }),
         "call" => {
             nargs(1)?;
             let name = args[0]

@@ -162,9 +162,8 @@ pub fn decode(bytes: &[u8]) -> Result<Program, DecodeError> {
         return Err(DecodeError::BadMagic);
     }
     let name_len = c.u16()? as usize;
-    let name = std::str::from_utf8(c.take(name_len)?)
-        .map_err(|_| DecodeError::BadName)?
-        .to_string();
+    let name =
+        std::str::from_utf8(c.take(name_len)?).map_err(|_| DecodeError::BadName)?.to_string();
     let count = c.u32()? as usize;
     let mut instrs = Vec::with_capacity(count.min(1 << 20));
     for _ in 0..count {

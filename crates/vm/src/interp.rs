@@ -255,10 +255,7 @@ impl Vm {
                 Exit::Preempted => VmExitKind::Preempt,
                 Exit::Trapped(_) => VmExitKind::Trap,
             };
-            tp.emit(TraceEvent::VmWindow {
-                instrs: self.stats.instrs - window_start,
-                exit: kind,
-            });
+            tp.emit(TraceEvent::VmWindow { instrs: self.stats.instrs - window_start, exit: kind });
         }
         exit
     }
@@ -627,10 +624,8 @@ mod tests {
 
     #[test]
     fn unchecked_indirect_call_is_wild_jump() {
-        let (exit, _, _) = run_prog(vec![
-            Instr::Const { d: Reg(5), imm: 77 },
-            Instr::CallI { target: Reg(5) },
-        ]);
+        let (exit, _, _) =
+            run_prog(vec![Instr::Const { d: Reg(5), imm: 77 }, Instr::CallI { target: Reg(5) }]);
         assert_eq!(exit, Exit::Trapped(Trap::WildJump { id: HostFnId(77) }));
     }
 

@@ -116,13 +116,23 @@ fn build_program(pieces: Vec<Piece>, seed: u32) -> Program {
                 // through it. A branch landing mid-sequence still finds
                 // an in-segment address in SANDBOX.
                 instrs.push(Instr::Mov { d: SANDBOX, s: addr });
-                instrs.push(Instr::AluI { op: AluOp::Add, d: SANDBOX, a: SANDBOX, imm: off as i64 });
+                instrs.push(Instr::AluI {
+                    op: AluOp::Add,
+                    d: SANDBOX,
+                    a: SANDBOX,
+                    imm: off as i64,
+                });
                 instrs.push(Instr::Clamp { r: SANDBOX });
                 instrs.push(Instr::LoadW { d, addr: SANDBOX, off: 0 });
             }
             Piece::ClampedStore { s, addr, off } => {
                 instrs.push(Instr::Mov { d: SANDBOX, s: addr });
-                instrs.push(Instr::AluI { op: AluOp::Add, d: SANDBOX, a: SANDBOX, imm: off as i64 });
+                instrs.push(Instr::AluI {
+                    op: AluOp::Add,
+                    d: SANDBOX,
+                    a: SANDBOX,
+                    imm: off as i64,
+                });
                 instrs.push(Instr::Clamp { r: SANDBOX });
                 instrs.push(Instr::StoreW { s, addr: SANDBOX, off: 0 });
             }

@@ -27,7 +27,13 @@ fn main() {
     // A well-behaved graft commits; the recorder stays empty.
     let good = kernel.compile_graft("good", "mov r0, r1\nhalt r0").expect("compiles");
     let g = kernel
-        .install_function_graft(point_names::COMPUTE_RA, &good, app, thread, &InstallOpts::default())
+        .install_function_graft(
+            point_names::COMPUTE_RA,
+            &good,
+            app,
+            thread,
+            &InstallOpts::default(),
+        )
         .expect("installs");
     assert!(matches!(g.borrow_mut().invoke([42, 0, 0, 0]), InvokeOutcome::Ok { result: 42, .. }));
     assert!(kernel.post_mortem().is_none(), "clean commit, no post-mortem");

@@ -40,9 +40,7 @@ fn main() {
         }
     ";
     let image = kernel.compile_graft_c("window-ra", ra_src).expect("compiles");
-    kernel
-        .install_ra_graft(fd, &image, app, thread, &InstallOpts::default())
-        .expect("installs");
+    kernel.install_ra_graft(fd, &image, app, thread, &InstallOpts::default()).expect("installs");
     for block in [3u64, 9, 40] {
         kernel.fs.borrow_mut().read(fd, block * 4096, 4096).expect("read");
     }
@@ -75,10 +73,7 @@ fn main() {
         kernel.nic.borrow_mut().inject_tcp_connect(Port(80));
     }
     let reports = kernel.dispatch_net_events();
-    let refused = reports
-        .iter()
-        .filter(|r| r.handlers[0].outcome.result() == Some(1))
-        .count();
+    let refused = reports.iter().filter(|r| r.handlers[0].outcome.result() == Some(1)).count();
     println!(
         "rate-limiting handler (GraftC): {} events, {} refused, {} served",
         reports.len(),

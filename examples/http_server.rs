@@ -75,9 +75,7 @@ fn main() {
             ",
         )
         .expect("compiles");
-    kernel
-        .install_event_graft(Port(80), 2, &evil, app, &InstallOpts::default())
-        .expect("installs");
+    kernel.install_event_graft(Port(80), 2, &evil, app, &InstallOpts::default()).expect("installs");
 
     // Traffic: five connections arrive.
     for _ in 0..5 {
@@ -106,8 +104,6 @@ fn main() {
         kernel.engine.kv_read(1),
         kernel.engine.kv_read(2)
     );
-    println!(
-        "the evil handler was aborted on event 0 and unloaded; the other two kept serving."
-    );
+    println!("the evil handler was aborted on event 0 and unloaded; the other two kept serving.");
     assert_eq!(kernel.engine.kv_read(1), 5, "all five connections logged");
 }

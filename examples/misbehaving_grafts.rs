@@ -32,9 +32,8 @@ fn main() {
             ",
         )
         .expect("compiles");
-    let g = kernel
-        .install_ra_graft(fd, &wild, app, thread, &InstallOpts::default())
-        .expect("installs");
+    let g =
+        kernel.install_ra_graft(fd, &wild, app, thread, &InstallOpts::default()).expect("installs");
     kernel.fs.borrow_mut().read(fd, 0, 4096).expect("read");
     assert_eq!(g.borrow().mem_ref().kernel_write_count(), 0);
     println!("1. wild store     : confined to the graft segment (Rule 3)");
@@ -55,17 +54,20 @@ fn main() {
     let err = kernel
         .install_ra_graft(fd, &forged, app, thread, &InstallOpts::default())
         .expect_err("must not load");
-    assert!(matches!(
-        err,
-        vino::core::InstallError::Verify(VerifyError::BadSignature)
-    ));
+    assert!(matches!(err, vino::core::InstallError::Verify(VerifyError::BadSignature)));
     println!("3. tampered image : signature check refused it (Rule 6)");
     survived += 1;
 
     // 4. Replacing a global policy without privilege (§2.3).
     let biased = kernel.compile_graft("biased-sched", "halt r1").expect("compiles");
     let err = kernel
-        .install_function_graft(point_names::GLOBAL_SCHEDULER, &biased, app, thread, &InstallOpts::default())
+        .install_function_graft(
+            point_names::GLOBAL_SCHEDULER,
+            &biased,
+            app,
+            thread,
+            &InstallOpts::default(),
+        )
         .expect_err("must not load");
     println!("4. global takeover: {err} (Rule 5)");
     survived += 1;
@@ -76,9 +78,8 @@ fn main() {
     let hog = kernel
         .compile_graft("memory-hog", "const r1, 104857600\ncall $kalloc\nhalt r0")
         .expect("compiles");
-    let g = kernel
-        .install_ra_graft(fd, &hog, app, thread, &InstallOpts::default())
-        .expect("installs");
+    let g =
+        kernel.install_ra_graft(fd, &hog, app, thread, &InstallOpts::default()).expect("installs");
     kernel.fs.borrow_mut().read(fd, 4096, 4096).expect("read");
     assert!(g.borrow().is_dead());
     println!("5. 100MB kalloc   : denied by resource limits, graft unloaded (Rule 2)");
@@ -152,9 +153,8 @@ fn main() {
     survived += 1;
 
     // 9. Indirect call to a forbidden function at run time.
-    let jumper = kernel
-        .compile_graft("wild-jumper", "const r5, 100\ncalli r5\nhalt r0")
-        .expect("compiles");
+    let jumper =
+        kernel.compile_graft("wild-jumper", "const r5, 100\ncalli r5\nhalt r0").expect("compiles");
     let g = kernel
         .install_ra_graft(fd, &jumper, app, thread, &InstallOpts::default())
         .expect("installs");
@@ -169,5 +169,9 @@ fn main() {
 
     println!("\nall {survived} attacks survived; the kernel is still serving:");
     let data = kernel.fs.borrow_mut().read(fd, 0, 16).expect("kernel alive");
-    println!("  post-battery read of {} bytes succeeded; clock at {:.1} ms", data.len(), kernel.clock.now().as_ms());
+    println!(
+        "  post-battery read of {} bytes succeeded; clock at {:.1} ms",
+        data.len(),
+        kernel.clock.now().as_ms()
+    );
 }

@@ -52,9 +52,7 @@ fn video_slices(kernel: &Kernel, delegated: bool, rounds: usize) -> u64 {
                 ),
             )
             .expect("compiles");
-        kernel
-            .install_sched_graft(ui, &image, app, &InstallOpts::default())
-            .expect("installs");
+        kernel.install_sched_graft(ui, &image, app, &InstallOpts::default()).expect("installs");
     }
     // A frame is always due in this demo, and the app registers the
     // video thread's identity for the delegate.

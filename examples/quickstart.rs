@@ -43,9 +43,7 @@ fn main() {
             ",
         )
         .expect("compiles");
-    kernel
-        .install_ra_graft(fd, &image, app, thread, &InstallOpts::default())
-        .expect("installs");
+    kernel.install_ra_graft(fd, &image, app, thread, &InstallOpts::default()).expect("installs");
     println!("\ninstalled read-ahead graft on fd {fd:?}");
 
     // Reads now consult the graft.
@@ -82,12 +80,6 @@ fn main() {
         "\nbuggy graft dead after first invocation: {} (kernel kept serving reads)",
         graft.borrow().is_dead()
     );
-    println!(
-        "transaction stats: {:?}",
-        kernel.engine.txn.borrow().stats()
-    );
-    println!(
-        "\nsimulated time elapsed: {:.2} ms at 120 MHz",
-        kernel.clock.now().as_ms()
-    );
+    println!("transaction stats: {:?}", kernel.engine.txn.borrow().stats());
+    println!("\nsimulated time elapsed: {:.2} ms at 120 MHz", kernel.clock.now().as_ms());
 }

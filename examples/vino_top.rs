@@ -33,7 +33,13 @@ fn main() {
         .expect("compiles");
     for i in 0..32u64 {
         let g = kernel
-            .install_function_graft(point_names::COMPUTE_RA, &good, app, thread, &InstallOpts::default())
+            .install_function_graft(
+                point_names::COMPUTE_RA,
+                &good,
+                app,
+                thread,
+                &InstallOpts::default(),
+            )
             .expect("installs");
         let out = g.borrow_mut().invoke([i, 0, 0, 0]);
         assert!(matches!(out, InvokeOutcome::Ok { .. }));
@@ -74,12 +80,17 @@ fn main() {
 
     // A hard crasher: three straight traps trip quarantine, which the
     // health view shows with its backoff deadline.
-    let bad = kernel
-        .compile_graft("div0", "const r1, 0\ndiv r0, r1, r1\nhalt r0")
-        .expect("compiles");
+    let bad =
+        kernel.compile_graft("div0", "const r1, 0\ndiv r0, r1, r1\nhalt r0").expect("compiles");
     for _ in 0..3 {
         let g = kernel
-            .install_function_graft(point_names::COMPUTE_RA, &bad, app, thread, &InstallOpts::default())
+            .install_function_graft(
+                point_names::COMPUTE_RA,
+                &bad,
+                app,
+                thread,
+                &InstallOpts::default(),
+            )
             .expect("installs until quarantined");
         let out = g.borrow_mut().invoke([0; 4]);
         assert!(matches!(out, InvokeOutcome::Aborted { .. }));

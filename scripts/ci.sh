@@ -6,6 +6,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== format (rustfmt --check) =="
+cargo fmt --check
+
 echo "== build (release) =="
 cargo build --release
 
@@ -14,6 +17,9 @@ cargo test -q --workspace
 
 echo "== survival battery (pinned seeds) =="
 SURVIVAL_SEEDS="3405691582,1122334455,987654321" cargo test -q --test survival
+
+echo "== packet-storm battery (pinned seed, 1M packets) =="
+PACKET_STORM_SEED=3405691582 cargo test -q --test packet_storm
 
 echo "== golden traces (fails on drift; UPDATE_GOLDENS=1 to regenerate) =="
 cargo test -q --test trace_golden

@@ -37,6 +37,7 @@
 //! | [`mem`] | `vino-mem` | VAS, frames, two-level page eviction |
 //! | [`fs`] | `vino-fs` | block FS, buffer cache, read-ahead grafts |
 //! | [`core`] | `vino-core` | graft points, linker/loader, the kernel |
+//! | [`net`] | `vino-net` | packet plane: RX rings, graftable filters |
 
 pub use vino_core as core;
 pub use vino_dev as dev;
@@ -46,13 +47,12 @@ pub use vino_dev as dev;
 // (`Kernel::attach_fault_plane` / `Kernel::attach_trace_plane`).
 pub use vino_core::AttachError;
 pub use vino_sim::fault::FaultPlane;
-pub use vino_sim::trace::{
-    AbortKind, PostMortem, TraceEvent, TracePlane, TraceStats,
-};
+pub use vino_sim::trace::{AbortKind, PostMortem, TraceEvent, TracePlane, TraceStats};
 
 pub use vino_fs as fs;
 pub use vino_mem as mem;
 pub use vino_misfit as misfit;
+pub use vino_net as net;
 pub use vino_rm as rm;
 pub use vino_sched as sched;
 pub use vino_sim as sim;

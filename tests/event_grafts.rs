@@ -1,0 +1,111 @@
+//! The §3.5 event-graft scenario from `examples/http_server.rs`,
+//! promoted to a real integration test: an in-kernel HTTP server whose
+//! broken third handler is aborted and unloaded while the other two
+//! keep serving every connection (Rule 9 — misbehaviour is contained,
+//! service continues).
+
+use vino::core::engine::{AbortedWhy, InvokeOutcome};
+use vino::core::{InstallOpts, Kernel};
+use vino::dev::nic::FIRST_CONN_FD;
+use vino::dev::Port;
+use vino::rm::{Limits, ResourceKind};
+use vino::vm::interp::Trap;
+
+#[test]
+fn broken_handler_dies_while_the_server_keeps_serving() {
+    let kernel = Kernel::boot();
+    let app = kernel.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 20)]));
+    kernel.define_event_point(Port(80));
+
+    // Handler order 0: the access logger. Counts connections in
+    // kernel-state slot 1 through the undo-logged accessor protocol.
+    let logger = kernel
+        .compile_graft(
+            "access-log",
+            "
+            ; r1 = port, r2 = connection fd
+            mov r6, r2
+            const r1, 1
+            call $kv_get        ; current count
+            addi r2, r0, 1
+            const r1, 1
+            call $kv_set
+            mov r1, r6          ; also log the fd we saw
+            call $log
+            halt r0
+            ",
+        )
+        .unwrap();
+    kernel.install_event_graft(Port(80), 0, &logger, app, &InstallOpts::default()).unwrap();
+
+    // Handler order 1: the "server". Records the last fd served in
+    // slot 2.
+    let server = kernel
+        .compile_graft(
+            "http-server",
+            "
+            ; r1 = port, r2 = connection fd. 'Serve' the request.
+            const r1, 2
+            call $kv_set
+            halt r2
+            ",
+        )
+        .unwrap();
+    kernel.install_event_graft(Port(80), 1, &server, app, &InstallOpts::default()).unwrap();
+
+    // Handler order 2: malicious — an indirect call through a pointer
+    // that is not on the graft-callable list. The CheckCall probe
+    // traps it on the first event.
+    let evil = kernel
+        .compile_graft(
+            "evil-handler",
+            "
+            const r5, 666
+            calli r5
+            halt r0
+            ",
+        )
+        .unwrap();
+    kernel.install_event_graft(Port(80), 2, &evil, app, &InstallOpts::default()).unwrap();
+
+    for _ in 0..5 {
+        kernel.nic.borrow_mut().inject_tcp_connect(Port(80));
+    }
+    let reports = kernel.dispatch_net_events();
+    assert_eq!(reports.len(), 5, "every connection dispatched");
+
+    for (i, report) in reports.iter().enumerate() {
+        assert_eq!(report.port, Port(80));
+        // Event 0 visits all three handlers; the evil one is reaped
+        // after its abort, so later events see only the two survivors.
+        assert_eq!(report.handlers.len(), if i == 0 { 3 } else { 2 });
+        let fd = FIRST_CONN_FD as u64 + i as u64;
+
+        // The well-behaved handlers commit on every event.
+        assert_eq!(report.handlers[0].graft, "access-log");
+        assert!(matches!(report.handlers[0].outcome, InvokeOutcome::Ok { .. }));
+        assert_eq!(report.handlers[1].graft, "http-server");
+        match &report.handlers[1].outcome {
+            InvokeOutcome::Ok { result, .. } => assert_eq!(*result, fd, "served this event's fd"),
+            other => panic!("server must commit on event {i}: {other:?}"),
+        }
+
+        // The evil handler traps on event 0 and is forcibly unloaded.
+        if i == 0 {
+            assert_eq!(report.handlers[2].graft, "evil-handler");
+            match &report.handlers[2].outcome {
+                InvokeOutcome::Aborted {
+                    why: AbortedWhy::Trap(Trap::ForbiddenCall { .. } | Trap::WildJump { .. }),
+                    ..
+                } => {}
+                other => panic!("evil handler must trap on its first event: {other:?}"),
+            }
+        }
+    }
+
+    // Abort containment: the logger's undo-logged counter saw all five
+    // connections, and the server recorded the last fd — the broken
+    // handler corrupted nothing.
+    assert_eq!(kernel.engine.kv_read(1), 5, "all five connections logged");
+    assert_eq!(kernel.engine.kv_read(2), FIRST_CONN_FD as u64 + 4, "last fd served");
+}

@@ -23,9 +23,8 @@ fn full_lifecycle_compile_install_invoke_unload() {
     let fd = k.fs.borrow_mut().open("f").unwrap();
 
     // Compile: assemble + instrument + sign.
-    let image = k
-        .compile_graft("ra", "add r1, r1, r2\nconst r2, 4096\ncall $ra_submit\nhalt r0")
-        .unwrap();
+    let image =
+        k.compile_graft("ra", "add r1, r1, r2\nconst r2, 4096\ncall $ra_submit\nhalt r0").unwrap();
     // Install: verify + link-audit + principal + attach.
     let g = k.install_ra_graft(fd, &image, a, t, &InstallOpts::default()).unwrap();
     assert_eq!(g.borrow().name, "ra");
@@ -61,9 +60,7 @@ fn nested_grafts_via_event_handlers_share_undo_correctly() {
     let k = boot();
     let a = app(&k);
     k.define_event_point(Port(9));
-    let good = k
-        .compile_graft("good", "const r1, 20\nconst r2, 1\ncall $kv_set\nhalt r0")
-        .unwrap();
+    let good = k.compile_graft("good", "const r1, 20\nconst r2, 1\ncall $kv_set\nhalt r0").unwrap();
     let bad = k
         .compile_graft(
             "bad",
@@ -196,9 +193,7 @@ fn resource_accounting_spans_install_run_unload() {
     let t = k.spawn_thread("app");
     k.fs.borrow_mut().create("f", 4096).unwrap();
     let fd = k.fs.borrow_mut().open("f").unwrap();
-    let image = k
-        .compile_graft("alloc", "const r1, 1024\ncall $kalloc\nhalt r0")
-        .unwrap();
+    let image = k.compile_graft("alloc", "const r1, 1024\ncall $kalloc\nhalt r0").unwrap();
     let opts = InstallOpts {
         billing: vino::core::BillingMode::Transfer(vec![(ResourceKind::KernelHeap, 4096)]),
         ..InstallOpts::default()
@@ -215,10 +210,7 @@ fn resource_accounting_spans_install_run_unload() {
             assert!(matches!(out, InvokeOutcome::Aborted { .. }), "alloc {i} over budget");
         }
     }
-    assert_eq!(
-        k.engine.rm.borrow().used(g.borrow().principal, ResourceKind::KernelHeap),
-        4096
-    );
+    assert_eq!(k.engine.rm.borrow().used(g.borrow().principal, ResourceKind::KernelHeap), 4096);
     // Unload: the graft's allocations die with it and its limits return
     // to the installer in full.
     let principal = g.borrow().principal;

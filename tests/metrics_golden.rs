@@ -79,9 +79,8 @@ fn golden_clean_commit_metrics() {
     let (k, mp) = boot_metered();
     let app = k.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 20)]));
     let t = k.spawn_thread("app");
-    let image = k
-        .compile_graft("good-kv", "mov r2, r1\nconst r1, 5\ncall $kv_set\nhalt r2")
-        .unwrap();
+    let image =
+        k.compile_graft("good-kv", "mov r2, r1\nconst r1, 5\ncall $kv_set\nhalt r2").unwrap();
     let g = k
         .install_function_graft(point_names::COMPUTE_RA, &image, app, t, &InstallOpts::default())
         .unwrap();
@@ -103,9 +102,7 @@ fn golden_lock_timeout_abort_metrics() {
     let app = k.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 20)]));
     let t = k.spawn_thread("app");
     let _ = k.engine.register_lock(vino::txn::locks::LockClass::Buffer);
-    let image = k
-        .compile_graft("storm-victim", "const r1, 0\ncall $lock\nspin: jmp spin")
-        .unwrap();
+    let image = k.compile_graft("storm-victim", "const r1, 0\ncall $lock\nspin: jmp spin").unwrap();
     let g = k
         .install_function_graft(point_names::COMPUTE_RA, &image, app, t, &InstallOpts::default())
         .unwrap();
@@ -126,7 +123,13 @@ fn golden_quarantine_trip_metrics() {
     let image = k.compile_graft("div0", "const r1, 0\ndiv r0, r1, r1\nhalt r0").unwrap();
     for _ in 0..3 {
         let g = k
-            .install_function_graft(point_names::COMPUTE_RA, &image, app, t, &InstallOpts::default())
+            .install_function_graft(
+                point_names::COMPUTE_RA,
+                &image,
+                app,
+                t,
+                &InstallOpts::default(),
+            )
             .unwrap();
         let out = g.borrow_mut().invoke([0; 4]);
         assert!(matches!(out, InvokeOutcome::Aborted { .. }));

@@ -67,15 +67,11 @@ fn rule2_no_resource_hoarding() {
     let a = app(&k);
     let t = k.spawn_thread("app");
     let fd = with_file(&k);
-    let image =
-        k.compile_graft("hog", "const r1, 999999999\ncall $kalloc\nhalt r0").unwrap();
+    let image = k.compile_graft("hog", "const r1, 999999999\ncall $kalloc\nhalt r0").unwrap();
     let g = k.install_ra_graft(fd, &image, a, t, &InstallOpts::default()).unwrap();
     k.fs.borrow_mut().read(fd, 0, 4096).unwrap();
     assert!(g.borrow().is_dead(), "allocation denial aborted the graft");
-    assert_eq!(
-        k.engine.rm.borrow().used(g.borrow().principal, ResourceKind::KernelHeap),
-        0
-    );
+    assert_eq!(k.engine.rm.borrow().used(g.borrow().principal, ResourceKind::KernelHeap), 0);
 }
 
 #[test]
@@ -128,9 +124,7 @@ fn rule4_and_7_no_forbidden_functions() {
         Err(InstallError::Link(_))
     ));
     // Indirect call: trapped at run time by the CheckCall probe.
-    let indirect = k
-        .compile_graft("snoop2", "const r5, 101\ncalli r5\nhalt r0")
-        .unwrap();
+    let indirect = k.compile_graft("snoop2", "const r5, 101\ncalli r5\nhalt r0").unwrap();
     let g = k.install_ra_graft(fd, &indirect, a, t, &InstallOpts::default()).unwrap();
     k.fs.borrow_mut().read(fd, 0, 4096).unwrap();
     assert!(g.borrow().is_dead(), "indirect forbidden call aborted the graft");
@@ -143,16 +137,13 @@ fn rule5_no_replacing_restricted_functions() {
     let t = k.spawn_thread("app");
     let image = k.compile_graft("takeover", "halt r1").unwrap();
     for point in [point_names::GLOBAL_SCHEDULER, point_names::SECURITY_POLICY] {
-        let err = k
-            .install_function_graft(point, &image, a, t, &InstallOpts::default())
-            .unwrap_err();
+        let err =
+            k.install_function_graft(point, &image, a, t, &InstallOpts::default()).unwrap_err();
         assert!(matches!(err, InstallError::Restricted { .. }), "{point}");
     }
     // A privileged user (who could build a new kernel anyway) may.
     let opts = InstallOpts { privileged: true, ..InstallOpts::default() };
-    assert!(k
-        .install_function_graft(point_names::GLOBAL_SCHEDULER, &image, a, t, &opts)
-        .is_ok());
+    assert!(k.install_function_graft(point_names::GLOBAL_SCHEDULER, &image, a, t, &opts).is_ok());
 }
 
 #[test]
@@ -190,9 +181,8 @@ fn rule8_malice_confined_to_consenting_applications() {
     k.fs.borrow_mut().create("bystander", 16 * 4096).unwrap();
     let fd_in = k.fs.borrow_mut().open("opted-in").unwrap();
     let fd_by = k.fs.borrow_mut().open("bystander").unwrap();
-    let image = k
-        .compile_graft("hostile-ra", "const r1, 0\nconst r2, 0\ndiv r0, r1, r2\nhalt r0")
-        .unwrap();
+    let image =
+        k.compile_graft("hostile-ra", "const r1, 0\nconst r2, 0\ndiv r0, r1, r2\nhalt r0").unwrap();
     k.install_ra_graft(fd_in, &image, a, t, &InstallOpts::default()).unwrap();
     // The bystander's reads are completely unaffected.
     k.fs.borrow_mut().write(fd_by, 0, b"untouched").unwrap();

@@ -201,10 +201,7 @@ fn run_battery(seed: u64) -> Tally {
             1 => plane.set_rate(FaultSite::ResourceExhaust, 1, 2),
             2 => plane.set_rate(FaultSite::DiskRead, 1, 3),
             3 => plane.set_rate(FaultSite::DiskWrite, 1, 3),
-            4 => plane.arm(
-                FaultSite::ImageCorrupt,
-                plane.visits(FaultSite::ImageCorrupt) + 1,
-            ),
+            4 => plane.arm(FaultSite::ImageCorrupt, plane.visits(FaultSite::ImageCorrupt) + 1),
             5 => plane.set_rate(FaultSite::LockTimeoutStorm, 1, 1),
             6 => plane.set_rate(FaultSite::DiskStall, 1, 4),
             _ => {} // No injection: the zoo misbehaves on its own.
@@ -222,10 +219,7 @@ fn run_battery(seed: u64) -> Tally {
         // Sometimes fund the graft so the alloc/hoard paths commit.
         let opts = if rng.chance(1, 2) {
             InstallOpts {
-                billing: vino::core::BillingMode::Transfer(vec![(
-                    ResourceKind::KernelHeap,
-                    8192,
-                )]),
+                billing: vino::core::BillingMode::Transfer(vec![(ResourceKind::KernelHeap, 8192)]),
                 ..InstallOpts::default()
             }
         } else {
@@ -301,8 +295,7 @@ fn run_battery(seed: u64) -> Tally {
                     assert!(g.borrow().is_dead(), "abort forcibly unloads (§3.6)");
                     // No resource-counter leak: everything the aborted
                     // run charged was released by the undo stack.
-                    let used_after =
-                        k.engine.rm.borrow().used(principal, ResourceKind::KernelHeap);
+                    let used_after = k.engine.rm.borrow().used(principal, ResourceKind::KernelHeap);
                     assert_eq!(
                         used_before, used_after,
                         "scenario {i} ({}): abort leaked heap ({why:?}, {report:?})",
@@ -348,10 +341,11 @@ fn run_battery(seed: u64) -> Tally {
     assert!(k.engine.rm.borrow().blame(app) > 0, "aborts billed blame to the installer");
     let ts = tp.stats();
     assert_eq!(
-        ts.vm + ts.txn + ts.rm + ts.fs + ts.graft,
+        ts.vm + ts.txn + ts.rm + ts.fs + ts.graft + ts.net,
         ts.total,
         "per-subsystem trace counters must sum to the total"
     );
+    assert_eq!(ts.net, 0, "this battery drives no packet plane");
 
     // ---- Cross-plane reconciliation ----
     // Every reconciling metrics counter is incremented at the same
@@ -416,14 +410,8 @@ fn survival_battery_1000_scenarios() {
         let tally = run_battery(*seed);
         quarantine_cycles += tally.quarantine_releases;
     }
-    assert!(
-        seeds.len() * SCENARIOS_PER_SEED >= 1000,
-        "battery must cover at least 1000 scenarios"
-    );
-    assert!(
-        quarantine_cycles > 0,
-        "no seed ever drove a graft through quarantine-and-release"
-    );
+    assert!(seeds.len() * SCENARIOS_PER_SEED >= 1000, "battery must cover at least 1000 scenarios");
+    assert!(quarantine_cycles > 0, "no seed ever drove a graft through quarantine-and-release");
 }
 
 #[test]
@@ -497,10 +485,7 @@ fn quarantine_blocks_reinstall_with_exponential_backoff() {
     let backoff2 = until2.saturating_sub(k.clock.now());
     assert_eq!(backoff2.get(), backoff1.get() * 2, "exponential backoff doubles");
     assert_eq!(k.reliability().ledger("flaky").unwrap().episodes, 2);
-    assert_eq!(
-        k.reliability().ledger("flaky").unwrap().count(FailureKind::DivByZero),
-        6
-    );
+    assert_eq!(k.reliability().ledger("flaky").unwrap().count(FailureKind::DivByZero), 6);
 
     // After the (longer) second deadline the graft is welcome again —
     // quarantine is backoff, not a death sentence.
@@ -523,9 +508,7 @@ fn storm_stolen_transaction_does_not_panic_the_wrapper() {
     let app = k.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 20)]));
     let t = k.spawn_thread("app");
     let (_h, lock_id) = k.engine.register_lock(LockClass::Buffer);
-    let image = k
-        .compile_graft("storm-victim", "const r1, 0\ncall $lock\nspin: jmp spin")
-        .unwrap();
+    let image = k.compile_graft("storm-victim", "const r1, 0\ncall $lock\nspin: jmp spin").unwrap();
     let g = k
         .install_function_graft(point_names::COMPUTE_RA, &image, app, t, &InstallOpts::default())
         .unwrap();
@@ -542,10 +525,7 @@ fn storm_stolen_transaction_does_not_panic_the_wrapper() {
     assert_eq!(txn.lock_table().holder(lock_id), None, "stolen lock released exactly once");
     assert_eq!(txn.lock_table().held_count(), 0);
     drop(txn);
-    assert_eq!(
-        k.reliability().ledger("storm-victim").unwrap().count(FailureKind::LockTimeout),
-        1
-    );
+    assert_eq!(k.reliability().ledger("storm-victim").unwrap().count(FailureKind::LockTimeout), 1);
 }
 
 #[test]
@@ -559,14 +539,26 @@ fn callee_disasters_never_abort_the_caller() {
     let t = k.spawn_thread("app");
     let callee_img = k.compile_graft("callee", "const r1, 0\ndiv r0, r1, r1\nhalt r0").unwrap();
     let callee = k
-        .install_function_graft(point_names::PICK_VICTIM, &callee_img, app, t, &InstallOpts::default())
+        .install_function_graft(
+            point_names::PICK_VICTIM,
+            &callee_img,
+            app,
+            t,
+            &InstallOpts::default(),
+        )
         .unwrap();
     let handle = k.engine.register_subgraft(Rc::clone(&callee));
     let caller_img = k
         .compile_graft("caller", &format!("const r1, {handle}\ncall $call_graft\nhalt r0"))
         .unwrap();
     let caller = k
-        .install_function_graft(point_names::COMPUTE_RA, &caller_img, app, t, &InstallOpts::default())
+        .install_function_graft(
+            point_names::COMPUTE_RA,
+            &caller_img,
+            app,
+            t,
+            &InstallOpts::default(),
+        )
         .unwrap();
 
     for _ in 0..3 {
