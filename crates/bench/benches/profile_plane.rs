@@ -1,0 +1,89 @@
+//! Profile-plane microbenches: per-retired-instruction billing cost,
+//! plus the zero-allocation proof — once a graft's program is
+//! registered, the hot-path operations (per-PC billing, call-graph
+//! enter/exit on already-seen edges, invocation brackets, span marks)
+//! must never touch the heap.
+
+use std::rc::Rc;
+
+use criterion::alloc::CountingAlloc;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vino_sim::metrics::Component;
+use vino_sim::profile::{ProfilePlane, SpanKind};
+use vino_sim::{Cycles, VirtualClock};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn bench(c: &mut Criterion) {
+    let clock = VirtualClock::new();
+    let pp = ProfilePlane::with_capacity(Rc::clone(&clock), 8, 1 << 14);
+
+    // Interning and program registration are the only allocating
+    // operations, and they happen once per graft at install time — do
+    // them before the proof window. One warm-up pass also materialises
+    // every call-tree edge the proof loop will walk.
+    let tags = [pp.tag("ra"), pp.tag("evict"), pp.tag("sched"), pp.tag("crypt")];
+    for &t in &tags {
+        pp.register_program(t, 512);
+        pp.begin_invocation(t);
+        pp.record_pc(t, 0, Component::GraftFn, Cycles(1));
+        pp.enter_fn(t, 40);
+        pp.record_pc(t, 40, Component::GraftFn, Cycles(35));
+        pp.exit_fn(t);
+        pp.end_invocation(true);
+    }
+
+    // The proof: 100k retired instructions (mixed with the bracket,
+    // call-graph and span traffic one invocation generates) — zero
+    // allocations.
+    let before = ALLOC.allocations();
+    for i in 0..1_000u64 {
+        let tag = tags[(i % 4) as usize];
+        pp.begin_invocation(tag);
+        pp.charge(Component::TxnBegin, Cycles(4320));
+        pp.mark(SpanKind::TxnBegin, Cycles(4320));
+        for pc in 0..100u32 {
+            clock.charge(Cycles(1));
+            let comp = if pc % 7 == 0 { Component::Sfi } else { Component::GraftFn };
+            pp.record_pc(tag, pc as usize, comp, Cycles(1 + (pc as u64 % 4)));
+        }
+        pp.enter_fn(tag, 40);
+        pp.record_pc(tag, 40, Component::GraftFn, Cycles(35));
+        pp.exit_fn(tag);
+        pp.charge(Component::TxnCommit, Cycles(3600));
+        pp.mark(SpanKind::TxnCommit, Cycles(3600));
+        pp.end_invocation(i % 5 != 0);
+    }
+    let delta = ALLOC.allocations() - before;
+    assert_eq!(delta, 0, "profile billing hit the heap {delta} times in 100k instructions");
+    println!("profile_plane/allocs_per_100k_instrs     {delta:>12}");
+
+    c.bench_function("profile_plane/record_pc", |b| {
+        b.iter(|| {
+            pp.record_pc(
+                black_box(tags[0]),
+                black_box(17),
+                Component::GraftFn,
+                black_box(Cycles(2)),
+            )
+        })
+    });
+    c.bench_function("profile_plane/enter_exit_fn", |b| {
+        b.iter(|| {
+            pp.enter_fn(tags[0], black_box(40));
+            pp.exit_fn(tags[0]);
+        })
+    });
+    c.bench_function("profile_plane/invocation_bracket", |b| {
+        b.iter(|| {
+            pp.begin_invocation(black_box(tags[0]));
+            pp.record_pc(tags[0], 1, Component::GraftFn, Cycles(1));
+            pp.end_invocation(true);
+        })
+    });
+    c.bench_function("profile_plane/folded", |b| b.iter(|| black_box(pp.folded())));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -22,6 +22,7 @@
 //! | [`ablation`] | design-choice ablations: eviction policy, time-out sweep |
 //! | [`tracecount`] | trace-plane event census (observability tripwire) |
 //! | [`netfilter`] | packet-filter path census + batched-dispatch sweep |
+//! | [`profdiff`] | differential profile gate (cost-model drift tripwire) |
 
 pub mod ablation;
 pub mod benefit;
@@ -29,6 +30,7 @@ pub mod equation;
 pub mod lockfig;
 pub mod misfit_micro;
 pub mod netfilter;
+pub mod profdiff;
 pub mod render;
 pub mod table3;
 pub mod table4;

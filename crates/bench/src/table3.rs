@@ -246,4 +246,57 @@ mod tests {
         assert!(attr.of(Component::GraftFn) > Cycles(0));
         assert!(attr.of(Component::Sfi) > Cycles(0));
     }
+
+    /// The profile plane's per-PC ledger must agree *exactly* — cycle
+    /// for cycle, component for component — with the metrics plane's
+    /// Table-3 attribution for the same run. Both planes watch the same
+    /// charge sites with the same bracket semantics, so any divergence
+    /// is a billing bug in one of them.
+    #[test]
+    fn profile_ledger_reconciles_with_metrics_attribution() {
+        use crate::world::build_profiled;
+        use vino_core::engine::InvokeOutcome;
+        use vino_sim::metrics::Component;
+
+        let (mut w, mp, pp) = build_profiled(RA_GRAFT_SRC, 8192, Variant::Safe, 1);
+        let mem = w.graft.mem();
+        mem.graft_write_u32(1024, PATTERN_LEN as u32);
+        for i in 0..PATTERN_LEN {
+            mem.graft_write_u32(1028 + 4 * i, (i as u32) * 4096);
+        }
+        mem.graft_write_u32(0, (MATCH_AT as u32) * 4096);
+
+        let reps = 100u64;
+        let t0 = w.clock.now();
+        for _ in 0..reps {
+            let cost = Cycles(costs::INDIRECTION_CYCLES);
+            w.clock.charge(cost);
+            mp.charge(Component::Indirection, cost);
+            pp.charge(Component::Indirection, cost);
+            let out = w.graft.invoke([MATCH_AT as u64 * 4096, 4096, 0, 1 << 24]);
+            assert!(matches!(out, InvokeOutcome::Ok { .. }), "{out:?}");
+        }
+        let measured = w.clock.since(t0);
+
+        let mtag = mp.tag("bench-graft");
+        let ptag = pp.tag("bench-graft");
+        let ma = mp.attribution(mtag).expect("metrics interned");
+        let pa = pp.attribution(ptag).expect("profile interned");
+
+        // Component-for-component equality between the two ledgers, and
+        // both decompose the measured clock delta exactly.
+        assert_eq!(pa, ma, "profile and metrics attribution must agree exactly");
+        assert_eq!(pa.total(), measured);
+        assert_eq!(pp.kernel_attribution(), mp.kernel_attribution());
+
+        // The per-PC arrays are a third, finer-grained decomposition of
+        // the same cycles: summed, they must equal the attribution's
+        // VM-billed rows (GraftFn and Sfi) exactly — and the hit count
+        // must equal the retired-instruction count.
+        let (graft_fn, sfi, hits) = pp.pc_totals(ptag);
+        assert_eq!(graft_fn, pa.of(Component::GraftFn));
+        assert_eq!(sfi, pa.of(Component::Sfi));
+        assert_eq!(hits, pp.instrs_of(ptag));
+        assert!(hits > 0);
+    }
 }

@@ -8,6 +8,7 @@ use vino_core::engine::{GraftEngine, GraftInstance};
 use vino_core::hostfn;
 use vino_misfit::{MisfitTool, SigningKey};
 use vino_sim::metrics::MetricsPlane;
+use vino_sim::profile::ProfilePlane;
 use vino_sim::stats::{trimmed_summary, Summary};
 use vino_sim::{ThreadId, VirtualClock};
 use vino_txn::locks::LockClass;
@@ -73,6 +74,35 @@ pub fn build_metered(
     let prog = assemble("bench-graft", src, &hostfn::symbols()).expect("bench graft assembles");
     let graft = instance_from(&engine, prog, seg_size, variant);
     (World { engine, graft, clock }, plane)
+}
+
+/// [`build_metered`] plus a profile plane, wired the same way (before
+/// the instance is created, so the VM bills per-PC cycles and the
+/// wrapper brackets invocations). Used by the profile reconciliation
+/// tests and the differential profile gate (`docs/PROFILING.md`).
+pub fn build_profiled(
+    src: &str,
+    seg_size: usize,
+    variant: Variant,
+    locks: usize,
+) -> (World, Rc<MetricsPlane>, Rc<ProfilePlane>) {
+    let clock = VirtualClock::new();
+    let plane = MetricsPlane::new(Rc::clone(&clock));
+    let profile = ProfilePlane::new(Rc::clone(&clock));
+    let engine = GraftEngine::new(Rc::clone(&clock));
+    engine.txn.borrow_mut().set_metrics_plane(Rc::clone(&plane));
+    engine.rm.borrow_mut().set_metrics_plane(Rc::clone(&plane));
+    engine.reliability.borrow_mut().set_metrics_plane(Rc::clone(&plane));
+    engine.set_metrics_plane(Rc::clone(&plane));
+    engine.txn.borrow_mut().set_profile_plane(Rc::clone(&profile));
+    engine.rm.borrow_mut().set_profile_plane(Rc::clone(&profile));
+    engine.set_profile_plane(Rc::clone(&profile));
+    for _ in 0..locks {
+        engine.register_lock(LockClass::SharedBuffer);
+    }
+    let prog = assemble("bench-graft", src, &hostfn::symbols()).expect("bench graft assembles");
+    let graft = instance_from(&engine, prog, seg_size, variant);
+    (World { engine, graft, clock }, plane, profile)
 }
 
 /// Builds an instance from an already-assembled program, running it

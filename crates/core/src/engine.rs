@@ -17,6 +17,7 @@ use vino_misfit::CallableTable;
 use vino_rm::{PrincipalId, ResourceAccountant, ResourceKind};
 use vino_sim::fault::FaultPlane;
 use vino_sim::metrics::{MetricTag, MetricsPlane};
+use vino_sim::profile::{ProfTag, ProfilePlane};
 use vino_sim::trace::{AbortKind, GraftTag, TraceEvent, TracePlane};
 use vino_sim::{costs, Cycles, ThreadId, VirtualClock};
 use vino_txn::locks::{LockClass, LockId};
@@ -89,6 +90,10 @@ pub struct GraftEngine {
     /// Metrics plane shared with every subsequently created instance's
     /// VM and with the wrapper's invocation brackets.
     metrics: RefCell<Option<Rc<MetricsPlane>>>,
+    /// Profile plane shared with every subsequently created instance's
+    /// VM (per-PC billing, call-graph capture) and with the wrapper's
+    /// invocation spans.
+    profile: RefCell<Option<Rc<ProfilePlane>>>,
 }
 
 impl GraftEngine {
@@ -108,6 +113,7 @@ impl GraftEngine {
             fault: RefCell::new(None),
             trace: RefCell::new(None),
             metrics: RefCell::new(None),
+            profile: RefCell::new(None),
         })
     }
 
@@ -152,6 +158,21 @@ impl GraftEngine {
     /// The attached metrics plane, if any.
     pub fn metrics_plane(&self) -> Option<Rc<MetricsPlane>> {
         self.metrics.borrow().clone()
+    }
+
+    /// Attaches a profile plane to the engine: every graft instance
+    /// created *after* this call bills each retired instruction to its
+    /// (graft, function, pc) key and captures its local call graph, and
+    /// every wrapper invocation opens a span in the invocation tree.
+    /// (Subsystem planes — fs, txn, rm — are wired by
+    /// [`crate::Kernel::attach_profile_plane`].)
+    pub fn set_profile_plane(&self, plane: Rc<ProfilePlane>) {
+        *self.profile.borrow_mut() = Some(plane);
+    }
+
+    /// The attached profile plane, if any.
+    pub fn profile_plane(&self) -> Option<Rc<ProfilePlane>> {
+        self.profile.borrow().clone()
     }
 
     /// Registers a lockable kernel object and exposes it to grafts as a
@@ -473,6 +494,8 @@ pub struct GraftInstance {
     tag: Option<GraftTag>,
     /// Interned metrics tag for this graft's name (if a plane is wired).
     mtag: Option<MetricTag>,
+    /// Interned profile tag for this graft's name (if a plane is wired).
+    ptag: Option<ProfTag>,
 }
 
 impl GraftInstance {
@@ -503,6 +526,14 @@ impl GraftInstance {
             mp.mark_install(mtag);
             mtag
         });
+        // And for the profile plane, which also pre-sizes the per-PC
+        // arrays to the program length so the hot path never allocates.
+        let ptag = engine.profile_plane().map(|pp| {
+            let ptag = pp.tag(&program.name);
+            pp.register_program(ptag, program.instrs.len());
+            vm.set_profile_plane(Rc::clone(&pp), ptag);
+            ptag
+        });
         GraftInstance {
             name: program.name.clone(),
             engine,
@@ -515,6 +546,7 @@ impl GraftInstance {
             stats: InvokeStats::default(),
             tag,
             mtag,
+            ptag,
         }
     }
 
@@ -600,6 +632,11 @@ impl GraftInstance {
                     mp.mark_fallback(mtag);
                 }
             }
+            if self.ptag.is_some() {
+                if let Some(pp) = self.engine.profile_plane() {
+                    pp.mark_fallback();
+                }
+            }
             return InvokeOutcome::Dead;
         }
         self.stats.invocations += 1;
@@ -609,6 +646,11 @@ impl GraftInstance {
         if let Some(mtag) = self.mtag {
             if let Some(mp) = self.engine.metrics_plane() {
                 mp.begin_invocation(mtag);
+            }
+        }
+        if let Some(ptag) = self.ptag {
+            if let Some(pp) = self.engine.profile_plane() {
+                pp.begin_invocation(ptag);
             }
         }
         let engine = Rc::clone(&self.engine);
@@ -635,6 +677,11 @@ impl GraftInstance {
                                 if self.mtag.is_some() {
                                     if let Some(mp) = self.engine.metrics_plane() {
                                         mp.end_invocation(true);
+                                    }
+                                }
+                                if self.ptag.is_some() {
+                                    if let Some(pp) = self.engine.profile_plane() {
+                                        pp.end_invocation(true);
                                     }
                                 }
                                 InvokeOutcome::Ok { result, extents: host.extents, log: host.log }
@@ -714,6 +761,11 @@ impl GraftInstance {
                     mp.mark_fallback(mtag);
                 }
             }
+            if self.ptag.is_some() {
+                if let Some(pp) = self.engine.profile_plane() {
+                    pp.mark_fallback();
+                }
+            }
             return BatchOutcome::Dead;
         }
         if count == 0 {
@@ -726,6 +778,11 @@ impl GraftInstance {
         if let Some(mtag) = self.mtag {
             if let Some(mp) = self.engine.metrics_plane() {
                 mp.begin_invocation(mtag);
+            }
+        }
+        if let Some(ptag) = self.ptag {
+            if let Some(pp) = self.engine.profile_plane() {
+                pp.begin_invocation(ptag);
             }
         }
         let engine = Rc::clone(&self.engine);
@@ -791,6 +848,11 @@ impl GraftInstance {
                     mp.end_invocation(true);
                 }
             }
+            if self.ptag.is_some() {
+                if let Some(pp) = self.engine.profile_plane() {
+                    pp.end_invocation(true);
+                }
+            }
             BatchOutcome::Ok { results }
         } else {
             // A fired lock time-out stole the wrapper transaction
@@ -842,6 +904,11 @@ impl GraftInstance {
         if self.mtag.is_some() {
             if let Some(mp) = self.engine.metrics_plane() {
                 mp.end_invocation(false);
+            }
+        }
+        if self.ptag.is_some() {
+            if let Some(pp) = self.engine.profile_plane() {
+                pp.end_invocation(false);
             }
         }
         let kind = reliability::classify(&why);

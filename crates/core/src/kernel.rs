@@ -2,7 +2,7 @@
 //! install entry points for each graft class and the network-event
 //! dispatch loop of §3.5.
 
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -14,6 +14,8 @@ use vino_misfit::{MisfitTool, SignedImage, SigningKey};
 use vino_rm::{Limits, PrincipalId};
 use vino_sim::fault::FaultPlane;
 use vino_sim::metrics::MetricsPlane;
+use vino_sim::plane::AttachSlot;
+use vino_sim::profile::ProfilePlane;
 use vino_sim::trace::{PostMortem, TracePlane};
 use vino_sim::{ThreadId, VirtualClock};
 use vino_vm::isa::Program;
@@ -73,28 +75,17 @@ impl Default for KernelConfig {
 
 /// Rejected plane attachment.
 ///
-/// [`Kernel::attach_fault_plane`], [`Kernel::attach_trace_plane`] and
-/// [`Kernel::attach_metrics_plane`]
+/// [`Kernel::attach_fault_plane`], [`Kernel::attach_trace_plane`],
+/// [`Kernel::attach_metrics_plane`] and
+/// [`Kernel::attach_profile_plane`]
 /// are attach-once: subsystems clone the `Rc` at attach time and grafts
 /// bind the plane at install time, so silently swapping planes mid-run
 /// would leave earlier grafts and subsystems on the old plane — a
 /// half-attached state with nondeterministic coverage. The contract is
-/// therefore *error on double attach*.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AttachError {
-    /// A plane of this kind is already attached to this kernel.
-    AlreadyAttached,
-}
-
-impl std::fmt::Display for AttachError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            AttachError::AlreadyAttached => f.write_str("a plane is already attached"),
-        }
-    }
-}
-
-impl std::error::Error for AttachError {}
+/// therefore *error on double attach*, enforced by one
+/// [`AttachSlot`](vino_sim::plane::AttachSlot) per plane kind (shared
+/// with the sim crate, which owns the error type).
+pub use vino_sim::plane::AttachError;
 
 /// The result of dispatching one network event.
 #[derive(Debug)]
@@ -124,9 +115,10 @@ pub struct Kernel {
     namespace: RefCell<GraftNamespace>,
     event_points: RefCell<HashMap<Port, EventPoint>>,
     fn_grafts: RefCell<HashMap<String, SharedGraft>>,
-    fault_attached: Cell<bool>,
-    trace_attached: Cell<bool>,
-    metrics_attached: Cell<bool>,
+    fault_attached: AttachSlot,
+    trace_attached: AttachSlot,
+    metrics_attached: AttachSlot,
+    profile_attached: AttachSlot,
 }
 
 impl Kernel {
@@ -158,9 +150,10 @@ impl Kernel {
             namespace: RefCell::new(ns),
             event_points: RefCell::new(HashMap::new()),
             fn_grafts: RefCell::new(HashMap::new()),
-            fault_attached: Cell::new(false),
-            trace_attached: Cell::new(false),
-            metrics_attached: Cell::new(false),
+            fault_attached: AttachSlot::new(),
+            trace_attached: AttachSlot::new(),
+            metrics_attached: AttachSlot::new(),
+            profile_attached: AttachSlot::new(),
             engine,
             clock,
         })
@@ -181,9 +174,7 @@ impl Kernel {
     /// [`AttachError::AlreadyAttached`] (see [`AttachError`] for why a
     /// silent swap would be wrong).
     pub fn attach_fault_plane(&self, plane: Rc<FaultPlane>) -> Result<(), AttachError> {
-        if self.fault_attached.replace(true) {
-            return Err(AttachError::AlreadyAttached);
-        }
+        self.fault_attached.claim()?;
         self.fs.borrow_mut().set_fault_plane(Rc::clone(&plane));
         self.engine.txn.borrow_mut().set_fault_plane(Rc::clone(&plane));
         self.engine.rm.borrow_mut().set_fault_plane(Rc::clone(&plane));
@@ -200,9 +191,7 @@ impl Kernel {
     ///
     /// Attach-once, like [`attach_fault_plane`](Self::attach_fault_plane).
     pub fn attach_trace_plane(&self, plane: Rc<TracePlane>) -> Result<(), AttachError> {
-        if self.trace_attached.replace(true) {
-            return Err(AttachError::AlreadyAttached);
-        }
+        self.trace_attached.claim()?;
         self.fs.borrow_mut().set_trace_plane(Rc::clone(&plane));
         self.engine.txn.borrow_mut().set_trace_plane(Rc::clone(&plane));
         self.engine.rm.borrow_mut().set_trace_plane(Rc::clone(&plane));
@@ -221,9 +210,7 @@ impl Kernel {
     ///
     /// Attach-once, like [`attach_fault_plane`](Self::attach_fault_plane).
     pub fn attach_metrics_plane(&self, plane: Rc<MetricsPlane>) -> Result<(), AttachError> {
-        if self.metrics_attached.replace(true) {
-            return Err(AttachError::AlreadyAttached);
-        }
+        self.metrics_attached.claim()?;
         self.fs.borrow_mut().set_metrics_plane(Rc::clone(&plane));
         self.engine.txn.borrow_mut().set_metrics_plane(Rc::clone(&plane));
         self.engine.rm.borrow_mut().set_metrics_plane(Rc::clone(&plane));
@@ -231,6 +218,33 @@ impl Kernel {
         self.nic.borrow_mut().set_metrics_plane(Rc::clone(&plane));
         self.engine.set_metrics_plane(plane);
         Ok(())
+    }
+
+    /// Attaches one profile plane to every instrumented subsystem: file
+    /// system (dispatch indirection), transaction manager (envelope
+    /// charges and spans), resource accountant (grant marks), and — for
+    /// grafts loaded after this call — the VM's per-PC billing,
+    /// call-graph capture and the wrapper's invocation spans. One
+    /// plane, one cycle-exact profile across the whole kernel (see
+    /// `docs/PROFILING.md`). Recording never charges the virtual clock,
+    /// so attaching a profile plane changes no timings.
+    ///
+    /// Attach-once, like [`attach_fault_plane`](Self::attach_fault_plane).
+    pub fn attach_profile_plane(&self, plane: Rc<ProfilePlane>) -> Result<(), AttachError> {
+        self.profile_attached.claim()?;
+        self.fs.borrow_mut().set_profile_plane(Rc::clone(&plane));
+        self.engine.txn.borrow_mut().set_profile_plane(Rc::clone(&plane));
+        self.engine.rm.borrow_mut().set_profile_plane(Rc::clone(&plane));
+        self.engine.set_profile_plane(plane);
+        Ok(())
+    }
+
+    /// The attached profile plane, for renders
+    /// ([`ProfilePlane::folded`], [`ProfilePlane::chrome_trace`],
+    /// [`ProfilePlane::render_top`], [`ProfilePlane::snapshot`]).
+    /// `None` when no plane is attached.
+    pub fn profile(&self) -> Option<Rc<ProfilePlane>> {
+        self.engine.profile_plane()
     }
 
     /// The attached metrics plane, for snapshots ([`MetricsPlane::snapshot`],
@@ -761,6 +775,17 @@ mod tests {
         assert!(
             Rc::ptr_eq(&k.metrics().expect("attached"), &mp),
             "Kernel::metrics returns the attached plane"
+        );
+        let pp = vino_sim::profile::ProfilePlane::new(Rc::clone(&k.clock));
+        assert!(k.profile().is_none(), "no profile plane before attach");
+        k.attach_profile_plane(Rc::clone(&pp)).unwrap();
+        assert_eq!(
+            k.attach_profile_plane(Rc::clone(&pp)).unwrap_err(),
+            AttachError::AlreadyAttached
+        );
+        assert!(
+            Rc::ptr_eq(&k.profile().expect("attached"), &pp),
+            "Kernel::profile returns the attached plane"
         );
     }
 

@@ -86,6 +86,7 @@ impl Nic {
         *self.dropped_by_port.entry(port).or_insert(0) += 1;
         if let Some(mp) = &self.metrics {
             mp.inc(Counter::NicDropped);
+            mp.observe_nic_port_drop(port.0);
         }
     }
 

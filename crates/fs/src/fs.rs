@@ -148,6 +148,7 @@ pub struct FileSystem {
     stats: FsStats,
     trace: Option<Rc<vino_sim::trace::TracePlane>>,
     metrics: Option<Rc<vino_sim::metrics::MetricsPlane>>,
+    profile: Option<Rc<vino_sim::profile::ProfilePlane>>,
 }
 
 impl FileSystem {
@@ -178,6 +179,7 @@ impl FileSystem {
             stats: FsStats::default(),
             trace: None,
             metrics: None,
+            profile: None,
         }
     }
 
@@ -215,6 +217,7 @@ impl FileSystem {
             stats: FsStats::default(),
             trace: None,
             metrics: None,
+            profile: None,
         })
     }
 
@@ -250,6 +253,13 @@ impl FileSystem {
     /// attributed to the graft it dispatches (see `docs/METRICS.md`).
     pub fn set_metrics_plane(&mut self, plane: Rc<vino_sim::metrics::MetricsPlane>) {
         self.metrics = Some(plane);
+    }
+
+    /// Wires a profile plane: the `compute-ra` dispatch indirection is
+    /// charged to the invocation it produces and recorded as an
+    /// `fs-dispatch` span in its span tree (see `docs/PROFILING.md`).
+    pub fn set_profile_plane(&mut self, plane: Rc<vino_sim::profile::ProfilePlane>) {
+        self.profile = Some(plane);
     }
 
     fn emit(&self, ev: vino_sim::trace::TraceEvent) {
@@ -429,6 +439,7 @@ impl FileSystem {
         let req = RaRequest { offset, len, sequential, file_size: size };
         let extents = {
             let metrics = self.metrics.clone();
+            let profile = self.profile.clone();
             let f = self.open.get_mut(&fd).expect("checked");
             f.last_end = Some(offset + len);
             match f.ra.as_mut() {
@@ -441,6 +452,10 @@ impl FileSystem {
                     self.clock.charge(cost);
                     if let Some(mp) = &metrics {
                         mp.charge(vino_sim::metrics::Component::Indirection, cost);
+                    }
+                    if let Some(pp) = &profile {
+                        pp.charge(vino_sim::metrics::Component::Indirection, cost);
+                        pp.mark(vino_sim::profile::SpanKind::FsDispatch, cost);
                     }
                     graft.compute_ra(&req)
                 }

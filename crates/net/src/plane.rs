@@ -28,6 +28,7 @@ use vino_misfit::SignedImage;
 use vino_rm::PrincipalId;
 use vino_sim::fault::FaultSite;
 use vino_sim::metrics::{Component, Counter};
+use vino_sim::profile::SpanKind;
 use vino_sim::trace::{ShedKind, TraceEvent, VerdictKind};
 use vino_sim::{costs, Cycles, ThreadId};
 
@@ -343,9 +344,13 @@ impl PacketPlane {
         sum: &mut PumpSummary,
     ) {
         let n = batch.len();
+        let dispatch_start = self.kernel.clock.now();
         self.kernel.clock.charge(Cycles(costs::INDIRECTION_CYCLES));
         if let Some(mp) = self.kernel.engine.metrics_plane() {
             mp.charge(Component::Indirection, Cycles(costs::INDIRECTION_CYCLES));
+        }
+        if let Some(pp) = self.kernel.engine.profile_plane() {
+            pp.charge(Component::Indirection, Cycles(costs::INDIRECTION_CYCLES));
         }
         self.emit(TraceEvent::NetBatch { port: port.0, n: n as u64 });
         self.count(Counter::NetBatchDispatches);
@@ -383,6 +388,9 @@ impl PacketPlane {
                     if let Some(mp) = self.kernel.engine.metrics_plane() {
                         mp.charge(Component::ResultCheck, RESULT_CHECK_COST);
                     }
+                    if let Some(pp) = self.kernel.engine.profile_plane() {
+                        pp.charge(Component::ResultCheck, RESULT_CHECK_COST);
+                    }
                     match decode_verdict(halt) {
                         Verdict::Accept => {
                             self.verdict(port, VerdictKind::Accept, Counter::NetAccepts);
@@ -411,6 +419,12 @@ impl PacketPlane {
                     self.default_accept(port, pkt, sum);
                 }
             }
+        }
+        // One span per batched dispatch, covering indirection, the
+        // wrapped filter run and verdict processing; the invocation
+        // span nests inside it by containment.
+        if let Some(pp) = self.kernel.engine.profile_plane() {
+            pp.mark_since(SpanKind::NetDispatch, dispatch_start);
         }
     }
 
@@ -489,6 +503,9 @@ impl PacketPlane {
             if let Some(mp) = self.kernel.engine.metrics_plane() {
                 let mtag = mp.tag(&name);
                 mp.mark_fallback(mtag);
+            }
+            if let Some(pp) = self.kernel.engine.profile_plane() {
+                pp.mark_fallback();
             }
         }
     }

@@ -22,7 +22,9 @@ use std::rc::Rc;
 
 use vino_sim::fault::{FaultPlane, FaultSite};
 use vino_sim::metrics::{Counter, MetricsPlane};
+use vino_sim::profile::{ProfilePlane, SpanKind};
 use vino_sim::trace::{TraceEvent, TracePlane};
+use vino_sim::Cycles;
 
 /// The kinds of quantity-constrained resources the kernel accounts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -192,6 +194,7 @@ pub struct ResourceAccountant {
     fault: Option<Rc<FaultPlane>>,
     trace: Option<Rc<TracePlane>>,
     metrics: Option<Rc<MetricsPlane>>,
+    profile: Option<Rc<ProfilePlane>>,
 }
 
 impl ResourceAccountant {
@@ -221,6 +224,14 @@ impl ResourceAccountant {
     /// (see `docs/METRICS.md`).
     pub fn set_metrics_plane(&mut self, plane: Rc<MetricsPlane>) {
         self.metrics = Some(plane);
+    }
+
+    /// Wires a profile plane: each grant is recorded as an
+    /// instantaneous `rm-grant` mark in the invocation span tree
+    /// (grants are pure bookkeeping and charge no cycles, so the span
+    /// has zero duration — see `docs/PROFILING.md`).
+    pub fn set_profile_plane(&mut self, plane: Rc<ProfilePlane>) {
+        self.profile = Some(plane);
     }
 
     fn emit(&self, ev: TraceEvent) {
@@ -368,6 +379,9 @@ impl ResourceAccountant {
         if let Some(mp) = &self.metrics {
             mp.inc(Counter::RmGrants);
             mp.observe_rm_peak(kind.index(), now_used);
+        }
+        if let Some(pp) = &self.profile {
+            pp.mark(SpanKind::RmGrant, Cycles::ZERO);
         }
         self.emit(TraceEvent::ResGrant { principal: payer.0, kind: kind.index(), amount });
         Ok(())

@@ -15,6 +15,8 @@ pub mod event;
 pub mod fault;
 pub mod ids;
 pub mod metrics;
+pub mod plane;
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod trace;
@@ -24,6 +26,8 @@ pub use event::{EventQueue, TimerId};
 pub use fault::{FaultPlane, FaultSite};
 pub use ids::ThreadId;
 pub use metrics::{Attribution, Component, Counter, CycleHistogram, MetricTag, MetricsPlane};
+pub use plane::{AttachError, AttachSlot};
+pub use profile::{HotFn, ProfTag, ProfilePlane, SpanKind};
 pub use rng::{SplitMix64, XorShift64};
 pub use trace::{
     AbortKind, GraftTag, PostMortem, SfiKind, TraceEvent, TracePlane, TraceRecord, TraceStats,

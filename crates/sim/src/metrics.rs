@@ -497,6 +497,9 @@ pub struct MetricsPlane {
     names: RefCell<Vec<String>>,
     tags: RefCell<HashMap<String, MetricTag>>,
     all_latency: RefCell<CycleHistogram>,
+    /// Per-port NIC drop counts, sorted by port. Grows only on the
+    /// first drop seen for a port.
+    nic_port_drops: RefCell<Vec<(u16, u64)>>,
 }
 
 impl MetricsPlane {
@@ -523,6 +526,7 @@ impl MetricsPlane {
             names: RefCell::new(Vec::with_capacity(grafts)),
             tags: RefCell::new(HashMap::with_capacity(grafts)),
             all_latency: RefCell::new(CycleHistogram::new()),
+            nic_port_drops: RefCell::new(Vec::new()),
         })
     }
 
@@ -594,6 +598,24 @@ impl MetricsPlane {
     /// The deepest undo stack observed.
     pub fn undo_depth_peak(&self) -> u64 {
         self.undo_depth_peak.get()
+    }
+
+    /// Counts one shed NIC event on `port`, alongside the aggregate
+    /// [`Counter::NicDropped`]. Allocates only on the first drop seen
+    /// for a port; the table stays sorted so exposition is
+    /// deterministic.
+    pub fn observe_nic_port_drop(&self, port: u16) {
+        let mut drops = self.nic_port_drops.borrow_mut();
+        match drops.binary_search_by_key(&port, |&(p, _)| p) {
+            Ok(i) => drops[i].1 += 1,
+            Err(i) => drops.insert(i, (port, 1)),
+        }
+    }
+
+    /// Drops counted on NIC `port`.
+    pub fn nic_port_drops(&self, port: u16) -> u64 {
+        let drops = self.nic_port_drops.borrow();
+        drops.binary_search_by_key(&port, |&(p, _)| p).map_or(0, |i| drops[i].1)
     }
 
     // -- attribution --------------------------------------------------------
@@ -747,6 +769,10 @@ impl MetricsPlane {
         let mut out = String::new();
         for c in Counter::ALL {
             out.push_str(&format!("# TYPE {} counter\n{} {}\n", c.name(), c.name(), self.get(c)));
+        }
+        out.push_str("# TYPE vino_nic_port_drops_total counter\n");
+        for (port, n) in self.nic_port_drops.borrow().iter() {
+            out.push_str(&format!("vino_nic_port_drops_total{{port=\"{port}\"}} {n}\n"));
         }
         let peaks = self.rm_peaks.get();
         out.push_str("# TYPE vino_rm_peak_units gauge\n");

@@ -21,6 +21,7 @@ use vino_sim::costs;
 use vino_sim::event::EventQueue;
 use vino_sim::fault::{FaultPlane, FaultSite};
 use vino_sim::metrics::{Component, Counter, MetricsPlane};
+use vino_sim::profile::{ProfilePlane, SpanKind};
 use vino_sim::trace::{TraceEvent, TracePlane};
 use vino_sim::{Cycles, ThreadId, VirtualClock};
 
@@ -179,6 +180,7 @@ pub struct TxnManager {
     fault: Option<Rc<FaultPlane>>,
     trace: Option<Rc<TracePlane>>,
     metrics: Option<Rc<MetricsPlane>>,
+    profile: Option<Rc<ProfilePlane>>,
     /// Abort reports from fired time-outs, keyed by the aborted holder.
     /// The graft wrapper consumes these to discover that its transaction
     /// was stolen out from under it (see [`take_forced_abort`]).
@@ -200,6 +202,7 @@ impl TxnManager {
             fault: None,
             trace: None,
             metrics: None,
+            profile: None,
             forced: HashMap::new(),
         }
     }
@@ -238,6 +241,27 @@ impl TxnManager {
         self.metrics = Some(plane);
     }
 
+    /// Wires a profile plane: every envelope cycle charge gets a profile
+    /// attribution twin (so the two ledgers reconcile exactly) and the
+    /// envelope steps — begin, lock-wait, undo, commit, abort — are
+    /// recorded as child spans of the enclosing invocation (see
+    /// `docs/PROFILING.md`).
+    pub fn set_profile_plane(&mut self, plane: Rc<ProfilePlane>) {
+        self.profile = Some(plane);
+    }
+
+    fn pcharge(&self, comp: Component, cost: Cycles) {
+        if let Some(pp) = &self.profile {
+            pp.charge(comp, cost);
+        }
+    }
+
+    fn pmark(&self, kind: SpanKind, dur: Cycles) {
+        if let Some(pp) = &self.profile {
+            pp.mark(kind, dur);
+        }
+    }
+
     fn emit(&self, ev: TraceEvent) {
         if let Some(tp) = &self.trace {
             tp.emit(ev);
@@ -256,6 +280,7 @@ impl TxnManager {
         if let Some(mp) = &self.metrics {
             mp.charge(comp, cost);
         }
+        self.pcharge(comp, cost);
     }
 
     /// Number of active transactions across all threads (the survival
@@ -299,6 +324,7 @@ impl TxnManager {
     /// the new transaction nests inside it (§3.1).
     pub fn begin(&mut self, thread: ThreadId) -> TxnId {
         self.bill(Component::TxnBegin, costs::TXN_BEGIN);
+        self.pmark(SpanKind::TxnBegin, costs::TXN_BEGIN);
         self.minc(Counter::TxnBegins);
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
@@ -347,6 +373,7 @@ impl TxnManager {
             mp.inc(Counter::UndoPushes);
             mp.observe_undo_depth(depth);
         }
+        self.pcharge(Component::Undo, Cycles(costs::UNDO_PUSH.0));
         self.emit(TraceEvent::UndoPush { thread: thread.0, depth });
         Ok(())
     }
@@ -373,6 +400,9 @@ impl TxnManager {
                         if let Some(mp) = &self.metrics {
                             mp.charge(Component::Lock, costs::TXN_LOCK_ACQUIRE);
                             mp.inc(Counter::TxnLockAcquires);
+                        }
+                        if let Some(pp) = &self.profile {
+                            pp.charge(Component::Lock, costs::TXN_LOCK_ACQUIRE);
                         }
                         self.clock.charge(costs::TXN_LOCK_ACQUIRE);
                         // The lock belongs to the frame that FIRST
@@ -447,6 +477,10 @@ impl TxnManager {
                 mp.charge(Component::TxnCommit, costs::TXN_NESTED_COMMIT);
                 mp.inc(Counter::TxnNestedCommits);
             }
+            if let Some(pp) = &self.profile {
+                pp.charge(Component::TxnCommit, costs::TXN_NESTED_COMMIT);
+                pp.mark(SpanKind::TxnCommit, costs::TXN_NESTED_COMMIT);
+            }
             self.stats.nested_commits += 1;
             parent.undo.absorb(frame.undo);
             for l in frame.locks {
@@ -468,6 +502,7 @@ impl TxnManager {
             })
         } else {
             self.bill(Component::TxnCommit, costs::TXN_COMMIT);
+            self.pmark(SpanKind::TxnCommit, costs::TXN_COMMIT);
             self.minc(Counter::TxnCommits);
             self.stats.commits += 1;
             let mut handoffs = Vec::new();
@@ -506,6 +541,10 @@ impl TxnManager {
         if let Some(mp) = &self.metrics {
             mp.charge(Component::Undo, undo_cost);
         }
+        self.pcharge(Component::Undo, undo_cost);
+        if undo_cost.get() > 0 {
+            self.pmark(SpanKind::Undo, undo_cost);
+        }
         let mut handoffs = Vec::new();
         let mut released = 0;
         for l in &frame.locks {
@@ -526,6 +565,9 @@ impl TxnManager {
             txn: frame.id.0,
             locks: released as u64,
         });
+        if let Some(pp) = &self.profile {
+            pp.mark_since(SpanKind::Abort, start);
+        }
         Ok(AbortReport {
             txn: frame.id,
             reason,
@@ -594,7 +636,11 @@ impl TxnManager {
             match self.lock(lock, thread) {
                 LockOutcome::Granted => return (true, events),
                 LockOutcome::Blocked { deadline, .. } => {
+                    let t0 = self.clock.now();
                     self.clock.advance_to(deadline);
+                    if let Some(pp) = &self.profile {
+                        pp.mark_since(SpanKind::LockWait, t0);
+                    }
                     events.extend(self.fire_due_timeouts());
                 }
             }

@@ -14,6 +14,7 @@ use std::rc::Rc;
 use vino_sim::costs;
 use vino_sim::fault::{FaultPlane, FaultSite};
 use vino_sim::metrics::{Component, Counter, MetricsPlane};
+use vino_sim::profile::{ProfTag, ProfilePlane};
 use vino_sim::trace::{SfiKind, TraceEvent, TracePlane, VmExitKind};
 use vino_sim::{Cycles, VirtualClock};
 
@@ -168,6 +169,7 @@ pub struct Vm {
     fault: Option<Rc<FaultPlane>>,
     trace: Option<Rc<TracePlane>>,
     metrics: Option<Rc<MetricsPlane>>,
+    profile: Option<(Rc<ProfilePlane>, ProfTag)>,
 }
 
 impl Vm {
@@ -188,6 +190,7 @@ impl Vm {
             fault: None,
             trace: None,
             metrics: None,
+            profile: None,
         }
     }
 
@@ -214,11 +217,26 @@ impl Vm {
         self.metrics = Some(plane);
     }
 
+    /// Attaches a profile plane under `tag`: every retired instruction
+    /// bills its cycle cost to this VM's (graft, function, pc) key, and
+    /// `calll`/`ret` drive the call-graph capture.
+    pub fn set_profile_plane(&mut self, plane: Rc<ProfilePlane>, tag: ProfTag) {
+        self.profile = Some((plane, tag));
+    }
+
     /// Charges `cost` to the clock and attributes it to `comp`.
+    ///
+    /// Called as the first action of every [`step`](Self::step) arm,
+    /// while `self.pc` still holds the post-increment value — so the
+    /// retiring instruction is at `self.pc - 1` and the profile plane
+    /// can bill per-PC before any control transfer rewrites `pc`.
     fn bill(&self, clock: &Rc<VirtualClock>, comp: Component, cost: Cycles) {
         clock.charge(cost);
         if let Some(mp) = &self.metrics {
             mp.charge(comp, cost);
+        }
+        if let Some((pp, tag)) = &self.profile {
+            pp.record_pc(*tag, self.pc.wrapping_sub(1), comp, cost);
         }
     }
 
@@ -228,6 +246,9 @@ impl Vm {
         self.pc = 0;
         self.call_stack.clear();
         self.stats = RunStats::default();
+        if let Some((pp, tag)) = &self.profile {
+            pp.reset_stack(*tag);
+        }
     }
 
     /// Runs until halt, trap, or fuel exhaustion.
@@ -374,10 +395,16 @@ impl Vm {
                 }
                 self.call_stack.push(self.pc);
                 self.pc = target as usize;
+                if let Some((pp, tag)) = &self.profile {
+                    pp.enter_fn(*tag, target);
+                }
             }
             Instr::Ret => {
                 self.bill(clock, Component::GraftFn, Cycles(costs::RET_CYCLES));
                 self.pc = self.call_stack.pop().ok_or(Trap::RetWithoutCall)?;
+                if let Some((pp, tag)) = &self.profile {
+                    pp.exit_fn(*tag);
+                }
             }
             Instr::Halt { result } => {
                 self.bill(clock, Component::GraftFn, Cycles(costs::INSTR_CYCLES));

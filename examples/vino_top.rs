@@ -1,8 +1,10 @@
-//! A top(1)-style view of the metrics plane: attach one plane to a
-//! booted kernel, drive a mixed workload (a committing graft, an
-//! occasional aborter, a quarantine-tripping crasher), then print the
-//! live health view, each graft's Table-3-shaped overhead attribution,
-//! and the Prometheus-style exposition (docs/METRICS.md).
+//! A top(1)-style view of the observability planes: attach a metrics
+//! plane and a profile plane to a booted kernel, drive a mixed
+//! workload (a committing graft, an occasional aborter, a
+//! quarantine-tripping crasher), then print the live health view, each
+//! graft's Table-3-shaped overhead attribution, the cycle-ranked
+//! hot-function table (docs/PROFILING.md), and the Prometheus-style
+//! exposition (docs/METRICS.md).
 //!
 //! Run with: `cargo run --example vino_top`
 
@@ -13,6 +15,7 @@ use vino::core::kernel::point_names;
 use vino::core::{AttachError, InstallError, InstallOpts, Kernel};
 use vino::rm::{Limits, ResourceKind};
 use vino::sim::metrics::MetricsPlane;
+use vino::sim::profile::ProfilePlane;
 
 fn main() {
     let kernel = Kernel::boot();
@@ -23,6 +26,10 @@ fn main() {
     let second = MetricsPlane::new(Rc::clone(&kernel.clock));
     assert_eq!(kernel.attach_metrics_plane(second), Err(AttachError::AlreadyAttached));
     assert!(Rc::ptr_eq(&kernel.metrics().expect("attached"), &plane));
+
+    // The profile plane rides along: same charge sites, finer grain.
+    let profile = ProfilePlane::new(Rc::clone(&kernel.clock));
+    kernel.attach_profile_plane(Rc::clone(&profile)).expect("first attach");
 
     let app = kernel.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 20)]));
     let thread = kernel.spawn_thread("app");
@@ -104,6 +111,10 @@ fn main() {
     for tag in plane.tags_in_order() {
         print!("{}", plane.render_attribution(tag));
     }
+
+    println!();
+    println!("== hot functions (profile plane, cycle-ranked) ==");
+    print!("{}", profile.render_top(10));
 
     println!();
     println!("== Prometheus exposition ==");

@@ -27,11 +27,20 @@ cargo test -q --test trace_golden
 echo "== golden metrics snapshots (fails on drift; UPDATE_GOLDENS=1 to regenerate) =="
 cargo test -q --test metrics_golden
 
+echo "== golden profile snapshots (fails on drift; UPDATE_GOLDENS=1 to regenerate) =="
+cargo test -q --test profile_golden
+
+echo "== differential profile gate (fails on cost-model drift; --profdiff-write to rebase) =="
+cargo run -q --release -p vino-bench -- --profdiff
+
 echo "== trace-plane zero-allocation proof =="
 cargo bench -p vino-bench --bench trace_plane
 
 echo "== metrics-plane zero-allocation proof =="
 cargo bench -p vino-bench --bench metrics_plane
+
+echo "== profile-plane zero-allocation proof =="
+cargo bench -p vino-bench --bench profile_plane
 
 echo "== lint (clippy, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings

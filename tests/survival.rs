@@ -29,6 +29,7 @@ use vino::core::{InstallError, InstallOpts, Kernel};
 use vino::rm::{Limits, ResourceKind};
 use vino::sim::fault::{FaultPlane, FaultSite};
 use vino::sim::metrics::{Counter, MetricsPlane};
+use vino::sim::profile::ProfilePlane;
 use vino::sim::trace::TracePlane;
 use vino::sim::{Cycles, SplitMix64};
 use vino::txn::locks::LockClass;
@@ -149,6 +150,9 @@ struct Tally {
     /// The metrics plane's full snapshot — the second determinism
     /// witness, and the cross-plane reconciliation substrate.
     metrics: String,
+    /// The profile plane's full snapshot (folded stacks, hot functions,
+    /// Chrome trace) — the third determinism witness.
+    profile: String,
 }
 
 /// One kernel survives `SCENARIOS_PER_SEED` consecutive fault
@@ -161,6 +165,8 @@ fn run_battery(seed: u64) -> Tally {
     k.attach_trace_plane(Rc::clone(&tp)).unwrap();
     let mp = MetricsPlane::new(Rc::clone(&k.clock));
     k.attach_metrics_plane(Rc::clone(&mp)).unwrap();
+    let pp = ProfilePlane::with_capacity(Rc::clone(&k.clock), 32, 1 << 16);
+    k.attach_profile_plane(Rc::clone(&pp)).unwrap();
     let app = k.create_app(Limits::of(&[
         (ResourceKind::KernelHeap, 1 << 30),
         (ResourceKind::Memory, 1 << 30),
@@ -185,6 +191,7 @@ fn run_battery(seed: u64) -> Tally {
         quarantine_releases: 0,
         trace: String::new(),
         metrics: String::new(),
+        profile: String::new(),
     };
 
     for i in 0..SCENARIOS_PER_SEED {
@@ -397,8 +404,23 @@ fn run_battery(seed: u64) -> Tally {
     assert_eq!(g(Counter::GraftCommits), tally.commits);
     assert_eq!(g(Counter::GraftAborts), tally.aborts);
 
+    // The profile plane watched the same charge sites as the metrics
+    // plane, so the two ledgers must agree exactly — for every graft in
+    // the zoo and for the kernel's own components.
+    for ptag in pp.tags_in_order() {
+        let name = pp.name_of(ptag);
+        let mtag = mp.tag(&name);
+        assert_eq!(
+            pp.attribution(ptag),
+            mp.attribution(mtag),
+            "{name}: profile and metrics attribution diverged"
+        );
+    }
+    assert_eq!(pp.kernel_attribution(), mp.kernel_attribution());
+
     tally.trace = tp.serialize();
     tally.metrics = mp.snapshot();
+    tally.profile = pp.snapshot();
     tally
 }
 
@@ -434,6 +456,10 @@ fn survival_battery_is_deterministic() {
     // identically.
     assert!(!a.metrics.is_empty(), "the battery recorded no metrics");
     assert_eq!(a.metrics, b.metrics, "same-seed replay must produce a byte-identical snapshot");
+    // Third witness: the profile plane's folded stacks, hot-function
+    // report and Chrome trace replay byte-for-byte too.
+    assert!(!a.profile.is_empty(), "the battery recorded no profile");
+    assert_eq!(a.profile, b.profile, "same-seed replay must produce a byte-identical profile");
 }
 
 #[test]
