@@ -6,9 +6,10 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use vino_dev::disk::DiskImage;
 use vino_dev::nic::{NetEvent, Nic, Port};
 use vino_dev::Disk;
-use vino_fs::FileSystem;
+use vino_fs::{FileSystem, FsError, RecoveryReport};
 use vino_mem::{MemorySystem, VasId};
 use vino_misfit::{MisfitTool, SignedImage, SigningKey};
 use vino_rm::{Limits, PrincipalId};
@@ -130,9 +131,27 @@ impl Kernel {
     /// Boots a kernel with an explicit configuration.
     pub fn boot_with(cfg: KernelConfig) -> Rc<Kernel> {
         let clock = VirtualClock::new();
-        let engine = GraftEngine::new(Rc::clone(&clock));
         let disk = Disk::new(Rc::clone(&clock));
         let fs = FileSystem::format(Rc::clone(&clock), disk, cfg.cache_blocks, cfg.max_files);
+        Kernel::assemble(cfg, clock, fs)
+    }
+
+    /// Boots a kernel over the surviving disk image of a crashed (or
+    /// cleanly shut down) kernel: instead of formatting a fresh volume,
+    /// the disk is reconstructed from `image` and mounted, which runs
+    /// journal recovery (`FileSystem::recover`) before any subsystem
+    /// touches it. This is the crash/remount half of the kernel
+    /// lifecycle — snapshot the dying kernel with
+    /// [`Kernel::crash_image`], boot a fresh one here.
+    pub fn boot_from_image(cfg: KernelConfig, image: DiskImage) -> Result<Rc<Kernel>, FsError> {
+        let clock = VirtualClock::new();
+        let disk = Disk::from_image(Rc::clone(&clock), image);
+        let fs = FileSystem::mount(Rc::clone(&clock), disk, cfg.cache_blocks)?;
+        Ok(Kernel::assemble(cfg, clock, fs))
+    }
+
+    fn assemble(cfg: KernelConfig, clock: Rc<VirtualClock>, fs: FileSystem) -> Rc<Kernel> {
+        let engine = GraftEngine::new(Rc::clone(&clock));
         let mut ns = GraftNamespace::new();
         ns.define(point_names::COMPUTE_RA, PointKind::Function { restricted: false });
         ns.define(point_names::PICK_VICTIM, PointKind::Function { restricted: false });
@@ -252,6 +271,20 @@ impl Kernel {
     /// no plane is attached.
     pub fn metrics(&self) -> Option<Rc<MetricsPlane>> {
         self.engine.metrics_plane()
+    }
+
+    /// The persistent disk state as of this instant — what an immediate
+    /// power cut would leave on the platters. Pass it to
+    /// [`Kernel::boot_from_image`] to model crash-and-recover. Works on
+    /// a kernel whose file system has already halted.
+    pub fn crash_image(&self) -> DiskImage {
+        self.fs.borrow().disk_image()
+    }
+
+    /// What mount-time journal recovery found, for kernels booted via
+    /// [`Kernel::boot_from_image`]. `None` on a freshly formatted boot.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.fs.borrow().recovery_report()
     }
 
     /// The flight recorder's latest abort snapshot, if any invocation

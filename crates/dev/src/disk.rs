@@ -14,6 +14,7 @@ use std::rc::Rc;
 
 use vino_sim::costs;
 use vino_sim::fault::{FaultPlane, FaultSite};
+use vino_sim::metrics::{Counter, MetricsPlane};
 use vino_sim::{Cycles, SplitMix64, VirtualClock};
 
 /// A logical block address.
@@ -21,7 +22,7 @@ use vino_sim::{Cycles, SplitMix64, VirtualClock};
 pub struct BlockAddr(pub u64);
 
 /// Geometry and latency parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiskGeometry {
     /// Total number of 4 KB blocks.
     pub blocks: u64,
@@ -66,8 +67,39 @@ pub struct DiskStats {
     pub io_errors: u64,
     /// Injected head stalls (each one costs the plane's stall latency).
     pub stalls: u64,
+    /// Injected torn writes: the block persisted only as a prefix of
+    /// the data handed to the controller.
+    pub torn_writes: u64,
     /// Total cycles spent in the mechanism.
     pub busy: Cycles,
+}
+
+/// The persistent face of a [`Disk`]: every block that survives a power
+/// cut, plus the geometry they were written under. Snapshot one with
+/// [`Disk::snapshot`] at the instant of a simulated crash and hand it to
+/// [`Disk::from_image`] to boot a fresh kernel over the surviving bytes.
+/// Volatile state — head position, stats, fault wiring — is *not* part
+/// of the image, exactly as it would not survive real power loss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskImage {
+    geometry: DiskGeometry,
+    blocks: Vec<Option<Box<[u8; 4096]>>>,
+}
+
+impl DiskImage {
+    /// The geometry the image was written under.
+    pub fn geometry(&self) -> DiskGeometry {
+        self.geometry
+    }
+
+    /// The surviving contents of block `addr` (zeros if never written),
+    /// for post-crash forensics in tests.
+    pub fn block(&self, addr: BlockAddr) -> [u8; 4096] {
+        match self.blocks.get(addr.0 as usize) {
+            Some(Some(b)) => **b,
+            _ => [0; 4096],
+        }
+    }
 }
 
 /// The simulated drive.
@@ -80,6 +112,7 @@ pub struct Disk {
     rng: SplitMix64,
     stats: DiskStats,
     fault: Option<Rc<FaultPlane>>,
+    metrics: Option<Rc<MetricsPlane>>,
 }
 
 impl Disk {
@@ -98,7 +131,25 @@ impl Disk {
             rng: SplitMix64::new(0x5EED_D15C),
             stats: DiskStats::default(),
             fault: None,
+            metrics: None,
         }
+    }
+
+    /// Reconstructs a drive over the persistent blocks of `image`, as a
+    /// machine powering back up over the platters a crash left behind.
+    /// Mechanical state starts fresh (head at 0, zeroed stats, the same
+    /// fixed rotational-phase seed as [`Disk::new`]), so a same-seed
+    /// remount replays byte-identically.
+    pub fn from_image(clock: Rc<VirtualClock>, image: DiskImage) -> Disk {
+        let mut d = Disk::with_geometry(clock, image.geometry);
+        d.blocks = image.blocks;
+        d
+    }
+
+    /// Captures the persistent face of the drive — what survives an
+    /// immediate power cut. See [`DiskImage`].
+    pub fn snapshot(&self) -> DiskImage {
+        DiskImage { geometry: self.geometry, blocks: self.blocks.clone() }
     }
 
     /// Attaches a fault plane. [`FaultSite::DiskRead`] and
@@ -108,6 +159,19 @@ impl Disk {
     /// adds the plane's stall latency on top of any access.
     pub fn set_fault_plane(&mut self, plane: Rc<FaultPlane>) {
         self.fault = Some(plane);
+    }
+
+    /// Attaches a metrics plane: every operation counted in
+    /// [`DiskStats`] also ticks its `vino_disk_*` counter, so the
+    /// device shows up in the exposition and health snapshot.
+    pub fn set_metrics_plane(&mut self, plane: Rc<MetricsPlane>) {
+        self.metrics = Some(plane);
+    }
+
+    fn metric(&self, c: Counter) {
+        if let Some(m) = &self.metrics {
+            m.inc(c);
+        }
     }
 
     /// The geometry in use.
@@ -146,6 +210,7 @@ impl Disk {
         let mut cost = self.access_cost(addr);
         cost += self.fault_overhead(FaultSite::DiskRead, cost);
         self.stats.reads += 1;
+        self.metric(Counter::DiskReads);
         self.stats.busy += cost;
         let data = match &self.blocks[addr.0 as usize] {
             Some(b) => **b,
@@ -154,14 +219,50 @@ impl Disk {
         (data, cost)
     }
 
-    /// Writes block `addr`, charging mechanical latency.
+    /// Writes block `addr`, charging mechanical latency. If an armed
+    /// [`FaultSite::DiskTornWrite`] fires, only a prefix of the block
+    /// reaches the platter (length drawn deterministically from the
+    /// fault plane) — the caller is not told, which is the point.
     pub fn write(&mut self, addr: BlockAddr, data: &[u8; 4096]) {
         let mut cost = self.access_cost(addr);
         cost += self.fault_overhead(FaultSite::DiskWrite, cost);
         self.clock.charge(cost);
         self.stats.writes += 1;
+        self.metric(Counter::DiskWrites);
         self.stats.busy += cost;
-        self.blocks[addr.0 as usize] = Some(Box::new(*data));
+        let torn = match &self.fault {
+            Some(plane) if plane.fire(FaultSite::DiskTornWrite) => Some(plane.torn_prefix()),
+            _ => None,
+        };
+        match torn {
+            Some(prefix) => self.persist_prefix(addr, data, prefix),
+            None => self.blocks[addr.0 as usize] = Some(Box::new(*data)),
+        }
+    }
+
+    /// Writes block `addr` but persists only its first `prefix` bytes,
+    /// leaving the rest of the block as it was — the torn state an
+    /// in-flight write leaves when power dies mid-transfer. Used by the
+    /// crash-injection path; normal clients never call this.
+    pub fn write_torn(&mut self, addr: BlockAddr, data: &[u8; 4096], prefix: usize) {
+        let cost = self.access_cost(addr);
+        self.clock.charge(cost);
+        self.stats.writes += 1;
+        self.metric(Counter::DiskWrites);
+        self.stats.busy += cost;
+        self.persist_prefix(addr, data, prefix);
+    }
+
+    fn persist_prefix(&mut self, addr: BlockAddr, data: &[u8; 4096], prefix: usize) {
+        let prefix = prefix.min(4096);
+        let mut block = match &self.blocks[addr.0 as usize] {
+            Some(b) => **b,
+            None => [0; 4096],
+        };
+        block[..prefix].copy_from_slice(&data[..prefix]);
+        self.stats.torn_writes += 1;
+        self.metric(Counter::DiskTornWrites);
+        self.blocks[addr.0 as usize] = Some(Box::new(block));
     }
 
     /// The latency the next access to `addr` would incur, without
@@ -182,10 +283,12 @@ impl Disk {
         if plane.fire(site) {
             self.stats.io_errors += 1;
             extra += base;
+            self.metric(Counter::DiskIoErrors);
         }
         if plane.fire(FaultSite::DiskStall) {
             self.stats.stalls += 1;
             extra += plane.stall();
+            self.metric(Counter::DiskStalls);
         }
         extra
     }
@@ -197,6 +300,7 @@ impl Disk {
             self.stats.sequential_hits += 1;
         } else {
             self.stats.seeks += 1;
+            self.metric(Counter::DiskSeeks);
         }
         self.head = addr.0 + 1; // Head ends just past the block read.
         cost

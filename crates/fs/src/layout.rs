@@ -9,8 +9,19 @@
 //! block 0                superblock
 //! blocks 1..=I           inode table (16 inodes per 4 KB block)
 //! blocks I+1..=I+B       allocation bitmap (1 bit per data block)
-//! blocks I+B+1..         data
+//! blocks I+B+1..=I+B+J   write-ahead journal (redo log)
+//! blocks I+B+J+1..       data
 //! ```
+//!
+//! The journal region holds one redo transaction at a time — a
+//! descriptor block naming the home locations and carrying per-payload
+//! checksums, the payload blocks themselves, and a commit block whose
+//! durable arrival is the commit point. Because every in-place update
+//! flows through the journal and each transaction overwrites the region
+//! from its start, mount-time recovery only ever has the latest
+//! transaction to consider: roll it forward if its commit block and
+//! checksums validate, discard it as a torn tail otherwise. See
+//! `docs/RECOVERY.md` for the byte-level story.
 
 /// File-system block size; "4KB is our file system block size" (§4.1.3).
 pub const BLOCK_SIZE: usize = 4096;
@@ -31,6 +42,19 @@ pub const MAX_EXTENTS: usize = 4;
 /// Magic number identifying a formatted volume.
 pub const FS_MAGIC: u32 = 0x56_49_4E_4F; // "VINO"
 
+/// Magic number opening a journal descriptor block.
+pub const JOURNAL_MAGIC: u32 = 0x4A_52_4E_4C; // "JRNL"
+
+/// Magic number opening a journal commit block.
+pub const COMMIT_MAGIC: u32 = 0x43_4D_49_54; // "CMIT"
+
+/// Smallest journal region a volume is formatted with (descriptor +
+/// commit + at least six payload slots).
+pub const MIN_JOURNAL_BLOCKS: u32 = 8;
+
+/// Largest journal region; one transaction never needs more.
+pub const MAX_JOURNAL_BLOCKS: u32 = 64;
+
 /// The superblock, stored in block 0.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SuperBlock {
@@ -42,6 +66,10 @@ pub struct SuperBlock {
     pub inode_blocks: u32,
     /// Number of bitmap blocks.
     pub bitmap_blocks: u32,
+    /// First journal block.
+    pub journal_start: u32,
+    /// Number of journal blocks (descriptor + payloads + commit).
+    pub journal_blocks: u32,
     /// First data block.
     pub data_start: u32,
 }
@@ -52,12 +80,16 @@ impl SuperBlock {
     pub fn for_volume(total_blocks: u32, max_files: u32) -> SuperBlock {
         let inode_blocks = max_files.div_ceil(INODES_PER_BLOCK as u32).max(1);
         let bitmap_blocks = total_blocks.div_ceil((BLOCK_SIZE * 8) as u32).max(1);
+        let journal_blocks = (total_blocks / 1024).clamp(MIN_JOURNAL_BLOCKS, MAX_JOURNAL_BLOCKS);
+        let journal_start = 1 + inode_blocks + bitmap_blocks;
         SuperBlock {
             magic: FS_MAGIC,
             total_blocks,
             inode_blocks,
             bitmap_blocks,
-            data_start: 1 + inode_blocks + bitmap_blocks,
+            journal_start,
+            journal_blocks,
+            data_start: journal_start + journal_blocks,
         }
     }
 
@@ -68,7 +100,9 @@ impl SuperBlock {
         b[4..8].copy_from_slice(&self.total_blocks.to_le_bytes());
         b[8..12].copy_from_slice(&self.inode_blocks.to_le_bytes());
         b[12..16].copy_from_slice(&self.bitmap_blocks.to_le_bytes());
-        b[16..20].copy_from_slice(&self.data_start.to_le_bytes());
+        b[16..20].copy_from_slice(&self.journal_start.to_le_bytes());
+        b[20..24].copy_from_slice(&self.journal_blocks.to_le_bytes());
+        b[24..28].copy_from_slice(&self.data_start.to_le_bytes());
         b
     }
 
@@ -80,7 +114,9 @@ impl SuperBlock {
             total_blocks: word(4),
             inode_blocks: word(8),
             bitmap_blocks: word(12),
-            data_start: word(16),
+            journal_start: word(16),
+            journal_blocks: word(20),
+            data_start: word(24),
         };
         (sb.magic == FS_MAGIC).then_some(sb)
     }
@@ -89,6 +125,142 @@ impl SuperBlock {
     pub fn max_inodes(&self) -> u32 {
         self.inode_blocks * INODES_PER_BLOCK as u32
     }
+
+    /// Payload blocks one journal transaction can carry (the region
+    /// minus the descriptor and commit slots).
+    pub fn journal_capacity(&self) -> usize {
+        (self.journal_blocks as usize).saturating_sub(2)
+    }
+}
+
+/// FNV-1a over `data` — the journal's integrity check. Not
+/// cryptographic; it only needs to catch torn prefixes and stale tail
+/// bytes, and it must be dependency-free and deterministic.
+pub fn checksum64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in data {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The journal descriptor: names the home location and payload checksum
+/// of every block the transaction will rewrite.
+///
+/// On-disk form (all little-endian):
+///
+/// ```text
+/// 0..4        JOURNAL_MAGIC
+/// 4..12       sequence number
+/// 12..16      entry count n
+/// 16..16+16n  n × (home block u64, payload FNV-1a u64)
+/// 4088..4096  header checksum over bytes 0..4088
+/// ```
+///
+/// The header checksum lives in the block's final eight bytes, past the
+/// longest prefix a torn write can persist, so a tear never forges a
+/// valid descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalDescriptor {
+    /// Transaction sequence number.
+    pub seq: u64,
+    /// `(home block, payload checksum)` per payload, in journal order.
+    pub entries: Vec<(u64, u64)>,
+}
+
+impl JournalDescriptor {
+    /// Most entries one descriptor block can carry.
+    pub const MAX_ENTRIES: usize = (BLOCK_SIZE - 16 - 8) / 16;
+
+    /// Serializes the descriptor, sealing it with the header checksum.
+    pub fn encode(&self) -> [u8; BLOCK_SIZE] {
+        assert!(self.entries.len() <= Self::MAX_ENTRIES, "descriptor overflow");
+        let mut b = [0u8; BLOCK_SIZE];
+        b[0..4].copy_from_slice(&JOURNAL_MAGIC.to_le_bytes());
+        b[4..12].copy_from_slice(&self.seq.to_le_bytes());
+        b[12..16].copy_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (i, (home, sum)) in self.entries.iter().enumerate() {
+            let off = 16 + i * 16;
+            b[off..off + 8].copy_from_slice(&home.to_le_bytes());
+            b[off + 8..off + 16].copy_from_slice(&sum.to_le_bytes());
+        }
+        let seal = checksum64(&b[..BLOCK_SIZE - 8]);
+        b[BLOCK_SIZE - 8..].copy_from_slice(&seal.to_le_bytes());
+        b
+    }
+
+    /// Parses a descriptor; `None` when the magic or header checksum
+    /// does not hold (unwritten region, torn write, stale bytes).
+    pub fn decode(b: &[u8; BLOCK_SIZE]) -> Option<JournalDescriptor> {
+        let magic = u32::from_le_bytes(b[0..4].try_into().expect("4 bytes"));
+        if magic != JOURNAL_MAGIC {
+            return None;
+        }
+        let seal = u64::from_le_bytes(b[BLOCK_SIZE - 8..].try_into().expect("8 bytes"));
+        if seal != checksum64(&b[..BLOCK_SIZE - 8]) {
+            return None;
+        }
+        let seq = u64::from_le_bytes(b[4..12].try_into().expect("8 bytes"));
+        let n = u32::from_le_bytes(b[12..16].try_into().expect("4 bytes")) as usize;
+        if n > Self::MAX_ENTRIES {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = 16 + i * 16;
+            entries.push((
+                u64::from_le_bytes(b[off..off + 8].try_into().expect("8 bytes")),
+                u64::from_le_bytes(b[off + 8..off + 16].try_into().expect("8 bytes")),
+            ));
+        }
+        Some(JournalDescriptor { seq, entries })
+    }
+
+    /// Whether the descriptor block looks like a journal record at all
+    /// (magic present), regardless of checksum validity — used to tell
+    /// "torn record" apart from "journal never written".
+    pub fn has_magic(b: &[u8; BLOCK_SIZE]) -> bool {
+        u32::from_le_bytes(b[0..4].try_into().expect("4 bytes")) == JOURNAL_MAGIC
+    }
+
+    /// The raw sequence field, readable even from a torn record (it
+    /// sits inside the minimum torn prefix), for diagnostics.
+    pub fn raw_seq(b: &[u8; BLOCK_SIZE]) -> u64 {
+        u64::from_le_bytes(b[4..12].try_into().expect("8 bytes"))
+    }
+}
+
+/// Serializes a commit block: magic, sequence, the endorsed
+/// descriptor's header checksum (so a stale commit block left deep in
+/// the journal can never endorse a newer, uncommitted record), and a
+/// seal over all of it. The commit's meaningful 28 bytes fit inside the
+/// smallest torn prefix, so a commit write is effectively atomic —
+/// exactly the property a commit point needs.
+pub fn encode_commit(seq: u64, desc_seal: u64) -> [u8; BLOCK_SIZE] {
+    let mut b = [0u8; BLOCK_SIZE];
+    b[0..4].copy_from_slice(&COMMIT_MAGIC.to_le_bytes());
+    b[4..12].copy_from_slice(&seq.to_le_bytes());
+    b[12..20].copy_from_slice(&desc_seal.to_le_bytes());
+    let seal = checksum64(&b[..20]);
+    b[20..28].copy_from_slice(&seal.to_le_bytes());
+    b
+}
+
+/// Whether `b` is a valid commit block for sequence `seq` endorsing the
+/// descriptor whose header checksum is `desc_seal`.
+pub fn decode_commit(b: &[u8; BLOCK_SIZE], seq: u64, desc_seal: u64) -> bool {
+    let magic = u32::from_le_bytes(b[0..4].try_into().expect("4 bytes"));
+    let got_seq = u64::from_le_bytes(b[4..12].try_into().expect("8 bytes"));
+    let got_desc = u64::from_le_bytes(b[12..20].try_into().expect("8 bytes"));
+    let seal = u64::from_le_bytes(b[20..28].try_into().expect("8 bytes"));
+    magic == COMMIT_MAGIC && got_seq == seq && got_desc == desc_seal && seal == checksum64(&b[..20])
+}
+
+/// The header checksum a descriptor block seals itself with — what
+/// [`encode_commit`] binds to. Computable from any encoded descriptor.
+pub fn descriptor_seal(b: &[u8; BLOCK_SIZE]) -> u64 {
+    u64::from_le_bytes(b[BLOCK_SIZE - 8..].try_into().expect("8 bytes"))
 }
 
 /// A contiguous run of data blocks.
@@ -242,6 +414,61 @@ mod tests {
         assert_eq!(sb, back);
         assert!(sb.max_inodes() >= 64);
         assert!(sb.data_start > sb.inode_blocks);
+    }
+
+    #[test]
+    fn superblock_reserves_a_journal_region() {
+        let sb = SuperBlock::for_volume(65_536, 64);
+        assert_eq!(sb.journal_start, 1 + sb.inode_blocks + sb.bitmap_blocks);
+        assert_eq!(sb.data_start, sb.journal_start + sb.journal_blocks);
+        assert!(sb.journal_blocks >= MIN_JOURNAL_BLOCKS);
+        assert!(sb.journal_blocks <= MAX_JOURNAL_BLOCKS);
+        assert_eq!(sb.journal_capacity(), sb.journal_blocks as usize - 2);
+        // Tiny volumes still get the floor.
+        assert_eq!(SuperBlock::for_volume(64, 16).journal_blocks, MIN_JOURNAL_BLOCKS);
+    }
+
+    #[test]
+    fn journal_descriptor_round_trip() {
+        let d = JournalDescriptor { seq: 42, entries: vec![(7, 0xDEAD), (9, 0xBEEF)] };
+        let b = d.encode();
+        assert!(JournalDescriptor::has_magic(&b));
+        assert_eq!(JournalDescriptor::raw_seq(&b), 42);
+        assert_eq!(JournalDescriptor::decode(&b).unwrap(), d);
+    }
+
+    #[test]
+    fn torn_descriptor_fails_its_seal() {
+        let d = JournalDescriptor { seq: 1, entries: vec![(100, checksum64(b"payload"))] };
+        let mut b = d.encode();
+        // A torn write persists a prefix over stale bytes: clobber the
+        // tail (where the seal lives) with garbage.
+        for byte in &mut b[2048..] {
+            *byte = 0xAA;
+        }
+        assert!(JournalDescriptor::decode(&b).is_none());
+        assert!(JournalDescriptor::has_magic(&b), "the prefix still looks journal-ish");
+    }
+
+    #[test]
+    fn commit_block_binds_to_sequence_and_descriptor() {
+        let d = JournalDescriptor { seq: 7, entries: vec![(3, 0x1234)] };
+        let seal = descriptor_seal(&d.encode());
+        let b = encode_commit(7, seal);
+        assert!(decode_commit(&b, 7, seal));
+        assert!(!decode_commit(&b, 8, seal), "a stale commit must not endorse a newer seq");
+        assert!(
+            !decode_commit(&b, 7, seal ^ 1),
+            "a stale commit must not endorse a different descriptor"
+        );
+        assert!(!decode_commit(&[0u8; BLOCK_SIZE], 7, seal));
+    }
+
+    #[test]
+    fn checksum_is_stable_and_sensitive() {
+        assert_eq!(checksum64(b"vino"), checksum64(b"vino"));
+        assert_ne!(checksum64(b"vino"), checksum64(b"vinO"));
+        assert_ne!(checksum64(&[0u8; 4096]), 0, "all-zero block must not seal as zero");
     }
 
     #[test]

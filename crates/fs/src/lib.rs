@@ -26,5 +26,7 @@ pub mod fs;
 pub mod layout;
 
 pub use cache::{BufferCache, CacheStats};
-pub use fs::{Extent, Fd, FileSystem, FsError, FsStats, RaRequest, ReadAheadDelegate};
-pub use layout::{Inode, SuperBlock, BLOCK_SIZE};
+pub use fs::{
+    Extent, Fd, FileSystem, FsError, FsStats, RaRequest, ReadAheadDelegate, RecoveryReport,
+};
+pub use layout::{Inode, JournalDescriptor, SuperBlock, BLOCK_SIZE};

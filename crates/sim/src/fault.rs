@@ -62,6 +62,26 @@ pub enum FaultSite {
     /// manufacturing a steering cycle the hop budget must cut
     /// (`vino-net`).
     NetSteerLoop,
+    /// Power is cut at the top of a journalled update, before any
+    /// journal block reaches the disk: the transaction vanishes
+    /// entirely (`vino-fs`).
+    KernelCrashBeforeJournal,
+    /// Power is cut while journal blocks are streaming out: the record
+    /// being written persists only as a torn prefix, and recovery must
+    /// discard the tail (`vino-fs`).
+    KernelCrashMidJournal,
+    /// Power is cut after the commit marker is durable but before any
+    /// home-location block is checkpointed: recovery must roll the
+    /// whole transaction forward (`vino-fs`).
+    KernelCrashAfterCommit,
+    /// Power is cut partway through checkpointing home-location blocks:
+    /// some are new, some old, and recovery must make them all new
+    /// (`vino-fs`).
+    KernelCrashMidCheckpoint,
+    /// A disk write persists only a prefix of its 4 KB block — the
+    /// torn-write hazard journal checksums exist to catch
+    /// (`vino-dev::disk`).
+    DiskTornWrite,
 }
 
 /// Every site, for iteration in diagnostics and docs.
@@ -76,9 +96,14 @@ pub const ALL_SITES: &[FaultSite] = &[
     FaultSite::NetRxOverflow,
     FaultSite::NetFilterTrap,
     FaultSite::NetSteerLoop,
+    FaultSite::KernelCrashBeforeJournal,
+    FaultSite::KernelCrashMidJournal,
+    FaultSite::KernelCrashAfterCommit,
+    FaultSite::KernelCrashMidCheckpoint,
+    FaultSite::DiskTornWrite,
 ];
 
-const N_SITES: usize = 10;
+const N_SITES: usize = 15;
 
 fn idx(site: FaultSite) -> usize {
     match site {
@@ -92,8 +117,22 @@ fn idx(site: FaultSite) -> usize {
         FaultSite::NetRxOverflow => 7,
         FaultSite::NetFilterTrap => 8,
         FaultSite::NetSteerLoop => 9,
+        FaultSite::KernelCrashBeforeJournal => 10,
+        FaultSite::KernelCrashMidJournal => 11,
+        FaultSite::KernelCrashAfterCommit => 12,
+        FaultSite::KernelCrashMidCheckpoint => 13,
+        FaultSite::DiskTornWrite => 14,
     }
 }
+
+/// The crash-point family, in commit-pipeline order. Iterated by the
+/// recovery battery to cover every power-cut position.
+pub const CRASH_SITES: &[FaultSite] = &[
+    FaultSite::KernelCrashBeforeJournal,
+    FaultSite::KernelCrashMidJournal,
+    FaultSite::KernelCrashAfterCommit,
+    FaultSite::KernelCrashMidCheckpoint,
+];
 
 #[derive(Debug, Default, Clone)]
 struct SiteState {
@@ -183,6 +222,15 @@ impl FaultPlane {
             st.fired += 1;
         }
         hit
+    }
+
+    /// Deterministic torn-write prefix length: how many leading bytes
+    /// of a 4 KB block survive when [`FaultSite::DiskTornWrite`] (or a
+    /// mid-journal power cut) tears a write. Drawn from the plane's
+    /// seeded RNG — a multiple of 64 in `[64, 4032]`, so a tear is
+    /// never empty and never the whole block.
+    pub fn torn_prefix(&self) -> usize {
+        (64 * (1 + self.rng.borrow_mut().below(63))) as usize
     }
 
     /// Extra model latency a fired [`FaultSite::DiskStall`] costs.

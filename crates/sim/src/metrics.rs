@@ -103,6 +103,18 @@ pub enum Counter {
     FsWrites,
     /// Prefetches issued (mirrors `fs.prefetch`).
     FsPrefetches,
+    /// Journal transactions appended (mirrors `fs.journal_append`).
+    FsJournalAppends,
+    /// Journal commit markers made durable (mirrors `fs.journal_commit`).
+    FsJournalCommits,
+    /// Committed transactions checkpointed home (mirrors `fs.checkpoint`).
+    FsCheckpoints,
+    /// Committed transactions rolled forward at mount (mirrors
+    /// `fs.recovery_replay`).
+    FsRecoveryReplays,
+    /// Torn journal tails discarded at mount (mirrors
+    /// `fs.recovery_discard`).
+    FsRecoveryDiscards,
     /// Graft installs (mirrors `graft.install`).
     GraftInstalls,
     /// Graft invocations begun (mirrors `graft.invoke`).
@@ -139,11 +151,27 @@ pub enum Counter {
     NicDelivered,
     /// NIC events dropped at the device queue (measurement-only).
     NicDropped,
+    /// Disk blocks read (measurement-only; mirrors `DiskStats::reads`).
+    DiskReads,
+    /// Disk blocks written (measurement-only; mirrors
+    /// `DiskStats::writes`).
+    DiskWrites,
+    /// Disk head seeks (measurement-only; mirrors `DiskStats::seeks`).
+    DiskSeeks,
+    /// Injected disk stalls (measurement-only; mirrors
+    /// `DiskStats::stalls`).
+    DiskStalls,
+    /// Injected transient media errors (measurement-only; mirrors
+    /// `DiskStats::io_errors`).
+    DiskIoErrors,
+    /// Injected torn writes that persisted only a block prefix
+    /// (measurement-only; mirrors `DiskStats::torn_writes`).
+    DiskTornWrites,
 }
 
 impl Counter {
     /// Number of counter slots.
-    pub const COUNT: usize = 38;
+    pub const COUNT: usize = 49;
 
     /// Every counter, in canonical exposition order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -168,6 +196,11 @@ impl Counter {
         Counter::FsReads,
         Counter::FsWrites,
         Counter::FsPrefetches,
+        Counter::FsJournalAppends,
+        Counter::FsJournalCommits,
+        Counter::FsCheckpoints,
+        Counter::FsRecoveryReplays,
+        Counter::FsRecoveryDiscards,
         Counter::GraftInstalls,
         Counter::GraftInvocations,
         Counter::GraftCommits,
@@ -185,6 +218,12 @@ impl Counter {
         Counter::NetBatchDispatches,
         Counter::NicDelivered,
         Counter::NicDropped,
+        Counter::DiskReads,
+        Counter::DiskWrites,
+        Counter::DiskSeeks,
+        Counter::DiskStalls,
+        Counter::DiskIoErrors,
+        Counter::DiskTornWrites,
     ];
 
     /// The Prometheus series name (always a monotone counter).
@@ -211,6 +250,11 @@ impl Counter {
             Counter::FsReads => "vino_fs_reads_total",
             Counter::FsWrites => "vino_fs_writes_total",
             Counter::FsPrefetches => "vino_fs_prefetches_total",
+            Counter::FsJournalAppends => "vino_fs_journal_appends_total",
+            Counter::FsJournalCommits => "vino_fs_journal_commits_total",
+            Counter::FsCheckpoints => "vino_fs_checkpoints_total",
+            Counter::FsRecoveryReplays => "vino_fs_recovery_replays_total",
+            Counter::FsRecoveryDiscards => "vino_fs_recovery_discards_total",
             Counter::GraftInstalls => "vino_graft_installs_total",
             Counter::GraftInvocations => "vino_graft_invocations_total",
             Counter::GraftCommits => "vino_graft_commits_total",
@@ -228,6 +272,12 @@ impl Counter {
             Counter::NetBatchDispatches => "vino_net_batches_total",
             Counter::NicDelivered => "vino_nic_events_delivered_total",
             Counter::NicDropped => "vino_nic_events_dropped_total",
+            Counter::DiskReads => "vino_disk_reads_total",
+            Counter::DiskWrites => "vino_disk_writes_total",
+            Counter::DiskSeeks => "vino_disk_seeks_total",
+            Counter::DiskStalls => "vino_disk_stalls_total",
+            Counter::DiskIoErrors => "vino_disk_io_errors_total",
+            Counter::DiskTornWrites => "vino_disk_torn_writes_total",
         }
     }
 }
@@ -875,6 +925,24 @@ impl MetricsPlane {
                 state,
             ));
         }
+        let g = |c| self.get(c);
+        out.push_str(&format!(
+            "disk: reads={} writes={} seeks={} stalls={} io_errors={} torn={}\n",
+            g(Counter::DiskReads),
+            g(Counter::DiskWrites),
+            g(Counter::DiskSeeks),
+            g(Counter::DiskStalls),
+            g(Counter::DiskIoErrors),
+            g(Counter::DiskTornWrites),
+        ));
+        out.push_str(&format!(
+            "journal: appends={} commits={} checkpoints={} | recovery: replays={} discards={}\n",
+            g(Counter::FsJournalAppends),
+            g(Counter::FsJournalCommits),
+            g(Counter::FsCheckpoints),
+            g(Counter::FsRecoveryReplays),
+            g(Counter::FsRecoveryDiscards),
+        ));
         out
     }
 

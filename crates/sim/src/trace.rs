@@ -269,6 +269,42 @@ pub enum TraceEvent {
         /// The descriptor whose queue issued.
         fd: u64,
     },
+    /// A journal transaction's redo records were appended to the
+    /// journal region (descriptor + payload blocks, no commit yet).
+    FsJournalAppend {
+        /// Journal sequence number.
+        seq: u64,
+        /// Home-location blocks captured in the record.
+        blocks: u64,
+    },
+    /// A journal transaction's commit marker reached the disk — the
+    /// update is now durable whatever happens next.
+    FsJournalCommit {
+        /// Journal sequence number.
+        seq: u64,
+    },
+    /// A committed journal transaction was checkpointed to its
+    /// home locations.
+    FsCheckpoint {
+        /// Journal sequence number.
+        seq: u64,
+        /// Home-location blocks written in place.
+        blocks: u64,
+    },
+    /// Mount-time recovery rolled a committed journal transaction
+    /// forward.
+    FsRecoveryReplay {
+        /// Journal sequence number replayed.
+        seq: u64,
+        /// Home-location blocks rewritten.
+        blocks: u64,
+    },
+    /// Mount-time recovery discarded a torn (uncommitted) journal
+    /// tail.
+    FsRecoveryDiscard {
+        /// Journal sequence number of the torn record.
+        seq: u64,
+    },
     // -- graft lifecycle -----------------------------------------------
     /// A graft was installed (loader pipeline passed).
     GraftInstall {
@@ -381,7 +417,14 @@ impl TraceEvent {
             | UndoPush { .. }
             | UndoRun { .. } => TraceCategory::Txn,
             ResGrant { .. } | ResRelease { .. } | ResLimitHit { .. } => TraceCategory::Rm,
-            FsRead { .. } | FsWrite { .. } | FsPrefetch { .. } => TraceCategory::Fs,
+            FsRead { .. }
+            | FsWrite { .. }
+            | FsPrefetch { .. }
+            | FsJournalAppend { .. }
+            | FsJournalCommit { .. }
+            | FsCheckpoint { .. }
+            | FsRecoveryReplay { .. }
+            | FsRecoveryDiscard { .. } => TraceCategory::Fs,
             GraftInstall { .. }
             | GraftInvoke { .. }
             | GraftCommit { .. }
@@ -711,6 +754,15 @@ impl TracePlane {
             FsRead { fd, len } => format!("fs.read fd={fd} len={len}"),
             FsWrite { fd, len } => format!("fs.write fd={fd} len={len}"),
             FsPrefetch { fd } => format!("fs.prefetch fd={fd}"),
+            FsJournalAppend { seq, blocks } => {
+                format!("fs.journal_append seq={seq} blocks={blocks}")
+            }
+            FsJournalCommit { seq } => format!("fs.journal_commit seq={seq}"),
+            FsCheckpoint { seq, blocks } => format!("fs.checkpoint seq={seq} blocks={blocks}"),
+            FsRecoveryReplay { seq, blocks } => {
+                format!("fs.recovery_replay seq={seq} blocks={blocks}")
+            }
+            FsRecoveryDiscard { seq } => format!("fs.recovery_discard seq={seq}"),
             GraftInstall { graft } => format!("graft.install g={}", self.name_of(graft)),
             GraftInvoke { graft } => format!("graft.invoke g={}", self.name_of(graft)),
             GraftCommit { graft } => format!("graft.commit g={}", self.name_of(graft)),

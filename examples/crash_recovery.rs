@@ -1,0 +1,75 @@
+//! Crash and recover: kill a VINO kernel at the worst instants of a
+//! file-system write, then boot a fresh kernel over the surviving disk
+//! image and watch write-ahead-journal recovery put the volume back
+//! into a consistent state.
+//!
+//! The script walks the four crash points of the journal protocol:
+//!
+//!   1. before anything reaches the journal   → the write never happened
+//!   2. mid-journal (a record torn on disk)   → torn tail discarded
+//!   3. after the commit marker               → redo completes the write
+//!   4. mid-checkpoint (home blocks half-written) → redo completes it
+//!
+//! Run with: `cargo run --example crash_recovery`
+
+use std::rc::Rc;
+
+use vino::core::kernel::KernelConfig;
+use vino::core::Kernel;
+use vino::fs::{FsError, BLOCK_SIZE};
+use vino::sim::fault::{FaultPlane, CRASH_SITES};
+
+fn main() {
+    for &site in CRASH_SITES {
+        println!("=== crash point: {site:?} ===");
+
+        // A kernel with one committed file, and a fault plane that will
+        // kill it at the chosen instant of the next journalled write.
+        let kernel = Kernel::boot();
+        let plane = FaultPlane::seeded(0xD15A57E5);
+        kernel.attach_fault_plane(Rc::clone(&plane)).expect("attach");
+        {
+            let mut fs = kernel.fs.borrow_mut();
+            fs.create("ledger", 2 * BLOCK_SIZE as u64).expect("create");
+            let fd = fs.open("ledger").expect("open");
+            fs.write(fd, 0, b"balance: 100 (committed)").expect("write");
+        }
+
+        // Arm the one-shot and run the doomed overwrite. The kernel
+        // dies mid-operation: the write returns PowerFailure and every
+        // later call on this instance fails the same way.
+        plane.arm(site, plane.visits(site) + 1);
+        {
+            let mut fs = kernel.fs.borrow_mut();
+            let fd = fs.open("ledger").expect("open");
+            let err = fs.write(fd, 0, b"balance: 250 (in flight)").unwrap_err();
+            assert_eq!(err, FsError::PowerFailure);
+            println!("  kernel died mid-write: {err}");
+        }
+
+        // What the platters hold at this instant is all a real crash
+        // leaves behind. Boot a *fresh* kernel over it; mounting scans
+        // the journal, rolls committed transactions forward, and
+        // discards torn tails — before any subsystem touches the disk.
+        let image = kernel.crash_image();
+        let fresh =
+            Kernel::boot_from_image(KernelConfig::default(), image).expect("remount + recover");
+        let report = fresh.recovery_report().expect("recovered boot carries a report");
+        println!(
+            "  recovery: scanned {} journal blocks, replayed {} txn(s) ({} blocks), discarded {}",
+            report.scanned_blocks,
+            report.replayed_txns,
+            report.replayed_blocks,
+            report.discarded_txns,
+        );
+
+        // The consistency contract: the interrupted write is
+        // all-or-nothing, decided by whether its commit marker made it
+        // to disk before the power died.
+        let mut fs = fresh.fs.borrow_mut();
+        let fd = fs.open("ledger").expect("the file survived");
+        let bytes = fs.read(fd, 0, 24).expect("read");
+        println!("  ledger now reads: {:?}\n", String::from_utf8_lossy(&bytes));
+    }
+    println!("every crash point recovered to a consistent volume");
+}

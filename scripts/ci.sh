@@ -21,6 +21,9 @@ SURVIVAL_SEEDS="3405691582,1122334455,987654321" cargo test -q --test survival
 echo "== packet-storm battery (pinned seed, 1M packets) =="
 PACKET_STORM_SEED=3405691582 cargo test -q --test packet_storm
 
+echo "== recovery battery (crash points x workloads, fault-site exhaustiveness) =="
+cargo test -q --test recovery
+
 echo "== golden traces (fails on drift; UPDATE_GOLDENS=1 to regenerate) =="
 cargo test -q --test trace_golden
 

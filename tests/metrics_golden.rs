@@ -142,3 +142,42 @@ fn golden_quarantine_trip_metrics() {
     assert!(mp.snapshot().contains("quarantined@"), "health shows the backoff deadline");
     check_golden("quarantine", &mp.snapshot());
 }
+
+/// Scenario 4: the trace battery's crash-recovery scenario with a
+/// metrics plane on the recovered kernel. The golden pins the
+/// retroactively flushed `vino_fs_recovery_replays_total`, the
+/// journal counters for a post-recovery write, and the `vino_disk_*`
+/// census (reads/writes/seeks) the remounted volume generates — plus
+/// the `disk:` and `journal:` footer lines of the health view.
+#[test]
+fn golden_crash_recovery_metrics() {
+    use vino::core::kernel::KernelConfig;
+    use vino::fs::{FsError, BLOCK_SIZE};
+    use vino::sim::fault::FaultSite;
+
+    let k = Kernel::boot();
+    let plane = FaultPlane::seeded(0xCAFE);
+    k.attach_fault_plane(Rc::clone(&plane)).unwrap();
+    {
+        let mut fs = k.fs.borrow_mut();
+        fs.create("wal", 2 * BLOCK_SIZE as u64).unwrap();
+        let fd = fs.open("wal").unwrap();
+        fs.write(fd, 0, b"committed").unwrap();
+        let site = FaultSite::KernelCrashAfterCommit;
+        plane.arm(site, plane.visits(site) + 1);
+        assert_eq!(fs.write(fd, 0, b"in flight"), Err(FsError::PowerFailure));
+    }
+    let k2 = Kernel::boot_from_image(KernelConfig::default(), k.crash_image()).unwrap();
+    let mp = MetricsPlane::new(Rc::clone(&k2.clock));
+    k2.attach_metrics_plane(Rc::clone(&mp)).unwrap();
+    {
+        let mut fs = k2.fs.borrow_mut();
+        let fd = fs.open("wal").unwrap();
+        assert_eq!(fs.read(fd, 0, 9).unwrap(), b"in flight");
+        fs.write(fd, 0, b"post-recovery write").unwrap();
+    }
+    let got = mp.snapshot();
+    assert!(got.contains("vino_fs_recovery_replays_total 1"), "replay flushed to metrics");
+    assert!(got.contains("disk: "), "health carries the disk census");
+    check_golden("crash_recovery", &got);
+}

@@ -387,7 +387,14 @@ fn run_battery(seed: u64) -> Tally {
     );
     assert_eq!(
         ts.fs,
-        g(Counter::FsReads) + g(Counter::FsWrites) + g(Counter::FsPrefetches),
+        g(Counter::FsReads)
+            + g(Counter::FsWrites)
+            + g(Counter::FsPrefetches)
+            + g(Counter::FsJournalAppends)
+            + g(Counter::FsJournalCommits)
+            + g(Counter::FsCheckpoints)
+            + g(Counter::FsRecoveryReplays)
+            + g(Counter::FsRecoveryDiscards),
         "fs trace events must reconcile with fs counters"
     );
     assert_eq!(

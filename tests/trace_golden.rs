@@ -166,3 +166,39 @@ fn golden_quarantine_trip() {
     let got = format!("{}\n{pm}", tp.serialize());
     check_golden("quarantine", &got);
 }
+
+/// Scenario 4: a kernel crash after the journal commit marker, then a
+/// fresh kernel booted over the surviving image. The golden pins the
+/// retroactively flushed recovery events (`fs.recovery_replay`,
+/// emitted at plane-attach time because recovery runs at mount, before
+/// any plane can be wired) followed by a post-recovery journaled write
+/// (`fs.journal_append` → `fs.journal_commit` → `fs.checkpoint`).
+#[test]
+fn golden_crash_recovery() {
+    use vino::core::kernel::KernelConfig;
+    use vino::fs::{FsError, BLOCK_SIZE};
+
+    let k = Kernel::boot();
+    let plane = FaultPlane::seeded(0xCAFE);
+    k.attach_fault_plane(Rc::clone(&plane)).unwrap();
+    {
+        let mut fs = k.fs.borrow_mut();
+        fs.create("wal", 2 * BLOCK_SIZE as u64).unwrap();
+        let fd = fs.open("wal").unwrap();
+        fs.write(fd, 0, b"committed").unwrap();
+        let site = FaultSite::KernelCrashAfterCommit;
+        plane.arm(site, plane.visits(site) + 1);
+        assert_eq!(fs.write(fd, 0, b"in flight"), Err(FsError::PowerFailure));
+    }
+    let k2 = Kernel::boot_from_image(KernelConfig::default(), k.crash_image()).unwrap();
+    assert!(k2.recovery_report().unwrap().replayed_txns >= 1);
+    let tp = TracePlane::with_capacity(Rc::clone(&k2.clock), 4096);
+    k2.attach_trace_plane(Rc::clone(&tp)).unwrap();
+    {
+        let mut fs = k2.fs.borrow_mut();
+        let fd = fs.open("wal").unwrap();
+        assert_eq!(fs.read(fd, 0, 9).unwrap(), b"in flight");
+        fs.write(fd, 0, b"post-recovery write").unwrap();
+    }
+    check_golden("crash_recovery", &tp.serialize());
+}
