@@ -23,9 +23,11 @@
 //! | [`tracecount`] | trace-plane event census (observability tripwire) |
 //! | [`netfilter`] | packet-filter path census + batched-dispatch sweep |
 //! | [`profdiff`] | differential profile gate (cost-model drift tripwire) |
+//! | [`debug`] | debugging plane: checkpoint/restore, bisect, shrink, timelines |
 
 pub mod ablation;
 pub mod benefit;
+pub mod debug;
 pub mod equation;
 pub mod lockfig;
 pub mod misfit_micro;

@@ -1,13 +1,231 @@
 //! `tables` — regenerates every table and figure from the paper's
-//! evaluation section against the simulated VINO kernel.
+//! evaluation section against the simulated VINO kernel, plus the
+//! debugging-plane subcommands (`bisect`, `shrink`, `replay`,
+//! `timeline`, `checkpoints` — see `docs/DEBUGGING.md`).
 //!
 //! Usage: `cargo run -p vino-bench --release [-- --reps N]`
+
+use vino_bench::debug;
+use vino_core::kernel::KernelConfig;
+use vino_sim::TimelineOpts;
+
+/// Flags shared by the debug subcommands.
+struct DebugArgs {
+    seed: u64,
+    steps: usize,
+    out: Option<String>,
+    topts: TimelineOpts,
+}
+
+fn parse_debug_args(args: &mut impl Iterator<Item = String>) -> DebugArgs {
+    let mut d = DebugArgs {
+        seed: 0xD15A57E5,
+        steps: debug::DEFAULT_STEPS,
+        out: None,
+        topts: TimelineOpts::default(),
+    };
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} expects a value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                d.seed = need(args, "--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("--seed expects a u64");
+                    std::process::exit(2);
+                });
+            }
+            "--steps" => {
+                d.steps = need(args, "--steps").parse().unwrap_or_else(|_| {
+                    eprintln!("--steps expects a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => d.out = Some(need(args, "--out")),
+            "--time-range" => {
+                let v = need(args, "--time-range");
+                let Some((lo, hi)) = v.split_once("..") else {
+                    eprintln!("--time-range expects LO..HI in virtual cycles");
+                    std::process::exit(2);
+                };
+                match (lo.parse(), hi.parse()) {
+                    (Ok(lo), Ok(hi)) => d.topts.range = Some((lo, hi)),
+                    _ => {
+                        eprintln!("--time-range expects LO..HI in virtual cycles");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--lanes" => {
+                d.topts.lanes =
+                    Some(need(args, "--lanes").split(',').map(str::to_string).collect());
+            }
+            "--width" => {
+                d.topts.width = need(args, "--width").parse().unwrap_or_else(|_| {
+                    eprintln!("--width expects a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown debug argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    d
+}
+
+fn cmd_bisect(d: &DebugArgs) {
+    let spec = debug::StormSpec::generate(d.seed, d.steps);
+    let cfg = KernelConfig::default();
+    match debug::bisect(&spec, &cfg) {
+        Some(r) => {
+            println!(
+                "storm seed {} ({} steps): {} injections, invariant `{}` violated",
+                d.seed, d.steps, r.total_injections, r.invariant
+            );
+            println!(
+                "culprit: injection #{} — {:?} at site-visit {} (found in {} capped replays, \
+                 ⌈log₂ {}⌉+1 = {})",
+                r.culprit_cap,
+                r.culprit.0,
+                r.culprit.1,
+                r.replays,
+                r.total_injections,
+                (64 - (r.total_injections.max(1) - 1).leading_zeros()) + 1,
+            );
+        }
+        None => println!(
+            "storm seed {} ({} steps): every invariant held — nothing to bisect",
+            d.seed, d.steps
+        ),
+    }
+}
+
+fn cmd_shrink(d: &DebugArgs) {
+    let spec = debug::StormSpec::generate(d.seed, d.steps);
+    let cfg = KernelConfig::default();
+    match debug::shrink(&spec, &cfg) {
+        Some(r) => {
+            let text = debug::serialize_reproducer(&r.spec, r.invariant);
+            println!(
+                "shrunk {} steps -> {} (invariant `{}`, {} replays)",
+                r.original_steps,
+                r.spec.steps.len(),
+                r.invariant,
+                r.replays
+            );
+            match &d.out {
+                Some(path) => {
+                    std::fs::write(path, &text).unwrap_or_else(|e| {
+                        eprintln!("{path}: {e}");
+                        std::process::exit(2);
+                    });
+                    println!("wrote {path}");
+                }
+                None => print!("{text}"),
+            }
+        }
+        None => println!(
+            "storm seed {} ({} steps): every invariant held — nothing to shrink",
+            d.seed, d.steps
+        ),
+    }
+}
+
+fn cmd_replay(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    let (spec, invariant) = debug::parse_reproducer(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    let opts = debug::StormOpts::default();
+    let a = debug::run_storm(&spec, &opts);
+    let b = debug::run_storm(&spec, &opts);
+    let identical = a.trace == b.trace && a.metrics == b.metrics;
+    match &a.violation {
+        Some(v) if v.invariant == invariant => {
+            println!("reproduced: `{}` — {}", v.invariant, v.detail)
+        }
+        Some(v) => {
+            println!("violated `{}` (reproducer claims `{invariant}`): {}", v.invariant, v.detail)
+        }
+        None => println!("did NOT reproduce: every invariant held"),
+    }
+    println!("replay determinism: {}", if identical { "byte-identical" } else { "DIVERGED" });
+    if !identical || a.violation.as_ref().map(|v| v.invariant) != Some(invariant.as_str()) {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_timeline(d: &DebugArgs) {
+    let spec = debug::StormSpec::generate(d.seed, d.steps);
+    print!("{}", debug::storm_timeline(&spec, &KernelConfig::default(), &d.topts));
+}
+
+fn cmd_checkpoints(d: &DebugArgs) {
+    let spec = debug::StormSpec::generate(d.seed, d.steps);
+    let opts = debug::StormOpts { checkpoints: true, ..debug::StormOpts::default() };
+    let full = debug::run_storm(&spec, &opts);
+    println!(
+        "storm seed {} ({} steps): {} checkpoints at a {} virtual-ms cadence",
+        d.seed,
+        d.steps,
+        full.checkpoints.len(),
+        opts.cfg.checkpoint_interval_ms
+    );
+    for cp in &full.checkpoints {
+        println!("  {}", cp.summary());
+    }
+    if let Some(cp) = full.checkpoints.get(full.checkpoints.len() / 2) {
+        let resumed = debug::resume_storm(&spec, cp, &opts);
+        let identical = resumed.trace == full.trace && resumed.metrics == full.metrics;
+        println!(
+            "resume from step {}: {}",
+            cp.at_step,
+            if identical { "byte-identical to the uninterrupted run" } else { "DIVERGED" }
+        );
+        if !identical {
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let mut reps = 100usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "bisect" => {
+                cmd_bisect(&parse_debug_args(&mut args));
+                return;
+            }
+            "shrink" => {
+                cmd_shrink(&parse_debug_args(&mut args));
+                return;
+            }
+            "replay" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("replay expects a reproducer file path");
+                    std::process::exit(2);
+                });
+                cmd_replay(&path);
+                return;
+            }
+            "timeline" => {
+                cmd_timeline(&parse_debug_args(&mut args));
+                return;
+            }
+            "checkpoints" => {
+                cmd_checkpoints(&parse_debug_args(&mut args));
+                return;
+            }
             "--reps" => {
                 reps = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--reps expects a positive integer");
@@ -41,6 +259,13 @@ fn main() {
                 println!("  --reps N          samples per measurement path (default 100)");
                 println!("  --profdiff        check the profile snapshot against the baseline");
                 println!("  --profdiff-write  regenerate crates/bench/profdiff.baseline");
+                println!();
+                println!("debugging-plane subcommands (docs/DEBUGGING.md):");
+                println!("  bisect      --seed S [--steps N]   first invariant-flipping injection");
+                println!("  shrink      --seed S [--out FILE]  ddmin-minimal failing reproducer");
+                println!("  replay FILE                        re-run a reproducer, twice");
+                println!("  timeline    --seed S [--time-range A..B] [--lanes l1,l2] [--width W]");
+                println!("  checkpoints --seed S               checkpoint cadence + resume check");
                 return;
             }
             other => {

@@ -61,6 +61,16 @@ pub struct KernelConfig {
     pub max_files: u32,
     /// Passphrase from which the MiSFIT signing key is derived.
     pub signing_passphrase: String,
+    /// Virtual milliseconds between debug-plane checkpoints. Batteries
+    /// that checkpoint (`vino-bench`'s debug storm) capture a restore
+    /// point every this-many virtual ms; `0` disables checkpointing.
+    pub checkpoint_interval_ms: u64,
+    /// Flight-recorder ring capacity, in trace records, for planes
+    /// built from this config (see `TracePlane::with_capacity`).
+    pub trace_capacity: usize,
+    /// Post-mortem window: how many trailing trace records a crash
+    /// report captures (see `TracePlane::set_post_mortem_window`).
+    pub post_mortem_window: usize,
 }
 
 impl Default for KernelConfig {
@@ -70,6 +80,9 @@ impl Default for KernelConfig {
             memory_pages: 512,
             max_files: 64,
             signing_passphrase: "vino-default-key".to_string(),
+            checkpoint_interval_ms: 250,
+            trace_capacity: vino_sim::trace::DEFAULT_CAPACITY,
+            post_mortem_window: vino_sim::trace::DEFAULT_POST_MORTEM_WINDOW,
         }
     }
 }
@@ -279,6 +292,23 @@ impl Kernel {
     /// a kernel whose file system has already halted.
     pub fn crash_image(&self) -> DiskImage {
         self.fs.borrow().disk_image()
+    }
+
+    /// Drives the kernel to a checkpointable instant: no live
+    /// transactions (asserted), transaction time-outs drained, the
+    /// journal quiesced, caches and prefetch state dropped, and the
+    /// disk mechanism re-homed, so [`Kernel::crash_image`] plus the
+    /// planes' `export_state` snapshots fully determine the replayed
+    /// future. A kernel restored from such a capture (boot the image,
+    /// quiesce again, rebuild scaffolding, replant plane state) resumes
+    /// the exact event stream of the uninterrupted run — see
+    /// `docs/DEBUGGING.md`.
+    ///
+    /// Panics if a transaction is still live or the file system has
+    /// halted: checkpoints are only meaningful between battery steps.
+    pub fn quiesce_for_checkpoint(&self) {
+        self.engine.txn.borrow_mut().clear_timeouts();
+        self.fs.borrow_mut().quiesce_for_checkpoint();
     }
 
     /// What mount-time journal recovery found, for kernels booted via

@@ -43,4 +43,6 @@ pub use engine::{GraftEngine, GraftInstance, InvokeOutcome, InvokeStats};
 pub use kernel::{AttachError, Kernel};
 pub use loader::{BillingMode, InstallError, InstallOpts};
 pub use points::{EventPoint, GraftNamespace, PointKind};
-pub use reliability::{FailureKind, QuarantinePolicy, ReliabilityManager, Verdict};
+pub use reliability::{
+    FailureKind, QuarantinePolicy, ReliabilityManager, ReliabilityState, Verdict,
+};

@@ -239,6 +239,28 @@ impl ReliabilityManager {
     pub fn total_aborts(&self) -> u64 {
         self.ledgers.values().map(|l| l.aborts).sum()
     }
+
+    /// Snapshots the policy and every failure ledger for a checkpoint.
+    pub fn export_state(&self) -> ReliabilityState {
+        ReliabilityState { policy: self.policy, ledgers: self.ledgers.clone() }
+    }
+
+    /// Replants a [`ReliabilityState`] capture, so a restored kernel
+    /// enforces the same quarantines and backoff deadlines. Attached
+    /// planes are untouched.
+    pub fn restore_state(&mut self, st: &ReliabilityState) {
+        self.policy = st.policy;
+        self.ledgers = st.ledgers.clone();
+    }
+}
+
+/// An opaque snapshot of the reliability manager's mutable state: the
+/// quarantine policy and every graft's failure ledger. See
+/// [`ReliabilityManager::export_state`].
+#[derive(Debug, Clone)]
+pub struct ReliabilityState {
+    policy: QuarantinePolicy,
+    ledgers: HashMap<String, GraftLedger>,
 }
 
 #[cfg(test)]

@@ -152,6 +152,17 @@ impl Disk {
         DiskImage { geometry: self.geometry, blocks: self.blocks.clone() }
     }
 
+    /// Resets the drive's volatile mechanical state — head parked at 0,
+    /// the rotational-phase stream reseeded with the fixed
+    /// [`Disk::new`] seed — without touching the platters or stats.
+    /// Checkpoints call this on both the capture and restore sides so a
+    /// resumed replay sees the same mechanics as [`Disk::from_image`]
+    /// gives a fresh remount.
+    pub fn reset_mechanism(&mut self) {
+        self.head = 0;
+        self.rng = SplitMix64::new(0x5EED_D15C);
+    }
+
     /// Attaches a fault plane. [`FaultSite::DiskRead`] and
     /// [`FaultSite::DiskWrite`] model transient media errors the driver
     /// retries — the access is re-done at full mechanical cost, so data

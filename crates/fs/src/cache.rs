@@ -118,6 +118,18 @@ impl BufferCache {
         self.capacity - self.entries.len().min(self.capacity)
     }
 
+    /// Drops every cached block and rewinds the LRU clock and the
+    /// disk-busy timeline to their fresh-boot values. Part of the
+    /// checkpoint quiesce: a restored kernel starts with a cold cache,
+    /// so the capture side must go cold at the same instant for the two
+    /// runs to stay byte-identical. Stats are left in place (they are
+    /// monotone diagnostics, not replayed state).
+    pub fn invalidate_all(&mut self) {
+        self.entries.clear();
+        self.tick = 0;
+        self.disk_busy_until = Cycles::ZERO;
+    }
+
     /// Reads `addr` through the cache, charging the caller's clock for
     /// hit cost, residual prefetch wait, or a full synchronous I/O.
     pub fn read(&mut self, disk: &mut Disk, addr: BlockAddr) -> [u8; 4096] {

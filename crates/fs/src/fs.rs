@@ -397,6 +397,14 @@ impl FileSystem {
     /// Attaches a fault plane to the underlying disk (injected media
     /// errors, stalls and torn writes) and to the file system's own
     /// crash points (the `KernelCrash*` site family; see
+    /// Payload blocks one journal transaction can carry. Writes wider
+    /// than this split into multiple transactions — each atomic on its
+    /// own, so a crash between chunks leaves a clean prefix durable
+    /// (the journal-full backpressure contract; see `journal_txn`).
+    pub fn journal_capacity(&self) -> usize {
+        self.sb.journal_capacity()
+    }
+
     /// `vino_sim::fault` and `docs/RECOVERY.md`).
     pub fn set_fault_plane(&mut self, plane: Rc<vino_sim::fault::FaultPlane>) {
         self.disk.set_fault_plane(Rc::clone(&plane));
@@ -463,6 +471,34 @@ impl FileSystem {
     /// the simulation harness reading the platters, not an I/O.
     pub fn disk_image(&self) -> DiskImage {
         self.disk.snapshot()
+    }
+
+    /// Quiesces the volume so a checkpoint capture and its restore see
+    /// identical file-system state: invalidates the journal descriptor
+    /// on disk (so mounting the captured image finds a clean journal —
+    /// the same write [`discard_tail`](Self::discard_tail) issues),
+    /// empties the buffer cache, forgets per-descriptor read-ahead
+    /// state, parks the disk mechanism and rewinds the journal sequence
+    /// to its fresh-mount value. Called on *both* sides of a
+    /// checkpoint: at capture (so the continuing run matches what a
+    /// restore rebuilds) and after the restoring mount (harmless
+    /// re-zeroing) — that symmetry is what makes the two runs
+    /// byte-identical from the checkpoint on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with power off or a journal transaction
+    /// mid-flight (checkpoints are taken at operation boundaries).
+    pub fn quiesce_for_checkpoint(&mut self) {
+        assert!(!self.halted, "cannot checkpoint a halted file system");
+        self.disk.write(BlockAddr(self.sb.journal_start as u64), &[0u8; BLOCK_SIZE]);
+        for f in self.open.values_mut() {
+            f.prefetch_q.clear();
+            f.last_end = None;
+        }
+        self.cache.invalidate_all();
+        self.disk.reset_mechanism();
+        self.next_seq = 1;
     }
 
     fn check_power(&self) -> Result<(), FsError> {

@@ -186,6 +186,17 @@ struct Account {
     blame_limit: Option<u64>,
 }
 
+/// An opaque snapshot of the accountant's book: every account (limits,
+/// usage, peaks, billing/blame links) and the principal-id counter.
+/// Captured by [`ResourceAccountant::export_state`], replanted by
+/// [`ResourceAccountant::restore_state`] so a checkpoint-restored
+/// kernel mints the same principal ids and enforces the same limits.
+#[derive(Debug, Clone)]
+pub struct AccountantState {
+    accounts: HashMap<PrincipalId, Account>,
+    next: u64,
+}
+
 /// The kernel's resource accountant.
 #[derive(Debug, Default)]
 pub struct ResourceAccountant {
@@ -244,6 +255,18 @@ impl ResourceAccountant {
         if let Some(mp) = &self.metrics {
             mp.inc(c);
         }
+    }
+
+    /// Snapshots the full book for a checkpoint.
+    pub fn export_state(&self) -> AccountantState {
+        AccountantState { accounts: self.accounts.clone(), next: self.next }
+    }
+
+    /// Replants an [`AccountantState`] capture, replacing the book and
+    /// the id counter. Attached planes are untouched.
+    pub fn restore_state(&mut self, st: &AccountantState) {
+        self.accounts = st.accounts.clone();
+        self.next = st.next;
     }
 
     /// Creates a principal (a thread) with the given limits.

@@ -1,0 +1,299 @@
+//! ASCII Gantt timelines over the trace plane's flight recorder.
+//!
+//! A survival-battery failure is an ordered story — a graft invoked, a
+//! lock contended, a fault injected, an abort, a quarantine — but the
+//! canonical trace serialization tells it one line per event. This
+//! module renders the same records as a timeline: one lane per graft
+//! plus one lane per kernel subsystem, the x-axis scaled over virtual
+//! cycles, invoke spans drawn between their begin/end markers and lock
+//! waits between block and grant. The render is pure and deterministic
+//! (golden-pinned by `tests/timeline_golden.rs`), and the glyph and
+//! lane maps are exhaustive over [`TraceEvent`] — a new variant fails
+//! to compile here rather than silently vanishing from the picture.
+
+use std::collections::HashMap;
+
+use crate::trace::{TraceEvent, TracePlane, TraceRecord};
+
+/// Options for [`render_timeline`].
+#[derive(Debug, Clone)]
+pub struct TimelineOpts {
+    /// Inclusive virtual-cycle range to plot; `None` plots everything
+    /// in the ring.
+    pub range: Option<(u64, u64)>,
+    /// Lane filter: keep a lane when its name equals, or starts with,
+    /// any entry (so `graft:` keeps every graft lane). `None` keeps
+    /// all.
+    pub lanes: Option<Vec<String>>,
+    /// Plot width in columns.
+    pub width: usize,
+}
+
+impl Default for TimelineOpts {
+    fn default() -> TimelineOpts {
+        TimelineOpts { range: None, lanes: None, width: 96 }
+    }
+}
+
+/// The subsystem lanes, in render order (graft lanes come first).
+const SUBSYSTEM_LANES: &[&str] = &["vm", "txn", "rm", "fs", "net"];
+
+/// The lane a record renders in. Exhaustive over [`TraceEvent`]: graft
+/// lifecycle events get a per-graft lane, everything else its
+/// subsystem's lane.
+pub fn lane_of(plane: &TracePlane, ev: &TraceEvent) -> String {
+    use TraceEvent::*;
+    match ev {
+        VmWindow { .. } | SfiCheck { .. } => "vm".to_string(),
+        TxnBegin { .. }
+        | TxnCommit { .. }
+        | TxnAbort { .. }
+        | LockAcquire { .. }
+        | LockBlocked { .. }
+        | LockTimeout { .. }
+        | LockSteal { .. }
+        | UndoPush { .. }
+        | UndoRun { .. } => "txn".to_string(),
+        ResGrant { .. } | ResRelease { .. } | ResLimitHit { .. } => "rm".to_string(),
+        FsRead { .. }
+        | FsWrite { .. }
+        | FsPrefetch { .. }
+        | FsJournalAppend { .. }
+        | FsJournalCommit { .. }
+        | FsCheckpoint { .. }
+        | FsRecoveryReplay { .. }
+        | FsRecoveryDiscard { .. } => "fs".to_string(),
+        GraftInstall { graft }
+        | GraftInvoke { graft }
+        | GraftCommit { graft }
+        | GraftAbort { graft, .. }
+        | GraftQuarantine { graft, .. }
+        | FallbackServed { graft } => format!("graft:{}", plane.name_of(*graft)),
+        NetRx { .. }
+        | NetShed { .. }
+        | NetVerdict { .. }
+        | NetSteer { .. }
+        | NetLoopCut { .. }
+        | NetBatch { .. } => "net".to_string(),
+    }
+}
+
+/// The single-character marker a record renders as. Exhaustive over
+/// [`TraceEvent`]; every glyph is globally unique so the legend is
+/// unambiguous.
+pub fn glyph_of(ev: &TraceEvent) -> char {
+    use TraceEvent::*;
+    match ev {
+        VmWindow { .. } => 'w',
+        SfiCheck { .. } => 'k',
+        TxnBegin { .. } => 'B',
+        TxnCommit { .. } => 'C',
+        TxnAbort { .. } => 'A',
+        LockAcquire { .. } => 'l',
+        LockBlocked { .. } => 'b',
+        LockTimeout { .. } => 'T',
+        LockSteal { .. } => 'S',
+        UndoPush { .. } => 'u',
+        UndoRun { .. } => 'U',
+        ResGrant { .. } => 'g',
+        ResRelease { .. } => 'r',
+        ResLimitHit { .. } => 'X',
+        FsRead { .. } => 'R',
+        FsWrite { .. } => 'W',
+        FsPrefetch { .. } => 'p',
+        FsJournalAppend { .. } => 'j',
+        FsJournalCommit { .. } => 'J',
+        FsCheckpoint { .. } => 'c',
+        FsRecoveryReplay { .. } => 'Y',
+        FsRecoveryDiscard { .. } => 'D',
+        GraftInstall { .. } => 'I',
+        GraftInvoke { .. } => '[',
+        GraftCommit { .. } => ']',
+        GraftAbort { .. } => '!',
+        GraftQuarantine { .. } => 'Q',
+        FallbackServed { .. } => 'F',
+        NetRx { .. } => 'x',
+        NetShed { .. } => 'd',
+        NetVerdict { .. } => 'v',
+        NetSteer { .. } => 's',
+        NetLoopCut { .. } => 'o',
+        NetBatch { .. } => 'n',
+    }
+}
+
+/// The fixed glyph legend, rendered at the foot of every timeline.
+pub const LEGEND: &[&str] = &[
+    "[=] invoke span  ! abort  I install  Q quarantine  F fallback",
+    "B/C/A txn begin/commit/abort  l lock  b~l blocked span  T timeout  S steal  u/U undo",
+    "R/W read/write  p prefetch  j/J/c journal append/commit/checkpoint  Y/D recovery",
+    "g/r/X rm grant/release/limit-hit  w vm-window  k sfi-check",
+    "x rx  d shed  v verdict  s steer  o loop-cut  n batch",
+];
+
+/// Renders the plane's current records as an ASCII Gantt chart.
+///
+/// Per-graft lanes draw `=` between an invoke (`[`) and its commit
+/// (`]`) or abort (`!`); the txn lane draws `~` between a lock block
+/// (`b`) and the grant or timeout that resolves it. Markers overwrite
+/// fills; when several records land in one cell the latest wins —
+/// deterministically, since records are ordered.
+pub fn render_timeline(plane: &TracePlane, opts: &TimelineOpts) -> String {
+    let width = opts.width.max(8);
+    let records: Vec<TraceRecord> = plane
+        .records()
+        .into_iter()
+        .filter(|r| match opts.range {
+            Some((lo, hi)) => r.at.get() >= lo && r.at.get() <= hi,
+            None => true,
+        })
+        .collect();
+    let range_label = match opts.range {
+        Some((lo, hi)) => format!("{lo}..{hi}"),
+        None => "all".to_string(),
+    };
+    if records.is_empty() {
+        return format!("== timeline: 0 records (range {range_label}) ==\n");
+    }
+    let t0 = records.first().expect("non-empty").at.get();
+    let t1 = records.last().expect("non-empty").at.get();
+    let span = (t1 - t0).max(1);
+    let col = |at: u64| (((at - t0) as u128 * (width as u128 - 1)) / span as u128) as usize;
+
+    // Lane discovery, in deterministic order: graft lanes by first
+    // appearance in the record stream, then the fixed subsystem lanes.
+    let mut lane_names: Vec<String> = Vec::new();
+    for r in &records {
+        let lane = lane_of(plane, &r.event);
+        if lane.starts_with("graft:") && !lane_names.contains(&lane) {
+            lane_names.push(lane);
+        }
+    }
+    for s in SUBSYSTEM_LANES {
+        if records.iter().any(|r| lane_of(plane, &r.event) == *s) {
+            lane_names.push(s.to_string());
+        }
+    }
+    if let Some(keep) = &opts.lanes {
+        lane_names.retain(|l| keep.iter().any(|k| l == k || l.starts_with(k.as_str())));
+    }
+
+    let mut rows: HashMap<String, Vec<char>> =
+        lane_names.iter().map(|l| (l.clone(), vec![' '; width])).collect();
+    let mut counts: HashMap<String, u64> = HashMap::new();
+
+    // Span fills first, so markers drawn later stay visible.
+    let fill = |row: &mut [char], a: usize, b: usize, ch: char| {
+        for cell in row.iter_mut().take(b).skip(a + 1) {
+            if *cell == ' ' {
+                *cell = ch;
+            }
+        }
+    };
+    let mut open_invokes: HashMap<String, usize> = HashMap::new();
+    let mut open_blocks: HashMap<u64, usize> = HashMap::new();
+    for r in &records {
+        let lane = lane_of(plane, &r.event);
+        let c = col(r.at.get());
+        match r.event {
+            TraceEvent::GraftInvoke { .. } => {
+                open_invokes.insert(lane.clone(), c);
+            }
+            TraceEvent::GraftCommit { .. } | TraceEvent::GraftAbort { .. } => {
+                if let (Some(a), Some(row)) = (open_invokes.remove(&lane), rows.get_mut(&lane)) {
+                    fill(row, a, c, '=');
+                }
+            }
+            TraceEvent::LockBlocked { lock, .. } => {
+                open_blocks.insert(lock, c);
+            }
+            TraceEvent::LockAcquire { lock, .. } | TraceEvent::LockTimeout { lock, .. } => {
+                if let (Some(a), Some(row)) = (open_blocks.remove(&lock), rows.get_mut(&lane)) {
+                    fill(row, a, c, '~');
+                }
+            }
+            _ => {}
+        }
+    }
+    for r in &records {
+        let lane = lane_of(plane, &r.event);
+        if let Some(row) = rows.get_mut(&lane) {
+            row[col(r.at.get())] = glyph_of(&r.event);
+            *counts.entry(lane).or_insert(0) += 1;
+        }
+    }
+
+    let shown: u64 = counts.values().sum();
+    let mut out = format!(
+        "== timeline: {} records shown (range {range_label}), cycles {t0}..{t1}, 1 col ~ {} cyc ==\n",
+        shown,
+        span.div_ceil(width as u64 - 1).max(1),
+    );
+    for lane in &lane_names {
+        let row: String = rows[lane].iter().collect();
+        out.push_str(&format!(
+            "{:<18} |{row}| n={}\n",
+            lane,
+            counts.get(lane).copied().unwrap_or(0)
+        ));
+    }
+    out.push_str("legend:\n");
+    for line in LEGEND {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::trace::AbortKind;
+    use crate::Cycles;
+
+    #[test]
+    fn invoke_span_and_markers_render() {
+        let clock = VirtualClock::new();
+        let tp = TracePlane::new(std::rc::Rc::clone(&clock));
+        let g = tp.tag("ra");
+        tp.emit(TraceEvent::GraftInvoke { graft: g });
+        clock.charge(Cycles(10_000));
+        tp.emit(TraceEvent::FsRead { fd: 3, len: 4096 });
+        clock.charge(Cycles(10_000));
+        tp.emit(TraceEvent::GraftAbort { graft: g, kind: AbortKind::Trap });
+        let out = render_timeline(&tp, &TimelineOpts::default());
+        let graft_row = out.lines().find(|l| l.starts_with("graft:ra")).unwrap();
+        assert!(graft_row.contains('['), "invoke marker missing: {graft_row}");
+        assert!(graft_row.contains('!'), "abort marker missing: {graft_row}");
+        assert!(graft_row.contains('='), "invoke span fill missing: {graft_row}");
+        let fs_row = out.lines().find(|l| l.starts_with("fs")).unwrap();
+        assert!(fs_row.contains('R'), "fs read marker missing: {fs_row}");
+    }
+
+    #[test]
+    fn range_and_lane_filters_apply() {
+        let clock = VirtualClock::new();
+        let tp = TracePlane::new(std::rc::Rc::clone(&clock));
+        tp.emit(TraceEvent::FsRead { fd: 3, len: 1 });
+        clock.charge(Cycles(50_000));
+        tp.emit(TraceEvent::NetRx { port: 1, len: 64 });
+        let all = render_timeline(&tp, &TimelineOpts::default());
+        assert!(all.contains("\nfs") && all.contains("\nnet"));
+        let only_net = render_timeline(
+            &tp,
+            &TimelineOpts { lanes: Some(vec!["net".to_string()]), ..TimelineOpts::default() },
+        );
+        assert!(!only_net.contains("\nfs") && only_net.contains("net"));
+        let early =
+            render_timeline(&tp, &TimelineOpts { range: Some((0, 10)), ..TimelineOpts::default() });
+        assert!(early.contains("1 records shown"));
+    }
+
+    #[test]
+    fn empty_range_renders_a_stub() {
+        let tp = TracePlane::new(VirtualClock::new());
+        let out = render_timeline(&tp, &TimelineOpts::default());
+        assert!(out.contains("0 records"));
+    }
+}

@@ -146,6 +146,21 @@ struct SiteState {
     fired: u64,
 }
 
+/// An opaque snapshot of a [`FaultPlane`]'s full mutable state (RNG
+/// stream position, per-site schedules and counters, cap and schedule
+/// log). Captured by [`FaultPlane::export_state`] and replanted with
+/// [`FaultPlane::restore_state`] so a replay can resume mid-stream.
+#[derive(Debug, Clone)]
+pub struct FaultPlaneState {
+    rng: u64,
+    sites: [SiteState; N_SITES],
+    stall: Cycles,
+    cap: Option<u64>,
+    hits: u64,
+    record: bool,
+    schedule: Vec<(FaultSite, u64)>,
+}
+
 /// The shared, seeded fault schedule. See the module docs.
 #[derive(Debug)]
 pub struct FaultPlane {
@@ -153,6 +168,17 @@ pub struct FaultPlane {
     sites: RefCell<[SiteState; N_SITES]>,
     /// Extra latency charged when [`FaultSite::DiskStall`] fires.
     stall: Cell<Cycles>,
+    /// Plane-wide injection budget: once this many faults have been
+    /// injected, later would-be injections are suppressed (they still
+    /// consume visits and RNG draws, so the run's prefix is identical
+    /// to an uncapped run). `None` = unlimited.
+    cap: Cell<Option<u64>>,
+    /// Would-be injections seen so far (fired or cap-suppressed).
+    hits: Cell<u64>,
+    /// When set, every would-be injection is appended to the schedule
+    /// log as `(site, visit)`. Off by default (the log allocates).
+    record: Cell<bool>,
+    schedule: RefCell<Vec<(FaultSite, u64)>>,
 }
 
 /// Default extra latency for an injected disk stall: 50 ms, the same
@@ -174,6 +200,10 @@ impl FaultPlane {
             rng: RefCell::new(SplitMix64::new(seed)),
             sites: RefCell::new(Default::default()),
             stall: Cell::new(DEFAULT_STALL),
+            cap: Cell::new(None),
+            hits: Cell::new(0),
+            record: Cell::new(false),
+            schedule: RefCell::new(Vec::new()),
         })
     }
 
@@ -203,6 +233,13 @@ impl FaultPlane {
     /// The instrumentation-point query: records one visit to `site` and
     /// answers whether this visit must fail. Deterministic for a given
     /// seed and call sequence.
+    ///
+    /// With an [`injection cap`](Self::set_injection_cap) in force, a
+    /// would-be injection past the cap is *suppressed*: the visit and
+    /// the RNG draw still happen exactly as in the uncapped run (so the
+    /// run is byte-identical up to the cap point), but the site does
+    /// not fail. This is the primitive `vino-bench bisect` searches
+    /// over.
     pub fn fire(&self, site: FaultSite) -> bool {
         let mut sites = self.sites.borrow_mut();
         let st = &mut sites[idx(site)];
@@ -218,10 +255,67 @@ impl FaultPlane {
                 hit = self.rng.borrow_mut().chance(num, den);
             }
         }
-        if hit {
-            st.fired += 1;
+        if !hit {
+            return false;
         }
-        hit
+        let h = self.hits.get() + 1;
+        self.hits.set(h);
+        if self.record.get() {
+            self.schedule.borrow_mut().push((site, visit));
+        }
+        if self.cap.get().is_some_and(|cap| h > cap) {
+            return false; // Suppressed: counted but not injected.
+        }
+        st.fired += 1;
+        true
+    }
+
+    /// Caps the plane-wide injection count: the first `cap` would-be
+    /// injections fire, every later one is suppressed. `None` lifts the
+    /// cap. See [`fire`](Self::fire) for the prefix-identity guarantee.
+    pub fn set_injection_cap(&self, cap: Option<u64>) {
+        self.cap.set(cap);
+    }
+
+    /// Would-be injections seen so far (fired or cap-suppressed).
+    pub fn injection_hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Turns the schedule log on or off. While on, every would-be
+    /// injection appends `(site, visit)` to [`Self::schedule`].
+    pub fn record_schedule(&self, on: bool) {
+        self.record.set(on);
+    }
+
+    /// The recorded injection schedule, in firing order.
+    pub fn schedule(&self) -> Vec<(FaultSite, u64)> {
+        self.schedule.borrow().clone()
+    }
+
+    /// Snapshots the plane's full mutable state for a checkpoint.
+    pub fn export_state(&self) -> FaultPlaneState {
+        FaultPlaneState {
+            rng: self.rng.borrow().state(),
+            sites: self.sites.borrow().clone(),
+            stall: self.stall.get(),
+            cap: self.cap.get(),
+            hits: self.hits.get(),
+            record: self.record.get(),
+            schedule: self.schedule.borrow().clone(),
+        }
+    }
+
+    /// Replants a [`FaultPlaneState`] capture, resuming the RNG stream
+    /// and all per-site schedules exactly where the capture left them.
+    pub fn restore_state(&self, st: &FaultPlaneState) {
+        *self.rng.borrow_mut() = SplitMix64::from_state(st.rng);
+        *self.sites.borrow_mut() = st.sites.clone();
+        self.stall.set(st.stall);
+        self.cap.set(st.cap);
+        self.hits.set(st.hits);
+        self.record.set(st.record);
+        *self.schedule.borrow_mut() = st.schedule.clone();
     }
 
     /// Deterministic torn-write prefix length: how many leading bytes
@@ -338,6 +432,61 @@ mod tests {
         assert!(!p.fire(FaultSite::DiskRead));
         assert!(!p.fire(FaultSite::VmTrap));
         assert!(!p.fire(FaultSite::VmTrap));
+    }
+
+    #[test]
+    fn injection_cap_preserves_the_uncapped_prefix() {
+        let full = FaultPlane::seeded(12345);
+        full.set_rate(FaultSite::DiskWrite, 1, 3);
+        full.record_schedule(true);
+        let uncapped: Vec<bool> = (0..200).map(|_| full.fire(FaultSite::DiskWrite)).collect();
+        let total = full.injection_hits();
+        assert!(total > 10);
+        let log = full.schedule();
+        assert_eq!(log.len() as u64, total);
+
+        for cap in [0u64, 1, total / 2, total] {
+            let p = FaultPlane::seeded(12345);
+            p.set_rate(FaultSite::DiskWrite, 1, 3);
+            p.set_injection_cap(Some(cap));
+            let capped: Vec<bool> = (0..200).map(|_| p.fire(FaultSite::DiskWrite)).collect();
+            // Identical up to the cap-th injection, suppressed after.
+            let mut seen = 0u64;
+            for (a, b) in uncapped.iter().zip(capped.iter()) {
+                if *a {
+                    seen += 1;
+                    assert_eq!(*b, seen <= cap, "injection {seen} vs cap {cap}");
+                } else {
+                    assert!(!b, "capped run must not invent injections");
+                }
+            }
+            assert_eq!(p.injection_hits(), total, "hits count the would-be schedule");
+            assert_eq!(p.total_injected(), cap.min(total));
+        }
+    }
+
+    #[test]
+    fn export_restore_resumes_the_exact_stream() {
+        let a = FaultPlane::seeded(777);
+        a.set_rate(FaultSite::DiskRead, 1, 2);
+        a.arm(FaultSite::VmTrap, 120);
+        for _ in 0..50 {
+            a.fire(FaultSite::DiskRead);
+            a.fire(FaultSite::VmTrap);
+        }
+        let snap = a.export_state();
+        let tail_a: Vec<bool> = (0..100)
+            .flat_map(|_| [a.fire(FaultSite::DiskRead), a.fire(FaultSite::VmTrap)])
+            .collect();
+
+        let b = FaultPlane::seeded(0);
+        b.restore_state(&snap);
+        let tail_b: Vec<bool> = (0..100)
+            .flat_map(|_| [b.fire(FaultSite::DiskRead), b.fire(FaultSite::VmTrap)])
+            .collect();
+        assert_eq!(tail_a, tail_b, "restored plane must replay the same tail");
+        assert_eq!(a.visits(FaultSite::DiskRead), b.visits(FaultSite::DiskRead));
+        assert_eq!(a.injected(FaultSite::VmTrap), b.injected(FaultSite::VmTrap));
     }
 
     #[test]

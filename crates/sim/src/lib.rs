@@ -11,6 +11,7 @@
 
 pub mod clock;
 pub mod costs;
+pub mod debug;
 pub mod event;
 pub mod fault;
 pub mod ids;
@@ -22,14 +23,17 @@ pub mod stats;
 pub mod trace;
 
 pub use clock::{Cycles, VirtualClock};
+pub use debug::{render_timeline, TimelineOpts};
 pub use event::{EventQueue, TimerId};
-pub use fault::{FaultPlane, FaultSite};
+pub use fault::{FaultPlane, FaultPlaneState, FaultSite};
 pub use ids::ThreadId;
-pub use metrics::{Attribution, Component, Counter, CycleHistogram, MetricTag, MetricsPlane};
+pub use metrics::{
+    Attribution, Component, Counter, CycleHistogram, MetricTag, MetricsPlane, MetricsState,
+};
 pub use plane::{AttachError, AttachSlot};
 pub use profile::{HotFn, ProfTag, ProfilePlane, SpanKind};
 pub use rng::{SplitMix64, XorShift64};
 pub use trace::{
-    AbortKind, GraftTag, PostMortem, SfiKind, TraceEvent, TracePlane, TraceRecord, TraceStats,
-    VmExitKind,
+    AbortKind, GraftTag, PostMortem, SfiKind, TraceEvent, TracePlane, TraceRecord, TraceState,
+    TraceStats, VmExitKind,
 };

@@ -523,6 +523,24 @@ const IDLE_FRAME: Frame =
 // The plane.
 // ---------------------------------------------------------------------------
 
+/// An opaque snapshot of a [`MetricsPlane`]'s full mutable state:
+/// counters, gauges, the per-graft ledgers and the interned name table.
+/// Captured by [`MetricsPlane::export_state`], replanted by
+/// [`MetricsPlane::restore_state`] so a resumed replay accumulates into
+/// the same ledgers and snapshots byte-identically.
+#[derive(Clone)]
+pub struct MetricsState {
+    counters: [u64; Counter::COUNT],
+    rm_peaks: [u64; 8],
+    undo_depth_peak: u64,
+    pending_indirection: u64,
+    kernel_comps: [u64; Component::COUNT],
+    grafts: Vec<GraftSlot>,
+    names: Vec<String>,
+    all_latency: CycleHistogram,
+    nic_port_drops: Vec<(u16, u64)>,
+}
+
 /// The shared metrics plane handle (see module docs).
 ///
 /// Create once, wrap in `Rc`, attach with `Kernel::attach_metrics_plane`
@@ -578,6 +596,51 @@ impl MetricsPlane {
             all_latency: RefCell::new(CycleHistogram::new()),
             nic_port_drops: RefCell::new(Vec::new()),
         })
+    }
+
+    // -- checkpointing ------------------------------------------------------
+
+    /// Snapshots the plane's full mutable state for a checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invocation bracket is open — checkpoints are taken
+    /// at quiesced instants only.
+    pub fn export_state(&self) -> MetricsState {
+        assert_eq!(self.depth.get(), 0, "cannot checkpoint mid-invocation");
+        MetricsState {
+            counters: self.counters.get(),
+            rm_peaks: self.rm_peaks.get(),
+            undo_depth_peak: self.undo_depth_peak.get(),
+            pending_indirection: self.pending_indirection.get(),
+            kernel_comps: self.kernel_comps.get(),
+            grafts: self.grafts.borrow().clone(),
+            names: self.names.borrow().clone(),
+            all_latency: *self.all_latency.borrow(),
+            nic_port_drops: self.nic_port_drops.borrow().clone(),
+        }
+    }
+
+    /// Replants a [`MetricsState`] capture: counters, gauges and ledgers
+    /// resume exactly where the capture left them.
+    pub fn restore_state(&self, st: &MetricsState) {
+        self.counters.set(st.counters);
+        self.rm_peaks.set(st.rm_peaks);
+        self.undo_depth_peak.set(st.undo_depth_peak);
+        self.pending_indirection.set(st.pending_indirection);
+        self.kernel_comps.set(st.kernel_comps);
+        *self.grafts.borrow_mut() = st.grafts.clone();
+        *self.names.borrow_mut() = st.names.clone();
+        let mut tags = self.tags.borrow_mut();
+        tags.clear();
+        for (i, name) in st.names.iter().enumerate() {
+            tags.insert(name.clone(), MetricTag(i as u16));
+        }
+        drop(tags);
+        *self.all_latency.borrow_mut() = st.all_latency;
+        *self.nic_port_drops.borrow_mut() = st.nic_port_drops.clone();
+        self.depth.set(0);
+        *self.frames.borrow_mut() = [IDLE_FRAME; MAX_NEST];
     }
 
     // -- interning ----------------------------------------------------------

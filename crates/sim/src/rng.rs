@@ -22,6 +22,19 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// The raw generator state, for checkpointing. Feeding it back
+    /// through [`from_state`](Self::from_state) resumes the exact
+    /// stream.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator mid-stream from a [`state`](Self::state)
+    /// capture.
+    pub fn from_state(state: u64) -> SplitMix64 {
+        SplitMix64 { state }
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

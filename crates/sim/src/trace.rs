@@ -554,6 +554,23 @@ impl Ring {
     }
 }
 
+/// An opaque snapshot of a [`TracePlane`]'s full mutable state: the
+/// ring's records (oldest first), the sequence counter, lifetime stats,
+/// the interned name table and the flight-recorder state. Captured by
+/// [`TracePlane::export_state`], replanted by
+/// [`TracePlane::restore_state`] so a resumed replay appends to the
+/// same stream and serializes byte-identically.
+#[derive(Clone)]
+pub struct TraceState {
+    records: Vec<TraceRecord>,
+    cap: usize,
+    seq: u64,
+    stats: TraceStats,
+    names: Vec<String>,
+    post: Option<PostMortem>,
+    pm_window: usize,
+}
+
 /// The shared trace plane. See the module docs.
 pub struct TracePlane {
     clock: Rc<VirtualClock>,
@@ -662,6 +679,39 @@ impl TracePlane {
     /// Sets the flight-recorder window (records per post-mortem).
     pub fn set_post_mortem_window(&self, n: usize) {
         self.pm_window.set(n.max(1));
+    }
+
+    /// Snapshots the plane's full mutable state for a checkpoint.
+    pub fn export_state(&self) -> TraceState {
+        TraceState {
+            records: self.ring.borrow().ordered(),
+            cap: self.ring.borrow().cap,
+            seq: self.seq.get(),
+            stats: self.stats.get(),
+            names: self.names.borrow().clone(),
+            post: self.post.borrow().clone(),
+            pm_window: self.pm_window.get(),
+        }
+    }
+
+    /// Replants a [`TraceState`] capture: the ring, counters, interned
+    /// names and flight recorder resume exactly where the capture left
+    /// them, so later emits continue the same stream.
+    pub fn restore_state(&self, st: &TraceState) {
+        let mut buf = Vec::with_capacity(st.cap);
+        buf.extend_from_slice(&st.records);
+        *self.ring.borrow_mut() = Ring { buf, cap: st.cap, head: 0 };
+        self.seq.set(st.seq);
+        self.stats.set(st.stats);
+        *self.names.borrow_mut() = st.names.clone();
+        let mut tags = self.tags.borrow_mut();
+        tags.clear();
+        for (i, name) in st.names.iter().enumerate() {
+            tags.insert(name.clone(), GraftTag(i as u16));
+        }
+        drop(tags);
+        *self.post.borrow_mut() = st.post.clone();
+        self.pm_window.set(st.pm_window);
     }
 
     /// Takes the flight-recorder snapshot for an abort: the last

@@ -289,6 +289,35 @@ impl TxnManager {
         self.stacks.values().map(Vec::len).sum()
     }
 
+    /// The checkpointable counters: the next transaction id and the
+    /// lifetime stats. Everything else in the manager is per-flight
+    /// state that must be empty at a checkpoint.
+    pub fn debug_state(&self) -> (u64, TxnStats) {
+        (self.next_txn, self.stats)
+    }
+
+    /// Replants [`debug_state`](Self::debug_state) counters after a
+    /// checkpoint restore, so resumed transactions mint the same ids.
+    pub fn restore_debug_state(&mut self, next_txn: u64, stats: TxnStats) {
+        self.next_txn = next_txn;
+        self.stats = stats;
+    }
+
+    /// Drops every pending lock time-out and unconsumed forced-abort
+    /// report. Part of the checkpoint quiesce: with no transaction
+    /// active these can no longer fire against a live frame, and a
+    /// restored manager starts without them, so the capture side must
+    /// shed them too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is still active.
+    pub fn clear_timeouts(&mut self) {
+        assert_eq!(self.active_txns(), 0, "cannot quiesce with live transactions");
+        self.timeouts = EventQueue::new();
+        self.forced.clear();
+    }
+
     /// Consumes the abort report of transaction `txn` if a fired
     /// time-out aborted it out from under `thread`.
     ///

@@ -33,6 +33,21 @@ cargo test -q --test metrics_golden
 echo "== golden profile snapshots (fails on drift; UPDATE_GOLDENS=1 to regenerate) =="
 cargo test -q --test profile_golden
 
+echo "== golden timelines (fails on drift; UPDATE_GOLDENS=1 to regenerate) =="
+cargo test -q --test timeline_golden
+
+echo "== stale-golden guard (regenerated goldens must match the checked-in files) =="
+UPDATE_GOLDENS=1 cargo test -q --test trace_golden --test metrics_golden \
+    --test profile_golden --test timeline_golden
+git diff --exit-code -- tests/goldens
+
+echo "== debugging plane (checkpoint/restore, bisect bound, shrinker minimality) =="
+cargo test -q --test debug_battery
+
+echo "== debugging-plane CLI self-test (bisect + checkpoint resume on the pinned seed) =="
+cargo run -q --release -p vino-bench -- bisect --seed 3405691582 --steps 48
+cargo run -q --release -p vino-bench -- checkpoints --seed 3405691582 --steps 48
+
 echo "== differential profile gate (fails on cost-model drift; --profdiff-write to rebase) =="
 cargo run -q --release -p vino-bench -- --profdiff
 

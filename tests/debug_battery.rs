@@ -1,0 +1,257 @@
+//! The debugging-plane battery (`docs/DEBUGGING.md`): checkpoint/
+//! restore resumes byte-identically, the fault bisector pinpoints the
+//! first invariant-flipping injection in O(log n) replays, and the
+//! delta-debugging shrinker emits a 1-minimal reproducer that replays
+//! byte-identically.
+//!
+//! Everything here runs the deterministic debug storm
+//! (`vino_bench::debug`): a distilled survival battery whose random
+//! draws are all made up front, so the fault plane's injection cap and
+//! step subsets are the only degrees of freedom.
+
+use vino::core::engine::InvokeOutcome;
+use vino::core::kernel::{point_names, KernelConfig};
+use vino::core::reliability::QuarantinePolicy;
+use vino::core::{InstallError, InstallOpts};
+use vino::sim::Cycles;
+use vino_bench::debug::{
+    bisect, linear_scan, parse_reproducer, resume_storm, run_storm, serialize_reproducer, shrink,
+    DebugWorld, StormOpts, StormSpec,
+};
+
+/// The battery's known-bad scenario: under this seed the uncapped storm
+/// violates `abort-free` with the culprit injection mid-schedule, so
+/// both the bisector and the shrinker have real work to do.
+const SEED: u64 = 3_405_691_582;
+const STEPS: usize = 48;
+
+fn cfg() -> KernelConfig {
+    KernelConfig { trace_capacity: 1 << 14, ..KernelConfig::default() }
+}
+
+fn opts() -> StormOpts {
+    StormOpts { cfg: cfg(), ..StormOpts::default() }
+}
+
+/// ⌈log₂ n⌉ for n ≥ 1.
+fn ceil_log2(n: u64) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros() as u64
+    }
+}
+
+/// The tentpole: a checkpointed run can be resumed from any checkpoint
+/// and the resumed run's trace and metrics are byte-identical to the
+/// uninterrupted run's — replay reaches any instant without paying for
+/// the prefix.
+#[test]
+fn checkpointed_storm_resumes_byte_identically() {
+    let spec = StormSpec::generate(SEED, STEPS);
+    let o = StormOpts { checkpoints: true, ..opts() };
+    let full = run_storm(&spec, &o);
+    assert!(
+        full.checkpoints.len() >= 3,
+        "cadence produced only {} checkpoints",
+        full.checkpoints.len()
+    );
+
+    // Satellite: a freshly restored world's trace and metrics snapshots
+    // equal the originals at the same virtual cycle, before any
+    // further step runs.
+    let mid = &full.checkpoints[full.checkpoints.len() / 2];
+    let restored = DebugWorld::restore(mid, spec.seed, &o.cfg);
+    assert_eq!(restored.k.clock.now(), mid.cycle, "restored clock aligns to the capture cycle");
+    assert_eq!(
+        restored.mp.snapshot(),
+        mid.metrics_snapshot,
+        "restored metrics snapshot must equal the original's at the same cycle"
+    );
+    assert_eq!(
+        restored.tp.serialize(),
+        mid.trace_snapshot,
+        "restored trace must equal the original's at the same cycle"
+    );
+
+    // Resume from the first, a middle, and the last checkpoint: every
+    // resumed run must finish with byte-identical planes and tally.
+    let picks =
+        [&full.checkpoints[0], mid, full.checkpoints.last().expect("at least one checkpoint")];
+    for cp in picks {
+        let resumed = resume_storm(&spec, cp, &o);
+        assert_eq!(resumed.trace, full.trace, "trace diverged resuming from step {}", cp.at_step);
+        assert_eq!(
+            resumed.metrics, full.metrics,
+            "metrics diverged resuming from step {}",
+            cp.at_step
+        );
+        assert_eq!(resumed.tally, full.tally, "tally diverged resuming from step {}", cp.at_step);
+        assert_eq!(resumed.violation, full.violation);
+    }
+}
+
+/// Satellite (small fix): the checkpoint cadence is a `KernelConfig`
+/// knob, not a constant — halving the interval roughly doubles the
+/// captures, and zero disables them.
+#[test]
+fn checkpoint_cadence_follows_kernel_config() {
+    let spec = StormSpec::generate(SEED, STEPS);
+    let at = |interval_ms: u64| {
+        let o = StormOpts {
+            checkpoints: true,
+            cfg: KernelConfig { checkpoint_interval_ms: interval_ms, ..cfg() },
+            ..StormOpts::default()
+        };
+        run_storm(&spec, &o).checkpoints.len()
+    };
+    let coarse = at(500);
+    let fine = at(125);
+    assert!(fine > coarse, "a finer cadence must capture more checkpoints ({fine} vs {coarse})");
+    assert_eq!(at(0), 0, "a zero interval disables checkpointing");
+}
+
+/// The bisector pinpoints the first invariant-flipping injection in
+/// ≤ ⌈log₂ n⌉ + 1 capped replays, and the linear ground-truth scan
+/// agrees on the culprit while spending strictly more replays.
+#[test]
+fn bisect_finds_first_bad_injection_in_log_replays() {
+    let spec = StormSpec::generate(SEED, STEPS);
+    let c = cfg();
+    let b = bisect(&spec, &c).expect("the known-bad storm violates an invariant");
+    assert_eq!(b.invariant, "abort-free");
+    let n = b.total_injections;
+    assert!(n >= 4, "schedule too thin to make bisection meaningful: {n}");
+    assert_eq!(
+        b.culprit,
+        b.baseline.schedule[b.culprit_cap as usize - 1],
+        "culprit must be the schedule entry at the flip cap"
+    );
+
+    // O(log n), against the ground truth's O(n).
+    assert!(
+        b.replays <= ceil_log2(n) + 1,
+        "bisect spent {} replays on {n} injections (bound {})",
+        b.replays,
+        ceil_log2(n) + 1
+    );
+    let (linear_cap, linear_replays) = linear_scan(&spec, &c).expect("linear scan agrees it fails");
+    assert_eq!(linear_cap, b.culprit_cap, "bisect and linear scan must name the same culprit");
+    assert_eq!(linear_replays, linear_cap, "the scan replays once per cap up to the culprit");
+    assert!(
+        b.replays < linear_replays,
+        "bisect ({}) must beat the linear scan ({})",
+        b.replays,
+        linear_replays
+    );
+}
+
+/// The flip is a genuine boundary: capping one injection below the
+/// culprit leaves every invariant intact, capping at the culprit
+/// violates `abort-free`.
+#[test]
+fn culprit_cap_is_an_exact_boundary() {
+    let spec = StormSpec::generate(SEED, STEPS);
+    let b = bisect(&spec, &cfg()).expect("the known-bad storm violates an invariant");
+    let below = run_storm(&spec, &StormOpts { cap: Some(b.culprit_cap - 1), ..opts() });
+    assert_eq!(below.violation, None, "one injection below the culprit must run clean");
+    let at = run_storm(&spec, &StormOpts { cap: Some(b.culprit_cap), ..opts() });
+    assert_eq!(at.violation.expect("culprit cap must violate").invariant, "abort-free");
+}
+
+/// The shrinker minimizes the failing storm to a 1-minimal reproducer
+/// that (a) still violates the same invariant, (b) survives a
+/// serialize → parse round trip byte-identically, and (c) replays
+/// byte-identically twice.
+#[test]
+fn shrinker_emits_minimal_byte_identical_reproducer() {
+    let spec = StormSpec::generate(SEED, STEPS);
+    let c = cfg();
+    let s = shrink(&spec, &c).expect("the known-bad storm violates an invariant");
+    assert_eq!(s.invariant, "abort-free");
+    assert!(!s.spec.steps.is_empty());
+    assert!(
+        s.spec.steps.len() < spec.steps.len() / 2,
+        "shrinker left {} of {} steps",
+        s.spec.steps.len(),
+        spec.steps.len()
+    );
+
+    // 1-minimality: no single remaining step can be dropped.
+    for i in 0..s.spec.steps.len() {
+        let mut fewer = s.spec.steps.clone();
+        fewer.remove(i);
+        if fewer.is_empty() {
+            continue;
+        }
+        let r = run_storm(&StormSpec { seed: spec.seed, steps: fewer }, &opts());
+        assert_ne!(
+            r.violation.as_ref().map(|v| v.invariant),
+            Some("abort-free"),
+            "dropping step {i} still reproduces — the result is not 1-minimal"
+        );
+    }
+
+    // Reproducer file: byte-identical round trip …
+    let text = serialize_reproducer(&s.spec, s.invariant);
+    let (parsed, invariant) = parse_reproducer(&text).expect("reproducer parses");
+    assert_eq!(parsed, s.spec);
+    assert_eq!(invariant, s.invariant);
+    assert_eq!(serialize_reproducer(&parsed, &invariant), text, "round trip is byte-identical");
+
+    // … and byte-identical double replay, still violating the same
+    // invariant.
+    let a = run_storm(&parsed, &opts());
+    let b = run_storm(&parsed, &opts());
+    assert_eq!(a.violation.as_ref().map(|v| v.invariant), Some("abort-free"));
+    assert_eq!(a.trace, b.trace, "reproducer replays must produce byte-identical traces");
+    assert_eq!(a.metrics, b.metrics, "reproducer replays must produce byte-identical metrics");
+}
+
+/// Quarantine state is durable across a checkpoint: a graft quarantined
+/// before the capture is still refused by the restored kernel with the
+/// same deadline, and welcome again once the (restored) deadline
+/// passes.
+#[test]
+fn checkpoint_preserves_active_quarantine() {
+    let c = cfg();
+    let mut w = DebugWorld::boot(77, &c);
+    // The default 250 ms backoff would expire inside the checkpoint's
+    // alignment slack; stretch it so the quarantine straddles the
+    // capture.
+    w.k.reliability().set_policy(QuarantinePolicy {
+        base_backoff: Cycles::from_ms(10_000),
+        max_backoff: Cycles::from_ms(60_000),
+        ..QuarantinePolicy::default()
+    });
+    let image = w.k.compile_graft("flaky", "const r1, 0\ndiv r0, r1, r1\nhalt r0").unwrap();
+    let install = |w: &DebugWorld| {
+        w.k.install_function_graft(
+            point_names::COMPUTE_RA,
+            &image,
+            w.app,
+            w.thread,
+            &InstallOpts::default(),
+        )
+    };
+    for _ in 0..3 {
+        let g = install(&w).expect("not quarantined yet");
+        assert!(matches!(g.borrow_mut().invoke([0; 4]), InvokeOutcome::Aborted { .. }));
+    }
+    let Err(InstallError::Quarantined { until, .. }) = install(&w) else {
+        panic!("three traps must quarantine the graft");
+    };
+
+    let cp = w.capture(0);
+    assert!(cp.cycle < until, "the quarantine must still be active at the checkpoint");
+
+    let w2 = DebugWorld::restore(&cp, 77, &c);
+    let Err(InstallError::Quarantined { until: until2, .. }) = install(&w2) else {
+        panic!("the restored kernel must still refuse the quarantined graft");
+    };
+    assert_eq!(until2, until, "the restored quarantine keeps its deadline");
+    assert_eq!(w2.k.reliability().total_aborts(), 3, "the failure ledgers survived the restore");
+
+    w2.k.clock.advance_to(until2);
+    install(&w2).expect("the backoff expired on the restored kernel too");
+}

@@ -65,10 +65,21 @@ enum Workload {
     /// A packet batch flows through a filter graft; the crash hits the
     /// fs write that would have logged the tally.
     PacketBatch,
+    /// A graft trips the reliability manager's quarantine (three traps)
+    /// before the crash. Quarantine ledgers are volatile kernel state:
+    /// the reboot must roll them back atomically — zero aborts on the
+    /// ledger, the graft name welcome again, and no residue of the
+    /// quarantine in the journal or on the platter.
+    Quarantined,
 }
 
-const WORKLOADS: [Workload; 4] =
-    [Workload::GraftInstall, Workload::WriteBehind, Workload::MidUndo, Workload::PacketBatch];
+const WORKLOADS: [Workload; 5] = [
+    Workload::GraftInstall,
+    Workload::WriteBehind,
+    Workload::MidUndo,
+    Workload::PacketBatch,
+    Workload::Quarantined,
+];
 
 const DOOMED_BLOCKS: usize = 3;
 const BASE_BYTES: &[u8] = b"committed before the crash; must survive it";
@@ -178,6 +189,39 @@ fn run_scenario(site: FaultSite, workload: Workload, seed: u64) -> Outcome {
             let delivered = pp.drain_delivered(Port(10)).len();
             assert_eq!(delivered, 32, "the batch must flow before the crash");
         }
+        Workload::Quarantined => {
+            // Three traps quarantine the graft; stretch the backoff so
+            // the quarantine is still active when the crash lands.
+            k.reliability().set_policy(vino::core::reliability::QuarantinePolicy {
+                base_backoff: Cycles::from_ms(60_000),
+                max_backoff: Cycles::from_ms(600_000),
+                ..vino::core::reliability::QuarantinePolicy::default()
+            });
+            let image = k.compile_graft("flaky", "const r1, 0\ndiv r0, r1, r1\nhalt r0").unwrap();
+            for _ in 0..3 {
+                let g = k
+                    .install_function_graft(
+                        point_names::COMPUTE_RA,
+                        &image,
+                        app,
+                        thread,
+                        &InstallOpts::default(),
+                    )
+                    .unwrap();
+                assert!(matches!(g.borrow_mut().invoke([0; 4]), InvokeOutcome::Aborted { .. }));
+            }
+            let err = k
+                .install_function_graft(
+                    point_names::COMPUTE_RA,
+                    &image,
+                    app,
+                    thread,
+                    &InstallOpts::default(),
+                )
+                .unwrap_err();
+            assert!(matches!(err, InstallError::Quarantined { .. }));
+            assert_eq!(k.reliability().total_aborts(), 3);
+        }
     }
 
     // Arm the crash at this site's next visit, then run the doomed
@@ -249,6 +293,36 @@ fn run_scenario(site: FaultSite, workload: Workload, seed: u64) -> Outcome {
     assert_eq!(txn.lock_table().held_count(), 0, "{site:?}/{workload:?}: lock leaked");
     assert_eq!(txn.lock_table().waiter_count(), 0, "{site:?}/{workload:?}: waiter leaked");
     drop(txn);
+
+    // Quarantine ledgers are volatile: the reboot rolls them back
+    // atomically. No abort count survives, and the graft name that was
+    // refused with a far-future deadline before the crash installs
+    // cleanly on the fresh kernel — checkpoint/restore (the debugging
+    // plane) is the path that *preserves* quarantines; the platter
+    // never does.
+    if workload == Workload::Quarantined {
+        assert_eq!(
+            k2.reliability().total_aborts(),
+            0,
+            "{site:?}: quarantine ledger leaked across the reboot"
+        );
+        let app2 = k2.create_app(Limits::of(&[
+            (ResourceKind::KernelHeap, 1 << 20),
+            (ResourceKind::Memory, 1 << 24),
+        ]));
+        let thread2 = k2.spawn_thread("post-crash");
+        let image = k2.compile_graft("flaky", "halt r0").unwrap();
+        k2.install_function_graft(
+            point_names::COMPUTE_RA,
+            &image,
+            app2,
+            thread2,
+            &InstallOpts::default(),
+        )
+        .unwrap_or_else(|e| {
+            panic!("{site:?}: fresh kernel still refuses the once-quarantined name: {e}")
+        });
+    }
 
     Outcome { crash_image, recovered_image, report }
 }
@@ -567,4 +641,88 @@ fn torn_replay_is_repaired_by_rerunning_recovery() {
     // Second pass, fault disarmed: idempotent redo completes.
     fs.recover();
     assert!(fs.disk_image() == clean_img, "second recovery pass must repair the torn block");
+}
+
+// ---------------------------------------------------------------------
+// Satellite: journal-full backpressure under the packet storm.
+// ---------------------------------------------------------------------
+
+/// A write wider than the journal splits into per-capacity chunks, each
+/// atomic on its own — that is the journal-full backpressure contract.
+/// With a packet storm churning the same kernel, a crash *between*
+/// chunks (the per-chunk after-commit site) must leave a clean prefix:
+/// whole chunks of new bytes up to an exact chunk boundary, old bytes
+/// beyond it, never a mix — and the whole scenario replays
+/// byte-identically under the same seed.
+#[test]
+fn journal_full_backpressure_under_packet_storm() {
+    let run = |seed: u64| {
+        let k = Kernel::boot();
+        let plane = FaultPlane::seeded(seed);
+        k.attach_fault_plane(Rc::clone(&plane)).unwrap();
+
+        let cap = k.fs.borrow().journal_capacity();
+        let wide_blocks = cap + 3; // Cannot fit one journal transaction.
+        {
+            let mut fs = k.fs.borrow_mut();
+            fs.create("wide", (wide_blocks * BLOCK_SIZE) as u64).unwrap();
+            let fd = fs.open("wide").unwrap();
+            fs.write(fd, 0, &vec![0xAA; wide_blocks * BLOCK_SIZE]).unwrap();
+        }
+
+        // The storm: a filter graft chews a packet batch on the same
+        // kernel, so graft transactions and journal traffic interleave
+        // right up to the crash.
+        let app = k.create_app(Limits::of(&[
+            (ResourceKind::KernelHeap, 1 << 20),
+            (ResourceKind::Memory, 1 << 24),
+        ]));
+        let thread = k.spawn_thread("storm");
+        let pp = PacketPlane::new(Rc::clone(&k));
+        let image = k.compile_graft("accept", "halt r0").unwrap();
+        pp.install_filter(Port(10), &image, app, thread, &InstallOpts::default()).unwrap();
+        for i in 0..64u32 {
+            pp.rx(Packet::udp(i, 1, Port(10), vec![0x55; 32]));
+        }
+        pp.pump();
+        assert_eq!(pp.drain_delivered(Port(10)).len(), 64, "the storm must flow pre-crash");
+
+        // Crash after the *first* chunk's commit marker: chunk 1 is
+        // durable (redo will finish its checkpoint), chunks 2+ never
+        // reached the journal.
+        let site = FaultSite::KernelCrashAfterCommit;
+        plane.arm(site, plane.visits(site) + 1);
+        let err = {
+            let mut fs = k.fs.borrow_mut();
+            let fd = fs.open("wide").unwrap();
+            fs.write(fd, 0, &vec![0xBB; wide_blocks * BLOCK_SIZE])
+        };
+        assert_eq!(err, Err(FsError::PowerFailure));
+
+        let crash_image = k.crash_image();
+        let k2 = Kernel::boot_from_image(KernelConfig::default(), crash_image.clone()).unwrap();
+        let report = k2.recovery_report().expect("recovered boot must carry a report");
+        assert!(report.replayed_txns >= 1, "the committed first chunk must replay");
+
+        // The clean-prefix contract, at an exact chunk boundary.
+        let mut fs = k2.fs.borrow_mut();
+        let fd = fs.open("wide").unwrap();
+        let got = fs.read(fd, 0, (wide_blocks * BLOCK_SIZE) as u64).unwrap();
+        assert_eq!(
+            &got[..cap * BLOCK_SIZE],
+            &vec![0xBB; cap * BLOCK_SIZE][..],
+            "first journal chunk must be durable"
+        );
+        assert_eq!(
+            &got[cap * BLOCK_SIZE..],
+            &vec![0xAA; 3 * BLOCK_SIZE][..],
+            "blocks past the journal-full boundary must keep their old bytes"
+        );
+        drop(fs);
+        (crash_image, k2.crash_image())
+    };
+    let (a_crash, a_rec) = run(0xBACC);
+    let (b_crash, b_rec) = run(0xBACC);
+    assert!(a_crash == b_crash, "same-seed crash images differ under the storm");
+    assert!(a_rec == b_rec, "same-seed recovered images differ under the storm");
 }

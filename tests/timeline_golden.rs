@@ -1,0 +1,217 @@
+//! Golden-timeline battery: the ASCII Gantt renderer, frozen.
+//!
+//! Two scenarios pin the renderer's exact output — the debug storm's
+//! full timeline and a range/lane-filtered slice of it — against
+//! checked-in golden files in `tests/goldens/`. Any change to lane
+//! assignment, glyph choice, span fills, column scaling, or the legend
+//! shows up as a diff here. If the change is intentional, regenerate
+//! with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test timeline_golden
+//! ```
+//!
+//! and commit the updated `.timeline` files. A third, structural test
+//! proves every [`TraceEvent`] variant renders: the variant list below
+//! is kept exhaustive by a wildcard-free `match`, so adding an event
+//! without teaching the timeline about it fails to compile here.
+
+use std::path::PathBuf;
+
+use vino::core::kernel::KernelConfig;
+use vino::sim::clock::VirtualClock;
+use vino::sim::trace::{
+    AbortKind, SfiKind, ShedKind, TraceEvent, TracePlane, VerdictKind, VmExitKind,
+};
+use vino::sim::{render_timeline, Cycles, TimelineOpts};
+use vino_bench::debug::{storm_timeline, StormSpec};
+
+/// Mirrors the debug battery's known-bad scenario so the golden shows a
+/// timeline with real aborts, quarantines, and fallbacks in it.
+const SEED: u64 = 3_405_691_582;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens").join(format!("{name}.timeline"))
+}
+
+/// Compares `got` against the golden file, or rewrites the golden when
+/// `UPDATE_GOLDENS=1`. Same contract as the trace/metrics goldens.
+fn check_golden(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDENS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with UPDATE_GOLDENS=1 cargo test --test timeline_golden",
+            path.display()
+        )
+    });
+    if got != want {
+        let mut diff = String::new();
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            if g != w {
+                diff.push_str(&format!("line {}:\n  golden: {w}\n  got:    {g}\n", i + 1));
+            }
+        }
+        let (gl, wl) = (got.lines().count(), want.lines().count());
+        if gl != wl {
+            diff.push_str(&format!("line counts differ: golden {wl}, got {gl}\n"));
+        }
+        panic!(
+            "timeline golden mismatch for `{name}`:\n{diff}\
+             regenerate with UPDATE_GOLDENS=1 cargo test --test timeline_golden if intentional"
+        );
+    }
+}
+
+#[test]
+fn storm_timeline_matches_golden() {
+    let spec = StormSpec::generate(SEED, 8);
+    let opts = TimelineOpts { width: 72, ..TimelineOpts::default() };
+    check_golden("storm_timeline", &storm_timeline(&spec, &KernelConfig::default(), &opts));
+}
+
+/// The filters compose: a virtual-cycle window plus a lane allowlist
+/// still renders with the full-run time scale.
+#[test]
+fn filtered_storm_timeline_matches_golden() {
+    let spec = StormSpec::generate(SEED, 8);
+    let opts = TimelineOpts {
+        width: 72,
+        range: Some((114_000_000, 160_000_000)),
+        lanes: Some(vec!["txn".to_string(), "fs".to_string(), "rm".to_string()]),
+    };
+    check_golden(
+        "storm_timeline_filtered",
+        &storm_timeline(&spec, &KernelConfig::default(), &opts),
+    );
+}
+
+/// One exemplar of every [`TraceEvent`] variant, in declaration order.
+///
+/// The paired `variant_index` match is wildcard-free, so this list (and
+/// the timeline's `lane_of`/`glyph_of`) must grow in lockstep with the
+/// enum — a new variant breaks the build here until it renders.
+fn one_of_each(tp: &TracePlane) -> Vec<TraceEvent> {
+    let g = tp.tag("zoo");
+    vec![
+        TraceEvent::VmWindow { instrs: 100, exit: VmExitKind::Halt },
+        TraceEvent::SfiCheck { kind: SfiKind::Clamp, pc: 4 },
+        TraceEvent::TxnBegin { thread: 1, txn: 1, depth: 1 },
+        TraceEvent::TxnCommit { thread: 1, txn: 1, nested: false, locks: 1 },
+        TraceEvent::TxnAbort { thread: 1, txn: 2, locks: 0 },
+        TraceEvent::LockAcquire { lock: 7, thread: 1 },
+        TraceEvent::LockBlocked { lock: 7, waiter: 2, holder: 1 },
+        TraceEvent::LockTimeout { lock: 7, holder: 1 },
+        TraceEvent::LockSteal { thread: 1, txn: 3 },
+        TraceEvent::UndoPush { thread: 1, depth: 1 },
+        TraceEvent::UndoRun { thread: 1, ops: 1 },
+        TraceEvent::ResGrant { principal: 1, kind: 0, amount: 64 },
+        TraceEvent::ResRelease { principal: 1, kind: 0, amount: 64 },
+        TraceEvent::ResLimitHit { principal: 1, kind: 0, requested: 1 << 40 },
+        TraceEvent::FsRead { fd: 3, len: 4096 },
+        TraceEvent::FsWrite { fd: 3, len: 4096 },
+        TraceEvent::FsPrefetch { fd: 3 },
+        TraceEvent::FsJournalAppend { seq: 1, blocks: 2 },
+        TraceEvent::FsJournalCommit { seq: 1 },
+        TraceEvent::FsCheckpoint { seq: 1, blocks: 2 },
+        TraceEvent::FsRecoveryReplay { seq: 1, blocks: 2 },
+        TraceEvent::FsRecoveryDiscard { seq: 2 },
+        TraceEvent::GraftInstall { graft: g },
+        TraceEvent::GraftInvoke { graft: g },
+        TraceEvent::GraftCommit { graft: g },
+        TraceEvent::GraftAbort { graft: g, kind: AbortKind::Trap },
+        TraceEvent::GraftQuarantine { graft: g, until: 1 << 30 },
+        TraceEvent::FallbackServed { graft: g },
+        TraceEvent::NetRx { port: 80, len: 64 },
+        TraceEvent::NetShed { port: 80, kind: ShedKind::Overflow },
+        TraceEvent::NetVerdict { port: 80, verdict: VerdictKind::Accept },
+        TraceEvent::NetSteer { from: 80, to: 81 },
+        TraceEvent::NetLoopCut { port: 81 },
+        TraceEvent::NetBatch { port: 80, n: 8 },
+    ]
+}
+
+/// Wildcard-free: the compiler rejects this test the moment a
+/// [`TraceEvent`] variant exists that `one_of_each` could omit.
+fn variant_index(ev: &TraceEvent) -> usize {
+    use TraceEvent::*;
+    match ev {
+        VmWindow { .. } => 0,
+        SfiCheck { .. } => 1,
+        TxnBegin { .. } => 2,
+        TxnCommit { .. } => 3,
+        TxnAbort { .. } => 4,
+        LockAcquire { .. } => 5,
+        LockBlocked { .. } => 6,
+        LockTimeout { .. } => 7,
+        LockSteal { .. } => 8,
+        UndoPush { .. } => 9,
+        UndoRun { .. } => 10,
+        ResGrant { .. } => 11,
+        ResRelease { .. } => 12,
+        ResLimitHit { .. } => 13,
+        FsRead { .. } => 14,
+        FsWrite { .. } => 15,
+        FsPrefetch { .. } => 16,
+        FsJournalAppend { .. } => 17,
+        FsJournalCommit { .. } => 18,
+        FsCheckpoint { .. } => 19,
+        FsRecoveryReplay { .. } => 20,
+        FsRecoveryDiscard { .. } => 21,
+        GraftInstall { .. } => 22,
+        GraftInvoke { .. } => 23,
+        GraftCommit { .. } => 24,
+        GraftAbort { .. } => 25,
+        GraftQuarantine { .. } => 26,
+        FallbackServed { .. } => 27,
+        NetRx { .. } => 28,
+        NetShed { .. } => 29,
+        NetVerdict { .. } => 30,
+        NetSteer { .. } => 31,
+        NetLoopCut { .. } => 32,
+        NetBatch { .. } => 33,
+    }
+}
+
+#[test]
+fn every_trace_event_variant_renders_in_the_timeline() {
+    let clock = VirtualClock::new();
+    let tp = TracePlane::with_capacity(std::rc::Rc::clone(&clock), 256);
+    let events = one_of_each(&tp);
+
+    // The list is complete (every index hit exactly once) and every
+    // variant's glyph is globally unique, so finding a glyph in the
+    // rendered chart is finding that variant.
+    let mut seen_idx = vec![false; events.len()];
+    let mut glyphs = Vec::new();
+    for ev in &events {
+        let idx = variant_index(ev);
+        assert!(!seen_idx[idx], "variant {idx} listed twice");
+        seen_idx[idx] = true;
+        let glyph = vino::sim::debug::glyph_of(ev);
+        assert!(!glyphs.contains(&glyph), "glyph `{glyph}` is not unique");
+        glyphs.push(glyph);
+    }
+    assert!(seen_idx.iter().all(|&s| s), "one_of_each skipped a variant index");
+
+    // Spread the events across the clock so no marker overwrites
+    // another within a column, then demand every glyph in the chart.
+    for ev in &events {
+        tp.emit(*ev);
+        clock.charge(Cycles(250_000));
+    }
+    let out =
+        render_timeline(&tp, &TimelineOpts { width: events.len() * 2, ..TimelineOpts::default() });
+    let chart: String = out.lines().filter(|l| l.contains(" |")).collect();
+    for (ev, glyph) in events.iter().zip(&glyphs) {
+        assert!(
+            chart.contains(*glyph),
+            "variant {:?} (glyph `{glyph}`) did not render in:\n{out}",
+            variant_index(ev)
+        );
+    }
+}
