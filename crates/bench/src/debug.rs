@@ -22,7 +22,7 @@ use std::rc::Rc;
 use vino_core::engine::InvokeOutcome;
 use vino_core::kernel::{point_names, KernelConfig};
 use vino_core::reliability::ReliabilityState;
-use vino_core::{BillingMode, InstallError, InstallOpts, Kernel};
+use vino_core::{AdmissionState, BillingMode, InstallError, InstallOpts, Kernel};
 use vino_dev::disk::DiskImage;
 use vino_fs::Fd;
 use vino_misfit::SignedImage;
@@ -30,6 +30,7 @@ use vino_rm::{AccountantState, Limits, PrincipalId, ResourceKind};
 use vino_sim::fault::{FaultPlane, FaultPlaneState, FaultSite};
 use vino_sim::metrics::{MetricsPlane, MetricsState};
 use vino_sim::trace::{TracePlane, TraceState};
+use vino_sim::watch::{WatchPlane, WatchState};
 use vino_sim::{render_timeline, Cycles, SplitMix64, ThreadId, TimelineOpts};
 use vino_txn::locks::LockClass;
 use vino_txn::TxnStats;
@@ -218,10 +219,17 @@ pub struct Checkpoint {
     pub rel: ReliabilityState,
     /// Transaction-id counter and lifetime stats.
     pub txn: (u64, TxnStats),
+    /// Watch-plane windows, firing flags, alert ring and counters.
+    pub watch: WatchState,
+    /// Admission-controller deny history and decision counters.
+    pub admission: AdmissionState,
     /// The trace serialization at capture (byte-equality witness).
     pub trace_snapshot: String,
     /// The metrics snapshot at capture (byte-equality witness).
     pub metrics_snapshot: String,
+    /// The alert-stream serialization at capture (byte-equality
+    /// witness).
+    pub watch_snapshot: String,
 }
 
 impl Checkpoint {
@@ -248,6 +256,8 @@ pub struct DebugWorld {
     pub tp: Rc<TracePlane>,
     /// The metrics plane.
     pub mp: Rc<MetricsPlane>,
+    /// The watch plane (alert stream, admission-control substrate).
+    pub wp: Rc<WatchPlane>,
     /// The installing application principal.
     pub app: PrincipalId,
     /// The battery thread.
@@ -275,12 +285,16 @@ impl DebugWorld {
         k.attach_trace_plane(Rc::clone(&tp)).unwrap();
         let mp = MetricsPlane::new(Rc::clone(&k.clock));
         k.attach_metrics_plane(Rc::clone(&mp)).unwrap();
+        // After the trace plane, so alert edges mirror onto the timeline.
+        let wp = WatchPlane::new(Rc::clone(&k.clock));
+        k.attach_watch_plane(Rc::clone(&wp)).unwrap();
         let (app, thread, fd, zoo) = DebugWorld::scaffold(&k, true);
         DebugWorld {
             k,
             plane,
             tp,
             mp,
+            wp,
             app,
             thread,
             fd,
@@ -348,8 +362,11 @@ impl DebugWorld {
             rm,
             rel,
             txn,
+            watch: self.wp.export_state(),
+            admission: self.k.admission().export_state(),
             trace_snapshot: self.tp.serialize(),
             metrics_snapshot: self.mp.snapshot(),
+            watch_snapshot: self.wp.serialize(),
         }
     }
 
@@ -388,11 +405,16 @@ impl DebugWorld {
         let mp = MetricsPlane::new(Rc::clone(&k.clock));
         mp.restore_state(&cp.metrics);
         k.attach_metrics_plane(Rc::clone(&mp)).unwrap();
+        let wp = WatchPlane::new(Rc::clone(&k.clock));
+        wp.restore_state(&cp.watch);
+        k.attach_watch_plane(Rc::clone(&wp)).unwrap();
+        k.admission().restore_state(&cp.admission);
         DebugWorld {
             k,
             plane,
             tp,
             mp,
+            wp,
             app,
             thread,
             fd,
@@ -439,7 +461,14 @@ impl DebugWorld {
             &opts,
         ) {
             Ok(g) => Some(g),
-            Err(InstallError::Quarantined { until, .. }) => {
+            Err(
+                InstallError::Quarantined { until, .. }
+                | InstallError::AdmissionDenied { until, .. },
+            ) => {
+                // Reactive (quarantine) and proactive (admission-control
+                // backoff) refusals both carry a deadline: wait it out
+                // and retry once. Waiting also decays the watch windows
+                // that fired the alert, so a single retry usually lands.
                 self.tally.install_refusals += 1;
                 k.clock.advance_to(until);
                 match k.install_function_graft(
@@ -565,6 +594,12 @@ pub struct StormReport {
     pub trace: String,
     /// The metrics plane's snapshot.
     pub metrics: String,
+    /// The watch plane's canonical alert stream.
+    pub alerts: String,
+    /// The watch plane's live snapshot (firing alerts + stats).
+    pub watch: String,
+    /// Admission-controller decision counters.
+    pub admission: vino_core::AdmissionStats,
     /// Checkpoints captured along the way.
     pub checkpoints: Vec<Checkpoint>,
 }
@@ -610,6 +645,9 @@ fn finish(w: DebugWorld, cps: Vec<Checkpoint>) -> StormReport {
         schedule: w.plane.schedule(),
         trace: w.tp.serialize(),
         metrics: w.mp.snapshot(),
+        alerts: w.wp.serialize(),
+        watch: w.wp.snapshot(),
+        admission: w.k.admission().stats(),
         checkpoints: cps,
     }
 }

@@ -15,6 +15,9 @@ struct DebugArgs {
     steps: usize,
     out: Option<String>,
     topts: TimelineOpts,
+    /// `watch` only: run the dense trap storm instead of the generated
+    /// one, so the alert stream and admission gate have real work.
+    hostile: bool,
 }
 
 fn parse_debug_args(args: &mut impl Iterator<Item = String>) -> DebugArgs {
@@ -23,6 +26,7 @@ fn parse_debug_args(args: &mut impl Iterator<Item = String>) -> DebugArgs {
         steps: debug::DEFAULT_STEPS,
         out: None,
         topts: TimelineOpts::default(),
+        hostile: false,
     };
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().unwrap_or_else(|| {
@@ -45,6 +49,7 @@ fn parse_debug_args(args: &mut impl Iterator<Item = String>) -> DebugArgs {
                 });
             }
             "--out" => d.out = Some(need(args, "--out")),
+            "--hostile" => d.hostile = true,
             "--time-range" => {
                 let v = need(args, "--time-range");
                 let Some((lo, hi)) = v.split_once("..") else {
@@ -197,6 +202,51 @@ fn cmd_checkpoints(d: &DebugArgs) {
     }
 }
 
+fn cmd_watch(d: &DebugArgs) {
+    let spec = if d.hostile {
+        // A distilled hostile tenant: three back-to-back one-shot VM
+        // traps (inside the 1000 ms abort-storm window) then a calm
+        // tail, so alerts fire, the admission gate vetoes, and the
+        // alert resolves — the same scenario the watch battery pins.
+        let trap = debug::StormStep {
+            pre_ms: 1,
+            fault: debug::FaultChoice::VmTrap { offset: 0 },
+            graft: 0,
+            arg: 7,
+            funded: true,
+            read_block: 0,
+        };
+        let calm = debug::StormStep { fault: debug::FaultChoice::None, pre_ms: 50, ..trap };
+        debug::StormSpec { seed: d.seed, steps: vec![trap, trap, trap, calm, calm, calm] }
+    } else {
+        debug::StormSpec::generate(d.seed, d.steps)
+    };
+    let opts = debug::StormOpts::default();
+    let a = debug::run_storm(&spec, &opts);
+    println!(
+        "storm seed {} ({} steps): {} alert edges, admission {}",
+        d.seed,
+        spec.steps.len(),
+        a.alerts.lines().count(),
+        a.admission
+    );
+    if a.alerts.is_empty() {
+        println!("alert stream: (empty — every window stayed under threshold)");
+    } else {
+        println!("alert stream:");
+        print!("{}", a.alerts);
+    }
+    print!("{}", a.watch);
+    // Self-test: the watch plane is deterministic — a same-seed replay
+    // must reproduce the alert stream and decisions byte-for-byte.
+    let b = debug::run_storm(&spec, &opts);
+    let identical = a.alerts == b.alerts && a.watch == b.watch && a.admission == b.admission;
+    println!("watch determinism: {}", if identical { "byte-identical" } else { "DIVERGED" });
+    if !identical {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let mut reps = 100usize;
     let mut args = std::env::args().skip(1);
@@ -224,6 +274,10 @@ fn main() {
             }
             "checkpoints" => {
                 cmd_checkpoints(&parse_debug_args(&mut args));
+                return;
+            }
+            "watch" => {
+                cmd_watch(&parse_debug_args(&mut args));
                 return;
             }
             "--reps" => {
@@ -266,6 +320,9 @@ fn main() {
                 println!("  replay FILE                        re-run a reproducer, twice");
                 println!("  timeline    --seed S [--time-range A..B] [--lanes l1,l2] [--width W]");
                 println!("  checkpoints --seed S               checkpoint cadence + resume check");
+                println!(
+                    "  watch       --seed S [--steps N] [--hostile]  alert stream + admission decisions"
+                );
                 return;
             }
             other => {

@@ -1,0 +1,271 @@
+//! Metrics-driven admission control for graft installs.
+//!
+//! The reliability manager (quarantine, blame ceilings) is the paper's
+//! *reactive* discipline: it punishes a graft name after its aborts.
+//! The admission controller is the proactive half the multi-tenant
+//! soak needs: it consults the watch plane's *firing alerts* — the
+//! sliding-window SLO verdicts of `vino_sim::watch` — and refuses new
+//! installs from a principal the windows currently blame, with an
+//! exponential per-principal backoff so a persistent abuser waits
+//! longer each episode.
+//!
+//! The controller itself holds no windows and reads no clocks of its
+//! own: every decision is a pure function of (firing?, now, this
+//! principal's episode history), which keeps it deterministic and
+//! trivially checkpointable.
+
+use std::fmt;
+
+use vino_rm::PrincipalId;
+use vino_sim::Cycles;
+
+/// Backoff schedule for denied principals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// First-episode deny duration.
+    pub base_backoff: Cycles,
+    /// Ceiling the per-episode doubling saturates at.
+    pub max_backoff: Cycles,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> AdmissionPolicy {
+        AdmissionPolicy { base_backoff: Cycles::from_ms(500), max_backoff: Cycles::from_ms(60_000) }
+    }
+}
+
+/// The controller's verdict on one install attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// No alert blames the principal and no backoff is pending.
+    Allowed,
+    /// The install is refused until the virtual clock reaches `until`.
+    Denied {
+        /// Deadline after which the principal may retry.
+        until: Cycles,
+    },
+}
+
+/// Running decision counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Installs waved through.
+    pub allows: u64,
+    /// Installs refused (pending backoff or firing alert).
+    pub denies: u64,
+}
+
+/// One principal's deny history. Principals that have never been
+/// denied carry no entry at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    principal: u64,
+    /// Virtual-clock deadline of the active deny, 0 when none.
+    until: u64,
+    /// Consecutive deny episodes (resets on the next allowed install).
+    episodes: u32,
+}
+
+/// Checkpointable controller state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdmissionState {
+    entries: Vec<(u64, u64, u32)>,
+    allows: u64,
+    denies: u64,
+}
+
+/// Consults watch-plane alerts to gate the install path; see the
+/// module docs and `docs/WATCH.md`.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    policy: AdmissionPolicy,
+    entries: Vec<Entry>,
+    stats: AdmissionStats,
+}
+
+impl Default for AdmissionController {
+    fn default() -> AdmissionController {
+        AdmissionController::new()
+    }
+}
+
+impl AdmissionController {
+    /// A controller with the default backoff schedule.
+    pub fn new() -> AdmissionController {
+        AdmissionController::with_policy(AdmissionPolicy::default())
+    }
+
+    /// A controller with an explicit backoff schedule.
+    pub fn with_policy(policy: AdmissionPolicy) -> AdmissionController {
+        AdmissionController { policy, entries: Vec::new(), stats: AdmissionStats::default() }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Gates one install attempt by `principal` at `now`. `firing` is
+    /// the watch plane's answer to "does any per-principal alert
+    /// currently blame this principal?" (the caller polls the plane
+    /// first so stale alerts cannot deny).
+    ///
+    /// A pending backoff denies regardless of the alert state — the
+    /// deadline is the contract. Once it passes, a still-firing alert
+    /// starts the next episode with doubled backoff; a clean bill of
+    /// health admits and resets the episode count.
+    pub fn decide(&mut self, principal: PrincipalId, firing: bool, now: Cycles) -> Decision {
+        let policy = self.policy;
+        let e = self.entry_mut(principal.0);
+        if now.get() < e.until {
+            let until = Cycles(e.until);
+            self.stats.denies += 1;
+            return Decision::Denied { until };
+        }
+        if firing {
+            let shift = e.episodes.min(16);
+            let backoff = policy
+                .base_backoff
+                .get()
+                .saturating_mul(1u64 << shift)
+                .min(policy.max_backoff.get());
+            e.until = now.get() + backoff;
+            e.episodes += 1;
+            let until = Cycles(e.until);
+            self.stats.denies += 1;
+            return Decision::Denied { until };
+        }
+        e.until = 0;
+        e.episodes = 0;
+        self.stats.allows += 1;
+        Decision::Allowed
+    }
+
+    /// The deadline currently denying `principal`, if one is pending at
+    /// `now` (inspection only — does not count as a decision).
+    pub fn deny_until(&self, principal: PrincipalId, now: Cycles) -> Option<Cycles> {
+        self.entries
+            .iter()
+            .find(|e| e.principal == principal.0 && now.get() < e.until)
+            .map(|e| Cycles(e.until))
+    }
+
+    /// Decision counters.
+    pub fn stats(&self) -> AdmissionStats {
+        self.stats
+    }
+
+    /// Snapshot for full-world checkpointing.
+    pub fn export_state(&self) -> AdmissionState {
+        AdmissionState {
+            entries: self.entries.iter().map(|e| (e.principal, e.until, e.episodes)).collect(),
+            allows: self.stats.allows,
+            denies: self.stats.denies,
+        }
+    }
+
+    /// Replaces the controller's history with a checkpoint snapshot.
+    /// The policy is configuration, not state, and is kept.
+    pub fn restore_state(&mut self, st: &AdmissionState) {
+        self.entries = st
+            .entries
+            .iter()
+            .map(|&(principal, until, episodes)| Entry { principal, until, episodes })
+            .collect();
+        self.stats = AdmissionStats { allows: st.allows, denies: st.denies };
+    }
+
+    fn entry_mut(&mut self, principal: u64) -> &mut Entry {
+        if let Some(i) = self.entries.iter().position(|e| e.principal == principal) {
+            return &mut self.entries[i];
+        }
+        self.entries.push(Entry { principal, until: 0, episodes: 0 });
+        self.entries.last_mut().expect("just pushed")
+    }
+}
+
+impl fmt::Display for AdmissionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "allows={} denies={}", self.allows, self.denies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: PrincipalId = PrincipalId(7);
+
+    #[test]
+    fn healthy_principal_is_admitted() {
+        let mut ac = AdmissionController::new();
+        assert_eq!(ac.decide(P, false, Cycles(0)), Decision::Allowed);
+        assert_eq!(ac.stats().allows, 1);
+        assert!(ac.deny_until(P, Cycles(0)).is_none());
+    }
+
+    #[test]
+    fn firing_alert_denies_with_base_backoff() {
+        let mut ac = AdmissionController::new();
+        let now = Cycles::from_ms(10);
+        let Decision::Denied { until } = ac.decide(P, true, now) else {
+            panic!("firing alert must deny");
+        };
+        assert_eq!(until, now + AdmissionPolicy::default().base_backoff);
+        // The deadline holds even if the alert resolves meanwhile.
+        let mid = Cycles(now.get() + 1);
+        assert!(matches!(ac.decide(P, false, mid), Decision::Denied { until: u } if u == until));
+        assert_eq!(ac.stats().denies, 2);
+    }
+
+    #[test]
+    fn episodes_double_until_capped() {
+        let policy = AdmissionPolicy { base_backoff: Cycles(100), max_backoff: Cycles(350) };
+        let mut ac = AdmissionController::with_policy(policy);
+        let mut now = Cycles(0);
+        let mut backoffs = Vec::new();
+        for _ in 0..4 {
+            let Decision::Denied { until } = ac.decide(P, true, now) else {
+                panic!("still firing, still denied");
+            };
+            backoffs.push(until.get() - now.get());
+            now = until; // retry exactly at the deadline
+        }
+        assert_eq!(backoffs, vec![100, 200, 350, 350], "doubling saturates at the cap");
+    }
+
+    #[test]
+    fn allowed_install_resets_episodes() {
+        let mut ac = AdmissionController::with_policy(AdmissionPolicy {
+            base_backoff: Cycles(100),
+            max_backoff: Cycles(1_000_000),
+        });
+        let Decision::Denied { until } = ac.decide(P, true, Cycles(0)) else { panic!() };
+        let Decision::Denied { until } = ac.decide(P, true, until) else { panic!() };
+        assert_eq!(ac.decide(P, false, until), Decision::Allowed);
+        // History wiped: the next episode starts from the base again.
+        let Decision::Denied { until: next } = ac.decide(P, true, until) else { panic!() };
+        assert_eq!(next.get() - until.get(), 100, "episode count was reset");
+    }
+
+    #[test]
+    fn principals_are_independent() {
+        let q = PrincipalId(8);
+        let mut ac = AdmissionController::new();
+        assert!(matches!(ac.decide(P, true, Cycles(0)), Decision::Denied { .. }));
+        assert_eq!(ac.decide(q, false, Cycles(0)), Decision::Allowed);
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let mut ac = AdmissionController::new();
+        ac.decide(P, true, Cycles(5));
+        ac.decide(PrincipalId(9), false, Cycles(6));
+        let st = ac.export_state();
+        let mut fresh = AdmissionController::new();
+        fresh.restore_state(&st);
+        assert_eq!(fresh.export_state(), st);
+        assert_eq!(fresh.stats(), ac.stats());
+        assert_eq!(fresh.deny_until(P, Cycles(6)), ac.deny_until(P, Cycles(6)));
+    }
+}

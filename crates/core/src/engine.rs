@@ -19,6 +19,7 @@ use vino_sim::fault::FaultPlane;
 use vino_sim::metrics::{MetricTag, MetricsPlane};
 use vino_sim::profile::{ProfTag, ProfilePlane};
 use vino_sim::trace::{AbortKind, GraftTag, TraceEvent, TracePlane};
+use vino_sim::watch::WatchPlane;
 use vino_sim::{costs, Cycles, ThreadId, VirtualClock};
 use vino_txn::locks::{LockClass, LockId};
 use vino_txn::manager::{AbortReason, AbortReport, TxnId, TxnManager};
@@ -94,6 +95,9 @@ pub struct GraftEngine {
     /// VM (per-PC billing, call-graph capture) and with the wrapper's
     /// invocation spans.
     profile: RefCell<Option<Rc<ProfilePlane>>>,
+    /// Watch plane fed by the wrapper's install/invoke/abort/quarantine
+    /// events (sliding-window SLO evaluation; see `docs/WATCH.md`).
+    watch: RefCell<Option<Rc<WatchPlane>>>,
 }
 
 impl GraftEngine {
@@ -114,6 +118,7 @@ impl GraftEngine {
             trace: RefCell::new(None),
             metrics: RefCell::new(None),
             profile: RefCell::new(None),
+            watch: RefCell::new(None),
         })
     }
 
@@ -173,6 +178,25 @@ impl GraftEngine {
     /// The attached profile plane, if any.
     pub fn profile_plane(&self) -> Option<Rc<ProfilePlane>> {
         self.profile.borrow().clone()
+    }
+
+    /// Attaches a watch plane to the engine: every graft install,
+    /// invocation (with its cycle cost), abort and quarantine trip
+    /// recorded *after* this call feeds the plane's sliding windows,
+    /// keyed by the installer who vouched for the graft (the
+    /// accountant's blame target — the same principal admission
+    /// control gates). (Subsystem windows —
+    /// journal occupancy, RX shed, lock time-outs — are wired by
+    /// [`crate::Kernel::attach_watch_plane`].) Recording never charges
+    /// the virtual clock, so attaching a watch plane changes no
+    /// timings.
+    pub fn set_watch_plane(&self, plane: Rc<WatchPlane>) {
+        *self.watch.borrow_mut() = Some(plane);
+    }
+
+    /// The attached watch plane, if any.
+    pub fn watch_plane(&self) -> Option<Rc<WatchPlane>> {
+        self.watch.borrow().clone()
     }
 
     /// Registers a lockable kernel object and exposes it to grafts as a
@@ -484,6 +508,11 @@ pub struct GraftInstance {
     thread: ThreadId,
     /// The graft's resource principal (zero limits at install; §3.2).
     pub principal: PrincipalId,
+    /// The principal the watch plane blames for this graft's behaviour:
+    /// the installer who vouched for it (the accountant's
+    /// `blame_target`), resolved once at install. Admission control
+    /// gates installs by installer, so watch blame must land there too.
+    blame: PrincipalId,
     dead: bool,
     /// Timeslices a single invocation may consume before the kernel
     /// declares it a CPU hog and aborts (§2.5's forward-progress
@@ -496,6 +525,10 @@ pub struct GraftInstance {
     mtag: Option<MetricTag>,
     /// Interned profile tag for this graft's name (if a plane is wired).
     ptag: Option<ProfTag>,
+    /// Clock reading at the start of the current invocation, so the
+    /// watch plane can be fed the invocation's cycle cost on both the
+    /// commit and the abort exits.
+    invoke_started: Cycles,
 }
 
 impl GraftInstance {
@@ -534,6 +567,13 @@ impl GraftInstance {
             vm.set_profile_plane(Rc::clone(&pp), ptag);
             ptag
         });
+        // Watch plane: count the install and pre-create the blamed
+        // principal's window slot now, while allocation is permitted.
+        let blame = engine.rm.borrow().blame_target(principal);
+        if let Some(wp) = engine.watch_plane() {
+            wp.touch_principal(blame.0);
+            wp.observe_install(blame.0);
+        }
         GraftInstance {
             name: program.name.clone(),
             engine,
@@ -541,12 +581,14 @@ impl GraftInstance {
             vm,
             thread,
             principal,
+            blame,
             dead: false,
             max_slices: 16,
             stats: InvokeStats::default(),
             tag,
             mtag,
             ptag,
+            invoke_started: Cycles::ZERO,
         }
     }
 
@@ -607,11 +649,26 @@ impl GraftInstance {
             return;
         }
         self.dead = true;
-        self.engine.reliability.borrow_mut().record_abort(
+        let verdict = self.engine.reliability.borrow_mut().record_abort(
             &self.name,
             reliability::FailureKind::OtherTrap,
             self.engine.clock.now(),
         );
+        if let reliability::Verdict::Quarantined { .. } = verdict {
+            if let Some(wp) = self.engine.watch_plane() {
+                wp.observe_quarantine(self.blame.0);
+            }
+        }
+    }
+
+    /// Feeds the finished invocation's cycle cost into the watch
+    /// plane's p99 window (both exits call this: commit directly,
+    /// abort via [`fail`](Self::fail)).
+    fn observe_watch_invoke(&self) {
+        if let Some(wp) = self.engine.watch_plane() {
+            let cost = self.engine.clock.now() - self.invoke_started;
+            wp.observe_invoke(self.blame.0, cost);
+        }
     }
 
     /// Invokes the graft through the full wrapper: transaction begin,
@@ -640,6 +697,7 @@ impl GraftInstance {
             return InvokeOutcome::Dead;
         }
         self.stats.invocations += 1;
+        self.invoke_started = self.engine.clock.now();
         if let Some(tag) = self.tag {
             self.emit(TraceEvent::GraftInvoke { graft: tag });
         }
@@ -684,6 +742,7 @@ impl GraftInstance {
                                         pp.end_invocation(true);
                                     }
                                 }
+                                self.observe_watch_invoke();
                                 InvokeOutcome::Ok { result, extents: host.extents, log: host.log }
                             } else {
                                 // A fired lock time-out stole the wrapper
@@ -772,6 +831,7 @@ impl GraftInstance {
             return BatchOutcome::Ok { results: Vec::new() };
         }
         self.stats.invocations += 1;
+        self.invoke_started = self.engine.clock.now();
         if let Some(tag) = self.tag {
             self.emit(TraceEvent::GraftInvoke { graft: tag });
         }
@@ -853,6 +913,7 @@ impl GraftInstance {
                     pp.end_invocation(true);
                 }
             }
+            self.observe_watch_invoke();
             BatchOutcome::Ok { results }
         } else {
             // A fired lock time-out stole the wrapper transaction
@@ -928,11 +989,18 @@ impl GraftInstance {
                 report.cost,
             );
         }
-        self.engine.reliability.borrow_mut().record_abort(
+        let verdict = self.engine.reliability.borrow_mut().record_abort(
             &self.name,
             kind,
             self.engine.clock.now(),
         );
+        self.observe_watch_invoke();
+        if let Some(wp) = self.engine.watch_plane() {
+            wp.observe_abort(self.blame.0);
+            if let reliability::Verdict::Quarantined { .. } = verdict {
+                wp.observe_quarantine(self.blame.0);
+            }
+        }
         InvokeOutcome::Aborted { why, report }
     }
 }

@@ -14,10 +14,11 @@ use vino_mem::{MemorySystem, VasId};
 use vino_misfit::{MisfitTool, SignedImage, SigningKey};
 use vino_rm::{Limits, PrincipalId};
 use vino_sim::fault::FaultPlane;
-use vino_sim::metrics::MetricsPlane;
+use vino_sim::metrics::{Counter, MetricsPlane};
 use vino_sim::plane::AttachSlot;
 use vino_sim::profile::ProfilePlane;
-use vino_sim::trace::{PostMortem, TracePlane};
+use vino_sim::trace::{PostMortem, TraceEvent, TracePlane};
+use vino_sim::watch::WatchPlane;
 use vino_sim::{ThreadId, VirtualClock};
 use vino_vm::isa::Program;
 
@@ -25,6 +26,7 @@ use crate::adapters::{
     share, EvictGraftAdapter, RaGraftAdapter, SchedGraftAdapter, SharedGraft, StreamGraftAdapter,
     APP_BUF,
 };
+use crate::admission::{AdmissionController, Decision};
 use crate::engine::GraftEngine;
 use crate::loader::{load_graft, InstallError, InstallOpts};
 use crate::points::{EventPoint, GraftNamespace, HandlerReport, PointKind};
@@ -133,6 +135,8 @@ pub struct Kernel {
     trace_attached: AttachSlot,
     metrics_attached: AttachSlot,
     profile_attached: AttachSlot,
+    watch_attached: AttachSlot,
+    admission: RefCell<AdmissionController>,
 }
 
 impl Kernel {
@@ -186,6 +190,8 @@ impl Kernel {
             trace_attached: AttachSlot::new(),
             metrics_attached: AttachSlot::new(),
             profile_attached: AttachSlot::new(),
+            watch_attached: AttachSlot::new(),
+            admission: RefCell::new(AdmissionController::new()),
             engine,
             clock,
         })
@@ -269,6 +275,44 @@ impl Kernel {
         self.engine.rm.borrow_mut().set_profile_plane(Rc::clone(&plane));
         self.engine.set_profile_plane(plane);
         Ok(())
+    }
+
+    /// Attaches one watch plane to every instrumented subsystem: the
+    /// graft wrapper (install / invocation-cost / abort / quarantine
+    /// windows, keyed by principal), the file system (journal
+    /// occupancy), and the transaction manager (lock time-out rate).
+    /// The RX shed-rate window is fed by the packet plane (`vino-net`),
+    /// which reaches the plane through the engine accessor. Attaching
+    /// a watch plane also arms the admission controller: from now on
+    /// every install is gated on the plane's firing alerts (see
+    /// `docs/WATCH.md`). Recording never charges the virtual clock, so
+    /// attaching a watch plane changes no timings — only install
+    /// admissibility.
+    ///
+    /// Attach-once, like [`attach_fault_plane`](Self::attach_fault_plane).
+    pub fn attach_watch_plane(&self, plane: Rc<WatchPlane>) -> Result<(), AttachError> {
+        self.watch_attached.claim()?;
+        if let Some(tp) = self.engine.trace_plane() {
+            plane.set_trace_plane(tp);
+        }
+        self.fs.borrow_mut().set_watch_plane(Rc::clone(&plane));
+        self.engine.txn.borrow_mut().set_watch_plane(Rc::clone(&plane));
+        self.engine.set_watch_plane(plane);
+        Ok(())
+    }
+
+    /// The attached watch plane, for polls and snapshots
+    /// ([`WatchPlane::poll`], [`WatchPlane::snapshot`],
+    /// [`WatchPlane::serialize`]). `None` when no plane is attached.
+    pub fn watch(&self) -> Option<Rc<WatchPlane>> {
+        self.engine.watch_plane()
+    }
+
+    /// The admission controller gating the install path (inspection,
+    /// policy and checkpoint state). It only acts when a watch plane
+    /// is attached — without one there are no alerts to consult.
+    pub fn admission(&self) -> std::cell::RefMut<'_, AdmissionController> {
+        self.admission.borrow_mut()
     }
 
     /// The attached profile plane, for renders
@@ -385,6 +429,44 @@ impl Kernel {
         Ok(kind)
     }
 
+    /// The admission gate at the head of every install funnel: with a
+    /// watch plane attached, poll it and ask the controller whether
+    /// `installer` may install right now. Decisions are traced
+    /// (`watch.admit` / `watch.deny`) and countered
+    /// (`vino_admission_*_total`). Without a watch plane there are no
+    /// alerts to consult and every install is admissible, so kernels
+    /// that never attach one behave exactly as before.
+    fn admission_gate(&self, installer: PrincipalId) -> Result<(), InstallError> {
+        let Some(wp) = self.engine.watch_plane() else { return Ok(()) };
+        let firing = wp.principal_firing(installer.0);
+        let decision = self.admission.borrow_mut().decide(installer, firing, self.clock.now());
+        let tp = self.engine.trace_plane();
+        let mp = self.engine.metrics_plane();
+        match decision {
+            Decision::Allowed => {
+                if let Some(tp) = &tp {
+                    tp.emit(TraceEvent::AdmissionAllow { principal: installer.0 });
+                }
+                if let Some(mp) = &mp {
+                    mp.inc(Counter::AdmissionAllows);
+                }
+                Ok(())
+            }
+            Decision::Denied { until } => {
+                if let Some(tp) = &tp {
+                    tp.emit(TraceEvent::AdmissionDeny {
+                        principal: installer.0,
+                        until: until.get(),
+                    });
+                }
+                if let Some(mp) = &mp {
+                    mp.inc(Counter::AdmissionDenies);
+                }
+                Err(InstallError::AdmissionDenied { principal: installer, until })
+            }
+        }
+    }
+
     fn load(
         &self,
         image: &SignedImage,
@@ -392,6 +474,7 @@ impl Kernel {
         thread: ThreadId,
         opts: &InstallOpts,
     ) -> Result<SharedGraft, InstallError> {
+        self.admission_gate(installer)?;
         Ok(share(load_graft(&self.engine, &self.tool, image, installer, thread, opts)?))
     }
 

@@ -30,6 +30,7 @@
 //!   GraftVM code that flows through the normal MiSFIT pipeline.
 
 pub mod adapters;
+pub mod admission;
 pub mod engine;
 pub mod graftc;
 pub mod hostfn;
@@ -39,6 +40,9 @@ pub mod lockmgr;
 pub mod points;
 pub mod reliability;
 
+pub use admission::{
+    AdmissionController, AdmissionPolicy, AdmissionState, AdmissionStats, Decision,
+};
 pub use engine::{GraftEngine, GraftInstance, InvokeOutcome, InvokeStats};
 pub use kernel::{AttachError, Kernel};
 pub use loader::{BillingMode, InstallError, InstallOpts};

@@ -95,6 +95,16 @@ pub enum InstallError {
         /// The over-budget installing principal.
         principal: PrincipalId,
     },
+    /// The admission controller refused the installer: a watch-plane
+    /// alert blames the principal (or its deny backoff is still
+    /// pending) and new installs are refused until the deadline.
+    AdmissionDenied {
+        /// The refused installing principal.
+        principal: PrincipalId,
+        /// Virtual-clock time at which installs become admissible
+        /// again (provided the blaming alert has resolved by then).
+        until: Cycles,
+    },
 }
 
 impl fmt::Display for InstallError {
@@ -112,6 +122,13 @@ impl fmt::Display for InstallError {
             }
             InstallError::BlameExceeded { principal } => {
                 write!(f, "principal {principal:?} exceeded its abort-blame ceiling")
+            }
+            InstallError::AdmissionDenied { principal, until } => {
+                write!(
+                    f,
+                    "principal {principal:?} refused by admission control until cycle {}",
+                    until.get()
+                )
             }
         }
     }

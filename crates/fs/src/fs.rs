@@ -180,6 +180,7 @@ pub struct FileSystem {
     trace: Option<Rc<vino_sim::trace::TracePlane>>,
     metrics: Option<Rc<vino_sim::metrics::MetricsPlane>>,
     profile: Option<Rc<vino_sim::profile::ProfilePlane>>,
+    watch: Option<Rc<vino_sim::watch::WatchPlane>>,
     fault: Option<Rc<FaultPlane>>,
     /// Power died: every subsequent operation fails with
     /// [`FsError::PowerFailure`].
@@ -222,6 +223,7 @@ impl FileSystem {
             trace: None,
             metrics: None,
             profile: None,
+            watch: None,
             fault: None,
             halted: false,
             next_seq: 1,
@@ -254,6 +256,7 @@ impl FileSystem {
             trace: None,
             metrics: None,
             profile: None,
+            watch: None,
             fault: None,
             halted: false,
             next_seq: 1,
@@ -443,6 +446,15 @@ impl FileSystem {
         self.profile = Some(plane);
     }
 
+    /// Wires a watch plane: every journal append feeds the
+    /// journal-occupancy gauge (blocks the transaction left in the
+    /// journal region, against its capacity), so the `journal-full`
+    /// SLO rule sees pressure the moment it builds (see
+    /// `docs/WATCH.md`).
+    pub fn set_watch_plane(&mut self, plane: Rc<vino_sim::watch::WatchPlane>) {
+        self.watch = Some(plane);
+    }
+
     fn emit(&self, ev: vino_sim::trace::TraceEvent) {
         if let Some(tp) = &self.trace {
             tp.emit(ev);
@@ -571,6 +583,11 @@ impl FileSystem {
             let n = chunk.len() as u64;
             self.emit(vino_sim::trace::TraceEvent::FsJournalAppend { seq, blocks: n });
             self.minc(vino_sim::metrics::Counter::FsJournalAppends);
+            if let Some(wp) = &self.watch {
+                // Occupancy while this transaction sits in the journal
+                // region: descriptor + payload blocks + commit marker.
+                wp.observe_journal(n + 2, cap as u64 + 2);
+            }
             // The commit point: once this block is durable the
             // transaction survives any crash. Its meaningful bytes fit
             // within the smallest torn prefix, so the write is

@@ -274,10 +274,12 @@ impl PacketPlane {
             Admit::ShedWatermark => {
                 self.emit(TraceEvent::NetShed { port: port.0, kind: ShedKind::Watermark });
                 self.count(Counter::NetRxSheds);
+                self.observe_shed();
             }
             Admit::DropOverflow => {
                 self.emit(TraceEvent::NetShed { port: port.0, kind: ShedKind::Overflow });
                 self.count(Counter::NetRxOverflows);
+                self.observe_shed();
             }
         }
         outcome
@@ -571,6 +573,14 @@ impl PacketPlane {
     fn count(&self, c: Counter) {
         if let Some(mp) = self.kernel.engine.metrics_plane() {
             mp.inc(c);
+        }
+    }
+
+    /// Feeds one shed packet (watermark or overflow) into the watch
+    /// plane's RX shed-rate window (the `rx-shed` SLO rule).
+    fn observe_shed(&self) {
+        if let Some(wp) = self.kernel.engine.watch_plane() {
+            wp.observe_shed();
         }
     }
 

@@ -454,17 +454,26 @@ impl ResourceAccountant {
         }
     }
 
+    /// The account that answers for `principal`'s aborts: its
+    /// [`blame_to`](Self::blame_to) installer if one was recorded, else
+    /// the [`bill_to`](Self::bill_to) payer chain. This is the account
+    /// [`charge_blame`](Self::charge_blame) debits — and the principal
+    /// the watch plane's per-principal windows (and hence the admission
+    /// controller) key on.
+    pub fn blame_target(&self, principal: PrincipalId) -> PrincipalId {
+        self.accounts
+            .get(&principal)
+            .and_then(|a| a.blamed_on)
+            .unwrap_or_else(|| self.payer_of(principal))
+    }
+
     /// Bills `amount` cycles of abort-blame against whoever answers for
     /// `principal`: its [`blame_to`](Self::blame_to) installer if one
     /// was recorded, else the [`bill_to`](Self::bill_to) payer chain.
     /// Returns the account that was debited. Blame only accumulates —
     /// aborts are sunk kernel time; there is no refund path.
     pub fn charge_blame(&mut self, principal: PrincipalId, amount: u64) -> PrincipalId {
-        let payer = self
-            .accounts
-            .get(&principal)
-            .and_then(|a| a.blamed_on)
-            .unwrap_or_else(|| self.payer_of(principal));
+        let payer = self.blame_target(principal);
         if let Some(acc) = self.accounts.get_mut(&payer) {
             acc.blame = acc.blame.saturating_add(amount);
         }

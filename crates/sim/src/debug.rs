@@ -36,7 +36,7 @@ impl Default for TimelineOpts {
 }
 
 /// The subsystem lanes, in render order (graft lanes come first).
-const SUBSYSTEM_LANES: &[&str] = &["vm", "txn", "rm", "fs", "net"];
+const SUBSYSTEM_LANES: &[&str] = &["vm", "txn", "rm", "fs", "net", "watch", "admission"];
 
 /// The lane a record renders in. Exhaustive over [`TraceEvent`]: graft
 /// lifecycle events get a per-graft lane, everything else its
@@ -75,6 +75,11 @@ pub fn lane_of(plane: &TracePlane, ev: &TraceEvent) -> String {
         | NetSteer { .. }
         | NetLoopCut { .. }
         | NetBatch { .. } => "net".to_string(),
+        WatchAlertFiring { .. } | WatchAlertResolved { .. } => "watch".to_string(),
+        // Their own lane: the gate polls the watch plane, so a resolved
+        // edge and an admit often share a cycle — one lane would let
+        // the admit glyph overwrite the alert edge.
+        AdmissionAllow { .. } | AdmissionDeny { .. } => "admission".to_string(),
     }
 }
 
@@ -118,6 +123,10 @@ pub fn glyph_of(ev: &TraceEvent) -> char {
         NetSteer { .. } => 's',
         NetLoopCut { .. } => 'o',
         NetBatch { .. } => 'n',
+        WatchAlertFiring { .. } => 'f',
+        WatchAlertResolved { .. } => 'z',
+        AdmissionAllow { .. } => 'a',
+        AdmissionDeny { .. } => 'V',
     }
 }
 
@@ -128,6 +137,7 @@ pub const LEGEND: &[&str] = &[
     "R/W read/write  p prefetch  j/J/c journal append/commit/checkpoint  Y/D recovery",
     "g/r/X rm grant/release/limit-hit  w vm-window  k sfi-check",
     "x rx  d shed  v verdict  s steer  o loop-cut  n batch",
+    "f/z alert firing/resolved  a admit  V veto (admission deny)",
 ];
 
 /// Renders the plane's current records as an ASCII Gantt chart.

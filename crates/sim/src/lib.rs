@@ -21,6 +21,7 @@ pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod trace;
+pub mod watch;
 
 pub use clock::{Cycles, VirtualClock};
 pub use debug::{render_timeline, TimelineOpts};
@@ -36,4 +37,7 @@ pub use rng::{SplitMix64, XorShift64};
 pub use trace::{
     AbortKind, GraftTag, PostMortem, SfiKind, TraceEvent, TracePlane, TraceRecord, TraceState,
     TraceStats, VmExitKind,
+};
+pub use watch::{
+    default_rules, AlertEdge, AlertRecord, Signal, SloRule, WatchPlane, WatchState, WatchStats,
 };

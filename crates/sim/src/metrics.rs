@@ -128,6 +128,12 @@ pub enum Counter {
     GraftFallbacks,
     /// Quarantine trips (mirrors `graft.quarantine`).
     GraftQuarantines,
+    /// Installs waved through by the admission controller (mirrors
+    /// `watch.admit`; only counted while a watch plane is attached).
+    AdmissionAllows,
+    /// Installs refused by the admission controller (mirrors
+    /// `watch.deny`; only counted while a watch plane is attached).
+    AdmissionDenies,
     /// Packets admitted to an RX ring (mirrors `net.rx`).
     NetRxPackets,
     /// Admissions refused at capacity (mirrors `net.shed kind=overflow`).
@@ -171,7 +177,7 @@ pub enum Counter {
 
 impl Counter {
     /// Number of counter slots.
-    pub const COUNT: usize = 49;
+    pub const COUNT: usize = 51;
 
     /// Every counter, in canonical exposition order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -207,6 +213,8 @@ impl Counter {
         Counter::GraftAborts,
         Counter::GraftFallbacks,
         Counter::GraftQuarantines,
+        Counter::AdmissionAllows,
+        Counter::AdmissionDenies,
         Counter::NetRxPackets,
         Counter::NetRxOverflows,
         Counter::NetRxSheds,
@@ -261,6 +269,8 @@ impl Counter {
             Counter::GraftAborts => "vino_graft_aborts_total",
             Counter::GraftFallbacks => "vino_graft_fallbacks_total",
             Counter::GraftQuarantines => "vino_graft_quarantines_total",
+            Counter::AdmissionAllows => "vino_admission_allows_total",
+            Counter::AdmissionDenies => "vino_admission_denies_total",
             Counter::NetRxPackets => "vino_net_rx_packets_total",
             Counter::NetRxOverflows => "vino_net_rx_overflows_total",
             Counter::NetRxSheds => "vino_net_rx_sheds_total",

@@ -382,6 +382,35 @@ pub enum TraceEvent {
         /// Packets covered by the batch.
         n: u64,
     },
+    // -- watch ---------------------------------------------------------
+    /// A watch-plane SLO rule's windowed value crossed its threshold.
+    /// The rule name travels as an interned tag (rule names are
+    /// interned when the watch plane attaches its trace mirror).
+    WatchAlertFiring {
+        /// The firing rule's interned name.
+        rule: GraftTag,
+        /// The blamed principal (0 for kernel-global signals).
+        principal: u64,
+    },
+    /// A firing watch-plane alert's value receded below threshold.
+    WatchAlertResolved {
+        /// The resolving rule's interned name.
+        rule: GraftTag,
+        /// The principal blamed at the firing edge.
+        principal: u64,
+    },
+    /// The admission controller let a principal's install proceed.
+    AdmissionAllow {
+        /// The installing principal.
+        principal: u64,
+    },
+    /// The admission controller refused a principal's install.
+    AdmissionDeny {
+        /// The refused principal.
+        principal: u64,
+        /// Absolute virtual-clock deadline of the backoff (cycles).
+        until: u64,
+    },
 }
 
 /// The subsystem a [`TraceEvent`] belongs to, for [`TraceStats`].
@@ -399,6 +428,8 @@ pub enum TraceCategory {
     Graft,
     /// Packet-plane events.
     Net,
+    /// Watch-plane alert edges and admission decisions.
+    Watch,
 }
 
 impl TraceEvent {
@@ -437,6 +468,10 @@ impl TraceEvent {
             | NetSteer { .. }
             | NetLoopCut { .. }
             | NetBatch { .. } => TraceCategory::Net,
+            WatchAlertFiring { .. }
+            | WatchAlertResolved { .. }
+            | AdmissionAllow { .. }
+            | AdmissionDeny { .. } => TraceCategory::Watch,
         }
     }
 }
@@ -469,6 +504,8 @@ pub struct TraceStats {
     pub graft: u64,
     /// Packet-plane events.
     pub net: u64,
+    /// Watch-plane alert and admission events.
+    pub watch: u64,
     /// All events emitted.
     pub total: u64,
     /// Events overwritten after the ring filled.
@@ -479,8 +516,16 @@ impl fmt::Display for TraceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "vm={} txn={} rm={} fs={} graft={} net={} total={} dropped={}",
-            self.vm, self.txn, self.rm, self.fs, self.graft, self.net, self.total, self.dropped
+            "vm={} txn={} rm={} fs={} graft={} net={} watch={} total={} dropped={}",
+            self.vm,
+            self.txn,
+            self.rm,
+            self.fs,
+            self.graft,
+            self.net,
+            self.watch,
+            self.total,
+            self.dropped
         )
     }
 }
@@ -649,6 +694,7 @@ impl TracePlane {
             TraceCategory::Fs => stats.fs += 1,
             TraceCategory::Graft => stats.graft += 1,
             TraceCategory::Net => stats.net += 1,
+            TraceCategory::Watch => stats.watch += 1,
         }
         if self.ring.borrow_mut().push(rec) {
             stats.dropped += 1;
@@ -831,6 +877,16 @@ impl TracePlane {
             NetSteer { from, to } => format!("net.steer from={from} to={to}"),
             NetLoopCut { port } => format!("net.loop-cut port={port}"),
             NetBatch { port, n } => format!("net.batch port={port} n={n}"),
+            WatchAlertFiring { rule, principal } => {
+                format!("watch.firing rule={} principal={principal}", self.name_of(rule))
+            }
+            WatchAlertResolved { rule, principal } => {
+                format!("watch.resolved rule={} principal={principal}", self.name_of(rule))
+            }
+            AdmissionAllow { principal } => format!("watch.admit principal={principal}"),
+            AdmissionDeny { principal, until } => {
+                format!("watch.deny principal={principal} until={until}")
+            }
         };
         format!("{:06} @{:012} {}", r.seq, r.at.get(), body)
     }

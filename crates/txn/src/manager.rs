@@ -181,6 +181,7 @@ pub struct TxnManager {
     trace: Option<Rc<TracePlane>>,
     metrics: Option<Rc<MetricsPlane>>,
     profile: Option<Rc<ProfilePlane>>,
+    watch: Option<Rc<vino_sim::watch::WatchPlane>>,
     /// Abort reports from fired time-outs, keyed by the aborted holder.
     /// The graft wrapper consumes these to discover that its transaction
     /// was stolen out from under it (see [`take_forced_abort`]).
@@ -203,6 +204,7 @@ impl TxnManager {
             trace: None,
             metrics: None,
             profile: None,
+            watch: None,
             forced: HashMap::new(),
         }
     }
@@ -248,6 +250,13 @@ impl TxnManager {
     /// `docs/PROFILING.md`).
     pub fn set_profile_plane(&mut self, plane: Rc<ProfilePlane>) {
         self.profile = Some(plane);
+    }
+
+    /// Wires a watch plane: every fired lock time-out that aborts a
+    /// holder feeds the lock-timeout-rate window, so the `lock-starved`
+    /// SLO rule sees convoy pressure as it builds (see `docs/WATCH.md`).
+    pub fn set_watch_plane(&mut self, plane: Rc<vino_sim::watch::WatchPlane>) {
+        self.watch = Some(plane);
     }
 
     fn pcharge(&self, comp: Component, cost: Cycles) {
@@ -630,6 +639,9 @@ impl TxnManager {
                 Some(h) if h != waiter => {
                     if self.in_txn(h) {
                         self.minc(Counter::LockTimeouts);
+                        if let Some(wp) = &self.watch {
+                            wp.observe_lock_timeout();
+                        }
                         self.emit(TraceEvent::LockTimeout { lock: lock.0, holder: h.0 });
                         let report = self
                             .abort(h, AbortReason::LockTimeout(lock))

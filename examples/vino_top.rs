@@ -1,9 +1,10 @@
 //! A top(1)-style view of the observability planes: attach a metrics
-//! plane and a profile plane to a booted kernel, drive a mixed
-//! workload (a committing graft, an occasional aborter, a
+//! plane, a profile plane, and a watch plane to a booted kernel, drive
+//! a mixed workload (a committing graft, an occasional aborter, a
 //! quarantine-tripping crasher), then print the live health view, each
 //! graft's Table-3-shaped overhead attribution, the cycle-ranked
-//! hot-function table (docs/PROFILING.md), and the Prometheus-style
+//! hot-function table (docs/PROFILING.md), the firing alerts and
+//! admission decisions (docs/WATCH.md), and the Prometheus-style
 //! exposition (docs/METRICS.md).
 //!
 //! Run with: `cargo run --example vino_top`
@@ -16,6 +17,7 @@ use vino::core::{AttachError, InstallError, InstallOpts, Kernel};
 use vino::rm::{Limits, ResourceKind};
 use vino::sim::metrics::MetricsPlane;
 use vino::sim::profile::ProfilePlane;
+use vino::sim::watch::WatchPlane;
 
 fn main() {
     let kernel = Kernel::boot();
@@ -30,6 +32,13 @@ fn main() {
     // The profile plane rides along: same charge sites, finer grain.
     let profile = ProfilePlane::new(Rc::clone(&kernel.clock));
     kernel.attach_profile_plane(Rc::clone(&profile)).expect("first attach");
+
+    // The watch plane turns the metrics stream into SLO alerts, and a
+    // firing alert turns into install-time backpressure: while a
+    // principal's `abort-storm` alert is up, the admission gate defers
+    // its next install (docs/WATCH.md).
+    let watch = WatchPlane::new(Rc::clone(&kernel.clock));
+    kernel.attach_watch_plane(Rc::clone(&watch)).expect("first attach");
 
     let app = kernel.create_app(Limits::of(&[(ResourceKind::KernelHeap, 1 << 20)]));
     let thread = kernel.spawn_thread("app");
@@ -57,51 +66,57 @@ fn main() {
     let flaky = kernel
         .compile_graft("flaky-div", "const r2, 4\nrem r3, r1, r2\ndiv r0, r1, r3\nhalt r0")
         .expect("compiles");
-    for i in 0..16u64 {
-        let g = match kernel.install_function_graft(
+    // Both refusals are backoffs with a deadline, not bans: quarantine
+    // is the graft's (reactive, after it misbehaved), admission is the
+    // principal's (proactive, while its abort-storm alert is firing).
+    // Waiting out the deadline and retrying always converges, because
+    // the alert windows only decay with time.
+    let install_or_wait = |image: &_| loop {
+        match kernel.install_function_graft(
             point_names::COMPUTE_RA,
-            &flaky,
+            image,
             app,
             thread,
             &InstallOpts::default(),
         ) {
-            Ok(g) => g,
-            // Three traps quarantine the graft; wait out the backoff
-            // and reinstall — quarantine is backoff, not a ban.
-            Err(InstallError::Quarantined { until, .. }) => {
-                kernel.clock.advance_to(until);
-                kernel
-                    .install_function_graft(
-                        point_names::COMPUTE_RA,
-                        &flaky,
-                        app,
-                        thread,
-                        &InstallOpts::default(),
-                    )
-                    .expect("backoff expired")
-            }
+            Ok(g) => break g,
+            Err(
+                InstallError::Quarantined { until, .. }
+                | InstallError::AdmissionDenied { until, .. },
+            ) => kernel.clock.advance_to(until),
             Err(e) => panic!("unexpected refusal: {e}"),
-        };
+        }
+    };
+    for i in 0..16u64 {
+        let g = install_or_wait(&flaky);
         let _ = g.borrow_mut().invoke([i, 0, 0, 0]);
     }
 
-    // A hard crasher: three straight traps trip quarantine, which the
-    // health view shows with its backoff deadline.
+    // Let the flaky graft's aborts age out of the 1000 ms abort-storm
+    // window first, so the crasher below is unambiguously what fires
+    // the alert.
+    kernel.clock.charge(vino::sim::Cycles::from_ms(2_000));
+
+    // A hard crasher: three straight traps inside the abort-storm
+    // window trip quarantine AND fire the `abort-storm` alert, so the
+    // admission gate vetoes the principal's very next install.
     let bad =
         kernel.compile_graft("div0", "const r1, 0\ndiv r0, r1, r1\nhalt r0").expect("compiles");
     for _ in 0..3 {
-        let g = kernel
-            .install_function_graft(
-                point_names::COMPUTE_RA,
-                &bad,
-                app,
-                thread,
-                &InstallOpts::default(),
-            )
-            .expect("installs until quarantined");
+        let g = install_or_wait(&bad);
         let out = g.borrow_mut().invoke([0; 4]);
         assert!(matches!(out, InvokeOutcome::Aborted { .. }));
     }
+    let denied = kernel.install_function_graft(
+        point_names::COMPUTE_RA,
+        &good,
+        app,
+        thread,
+        &InstallOpts::default(),
+    );
+    let Err(InstallError::AdmissionDenied { until: deny_until, .. }) = denied else {
+        panic!("a firing abort-storm alert must defer the next install");
+    };
 
     println!("== vino top — health (virtual cycle {}) ==", kernel.clock.now().get());
     print!("{}", plane.health());
@@ -115,6 +130,18 @@ fn main() {
     println!();
     println!("== hot functions (profile plane, cycle-ranked) ==");
     print!("{}", profile.render_top(10));
+
+    println!();
+    println!("== firing alerts (watch plane, docs/WATCH.md) ==");
+    print!("{}", watch.snapshot());
+    println!("alert stream:");
+    print!("{}", watch.serialize());
+    println!(
+        "admission gate: {} — next install for principal {} deferred to virtual cycle {}",
+        kernel.admission().stats(),
+        app.0,
+        deny_until.get(),
+    );
 
     println!();
     println!("== Prometheus exposition ==");

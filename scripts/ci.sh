@@ -44,9 +44,15 @@ git diff --exit-code -- tests/goldens
 echo "== debugging plane (checkpoint/restore, bisect bound, shrinker minimality) =="
 cargo test -q --test debug_battery
 
+echo "== watch plane (SLO alerts, admission gate, golden alert streams) =="
+cargo test -q --test watch_battery
+
 echo "== debugging-plane CLI self-test (bisect + checkpoint resume on the pinned seed) =="
 cargo run -q --release -p vino-bench -- bisect --seed 3405691582 --steps 48
 cargo run -q --release -p vino-bench -- checkpoints --seed 3405691582 --steps 48
+
+echo "== watch-plane CLI self-test (hostile storm, byte-identical replay) =="
+cargo run -q --release -p vino-bench -- watch --seed 3405691582 --hostile
 
 echo "== differential profile gate (fails on cost-model drift; --profdiff-write to rebase) =="
 cargo run -q --release -p vino-bench -- --profdiff
@@ -59,6 +65,9 @@ cargo bench -p vino-bench --bench metrics_plane
 
 echo "== profile-plane zero-allocation proof =="
 cargo bench -p vino-bench --bench profile_plane
+
+echo "== watch-plane zero-allocation proof =="
+cargo bench -p vino-bench --bench watch_plane
 
 echo "== lint (clippy, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings

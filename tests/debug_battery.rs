@@ -73,6 +73,11 @@ fn checkpointed_storm_resumes_byte_identically() {
         mid.trace_snapshot,
         "restored trace must equal the original's at the same cycle"
     );
+    assert_eq!(
+        restored.wp.serialize(),
+        mid.watch_snapshot,
+        "restored alert stream must equal the original's at the same cycle"
+    );
 
     // Resume from the first, a middle, and the last checkpoint: every
     // resumed run must finish with byte-identical planes and tally.
@@ -84,6 +89,16 @@ fn checkpointed_storm_resumes_byte_identically() {
         assert_eq!(
             resumed.metrics, full.metrics,
             "metrics diverged resuming from step {}",
+            cp.at_step
+        );
+        assert_eq!(
+            resumed.alerts, full.alerts,
+            "alert stream diverged resuming from step {}",
+            cp.at_step
+        );
+        assert_eq!(
+            resumed.admission, full.admission,
+            "admission decisions diverged resuming from step {}",
             cp.at_step
         );
         assert_eq!(resumed.tally, full.tally, "tally diverged resuming from step {}", cp.at_step);
@@ -218,8 +233,13 @@ fn checkpoint_preserves_active_quarantine() {
     let mut w = DebugWorld::boot(77, &c);
     // The default 250 ms backoff would expire inside the checkpoint's
     // alignment slack; stretch it so the quarantine straddles the
-    // capture.
+    // capture. The counting window stretches too: the traps below are
+    // spaced out so the watch plane's 1000 ms abort-storm alert never
+    // fires (this test is about the *reactive* quarantine, not the
+    // proactive admission gate), and the quarantine window must still
+    // hold all three.
     w.k.reliability().set_policy(QuarantinePolicy {
+        window: Cycles::from_ms(10_000),
         base_backoff: Cycles::from_ms(10_000),
         max_backoff: Cycles::from_ms(60_000),
         ..QuarantinePolicy::default()
@@ -237,6 +257,7 @@ fn checkpoint_preserves_active_quarantine() {
     for _ in 0..3 {
         let g = install(&w).expect("not quarantined yet");
         assert!(matches!(g.borrow_mut().invoke([0; 4]), InvokeOutcome::Aborted { .. }));
+        w.k.clock.charge(Cycles::from_ms(600));
     }
     let Err(InstallError::Quarantined { until, .. }) = install(&w) else {
         panic!("three traps must quarantine the graft");

@@ -24,7 +24,7 @@ use vino::sim::trace::{
     AbortKind, SfiKind, ShedKind, TraceEvent, TracePlane, VerdictKind, VmExitKind,
 };
 use vino::sim::{render_timeline, Cycles, TimelineOpts};
-use vino_bench::debug::{storm_timeline, StormSpec};
+use vino_bench::debug::{storm_timeline, FaultChoice, StormSpec, StormStep};
 
 /// Mirrors the debug battery's known-bad scenario so the golden shows a
 /// timeline with real aborts, quarantines, and fallbacks in it.
@@ -90,6 +90,35 @@ fn filtered_storm_timeline_matches_golden() {
     );
 }
 
+/// The watch lane, under fire: three back-to-back one-shot VM traps
+/// abort three invocations inside the `abort-storm` window, so the
+/// timeline shows the alert firing (`f`), the admission gate's vetoes
+/// (`V`) and admits (`a`), and the resolved edge (`z`) once the calm
+/// tail decays the window.
+#[test]
+fn watch_alert_timeline_matches_golden() {
+    let trap = StormStep {
+        pre_ms: 1,
+        fault: FaultChoice::VmTrap { offset: 0 },
+        graft: 0,
+        arg: 7,
+        funded: true,
+        read_block: 0,
+    };
+    let calm = StormStep { fault: FaultChoice::None, pre_ms: 50, ..trap };
+    let spec = StormSpec { seed: SEED, steps: vec![trap, trap, trap, calm, calm, calm] };
+    let opts = TimelineOpts { width: 72, ..TimelineOpts::default() };
+    let out = storm_timeline(&spec, &KernelConfig::default(), &opts);
+    let lane = |name: &str| -> String { out.lines().filter(|l| l.starts_with(name)).collect() };
+    for glyph in ["f", "z"] {
+        assert!(lane("watch").contains(glyph), "watch lane is missing `{glyph}`:\n{out}");
+    }
+    for glyph in ["a", "V"] {
+        assert!(lane("admission").contains(glyph), "admission lane is missing `{glyph}`:\n{out}");
+    }
+    check_golden("watch_alert_timeline", &out);
+}
+
 /// One exemplar of every [`TraceEvent`] variant, in declaration order.
 ///
 /// The paired `variant_index` match is wildcard-free, so this list (and
@@ -97,6 +126,7 @@ fn filtered_storm_timeline_matches_golden() {
 /// enum — a new variant breaks the build here until it renders.
 fn one_of_each(tp: &TracePlane) -> Vec<TraceEvent> {
     let g = tp.tag("zoo");
+    let rule = tp.tag("abort-storm");
     vec![
         TraceEvent::VmWindow { instrs: 100, exit: VmExitKind::Halt },
         TraceEvent::SfiCheck { kind: SfiKind::Clamp, pc: 4 },
@@ -132,6 +162,10 @@ fn one_of_each(tp: &TracePlane) -> Vec<TraceEvent> {
         TraceEvent::NetSteer { from: 80, to: 81 },
         TraceEvent::NetLoopCut { port: 81 },
         TraceEvent::NetBatch { port: 80, n: 8 },
+        TraceEvent::WatchAlertFiring { rule, principal: 7 },
+        TraceEvent::WatchAlertResolved { rule, principal: 7 },
+        TraceEvent::AdmissionAllow { principal: 7 },
+        TraceEvent::AdmissionDeny { principal: 7, until: 1 << 30 },
     ]
 }
 
@@ -174,6 +208,10 @@ fn variant_index(ev: &TraceEvent) -> usize {
         NetSteer { .. } => 31,
         NetLoopCut { .. } => 32,
         NetBatch { .. } => 33,
+        WatchAlertFiring { .. } => 34,
+        WatchAlertResolved { .. } => 35,
+        AdmissionAllow { .. } => 36,
+        AdmissionDeny { .. } => 37,
     }
 }
 
