@@ -1,7 +1,9 @@
 //! `tables` — regenerates every table and figure from the paper's
 //! evaluation section against the simulated VINO kernel, plus the
 //! debugging-plane subcommands (`bisect`, `shrink`, `replay`,
-//! `timeline`, `checkpoints` — see `docs/DEBUGGING.md`).
+//! `timeline`, `checkpoints` — see `docs/DEBUGGING.md`), the
+//! watch-plane subcommand (`watch` — see `docs/WATCH.md`), and the
+//! replication census (`repl` — see `docs/REPLICATION.md`).
 //!
 //! Usage: `cargo run -p vino-bench --release [-- --reps N]`
 
@@ -247,6 +249,77 @@ fn cmd_watch(d: &DebugArgs) {
     }
 }
 
+/// One replication-census row: a full workload at one window size over
+/// a lossy wire, drained to convergence. Returns the drained harness's
+/// committed-state fingerprint plus the serialized trace and metrics
+/// for the determinism self-test.
+fn repl_census_row(seed: u64, steps: usize, window: u64) -> (String, u64) {
+    use std::rc::Rc;
+    use vino_repl::{committed_state_fingerprint, ReplConfig, ReplHarness};
+    use vino_sim::fault::FaultSite;
+
+    let mut h = ReplHarness::new(seed, ReplConfig { window, ..Default::default() });
+    let plane = Rc::clone(h.fault_plane());
+    plane.set_rate(FaultSite::ReplShipDrop, 1, 5);
+    plane.set_rate(FaultSite::ReplAckLoss, 1, 5);
+    let report = h.run(steps);
+    // Heal the wire and measure the drain: how many extra rounds the
+    // window needs to converge after the workload stops.
+    plane.set_rate(FaultSite::ReplShipDrop, 0, 1);
+    plane.set_rate(FaultSite::ReplAckLoss, 0, 1);
+    let mut drain_rounds = 0u64;
+    while h.lag() > 0 {
+        h.ship_round();
+        drain_rounds += 1;
+        assert!(drain_rounds <= 1024, "a healed wire must drain");
+    }
+    h.assert_replica_matches_committed_prefix();
+    let secs = h.clock().now().as_ms() / 1000.0;
+    let rate = if secs > 0.0 { h.acked() as f64 / secs } else { 0.0 };
+    let row = format!(
+        "{window:>6} | {:>7} | {:>11} | {:>7} | {:>9} | {:>12} | {rate:>9.1}",
+        report.shipped, report.retransmits, report.dropped, report.final_lag, drain_rounds,
+    );
+    let fp = {
+        let img = h.replica().fs.borrow().disk_image();
+        committed_state_fingerprint(&img)
+    };
+    (row, fp)
+}
+
+fn cmd_repl(d: &DebugArgs) {
+    println!(
+        "replication census — seed {}, {} rounds, 1/5 frame drops, 1/5 ack loss \
+         (docs/REPLICATION.md, EXPERIMENTS.md A8)",
+        d.seed, d.steps
+    );
+    println!("window | shipped | retransmits | dropped | final lag | drain rounds | records/s");
+    println!("-------+---------+-------------+---------+-----------+--------------+----------");
+    let mut fingerprints = Vec::new();
+    for window in [1u64, 2, 4, 8, 16] {
+        let (row, fp) = repl_census_row(d.seed, d.steps, window);
+        println!("{row}");
+        fingerprints.push((window, fp));
+    }
+    // Every window size converges to the same committed state: the
+    // window bounds in-flight records, never what is replicated.
+    let (_, fp0) = fingerprints[0];
+    for (window, fp) in &fingerprints {
+        if *fp != fp0 {
+            eprintln!("window {window} converged to a different committed state");
+            std::process::exit(1);
+        }
+    }
+    // Self-test: a same-seed replay of one row is byte-identical.
+    let a = repl_census_row(d.seed, d.steps, 4);
+    let b = repl_census_row(d.seed, d.steps, 4);
+    let identical = a == b;
+    println!("repl determinism: {}", if identical { "byte-identical" } else { "DIVERGED" });
+    if !identical {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let mut reps = 100usize;
     let mut args = std::env::args().skip(1);
@@ -278,6 +351,10 @@ fn main() {
             }
             "watch" => {
                 cmd_watch(&parse_debug_args(&mut args));
+                return;
+            }
+            "repl" => {
+                cmd_repl(&parse_debug_args(&mut args));
                 return;
             }
             "--reps" => {
@@ -322,6 +399,9 @@ fn main() {
                 println!("  checkpoints --seed S               checkpoint cadence + resume check");
                 println!(
                     "  watch       --seed S [--steps N] [--hostile]  alert stream + admission decisions"
+                );
+                println!(
+                    "  repl        --seed S [--steps N]   replication census: convergence vs window size"
                 );
                 return;
             }

@@ -147,7 +147,15 @@ impl Kernel {
 
     /// Boots a kernel with an explicit configuration.
     pub fn boot_with(cfg: KernelConfig) -> Rc<Kernel> {
-        let clock = VirtualClock::new();
+        Kernel::boot_with_clock(cfg, VirtualClock::new())
+    }
+
+    /// Boots a kernel on an externally supplied virtual clock. Several
+    /// kernels booted on one clock advance in lock-step — the
+    /// replication harness drives a primary and a replica this way, so
+    /// every cross-kernel interleaving is a deterministic function of
+    /// the seed.
+    pub fn boot_with_clock(cfg: KernelConfig, clock: Rc<VirtualClock>) -> Rc<Kernel> {
         let disk = Disk::new(Rc::clone(&clock));
         let fs = FileSystem::format(Rc::clone(&clock), disk, cfg.cache_blocks, cfg.max_files);
         Kernel::assemble(cfg, clock, fs)
@@ -161,8 +169,20 @@ impl Kernel {
     /// lifecycle — snapshot the dying kernel with
     /// [`Kernel::crash_image`], boot a fresh one here.
     pub fn boot_from_image(cfg: KernelConfig, image: DiskImage) -> Result<Rc<Kernel>, FsError> {
-        let clock = VirtualClock::new();
-        let disk = Disk::from_image(Rc::clone(&clock), image);
+        Kernel::boot_from_image_with_clock(cfg, VirtualClock::new(), image)
+    }
+
+    /// [`Kernel::boot_from_image`] on an externally supplied virtual
+    /// clock — the failover path: the replication harness promotes a
+    /// caught-up replica over its own disk image without leaving the
+    /// shared timeline. A malformed image (block vector disagreeing
+    /// with its geometry) is refused as [`FsError::BadVolume`].
+    pub fn boot_from_image_with_clock(
+        cfg: KernelConfig,
+        clock: Rc<VirtualClock>,
+        image: DiskImage,
+    ) -> Result<Rc<Kernel>, FsError> {
+        let disk = Disk::from_image(Rc::clone(&clock), image).map_err(|_| FsError::BadVolume)?;
         let fs = FileSystem::mount(Rc::clone(&clock), disk, cfg.cache_blocks)?;
         Ok(Kernel::assemble(cfg, clock, fs))
     }

@@ -86,10 +86,55 @@ pub struct DiskImage {
     blocks: Vec<Option<Box<[u8; 4096]>>>,
 }
 
+/// Why [`Disk::from_image`] refused an image: its block vector
+/// disagrees with the geometry it claims to have been written under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskImageError {
+    /// The image holds fewer block slots than its geometry declares.
+    Truncated {
+        /// Blocks the geometry declares.
+        expected: u64,
+        /// Block slots actually present.
+        got: u64,
+    },
+    /// The image holds more block slots than its geometry declares.
+    Oversized {
+        /// Blocks the geometry declares.
+        expected: u64,
+        /// Block slots actually present.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for DiskImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskImageError::Truncated { expected, got } => {
+                write!(f, "truncated disk image: geometry declares {expected} blocks, got {got}")
+            }
+            DiskImageError::Oversized { expected, got } => {
+                write!(f, "oversized disk image: geometry declares {expected} blocks, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiskImageError {}
+
 impl DiskImage {
     /// The geometry the image was written under.
     pub fn geometry(&self) -> DiskGeometry {
         self.geometry
+    }
+
+    /// Harness hook: forges an image whose block vector disagrees with
+    /// its geometry (added slots read as zeros), for exercising
+    /// [`Disk::from_image`] validation. A well-formed image can only
+    /// come from [`Disk::snapshot`]; this is how tests make a
+    /// malformed one.
+    pub fn with_forged_block_count(mut self, blocks: u64) -> DiskImage {
+        self.blocks.resize_with(blocks as usize, || None);
+        self
     }
 
     /// The surviving contents of block `addr` (zeros if never written),
@@ -99,6 +144,15 @@ impl DiskImage {
             Some(Some(b)) => **b,
             _ => [0; 4096],
         }
+    }
+
+    /// Addresses of blocks the drive has ever materialised, in address
+    /// order. Everything else reads as zeros, so comparing two images
+    /// only needs the union of their written sets — the replication
+    /// plane's convergence checks walk this instead of the full
+    /// geometry.
+    pub fn written(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.blocks.iter().enumerate().filter_map(|(i, b)| b.as_ref().map(|_| BlockAddr(i as u64)))
     }
 }
 
@@ -139,11 +193,22 @@ impl Disk {
     /// machine powering back up over the platters a crash left behind.
     /// Mechanical state starts fresh (head at 0, zeroed stats, the same
     /// fixed rotational-phase seed as [`Disk::new`]), so a same-seed
-    /// remount replays byte-identically.
-    pub fn from_image(clock: Rc<VirtualClock>, image: DiskImage) -> Disk {
+    /// remount replays byte-identically. An image whose block vector
+    /// disagrees with its declared geometry is refused with a typed
+    /// [`DiskImageError`] rather than booting a drive that would panic
+    /// on its first out-of-range access.
+    pub fn from_image(clock: Rc<VirtualClock>, image: DiskImage) -> Result<Disk, DiskImageError> {
+        let expected = image.geometry.blocks;
+        let got = image.blocks.len() as u64;
+        if got < expected {
+            return Err(DiskImageError::Truncated { expected, got });
+        }
+        if got > expected {
+            return Err(DiskImageError::Oversized { expected, got });
+        }
         let mut d = Disk::with_geometry(clock, image.geometry);
         d.blocks = image.blocks;
-        d
+        Ok(d)
     }
 
     /// Captures the persistent face of the drive — what survives an
@@ -463,6 +528,31 @@ mod tests {
         d.read(BlockAddr(5)); // Seek back — stall fires on top.
         assert_eq!(d.stats().stalls, 1);
         assert!(d.stats().busy >= Cycles::from_ms(7), "stall latency accounted");
+    }
+
+    #[test]
+    fn from_image_round_trips_a_well_formed_snapshot() {
+        let mut d = disk();
+        d.write(BlockAddr(7), &[0xAB; 4096]);
+        let image = d.snapshot();
+        let mut d2 = Disk::from_image(VirtualClock::new(), image).unwrap();
+        assert_eq!(d2.read(BlockAddr(7)), [0xAB; 4096]);
+    }
+
+    #[test]
+    fn from_image_refuses_truncated_and_oversized_images() {
+        let d = disk();
+        let blocks = d.block_count();
+        let short = d.snapshot().with_forged_block_count(blocks - 1);
+        assert_eq!(
+            Disk::from_image(VirtualClock::new(), short).unwrap_err(),
+            DiskImageError::Truncated { expected: blocks, got: blocks - 1 }
+        );
+        let long = d.snapshot().with_forged_block_count(blocks + 8);
+        assert_eq!(
+            Disk::from_image(VirtualClock::new(), long).unwrap_err(),
+            DiskImageError::Oversized { expected: blocks, got: blocks + 8 }
+        );
     }
 
     #[test]

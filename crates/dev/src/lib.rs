@@ -16,5 +16,5 @@
 pub mod disk;
 pub mod nic;
 
-pub use disk::{BlockAddr, Disk, DiskGeometry, DiskStats};
+pub use disk::{BlockAddr, Disk, DiskGeometry, DiskImage, DiskImageError, DiskStats};
 pub use nic::{NetEvent, Nic, Port};

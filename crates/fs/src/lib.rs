@@ -27,6 +27,7 @@ pub mod layout;
 
 pub use cache::{BufferCache, CacheStats};
 pub use fs::{
-    Extent, Fd, FileSystem, FsError, FsStats, RaRequest, ReadAheadDelegate, RecoveryReport,
+    Extent, Fd, FileSystem, FsError, FsStats, IngestOutcome, JournalRecord, RaRequest,
+    ReadAheadDelegate, RecoveryReport,
 };
 pub use layout::{Inode, JournalDescriptor, SuperBlock, BLOCK_SIZE};

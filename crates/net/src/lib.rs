@@ -22,7 +22,7 @@ pub mod packet;
 pub mod plane;
 pub mod ring;
 
-pub use packet::{Packet, Proto, PAYLOAD_CAP};
+pub use packet::{Packet, Proto, PAYLOAD_CAP, REPL_PORT};
 pub use plane::{
     decode_verdict, verdict_code, PacketPlane, PortStats, PumpSummary, Verdict, DEFAULT_BATCH,
     DEFAULT_HOP_BUDGET,

@@ -9,6 +9,10 @@ pub enum Proto {
     Udp,
     /// TCP segment.
     Tcp,
+    /// Replication frame (`vino-repl` journal shipping). Repl traffic
+    /// lands only on [`REPL_PORT`], which filter grafts can neither
+    /// steer into nor install on.
+    Repl,
 }
 
 impl Proto {
@@ -17,9 +21,16 @@ impl Proto {
         match self {
             Proto::Udp => 0,
             Proto::Tcp => 1,
+            Proto::Repl => 2,
         }
     }
 }
+
+/// The reserved replication port. The packet plane refuses filter
+/// installs on it and treats any steer *into* it as a loop cut, so a
+/// misbehaved filter graft can never swallow or redirect journal
+/// shipping traffic.
+pub const REPL_PORT: Port = Port(99);
 
 /// A packet on the RX path.
 ///
@@ -53,6 +64,11 @@ impl Packet {
     /// A fresh TCP packet.
     pub fn tcp(src: u32, dst: u32, port: Port, payload: Vec<u8>) -> Packet {
         Packet { src, dst, port, proto: Proto::Tcp, payload, id: 0, hops: 0 }
+    }
+
+    /// A fresh replication frame, addressed to [`REPL_PORT`].
+    pub fn repl(src: u32, dst: u32, payload: Vec<u8>) -> Packet {
+        Packet { src, dst, port: REPL_PORT, proto: Proto::Repl, payload, id: 0, hops: 0 }
     }
 
     /// Payload length in bytes.

@@ -233,6 +233,14 @@ impl PacketPlane {
         thread: ThreadId,
         opts: &InstallOpts,
     ) -> Result<SharedGraft, InstallError> {
+        if port == crate::packet::REPL_PORT {
+            // The replication port is outside graft reach: no filter may
+            // ever sit between the primary's journal stream and the
+            // replica's ring.
+            return Err(InstallError::Restricted {
+                point: format!("net/packet-filter/port-{} (reserved repl port)", port.0),
+            });
+        }
         self.open_port(port, DEFAULT_RING_CAPACITY);
         let graft = self.kernel.install_packet_filter(port, image, installer, thread, opts)?;
         let mut ports = self.ports.borrow_mut();
@@ -454,6 +462,16 @@ impl PacketPlane {
         // The injected steering cycle: redirect the packet back at the
         // port it came from, so only the hop budget can end it.
         let to = if self.fault_fire(FaultSite::NetSteerLoop) { from } else { to };
+        if to == crate::packet::REPL_PORT {
+            // No filter verdict may inject traffic into the reserved
+            // replication port; treat the attempt like a cut loop and
+            // blame the steering filter.
+            self.emit(TraceEvent::NetLoopCut { port: from.0 });
+            self.count(Counter::NetLoopCuts);
+            sum.loop_cuts += 1;
+            self.note_loop_cut(from);
+            return;
+        }
         self.kernel.clock.charge(STEER_COST);
         self.emit(TraceEvent::NetSteer { from: from.0, to: to.0 });
         self.count(Counter::NetSteerHops);
@@ -767,6 +785,32 @@ mod tests {
         assert!(plane.fallback_active(Port(30)));
         assert_eq!(plane.port_stats(Port(30)).unwrap().filter_live, Some(false));
         assert_eq!(mp.get(Counter::GraftFallbacks), 1);
+    }
+
+    #[test]
+    fn repl_port_is_outside_filter_reach() {
+        use crate::packet::REPL_PORT;
+        let (plane, mp, app, t) = boot_plane();
+        // No filter graft may install on the reserved replication port.
+        let image = plane.kernel().compile_graft("on-repl-port", "halt r0").unwrap();
+        let err = plane.install_filter(REPL_PORT, &image, app, t, &InstallOpts::default());
+        assert!(
+            matches!(err, Err(InstallError::Restricted { .. })),
+            "install on the repl port must be refused"
+        );
+        // A steer verdict aimed at the repl port is cut like a loop,
+        // and the repl ring never sees the packet.
+        let steer = format!("const r5, {}\nhalt r5", verdict_code::steer_to(REPL_PORT.0));
+        install(&plane, Port(10), app, t, "steer-to-repl", &steer);
+        plane.rx(Packet::udp(1, 9, Port(10), vec![4; 4]));
+        let sum = plane.pump();
+        assert_eq!(sum.loop_cuts, 1, "steer into the repl port is refused");
+        assert!(plane.drain_delivered(REPL_PORT).is_empty());
+        assert_eq!(mp.get(Counter::NetLoopCuts), 1);
+        // Repl traffic itself flows through the default-accept path.
+        plane.rx(Packet::repl(1, 2, vec![7; 8]));
+        plane.pump();
+        assert_eq!(plane.drain_delivered(REPL_PORT).len(), 1);
     }
 
     #[test]

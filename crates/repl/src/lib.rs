@@ -1,0 +1,36 @@
+//! vino-repl: deterministic primary/replica journal shipping.
+//!
+//! The journaling plane (PR 6) made every mutation a sequenced,
+//! checksummed, idempotently-replayable record. This crate closes the
+//! loop the paper's recovery story implies: if a record can be replayed
+//! on the machine that crashed, it can be replayed on a *different*
+//! machine — and then a misbehaving kernel is survivable not just by
+//! rebooting it, but by failing over past it.
+//!
+//! - [`frame`] — the wire contract: a committed
+//!   [`JournalRecord`](vino_fs::JournalRecord) marshalled into a record
+//!   frame (entry table + payload blocks + a fresh FNV-1a seal bound to
+//!   the sequence), fragmented under the packet plane's
+//!   [`PAYLOAD_CAP`](vino_net::PAYLOAD_CAP), plus the cumulative-ack
+//!   frame and the reassembler.
+//! - [`harness`] — the [`ReplHarness`]: two kernels off one virtual
+//!   clock, a bounded in-flight shipping window with go-back-N
+//!   retransmission over cumulative acks, wire faults
+//!   ([`REPL_SITES`](vino_sim::fault::REPL_SITES)) consulted at every
+//!   schedule point, node crashes landed on PR 6 crash-point
+//!   granularity, and failover that proves the replica's disk is a
+//!   byte-identical prefix of the primary's committed state before
+//!   promoting it.
+//!
+//! Everything is single-threaded and seeded: the same seed produces the
+//! same interleaving, the same faults, the same traces and the same
+//! final images, byte for byte. See `docs/REPLICATION.md`.
+
+pub mod frame;
+pub mod harness;
+
+pub use frame::{decode_ack, encode_ack, fragment, marshal, unmarshal, Reassembler};
+pub use harness::{
+    assert_committed_states_match, committed_state_fingerprint, NodeDeath, ReplConfig, ReplHarness,
+    RoundReport, WorkloadReport,
+};

@@ -36,7 +36,7 @@ impl Default for TimelineOpts {
 }
 
 /// The subsystem lanes, in render order (graft lanes come first).
-const SUBSYSTEM_LANES: &[&str] = &["vm", "txn", "rm", "fs", "net", "watch", "admission"];
+const SUBSYSTEM_LANES: &[&str] = &["vm", "txn", "rm", "fs", "net", "watch", "admission", "repl"];
 
 /// The lane a record renders in. Exhaustive over [`TraceEvent`]: graft
 /// lifecycle events get a per-graft lane, everything else its
@@ -80,6 +80,11 @@ pub fn lane_of(plane: &TracePlane, ev: &TraceEvent) -> String {
         // edge and an admit often share a cycle — one lane would let
         // the admit glyph overwrite the alert edge.
         AdmissionAllow { .. } | AdmissionDeny { .. } => "admission".to_string(),
+        ReplShip { .. }
+        | ReplAck { .. }
+        | ReplApply { .. }
+        | ReplFrameDrop { .. }
+        | ReplPromote { .. } => "repl".to_string(),
     }
 }
 
@@ -127,6 +132,11 @@ pub fn glyph_of(ev: &TraceEvent) -> char {
         WatchAlertResolved { .. } => 'z',
         AdmissionAllow { .. } => 'a',
         AdmissionDeny { .. } => 'V',
+        ReplShip { .. } => '>',
+        ReplAck { .. } => 'K',
+        ReplApply { .. } => '+',
+        ReplFrameDrop { .. } => 'L',
+        ReplPromote { .. } => 'P',
     }
 }
 
@@ -138,6 +148,7 @@ pub const LEGEND: &[&str] = &[
     "g/r/X rm grant/release/limit-hit  w vm-window  k sfi-check",
     "x rx  d shed  v verdict  s steer  o loop-cut  n batch",
     "f/z alert firing/resolved  a admit  V veto (admission deny)",
+    "> ship  K ack  + apply  L frame-drop  P promote (repl)",
 ];
 
 /// Renders the plane's current records as an ASCII Gantt chart.

@@ -82,6 +82,21 @@ pub enum FaultSite {
     /// torn-write hazard journal checksums exist to catch
     /// (`vino-dev::disk`).
     DiskTornWrite,
+    /// A shipped replication frame is dropped on the wire before it
+    /// reaches the replica's reserved port (`vino-repl`).
+    ReplShipDrop,
+    /// Two in-flight replication frames swap places within the shipping
+    /// window, so the replica sees them out of order (`vino-repl`).
+    ReplShipReorder,
+    /// A cumulative ack from the replica is lost, so the primary
+    /// retransmits from its last acked sequence (`vino-repl`).
+    ReplAckLoss,
+    /// The primary kernel loses power at a replication-schedule point;
+    /// the replica must finish replay and be promoted (`vino-repl`).
+    ReplPrimaryCrash,
+    /// The replica kernel loses power mid-apply; its own journal makes
+    /// the half-applied record recoverable on remount (`vino-repl`).
+    ReplReplicaCrash,
 }
 
 /// Every site, for iteration in diagnostics and docs.
@@ -101,9 +116,14 @@ pub const ALL_SITES: &[FaultSite] = &[
     FaultSite::KernelCrashAfterCommit,
     FaultSite::KernelCrashMidCheckpoint,
     FaultSite::DiskTornWrite,
+    FaultSite::ReplShipDrop,
+    FaultSite::ReplShipReorder,
+    FaultSite::ReplAckLoss,
+    FaultSite::ReplPrimaryCrash,
+    FaultSite::ReplReplicaCrash,
 ];
 
-const N_SITES: usize = 15;
+const N_SITES: usize = 20;
 
 fn idx(site: FaultSite) -> usize {
     match site {
@@ -122,6 +142,11 @@ fn idx(site: FaultSite) -> usize {
         FaultSite::KernelCrashAfterCommit => 12,
         FaultSite::KernelCrashMidCheckpoint => 13,
         FaultSite::DiskTornWrite => 14,
+        FaultSite::ReplShipDrop => 15,
+        FaultSite::ReplShipReorder => 16,
+        FaultSite::ReplAckLoss => 17,
+        FaultSite::ReplPrimaryCrash => 18,
+        FaultSite::ReplReplicaCrash => 19,
     }
 }
 
@@ -132,6 +157,17 @@ pub const CRASH_SITES: &[FaultSite] = &[
     FaultSite::KernelCrashMidJournal,
     FaultSite::KernelCrashAfterCommit,
     FaultSite::KernelCrashMidCheckpoint,
+];
+
+/// The replication-fault family: wire losses first, then the two
+/// node-death sites. Iterated by the repl battery to cover every
+/// loss-pattern × crash-point combination.
+pub const REPL_SITES: &[FaultSite] = &[
+    FaultSite::ReplShipDrop,
+    FaultSite::ReplShipReorder,
+    FaultSite::ReplAckLoss,
+    FaultSite::ReplPrimaryCrash,
+    FaultSite::ReplReplicaCrash,
 ];
 
 #[derive(Debug, Default, Clone)]

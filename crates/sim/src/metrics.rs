@@ -173,11 +173,26 @@ pub enum Counter {
     /// Injected torn writes that persisted only a block prefix
     /// (measurement-only; mirrors `DiskStats::torn_writes`).
     DiskTornWrites,
+    /// Committed journal records the primary shipped to the replica
+    /// (`vino-repl`).
+    ReplShips,
+    /// Cumulative acks the primary consumed (`vino-repl`).
+    ReplAcks,
+    /// Shipped records the replica applied through its own journal
+    /// (`vino-repl`).
+    ReplApplies,
+    /// Frames lost, reordered out of reach, or failing their seal
+    /// check (`vino-repl`).
+    ReplFrameDrops,
+    /// Records the shipping window retransmitted (`vino-repl`).
+    ReplRetransmits,
+    /// Replica promotions to primary after primary death (`vino-repl`).
+    ReplPromotions,
 }
 
 impl Counter {
     /// Number of counter slots.
-    pub const COUNT: usize = 51;
+    pub const COUNT: usize = 57;
 
     /// Every counter, in canonical exposition order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -232,6 +247,12 @@ impl Counter {
         Counter::DiskStalls,
         Counter::DiskIoErrors,
         Counter::DiskTornWrites,
+        Counter::ReplShips,
+        Counter::ReplAcks,
+        Counter::ReplApplies,
+        Counter::ReplFrameDrops,
+        Counter::ReplRetransmits,
+        Counter::ReplPromotions,
     ];
 
     /// The Prometheus series name (always a monotone counter).
@@ -288,6 +309,12 @@ impl Counter {
             Counter::DiskStalls => "vino_disk_stalls_total",
             Counter::DiskIoErrors => "vino_disk_io_errors_total",
             Counter::DiskTornWrites => "vino_disk_torn_writes_total",
+            Counter::ReplShips => "vino_repl_ships_total",
+            Counter::ReplAcks => "vino_repl_acks_total",
+            Counter::ReplApplies => "vino_repl_applies_total",
+            Counter::ReplFrameDrops => "vino_repl_frame_drops_total",
+            Counter::ReplRetransmits => "vino_repl_retransmits_total",
+            Counter::ReplPromotions => "vino_repl_promotions_total",
         }
     }
 }

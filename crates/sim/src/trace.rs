@@ -411,6 +411,39 @@ pub enum TraceEvent {
         /// Absolute virtual-clock deadline of the backoff (cycles).
         until: u64,
     },
+    // -- repl ------------------------------------------------------------
+    /// The primary shipped one committed journal record to the replica
+    /// (as `frags` sealed frames over the packet plane).
+    ReplShip {
+        /// Journal sequence number of the shipped record.
+        seq: u64,
+        /// Frames the marshalled record was fragmented into.
+        frags: u64,
+    },
+    /// The primary consumed a cumulative ack from the replica.
+    ReplAck {
+        /// Highest contiguous sequence the replica has applied.
+        acked: u64,
+    },
+    /// The replica applied one shipped record through its own journal.
+    ReplApply {
+        /// Journal sequence number applied.
+        seq: u64,
+        /// Home-location blocks the record carried.
+        blocks: u64,
+    },
+    /// A shipped frame was lost, reordered out of reach, or failed its
+    /// seal check; the window will retransmit it.
+    ReplFrameDrop {
+        /// Journal sequence number of the affected record.
+        seq: u64,
+    },
+    /// The replica finished replay after primary death and was promoted
+    /// to primary via `boot_from_image`.
+    ReplPromote {
+        /// Highest sequence applied at promotion.
+        seq: u64,
+    },
 }
 
 /// The subsystem a [`TraceEvent`] belongs to, for [`TraceStats`].
@@ -430,6 +463,8 @@ pub enum TraceCategory {
     Net,
     /// Watch-plane alert edges and admission decisions.
     Watch,
+    /// Replication-plane ship/ack/apply/promote events.
+    Repl,
 }
 
 impl TraceEvent {
@@ -472,6 +507,11 @@ impl TraceEvent {
             | WatchAlertResolved { .. }
             | AdmissionAllow { .. }
             | AdmissionDeny { .. } => TraceCategory::Watch,
+            ReplShip { .. }
+            | ReplAck { .. }
+            | ReplApply { .. }
+            | ReplFrameDrop { .. }
+            | ReplPromote { .. } => TraceCategory::Repl,
         }
     }
 }
@@ -506,6 +546,8 @@ pub struct TraceStats {
     pub net: u64,
     /// Watch-plane alert and admission events.
     pub watch: u64,
+    /// Replication-plane events.
+    pub repl: u64,
     /// All events emitted.
     pub total: u64,
     /// Events overwritten after the ring filled.
@@ -516,7 +558,7 @@ impl fmt::Display for TraceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "vm={} txn={} rm={} fs={} graft={} net={} watch={} total={} dropped={}",
+            "vm={} txn={} rm={} fs={} graft={} net={} watch={} repl={} total={} dropped={}",
             self.vm,
             self.txn,
             self.rm,
@@ -524,6 +566,7 @@ impl fmt::Display for TraceStats {
             self.graft,
             self.net,
             self.watch,
+            self.repl,
             self.total,
             self.dropped
         )
@@ -695,6 +738,7 @@ impl TracePlane {
             TraceCategory::Graft => stats.graft += 1,
             TraceCategory::Net => stats.net += 1,
             TraceCategory::Watch => stats.watch += 1,
+            TraceCategory::Repl => stats.repl += 1,
         }
         if self.ring.borrow_mut().push(rec) {
             stats.dropped += 1;
@@ -887,6 +931,11 @@ impl TracePlane {
             AdmissionDeny { principal, until } => {
                 format!("watch.deny principal={principal} until={until}")
             }
+            ReplShip { seq, frags } => format!("repl.ship seq={seq} frags={frags}"),
+            ReplAck { acked } => format!("repl.ack acked={acked}"),
+            ReplApply { seq, blocks } => format!("repl.apply seq={seq} blocks={blocks}"),
+            ReplFrameDrop { seq } => format!("repl.frame-drop seq={seq}"),
+            ReplPromote { seq } => format!("repl.promote seq={seq}"),
         };
         format!("{:06} @{:012} {}", r.seq, r.at.get(), body)
     }

@@ -5,7 +5,8 @@
 //! much*; this plane answers *is it acceptable right now*. Subsystems
 //! feed fixed-capacity sliding-window aggregators — abort rate,
 //! invocation p99 cycles, quarantine churn, RX shed rate, journal
-//! occupancy, lock-timeout rate — and every observation is evaluated
+//! occupancy, lock-timeout rate, replication lag — and every
+//! observation is evaluated
 //! against a declarative [`SloRule`] table. When a rule's windowed
 //! value crosses its threshold the plane records a `firing` edge into a
 //! pre-allocated alert ring (a `resolved` edge when it recedes), with
@@ -78,6 +79,9 @@ pub enum Signal {
     JournalOccupancy,
     /// Lock time-outs fired in the window (global).
     LockTimeoutRate,
+    /// Replication lag — committed-but-unacked journal records on the
+    /// primary's shipping window (global gauge; the window is ignored).
+    ReplicationLag,
 }
 
 /// One declarative SLO rule: when `signal`'s windowed value reaches
@@ -142,6 +146,12 @@ pub fn default_rules() -> Vec<SloRule> {
             signal: Signal::LockTimeoutRate,
             window: Cycles::from_ms(1000),
             threshold: 3,
+        },
+        SloRule {
+            name: "replication-lag",
+            signal: Signal::ReplicationLag,
+            window: Cycles::from_ms(1000),
+            threshold: 8,
         },
     ]
 }
@@ -393,6 +403,7 @@ pub struct WatchState {
     stats: WatchStats,
     global: [RuleCell; MAX_RULES],
     journal_permille: u64,
+    repl_lag: u64,
     p99: SampleWindow,
     principals: Vec<PrincipalSlot>,
 }
@@ -411,6 +422,8 @@ pub struct WatchPlane {
     global: RefCell<[RuleCell; MAX_RULES]>,
     /// Last observed journal occupancy, permille of capacity.
     journal_permille: Cell<u64>,
+    /// Last observed replication lag, in unacked committed records.
+    repl_lag: Cell<u64>,
     p99: RefCell<SampleWindow>,
     principals: RefCell<Vec<PrincipalSlot>>,
     trace: RefCell<Option<Rc<TracePlane>>>,
@@ -460,6 +473,7 @@ impl WatchPlane {
             stats: Cell::new(WatchStats::default()),
             global: RefCell::new(global),
             journal_permille: Cell::new(0),
+            repl_lag: Cell::new(0),
             p99: RefCell::new(SampleWindow::new()),
             principals: RefCell::new(Vec::with_capacity(principals)),
             trace: RefCell::new(None),
@@ -549,6 +563,15 @@ impl WatchPlane {
         self.eval_signal(Signal::JournalOccupancy, 0, now);
     }
 
+    /// One replication-plane progress report: `lag` committed journal
+    /// records are shipped-or-pending but not yet cumulatively acked by
+    /// the replica.
+    pub fn observe_repl_lag(&self, lag: u64) {
+        let now = self.clock.now();
+        self.repl_lag.set(lag);
+        self.eval_signal(Signal::ReplicationLag, 0, now);
+    }
+
     /// One fired lock time-out.
     pub fn observe_lock_timeout(&self) {
         let now = self.clock.now();
@@ -610,6 +633,7 @@ impl WatchPlane {
     fn global_value(&self, i: usize, now: Cycles) -> u64 {
         match self.rules[i].signal {
             Signal::JournalOccupancy => self.journal_permille.get(),
+            Signal::ReplicationLag => self.repl_lag.get(),
             Signal::InvokeP99 => self.p99.borrow().p99(now, self.rules[i].window),
             _ => self.global.borrow_mut()[i].window.sum(now),
         }
@@ -815,6 +839,7 @@ impl WatchPlane {
             stats: self.stats.get(),
             global: *self.global.borrow(),
             journal_permille: self.journal_permille.get(),
+            repl_lag: self.repl_lag.get(),
             p99: *self.p99.borrow(),
             principals: self.principals.borrow().clone(),
         }
@@ -837,6 +862,7 @@ impl WatchPlane {
         self.stats.set(st.stats);
         *self.global.borrow_mut() = st.global;
         self.journal_permille.set(st.journal_permille);
+        self.repl_lag.set(st.repl_lag);
         *self.p99.borrow_mut() = st.p99;
         *self.principals.borrow_mut() = st.principals.clone();
     }
@@ -1001,6 +1027,24 @@ mod tests {
         assert_eq!(recs[1].principal, 3);
         assert_eq!(wp.stats().dropped, 1);
         assert_eq!(wp.len(), 3, "sequence numbers survive eviction");
+    }
+
+    #[test]
+    fn replication_lag_gauge_fires_and_resolves_on_observation() {
+        let rules = vec![SloRule {
+            name: "replication-lag",
+            signal: Signal::ReplicationLag,
+            window: Cycles(1000),
+            threshold: 8,
+        }];
+        let (wp, _) = plane_with(rules);
+        wp.observe_repl_lag(3);
+        assert!(wp.is_empty(), "a shallow shipping window stays quiet");
+        wp.observe_repl_lag(8);
+        assert_eq!(wp.len(), 1, "8 unacked records >= 8 fires");
+        wp.observe_repl_lag(0);
+        assert_eq!(wp.len(), 2, "a caught-up replica resolves");
+        assert_eq!(wp.records()[1].edge, AlertEdge::Resolved);
     }
 
     #[test]

@@ -38,7 +38,7 @@ cargo test -q --test timeline_golden
 
 echo "== stale-golden guard (regenerated goldens must match the checked-in files) =="
 UPDATE_GOLDENS=1 cargo test -q --test trace_golden --test metrics_golden \
-    --test profile_golden --test timeline_golden
+    --test profile_golden --test timeline_golden --test repl_battery
 git diff --exit-code -- tests/goldens
 
 echo "== debugging plane (checkpoint/restore, bisect bound, shrinker minimality) =="
@@ -47,12 +47,18 @@ cargo test -q --test debug_battery
 echo "== watch plane (SLO alerts, admission gate, golden alert streams) =="
 cargo test -q --test watch_battery
 
+echo "== replication battery (crash-point x loss-pattern convergence, failover byte-identity) =="
+cargo test -q --test repl_battery
+
 echo "== debugging-plane CLI self-test (bisect + checkpoint resume on the pinned seed) =="
 cargo run -q --release -p vino-bench -- bisect --seed 3405691582 --steps 48
 cargo run -q --release -p vino-bench -- checkpoints --seed 3405691582 --steps 48
 
 echo "== watch-plane CLI self-test (hostile storm, byte-identical replay) =="
 cargo run -q --release -p vino-bench -- watch --seed 3405691582 --hostile
+
+echo "== replication CLI self-test (lossy-wire census, byte-identical replay) =="
+cargo run -q --release -p vino-bench -- repl --seed 3405691582 --steps 24
 
 echo "== differential profile gate (fails on cost-model drift; --profdiff-write to rebase) =="
 cargo run -q --release -p vino-bench -- --profdiff

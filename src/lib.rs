@@ -38,6 +38,7 @@
 //! | [`fs`] | `vino-fs` | block FS, buffer cache, read-ahead grafts |
 //! | [`core`] | `vino-core` | graft points, linker/loader, the kernel |
 //! | [`net`] | `vino-net` | packet plane: RX rings, graftable filters |
+//! | [`repl`] | `vino-repl` | primary/replica journal shipping, failover |
 
 pub use vino_core as core;
 pub use vino_dev as dev;
@@ -53,6 +54,7 @@ pub use vino_fs as fs;
 pub use vino_mem as mem;
 pub use vino_misfit as misfit;
 pub use vino_net as net;
+pub use vino_repl as repl;
 pub use vino_rm as rm;
 pub use vino_sched as sched;
 pub use vino_sim as sim;

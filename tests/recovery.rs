@@ -43,8 +43,9 @@ use vino::dev::disk::{Disk, DiskImage};
 use vino::dev::Port;
 use vino::fs::{FileSystem, FsError, RecoveryReport, BLOCK_SIZE};
 use vino::net::{verdict_code, Packet, PacketPlane};
+use vino::repl::{ReplConfig, ReplHarness};
 use vino::rm::{Limits, ResourceKind};
-use vino::sim::fault::{FaultPlane, FaultSite, ALL_SITES, CRASH_SITES};
+use vino::sim::fault::{FaultPlane, FaultSite, ALL_SITES, CRASH_SITES, REPL_SITES};
 use vino::sim::{Cycles, VirtualClock};
 
 /// The four kernel workloads a crash interrupts. Each drives a
@@ -415,6 +416,9 @@ fn graft_harness(k: &Kernel) -> (vino::rm::PrincipalId, vino::sim::ThreadId) {
 /// Arms or rates `site`, drives a minimal scenario that visits it, and
 /// returns how many times the plane injected it.
 fn exercise(site: FaultSite) -> u64 {
+    if REPL_SITES.contains(&site) {
+        return exercise_repl_site(site);
+    }
     let (k, plane) = boot_faulted(0xE0);
     match site {
         FaultSite::DiskRead | FaultSite::DiskStall => {
@@ -543,7 +547,23 @@ fn exercise(site: FaultSite) -> u64 {
             let fd = fs.open("f").unwrap();
             assert_eq!(fs.write(fd, 0, b"doomed"), Err(FsError::PowerFailure));
         }
+        FaultSite::ReplShipDrop
+        | FaultSite::ReplShipReorder
+        | FaultSite::ReplAckLoss
+        | FaultSite::ReplPrimaryCrash
+        | FaultSite::ReplReplicaCrash => unreachable!("repl sites are handled above"),
     }
+    plane.injected(site)
+}
+
+/// The repl sites fire inside the replication plane's schedule, which
+/// owns its own two-kernel pair — arm the site there and drive the
+/// standard shipping workload until it is visited.
+fn exercise_repl_site(site: FaultSite) -> u64 {
+    let mut h = ReplHarness::new(0xE0, ReplConfig::default());
+    let plane = Rc::clone(h.fault_plane());
+    plane.arm(site, plane.visits(site) + 1);
+    h.run(6);
     plane.injected(site)
 }
 
@@ -553,7 +573,7 @@ fn exercise(site: FaultSite) -> u64 {
 /// compile error here — exhaustiveness is structural, not aspirational.
 #[test]
 fn every_fault_site_is_exercised() {
-    assert_eq!(ALL_SITES.len(), 15, "keep this battery in sync with the fault plane");
+    assert_eq!(ALL_SITES.len(), 20, "keep this battery in sync with the fault plane");
     for &site in ALL_SITES {
         let injected = exercise(site);
         assert!(injected > 0, "site {site:?} never fired in its scenario");
@@ -588,7 +608,7 @@ fn image_with_pending_redo(seed: u64) -> DiskImage {
 /// hit the replay path itself.
 fn recover_with(image: DiskImage, plane: Option<Rc<FaultPlane>>) -> (DiskImage, RecoveryReport) {
     let clock = VirtualClock::new();
-    let mut disk = Disk::from_image(Rc::clone(&clock), image);
+    let mut disk = Disk::from_image(Rc::clone(&clock), image).unwrap();
     if let Some(p) = plane {
         disk.set_fault_plane(p);
     }
@@ -633,7 +653,7 @@ fn torn_replay_is_repaired_by_rerunning_recovery() {
     let fp = FaultPlane::seeded(5);
     fp.arm(FaultSite::DiskTornWrite, 1);
     let clock = VirtualClock::new();
-    let mut disk = Disk::from_image(Rc::clone(&clock), image);
+    let mut disk = Disk::from_image(Rc::clone(&clock), image).unwrap();
     disk.set_fault_plane(Rc::clone(&fp));
     let mut fs = FileSystem::mount(clock, disk, 8).unwrap();
     assert_eq!(fp.injected(FaultSite::DiskTornWrite), 1, "the replay write must tear");

@@ -17,9 +17,12 @@
 //! without teaching the timeline about it fails to compile here.
 
 use std::path::PathBuf;
+use std::rc::Rc;
 
 use vino::core::kernel::KernelConfig;
+use vino::repl::{ReplConfig, ReplHarness};
 use vino::sim::clock::VirtualClock;
+use vino::sim::fault::FaultSite;
 use vino::sim::trace::{
     AbortKind, SfiKind, ShedKind, TraceEvent, TracePlane, VerdictKind, VmExitKind,
 };
@@ -119,6 +122,44 @@ fn watch_alert_timeline_matches_golden() {
     check_golden("watch_alert_timeline", &out);
 }
 
+/// The repl lane, under fire: ships and retransmissions (`>`), frames
+/// lost to the wire (`L`), applies (`+`), cumulative acks (`K`), and —
+/// after the armed primary crash — the failover promotion (`P`), all
+/// on the shared timeline next to both kernels' fs traffic.
+#[test]
+fn repl_timeline_matches_golden() {
+    // Window of 1 so each round puts exactly one record on the wire:
+    // wire faults within a round all land at the round-start cycle —
+    // the same timeline column, where the latest glyph wins — so a
+    // dropped frame is only visible when nothing else ships that round.
+    let cfg = ReplConfig {
+        window: 1,
+        crash_site: FaultSite::KernelCrashAfterCommit,
+        ..Default::default()
+    };
+    let mut h = ReplHarness::new(SEED, cfg);
+    let plane = Rc::clone(h.fault_plane());
+    // Round 2 loses both its single in-flight frame and its ack: its
+    // only repl mark is the `L`.
+    plane.arm(FaultSite::ReplShipDrop, 2);
+    plane.arm(FaultSite::ReplAckLoss, 2);
+    plane.arm(FaultSite::ReplPrimaryCrash, 6);
+    // Six rounds: the primary dies at the top of the last one, so the
+    // records committed just before death (including the doomed
+    // crash-victim transaction — the crash point is after its commit
+    // block) are drained by failover, not the live wire: the drain's
+    // applies render in their own columns after the last live ship.
+    h.run(6);
+    h.failover();
+    let opts = TimelineOpts { width: 72, ..TimelineOpts::default() };
+    let out = render_timeline(h.trace_plane(), &opts);
+    let repl_lane: String = out.lines().filter(|l| l.starts_with("repl")).collect();
+    for glyph in [">", "+", "K", "P", "L"] {
+        assert!(repl_lane.contains(glyph), "repl lane is missing `{glyph}`:\n{out}");
+    }
+    check_golden("repl_timeline", &out);
+}
+
 /// One exemplar of every [`TraceEvent`] variant, in declaration order.
 ///
 /// The paired `variant_index` match is wildcard-free, so this list (and
@@ -166,6 +207,11 @@ fn one_of_each(tp: &TracePlane) -> Vec<TraceEvent> {
         TraceEvent::WatchAlertResolved { rule, principal: 7 },
         TraceEvent::AdmissionAllow { principal: 7 },
         TraceEvent::AdmissionDeny { principal: 7, until: 1 << 30 },
+        TraceEvent::ReplShip { seq: 1, frags: 2 },
+        TraceEvent::ReplAck { acked: 1 },
+        TraceEvent::ReplApply { seq: 1, blocks: 2 },
+        TraceEvent::ReplFrameDrop { seq: 2 },
+        TraceEvent::ReplPromote { seq: 3 },
     ]
 }
 
@@ -212,6 +258,11 @@ fn variant_index(ev: &TraceEvent) -> usize {
         WatchAlertResolved { .. } => 35,
         AdmissionAllow { .. } => 36,
         AdmissionDeny { .. } => 37,
+        ReplShip { .. } => 38,
+        ReplAck { .. } => 39,
+        ReplApply { .. } => 40,
+        ReplFrameDrop { .. } => 41,
+        ReplPromote { .. } => 42,
     }
 }
 
