@@ -20,6 +20,10 @@ struct DebugArgs {
     /// `watch` only: run the dense trap storm instead of the generated
     /// one, so the alert stream and admission gate have real work.
     hostile: bool,
+    /// `census` only: also write `BENCH_<name>.json` files.
+    json: bool,
+    /// `census` only: samples per measurement path.
+    reps: usize,
 }
 
 fn parse_debug_args(args: &mut impl Iterator<Item = String>) -> DebugArgs {
@@ -29,6 +33,8 @@ fn parse_debug_args(args: &mut impl Iterator<Item = String>) -> DebugArgs {
         out: None,
         topts: TimelineOpts::default(),
         hostile: false,
+        json: false,
+        reps: 25,
     };
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().unwrap_or_else(|| {
@@ -52,6 +58,13 @@ fn parse_debug_args(args: &mut impl Iterator<Item = String>) -> DebugArgs {
             }
             "--out" => d.out = Some(need(args, "--out")),
             "--hostile" => d.hostile = true,
+            "--json" => d.json = true,
+            "--reps" => {
+                d.reps = need(args, "--reps").parse().unwrap_or_else(|_| {
+                    eprintln!("--reps expects a positive integer");
+                    std::process::exit(2);
+                });
+            }
             "--time-range" => {
                 let v = need(args, "--time-range");
                 let Some((lo, hi)) = v.split_once("..") else {
@@ -320,6 +333,75 @@ fn cmd_repl(d: &DebugArgs) {
     }
 }
 
+fn cmd_census(d: &DebugArgs) {
+    println!(
+        "bench census — {} reps, seed {}, {} repl rounds (EXPERIMENTS.md A9)",
+        d.reps, d.seed, d.steps
+    );
+    for c in vino_bench::census::run_all(d.reps, d.seed, d.steps) {
+        println!();
+        println!("[{}]", c.name);
+        print!("{}", c.text);
+        if d.json {
+            let file = c.json_file();
+            std::fs::write(&file, &c.json).unwrap_or_else(|e| {
+                eprintln!("{file}: {e}");
+                std::process::exit(2);
+            });
+            println!("wrote {file}");
+        }
+    }
+}
+
+/// The lag-path walker over a live stalled harness: stall the ack
+/// path, attribute where the oldest unacked record's age went, prove
+/// the per-hop sum reconciles exactly with the watch plane's gauge,
+/// then heal the wire and show convergence.
+fn cmd_lagpath(d: &DebugArgs) {
+    use vino_repl::{lag_path, ReplConfig, ReplHarness};
+    use vino_sim::fault::FaultSite;
+
+    let mut h = ReplHarness::new(d.seed, ReplConfig { window: 2, ..Default::default() });
+    let plane = std::rc::Rc::clone(h.fault_plane());
+    plane.set_rate(FaultSite::ReplAckLoss, 1, 1);
+    h.run(d.steps.min(12));
+    let s = h.shipping_state();
+    println!(
+        "shipping state: window {} ({} in flight), shipped {}, acked {}, applied {}, lag {}, \
+         {} retransmits, {} drops",
+        s.window,
+        s.in_flight,
+        s.last_shipped,
+        s.last_acked,
+        s.applied,
+        s.lag,
+        s.retransmits,
+        s.frame_drops
+    );
+    let Some(report) = lag_path(&h) else {
+        println!("lag 0 — nothing to attribute (try more --steps)");
+        return;
+    };
+    print!("{}", report.render());
+    let gauge = h.watch_plane().repl_lag_age();
+    let reconciled = report.total == gauge;
+    println!(
+        "watch repl-lag-age gauge: {} cyc — {}",
+        gauge.0,
+        if reconciled { "reconciled exactly" } else { "DIVERGED" }
+    );
+    if !reconciled {
+        std::process::exit(1);
+    }
+    plane.set_rate(FaultSite::ReplAckLoss, 0, 1);
+    let mut rounds = 0;
+    while h.lag() > 0 && rounds < 64 {
+        h.ship_round();
+        rounds += 1;
+    }
+    println!("healed wire: lag 0 after {rounds} drain rounds");
+}
+
 fn main() {
     let mut reps = 100usize;
     let mut args = std::env::args().skip(1);
@@ -355,6 +437,14 @@ fn main() {
             }
             "repl" => {
                 cmd_repl(&parse_debug_args(&mut args));
+                return;
+            }
+            "census" => {
+                cmd_census(&parse_debug_args(&mut args));
+                return;
+            }
+            "lagpath" => {
+                cmd_lagpath(&parse_debug_args(&mut args));
                 return;
             }
             "--reps" => {
@@ -402,6 +492,12 @@ fn main() {
                 );
                 println!(
                     "  repl        --seed S [--steps N]   replication census: convergence vs window size"
+                );
+                println!(
+                    "  census      [--json] [--reps N]    machine-readable sweeps; --json writes BENCH_<name>.json"
+                );
+                println!(
+                    "  lagpath     --seed S [--steps N]   critical-path lag attribution vs the watch gauge"
                 );
                 return;
             }

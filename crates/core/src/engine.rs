@@ -18,7 +18,7 @@ use vino_rm::{PrincipalId, ResourceAccountant, ResourceKind};
 use vino_sim::fault::FaultPlane;
 use vino_sim::metrics::{MetricTag, MetricsPlane};
 use vino_sim::profile::{ProfTag, ProfilePlane};
-use vino_sim::trace::{AbortKind, GraftTag, TraceEvent, TracePlane};
+use vino_sim::trace::{AbortKind, CauseCtx, GraftTag, TraceEvent, TracePlane};
 use vino_sim::watch::WatchPlane;
 use vino_sim::{costs, Cycles, ThreadId, VirtualClock};
 use vino_txn::locks::{LockClass, LockId};
@@ -529,6 +529,9 @@ pub struct GraftInstance {
     /// watch plane can be fed the invocation's cycle cost on both the
     /// commit and the abort exits.
     invoke_started: Cycles,
+    /// The trace plane's causal context before the current invocation
+    /// span was installed, restored on both the commit and abort exits.
+    prev_ctx: CauseCtx,
 }
 
 impl GraftInstance {
@@ -589,12 +592,33 @@ impl GraftInstance {
             mtag,
             ptag,
             invoke_started: Cycles::ZERO,
+            prev_ctx: CauseCtx::NONE,
         }
     }
 
     fn emit(&self, ev: TraceEvent) {
         if let Some(tp) = self.engine.trace.borrow().as_ref() {
             tp.emit(ev);
+        }
+    }
+
+    /// Opens the invocation's causal span — an event origin: the span
+    /// is minted as a child of whatever context is in force (so a graft
+    /// invoked from a packet batch chains to the packet's span) and
+    /// installed as the plane's current context. Every event the
+    /// invocation emits, on any subsystem, inherits it.
+    fn begin_invoke_span(&mut self) {
+        if let Some(tp) = self.engine.trace_plane() {
+            let ctx = tp.mint_span(tp.ctx().span);
+            self.prev_ctx = tp.set_ctx(ctx);
+        }
+    }
+
+    /// Closes the invocation's causal span, restoring the context that
+    /// was in force before it. Both exits (commit and abort) land here.
+    fn end_invoke_span(&mut self) {
+        if let Some(tp) = self.engine.trace_plane() {
+            tp.set_ctx(self.prev_ctx);
         }
     }
 
@@ -698,6 +722,7 @@ impl GraftInstance {
         }
         self.stats.invocations += 1;
         self.invoke_started = self.engine.clock.now();
+        self.begin_invoke_span();
         if let Some(tag) = self.tag {
             self.emit(TraceEvent::GraftInvoke { graft: tag });
         }
@@ -743,6 +768,7 @@ impl GraftInstance {
                                     }
                                 }
                                 self.observe_watch_invoke();
+                                self.end_invoke_span();
                                 InvokeOutcome::Ok { result, extents: host.extents, log: host.log }
                             } else {
                                 // A fired lock time-out stole the wrapper
@@ -832,6 +858,7 @@ impl GraftInstance {
         }
         self.stats.invocations += 1;
         self.invoke_started = self.engine.clock.now();
+        self.begin_invoke_span();
         if let Some(tag) = self.tag {
             self.emit(TraceEvent::GraftInvoke { graft: tag });
         }
@@ -914,6 +941,7 @@ impl GraftInstance {
                 }
             }
             self.observe_watch_invoke();
+            self.end_invoke_span();
             BatchOutcome::Ok { results }
         } else {
             // A fired lock time-out stole the wrapper transaction
@@ -1001,6 +1029,7 @@ impl GraftInstance {
                 wp.observe_quarantine(self.blame.0);
             }
         }
+        self.end_invoke_span();
         InvokeOutcome::Aborted { why, report }
     }
 }

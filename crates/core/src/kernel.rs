@@ -99,7 +99,7 @@ impl Default for KernelConfig {
 /// would leave earlier grafts and subsystems on the old plane — a
 /// half-attached state with nondeterministic coverage. The contract is
 /// therefore *error on double attach*, enforced by one
-/// [`AttachSlot`](vino_sim::plane::AttachSlot) per plane kind (shared
+/// [`vino_sim::plane::AttachSlot`] per plane kind (shared
 /// with the sim crate, which owns the error type).
 pub use vino_sim::plane::AttachError;
 

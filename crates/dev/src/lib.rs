@@ -2,7 +2,7 @@
 //!
 //! The paper's test platform used "a single 5400 RPM Fujitsu M2694ESA
 //! disk with a SCSI interface, a formatted capacity of 1080MB, an
-//! average seek time of 9.5 [ms], and a 64KB buffer" (§4). The [`disk`]
+//! average seek time of 9.5 \[ms\], and a 64KB buffer" (§4). The [`disk`]
 //! module models that drive's latency: seek distance-dependent head
 //! movement, rotational delay at 5400 RPM, and per-block transfer time —
 //! enough to reproduce the ~18 ms page-fault cost the eviction analysis

@@ -6,12 +6,13 @@
 //! translated to method invocations on the appropriate open-file"
 //! (§4.1.2). The open-file object is where the read-ahead graft hangs.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
 use vino_dev::disk::{BlockAddr, Disk, DiskImage};
 use vino_sim::fault::{FaultPlane, FaultSite};
+use vino_sim::trace::SpanId;
 use vino_sim::{Cycles, VirtualClock};
 
 use crate::cache::BufferCache;
@@ -227,6 +228,11 @@ pub struct FileSystem {
     committed: Vec<JournalRecord>,
     /// Highest committed sequence ever retained (survives pruning).
     last_committed: u64,
+    /// Per-sequence seal spans: the causal span minted at each
+    /// `fs.journal_commit` plus the commit's virtual-clock stamp, kept
+    /// while the record is retained for shipping so the replication
+    /// layer can chain ship spans (and age the lag gauge) off the seal.
+    seal_spans: BTreeMap<u64, (SpanId, Cycles)>,
     /// What mount-time recovery found on this volume.
     recovery: Option<RecoveryReport>,
     /// Recovery actions awaiting a trace / metrics plane.
@@ -269,6 +275,7 @@ impl FileSystem {
             next_seq: 1,
             committed: Vec::new(),
             last_committed: 0,
+            seal_spans: BTreeMap::new(),
             recovery: None,
             pending_trace: Vec::new(),
             pending_metrics: Vec::new(),
@@ -304,6 +311,7 @@ impl FileSystem {
             next_seq: 1,
             committed: Vec::new(),
             last_committed: 0,
+            seal_spans: BTreeMap::new(),
             recovery: None,
             pending_trace: Vec::new(),
             pending_metrics: Vec::new(),
@@ -533,7 +541,7 @@ impl FileSystem {
     /// Quiesces the volume so a checkpoint capture and its restore see
     /// identical file-system state: invalidates the journal descriptor
     /// on disk (so mounting the captured image finds a clean journal —
-    /// the same write [`discard_tail`](Self::discard_tail) issues),
+    /// the same write the recovery scan's tail discard issues),
     /// empties the buffer cache, forgets per-descriptor read-ahead
     /// state, parks the disk mechanism and rewinds the journal sequence
     /// to its fresh-mount value. Called on *both* sides of a
@@ -658,7 +666,17 @@ impl FileSystem {
         // within the smallest torn prefix, so the write is
         // effectively atomic.
         self.disk.write(BlockAddr(js + 1 + n), &encode_commit(seq, descriptor_seal(&desc_block)));
-        self.emit(vino_sim::trace::TraceEvent::FsJournalCommit { seq });
+        // The seal is an event origin: mint the record's causal span
+        // (child of whatever invocation context is in force) and keep
+        // it with the commit stamp so replication chains off it.
+        let seal_ctx = self.trace.as_ref().map(|tp| {
+            let ctx = tp.mint_span(tp.ctx().span);
+            tp.emit_with_ctx(vino_sim::trace::TraceEvent::FsJournalCommit { seq }, ctx);
+            ctx
+        });
+        if let Some(ctx) = seal_ctx {
+            self.seal_spans.insert(seq, (ctx.span, self.clock.now()));
+        }
         self.minc(vino_sim::metrics::Counter::FsJournalCommits);
         // Commit is durable: retain the record for replication shipping
         // before any later crash point can interrupt the checkpoint.
@@ -677,7 +695,12 @@ impl FileSystem {
                 self.disk.write(addr, data);
             }
         }
-        self.emit(vino_sim::trace::TraceEvent::FsCheckpoint { seq, blocks: n });
+        // The checkpoint belongs to the same causal story as its seal.
+        if let (Some(tp), Some(ctx)) = (&self.trace, seal_ctx) {
+            tp.emit_with_ctx(vino_sim::trace::TraceEvent::FsCheckpoint { seq, blocks: n }, ctx);
+        } else {
+            self.emit(vino_sim::trace::TraceEvent::FsCheckpoint { seq, blocks: n });
+        }
         self.minc(vino_sim::metrics::Counter::FsCheckpoints);
         Ok(())
     }
@@ -709,6 +732,15 @@ impl FileSystem {
     pub fn prune_committed(&mut self, upto: u64) {
         let keep = self.committed.partition_point(|r| r.seq <= upto);
         self.committed.drain(..keep);
+        self.seal_spans = self.seal_spans.split_off(&(upto + 1));
+    }
+
+    /// The seal span and commit stamp of a retained record's
+    /// `fs.journal_commit`, if a trace plane was attached when it
+    /// sealed. Pruned with the record
+    /// ([`prune_committed`](Self::prune_committed)).
+    pub fn seal_info_of(&self, seq: u64) -> Option<(SpanId, Cycles)> {
+        self.seal_spans.get(&seq).copied()
     }
 
     /// Highest committed journal sequence (0 before the first commit).
@@ -764,7 +796,7 @@ impl FileSystem {
     /// must accept `n` again when the shipper retransmits it, not skip
     /// it as a duplicate. `applied` is the highest sequence the replica
     /// actually holds; the discarded descriptor was zeroed by
-    /// [`discard_tail`](Self::scan_and_replay), so reusing the torn
+    /// the recovery scan's tail discard, so reusing the torn
     /// sequence is safe.
     pub fn rewind_replication_cursor(&mut self, applied: u64) {
         assert!(

@@ -12,7 +12,7 @@
 //!
 //! This crate is that tool for GraftVM code:
 //!
-//! - [`instrument`] — the rewriting pass. Every load/store becomes a
+//! - [`mod@instrument`] — the rewriting pass. Every load/store becomes a
 //!   *sandbox sequence* through a reserved register (Wahbe et al.'s
 //!   dedicated-register discipline, so a branch into the middle of a
 //!   sequence still cannot escape the segment); every indirect call gains

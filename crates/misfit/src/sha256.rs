@@ -1,7 +1,7 @@
 //! SHA-256 (FIPS 180-4), implemented from scratch.
 //!
 //! The paper relies on commercially available code-signing tools
-//! (Authenticode, §3.3 [10]); this reproduction builds the primitive
+//! (Authenticode, §3.3 \[10\]); this reproduction builds the primitive
 //! itself so the signing path has no external dependencies. The
 //! implementation is the straightforward specification transcription —
 //! no unsafe code, no lookup-table tricks — and is validated against the

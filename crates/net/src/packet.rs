@@ -1,6 +1,7 @@
 //! Typed packets and the filter-graft marshalling contract.
 
 use vino_dev::Port;
+use vino_sim::trace::CauseCtx;
 
 /// Transport protocol of a [`Packet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,22 +54,41 @@ pub struct Packet {
     pub id: u64,
     /// Steer hops taken so far.
     pub hops: u32,
+    /// Causal context propagated in-band with the packet: the span
+    /// that caused this packet to exist (e.g. the replication ship
+    /// span that framed it). [`CauseCtx::NONE`] for untraced traffic.
+    pub ctx: CauseCtx,
 }
 
 impl Packet {
     /// A fresh UDP packet (the common test/bench constructor).
     pub fn udp(src: u32, dst: u32, port: Port, payload: Vec<u8>) -> Packet {
-        Packet { src, dst, port, proto: Proto::Udp, payload, id: 0, hops: 0 }
+        Packet { src, dst, port, proto: Proto::Udp, payload, id: 0, hops: 0, ctx: CauseCtx::NONE }
     }
 
     /// A fresh TCP packet.
     pub fn tcp(src: u32, dst: u32, port: Port, payload: Vec<u8>) -> Packet {
-        Packet { src, dst, port, proto: Proto::Tcp, payload, id: 0, hops: 0 }
+        Packet { src, dst, port, proto: Proto::Tcp, payload, id: 0, hops: 0, ctx: CauseCtx::NONE }
     }
 
     /// A fresh replication frame, addressed to [`REPL_PORT`].
     pub fn repl(src: u32, dst: u32, payload: Vec<u8>) -> Packet {
-        Packet { src, dst, port: REPL_PORT, proto: Proto::Repl, payload, id: 0, hops: 0 }
+        Packet {
+            src,
+            dst,
+            port: REPL_PORT,
+            proto: Proto::Repl,
+            payload,
+            id: 0,
+            hops: 0,
+            ctx: CauseCtx::NONE,
+        }
+    }
+
+    /// The same packet carrying `ctx` in-band (builder style).
+    pub fn with_ctx(mut self, ctx: CauseCtx) -> Packet {
+        self.ctx = ctx;
+        self
     }
 
     /// Payload length in bytes.

@@ -269,6 +269,7 @@ impl PacketPlane {
         self.kernel.clock.charge(RX_ADMIT_COST);
         let port = pkt.port;
         let len = pkt.len() as u64;
+        let pkt_ctx = pkt.ctx;
         let forced = self.fault_fire(FaultSite::NetRxOverflow);
         let mut ports = self.ports.borrow_mut();
         let st = ports.entry(port).or_insert_with(|| PortState::new(DEFAULT_RING_CAPACITY));
@@ -276,7 +277,18 @@ impl PacketPlane {
         drop(ports);
         match outcome {
             Admit::Admitted => {
-                self.emit(TraceEvent::NetRx { port: port.0, len });
+                // Packet enqueue is an event origin: a packet carrying
+                // a causal context in-band gets a local enqueue span
+                // chained to it, so a shipped frame's arrival is
+                // attributable to the sender's span across the kernel
+                // boundary.
+                match self.kernel.engine.trace_plane() {
+                    Some(tp) if !pkt_ctx.is_none() => {
+                        let ctx = tp.mint_span(pkt_ctx.span);
+                        tp.emit_with_ctx(TraceEvent::NetRx { port: port.0, len }, ctx);
+                    }
+                    _ => self.emit(TraceEvent::NetRx { port: port.0, len }),
+                }
                 self.count(Counter::NetRxPackets);
             }
             Admit::ShedWatermark => {

@@ -25,6 +25,7 @@ use std::collections::BTreeMap;
 use vino_fs::layout::checksum64;
 use vino_fs::{JournalRecord, BLOCK_SIZE};
 use vino_net::PAYLOAD_CAP;
+use vino_sim::trace::CauseCtx;
 
 /// Frame kind tag: a fragment of a marshalled record.
 pub const KIND_RECORD: u8 = 1;
@@ -32,8 +33,9 @@ pub const KIND_RECORD: u8 = 1;
 pub const KIND_ACK: u8 = 2;
 
 /// Per-fragment header: kind (1) + record sequence (8) + fragment
-/// index (2) + fragment count (2).
-pub const FRAG_HEADER: usize = 13;
+/// index (2) + fragment count (2) + causal context (16 — the ship
+/// span propagated in-band, [`CauseCtx::WIRE_BYTES`]).
+pub const FRAG_HEADER: usize = 13 + CauseCtx::WIRE_BYTES;
 
 /// Chunk bytes carried per fragment.
 const CHUNK: usize = PAYLOAD_CAP - FRAG_HEADER;
@@ -93,7 +95,10 @@ pub fn unmarshal(seq: u64, body: &[u8]) -> Option<JournalRecord> {
 
 /// Splits a record into packet-sized fragments, each under
 /// [`PAYLOAD_CAP`].
-pub fn fragment(rec: &JournalRecord) -> Vec<Vec<u8>> {
+/// Every fragment carries `ctx` — the ship span — so the receiver can
+/// chain its enqueue/ingest spans to the sender's whichever fragment
+/// completes the record.
+pub fn fragment(rec: &JournalRecord, ctx: CauseCtx) -> Vec<Vec<u8>> {
     let body = marshal(rec);
     let total = body.chunks(CHUNK).count();
     assert!(total <= u16::MAX as usize, "record too large for the fragment header");
@@ -105,33 +110,43 @@ pub fn fragment(rec: &JournalRecord) -> Vec<Vec<u8>> {
             f.extend_from_slice(&rec.seq.to_le_bytes());
             f.extend_from_slice(&(i as u16).to_le_bytes());
             f.extend_from_slice(&(total as u16).to_le_bytes());
+            f.extend_from_slice(&ctx.to_bytes());
             f.extend_from_slice(chunk);
             f
         })
         .collect()
 }
 
+/// Ack frame length: kind (1) + acked (8) + causal context (16) +
+/// seal (8).
+pub const ACK_LEN: usize = 1 + 8 + CauseCtx::WIRE_BYTES + 8;
+
 /// Encodes a cumulative ack: every sequence `<= acked` is applied.
-pub fn encode_ack(acked: u64) -> Vec<u8> {
-    let mut f = Vec::with_capacity(17);
+/// `ctx` is the replica's ack span, propagated in-band so the primary
+/// can chain its `repl.ack` event to the replica's apply story.
+pub fn encode_ack(acked: u64, ctx: CauseCtx) -> Vec<u8> {
+    let mut f = Vec::with_capacity(ACK_LEN);
     f.push(KIND_ACK);
     f.extend_from_slice(&acked.to_le_bytes());
+    f.extend_from_slice(&ctx.to_bytes());
     let seal = checksum64(&f);
     f.extend_from_slice(&seal.to_le_bytes());
     f
 }
 
 /// Parses an ack frame; `None` for anything malformed or corrupted.
-pub fn decode_ack(payload: &[u8]) -> Option<u64> {
-    if payload.len() != 17 || payload[0] != KIND_ACK {
+pub fn decode_ack(payload: &[u8]) -> Option<(u64, CauseCtx)> {
+    if payload.len() != ACK_LEN || payload[0] != KIND_ACK {
         return None;
     }
-    let (sealed, seal_bytes) = payload.split_at(9);
+    let (sealed, seal_bytes) = payload.split_at(ACK_LEN - 8);
     let seal = u64::from_le_bytes(seal_bytes.try_into().ok()?);
     if checksum64(sealed) != seal {
         return None;
     }
-    Some(u64::from_le_bytes(sealed[1..9].try_into().ok()?))
+    let acked = u64::from_le_bytes(sealed[1..9].try_into().ok()?);
+    let ctx = CauseCtx::from_bytes(sealed[9..9 + CauseCtx::WIRE_BYTES].try_into().ok()?);
+    Some((acked, ctx))
 }
 
 /// Collects record fragments delivered by the packet plane and yields
@@ -150,8 +165,9 @@ impl Reassembler {
     }
 
     /// Feeds one delivered packet payload. Returns the finished record
-    /// when this was its last missing fragment.
-    pub fn accept(&mut self, payload: &[u8]) -> Option<JournalRecord> {
+    /// and the ship context its fragments carried when this was its
+    /// last missing fragment.
+    pub fn accept(&mut self, payload: &[u8]) -> Option<(JournalRecord, CauseCtx)> {
         if payload.len() < FRAG_HEADER || payload[0] != KIND_RECORD {
             return None;
         }
@@ -161,6 +177,7 @@ impl Reassembler {
         if total == 0 || idx >= total {
             return None;
         }
+        let ctx = CauseCtx::from_bytes(payload[13..13 + CauseCtx::WIRE_BYTES].try_into().ok()?);
         let slots = self.parts.entry(seq).or_insert_with(|| vec![None; total]);
         if slots.len() != total {
             return None;
@@ -171,7 +188,7 @@ impl Reassembler {
         }
         let slots = self.parts.remove(&seq).expect("just completed");
         let body: Vec<u8> = slots.into_iter().flatten().flatten().collect();
-        unmarshal(seq, &body)
+        unmarshal(seq, &body).map(|rec| (rec, ctx))
     }
 
     /// Drops all partial state — e.g. when the receiving node reboots
@@ -220,21 +237,23 @@ mod tests {
 
     #[test]
     fn fragments_respect_the_payload_cap_and_reassemble_out_of_order() {
+        use vino_sim::trace::{NodeId, SpanId};
         let rec = record(3, 2);
-        let frags = fragment(&rec);
+        let ctx = CauseCtx { span: SpanId::new(NodeId(0), 7), parent: SpanId::new(NodeId(0), 2) };
+        let frags = fragment(&rec, ctx);
         assert!(frags.len() > 1, "a multi-block record cannot fit one packet");
         for f in &frags {
             assert!(f.len() <= PAYLOAD_CAP);
         }
         let mut r = Reassembler::new();
         // Deliver in reverse order; the record completes on the last
-        // fragment and not before.
+        // fragment and not before, carrying the in-band ship context.
         let mut done = None;
         for f in frags.iter().rev() {
             assert!(done.is_none());
             done = r.accept(f);
         }
-        assert_eq!(done, Some(rec));
+        assert_eq!(done, Some((rec, ctx)));
         assert_eq!(r.pending(), 0);
     }
 
@@ -242,8 +261,8 @@ mod tests {
     fn reassembler_interleaves_sequences_and_drops_corrupt_frames() {
         let a = record(1, 1);
         let b = record(2, 2);
-        let fa = fragment(&a);
-        let fb = fragment(&b);
+        let fa = fragment(&a, CauseCtx::NONE);
+        let fb = fragment(&b, CauseCtx::NONE);
         let mut r = Reassembler::new();
         assert_eq!(r.accept(&fb[0]), None);
         // Feed all of record 1 but corrupt its final fragment: the
@@ -260,20 +279,23 @@ mod tests {
             assert_eq!(done, None);
             done = r.accept(f);
         }
-        assert_eq!(done, Some(b));
+        assert_eq!(done, Some((b, CauseCtx::NONE)));
         // Record 1 retransmitted clean reassembles from scratch.
         let mut done = None;
         for f in &fa {
             done = r.accept(f);
         }
-        assert_eq!(done, Some(a));
+        assert_eq!(done, Some((a, CauseCtx::NONE)));
     }
 
     #[test]
     fn ack_frames_round_trip_and_refuse_corruption() {
-        let f = encode_ack(42);
+        use vino_sim::trace::{NodeId, SpanId};
+        let ctx = CauseCtx { span: SpanId::new(NodeId(1), 3), parent: SpanId::new(NodeId(1), 1) };
+        let f = encode_ack(42, ctx);
+        assert_eq!(f.len(), ACK_LEN);
         assert!(f.len() <= PAYLOAD_CAP);
-        assert_eq!(decode_ack(&f), Some(42));
+        assert_eq!(decode_ack(&f), Some((42, ctx)));
         let mut bent = f.clone();
         bent[3] ^= 1;
         assert_eq!(decode_ack(&bent), None);

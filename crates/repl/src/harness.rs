@@ -16,7 +16,7 @@
 //! 2. Wire faults fire at their schedule points: [`ReplShipDrop`] per
 //!    frame, [`ReplShipReorder`] between adjacent frames in the
 //!    window, [`ReplAckLoss`] on the return path.
-//! 3. Surviving frames are fragmented (see [`frame`](crate::frame)),
+//! 3. Surviving frames are fragmented (see [`crate::frame`]),
 //!    injected into the replica's packet plane on the reserved
 //!    [`REPL_PORT`] — which no graft-installed filter can reach — and
 //!    applied via [`FileSystem::ingest_replicated`], the same commit
@@ -47,10 +47,10 @@ use vino_dev::{BlockAddr, Disk, DiskImage};
 use vino_fs::layout::checksum64;
 use vino_fs::{Fd, FileSystem, FsError, IngestOutcome, JournalRecord, SuperBlock, BLOCK_SIZE};
 use vino_net::{Packet, PacketPlane, REPL_PORT};
-use vino_sim::clock::VirtualClock;
+use vino_sim::clock::{Cycles, VirtualClock};
 use vino_sim::fault::{FaultPlane, FaultSite};
 use vino_sim::metrics::{Counter, MetricsPlane};
-use vino_sim::trace::{TraceEvent, TracePlane};
+use vino_sim::trace::{CauseCtx, MergedTrace, NodeId, SpanId, TraceEvent, TracePlane};
 use vino_sim::watch::WatchPlane;
 
 use crate::frame;
@@ -63,6 +63,13 @@ const REPLICA_ADDR: u32 = 2;
 /// RX-ring capacity on the reserved port; comfortably above the
 /// fragment count of the largest record shipped per pump.
 const RING_CAP: usize = 64;
+
+/// Deterministic one-way wire latency charged on the shared clock per
+/// injected frame (either direction). Besides modelling propagation,
+/// it guarantees cross-kernel child events land strictly *after* their
+/// cross-kernel parents, which the merged-stream causal order relies
+/// on.
+pub const WIRE_CYCLES: Cycles = Cycles(60);
 
 /// The standard workload file and its extent, in blocks.
 const WORKLOAD: &str = "repl.dat";
@@ -147,12 +154,39 @@ pub struct WorkloadReport {
     pub replica_crashes: u64,
 }
 
+/// A point-in-time snapshot of the shipping pipeline, for status
+/// surfaces like the `vino_top` example.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShippingState {
+    /// Configured in-flight window, in records per round.
+    pub window: u64,
+    /// Records currently occupying the window (`min(lag, window)`).
+    pub in_flight: u64,
+    /// Highest sequence ever put on the wire.
+    pub last_shipped: u64,
+    /// Cumulative ack the primary holds.
+    pub last_acked: u64,
+    /// Highest sequence applied on the replica.
+    pub applied: u64,
+    /// Committed-but-unacked records on the primary.
+    pub lag: u64,
+    /// Lifetime re-shipped frames, from the metrics ledger.
+    pub retransmits: u64,
+    /// Lifetime frames lost to [`FaultSite::ReplShipDrop`].
+    pub frame_drops: u64,
+    /// Whether the primary has died.
+    pub primary_dead: bool,
+    /// Replica crash/reboot count.
+    pub replica_reboots: u64,
+}
+
 /// The two-kernel replication harness. See the module docs.
 pub struct ReplHarness {
     cfg: ReplConfig,
     clock: Rc<VirtualClock>,
     fault: Rc<FaultPlane>,
-    trace: Rc<TracePlane>,
+    p_trace: Rc<TracePlane>,
+    r_trace: Rc<TracePlane>,
     metrics: Rc<MetricsPlane>,
     watch: Rc<WatchPlane>,
     primary: Rc<Kernel>,
@@ -168,6 +202,9 @@ pub struct ReplHarness {
     acked: u64,
     /// Highest sequence ever put on the wire, for retransmit counting.
     high_shipped: u64,
+    /// The replica's most recent successful ingest context; rides the
+    /// ack frame so the primary's `ReplAck` chains cross-kernel.
+    last_ingest_ctx: CauseCtx,
     primary_dead: bool,
     replica_reboots: u64,
     /// An ideal replica: every committed record applied in order on a
@@ -179,9 +216,10 @@ pub struct ReplHarness {
 
 impl ReplHarness {
     /// Boots a primary and a replica off one fresh virtual clock and
-    /// one fault plane seeded with `seed`, wires shared trace and
-    /// metrics planes into both, a watch plane into the primary, and
-    /// opens the reserved replication port on both packet planes.
+    /// one fault plane seeded with `seed`, wires a per-kernel trace
+    /// plane into each node (node 0 primary, node 1 replica) and a
+    /// shared metrics plane into both, a watch plane into the primary,
+    /// and opens the reserved replication port on both packet planes.
     pub fn new(seed: u64, cfg: ReplConfig) -> ReplHarness {
         assert!(cfg.window > 0, "a zero window ships nothing");
         assert!(
@@ -193,14 +231,16 @@ impl ReplHarness {
         let primary = Kernel::boot_with_clock(cfg.kernel.clone(), Rc::clone(&clock));
         let replica = Kernel::boot_with_clock(cfg.kernel.clone(), Rc::clone(&clock));
         let fault = FaultPlane::seeded(seed);
-        let trace = TracePlane::with_capacity(Rc::clone(&clock), 1 << 14);
+        let p_trace = TracePlane::with_node(Rc::clone(&clock), 1 << 14, NodeId(0));
+        let r_trace = TracePlane::with_node(Rc::clone(&clock), 1 << 14, NodeId(1));
         let metrics = MetricsPlane::new(Rc::clone(&clock));
         let watch = WatchPlane::new(Rc::clone(&clock));
         for k in [&primary, &replica] {
             k.attach_fault_plane(Rc::clone(&fault)).expect("fresh kernel");
-            k.attach_trace_plane(Rc::clone(&trace)).expect("fresh kernel");
             k.attach_metrics_plane(Rc::clone(&metrics)).expect("fresh kernel");
         }
+        primary.attach_trace_plane(Rc::clone(&p_trace)).expect("fresh kernel");
+        replica.attach_trace_plane(Rc::clone(&r_trace)).expect("fresh kernel");
         primary.attach_watch_plane(Rc::clone(&watch)).expect("fresh kernel");
         let p_plane = PacketPlane::new(Rc::clone(&primary));
         let r_plane = PacketPlane::new(Rc::clone(&replica));
@@ -217,7 +257,8 @@ impl ReplHarness {
             cfg,
             clock,
             fault,
-            trace,
+            p_trace,
+            r_trace,
             metrics,
             watch,
             primary,
@@ -228,6 +269,7 @@ impl ReplHarness {
             applied: 0,
             acked: 0,
             high_shipped: 0,
+            last_ingest_ctx: CauseCtx::NONE,
             primary_dead: false,
             replica_reboots: 0,
             shadow,
@@ -245,10 +287,22 @@ impl ReplHarness {
         &self.fault
     }
 
-    /// The shared trace plane (both kernels and the repl plane emit
-    /// into it — one merged timeline).
-    pub fn trace_plane(&self) -> &Rc<TracePlane> {
-        &self.trace
+    /// The primary's trace plane (node 0).
+    pub fn primary_trace(&self) -> &Rc<TracePlane> {
+        &self.p_trace
+    }
+
+    /// The replica's trace plane (node 1; it survives replica reboots
+    /// — a rebooted kernel is re-attached to the same plane).
+    pub fn replica_trace(&self) -> &Rc<TracePlane> {
+        &self.r_trace
+    }
+
+    /// The deterministically merged cross-kernel stream — total order
+    /// `(tick, node, seq)`, causal parents before children. See
+    /// [`TracePlane::merge_streams`].
+    pub fn merged_trace(&self) -> MergedTrace {
+        TracePlane::merge_streams(&[&self.p_trace, &self.r_trace])
     }
 
     /// The shared metrics plane.
@@ -301,6 +355,42 @@ impl ReplHarness {
         self.replica_reboots
     }
 
+    /// A point-in-time snapshot of the shipping pipeline.
+    pub fn shipping_state(&self) -> ShippingState {
+        ShippingState {
+            window: self.cfg.window,
+            in_flight: self.lag().min(self.cfg.window),
+            last_shipped: self.high_shipped,
+            last_acked: self.acked,
+            applied: self.applied,
+            lag: self.lag(),
+            retransmits: self.metrics.get(Counter::ReplRetransmits),
+            frame_drops: self.metrics.get(Counter::ReplFrameDrops),
+            primary_dead: self.primary_dead,
+            replica_reboots: self.replica_reboots,
+        }
+    }
+
+    /// Age of the oldest committed-but-unacked record — now minus its
+    /// seal instant — or zero cycles when fully converged. This is the
+    /// cycles-valued replication-lag gauge that the lag-path report's
+    /// per-hop breakdown telescopes to exactly.
+    pub fn repl_lag_age(&self) -> Cycles {
+        if self.lag() == 0 {
+            return Cycles(0);
+        }
+        match self.primary.fs.borrow().seal_info_of(self.acked + 1) {
+            Some((_, sealed_at)) => self.clock.now().saturating_sub(sealed_at),
+            None => Cycles(0),
+        }
+    }
+
+    /// The seal span of committed record `seq` on the primary, if the
+    /// retained journal tail still holds it.
+    fn seal_span_of(&self, seq: u64) -> SpanId {
+        self.primary.fs.borrow().seal_info_of(seq).map(|(span, _)| span).unwrap_or(SpanId::NONE)
+    }
+
     /// One protocol round: window → wire faults → ship → apply → ack.
     /// See the module docs for the schedule points.
     pub fn ship_round(&mut self) -> RoundReport {
@@ -322,7 +412,8 @@ impl ReplHarness {
         let mut batch = Vec::with_capacity(window.len());
         for rec in window {
             if self.fault.fire(FaultSite::ReplShipDrop) {
-                self.trace.emit(TraceEvent::ReplFrameDrop { seq: rec.seq });
+                let drop_ctx = self.p_trace.mint_span(self.seal_span_of(rec.seq));
+                self.p_trace.emit_with_ctx(TraceEvent::ReplFrameDrop { seq: rec.seq }, drop_ctx);
                 self.metrics.inc(Counter::ReplFrameDrops);
                 rep.dropped += 1;
                 continue;
@@ -347,30 +438,49 @@ impl ReplHarness {
                 rep.retransmits += 1;
             }
             self.high_shipped = self.high_shipped.max(rec.seq);
-            let frags = frame::fragment(rec);
-            self.trace.emit(TraceEvent::ReplShip { seq: rec.seq, frags: frags.len() as u64 });
+            // The ship span is a child of the record's seal span and
+            // rides every fragment of the frame in-band.
+            let ship_ctx = self.p_trace.mint_span(self.seal_span_of(rec.seq));
+            let frags = frame::fragment(rec, ship_ctx);
+            self.p_trace.emit_with_ctx(
+                TraceEvent::ReplShip { seq: rec.seq, frags: frags.len() as u64 },
+                ship_ctx,
+            );
             self.metrics.inc(Counter::ReplShips);
             rep.shipped += 1;
             for f in frags {
-                self.r_plane.rx(Packet::repl(PRIMARY_ADDR, REPLICA_ADDR, f));
+                self.clock.charge(WIRE_CYCLES);
+                self.r_plane.rx(Packet::repl(PRIMARY_ADDR, REPLICA_ADDR, f).with_ctx(ship_ctx));
             }
             self.r_plane.pump();
             let mut completed = Vec::new();
             for pkt in self.r_plane.drain_delivered(REPL_PORT) {
-                if let Some(r) = self.reasm.accept(&pkt.payload) {
-                    completed.push(r);
+                if let Some(rc) = self.reasm.accept(&pkt.payload) {
+                    completed.push(rc);
                 }
             }
-            for r in completed {
+            for (r, ship) in completed {
                 if r.seq == self.applied + 1 && self.fault.fire(FaultSite::ReplReplicaCrash) {
-                    self.crash_replica_mid_apply(&r);
+                    self.crash_replica_mid_apply(&r, ship);
                     rep.death = NodeDeath::Replica;
                     continue;
                 }
-                match self.replica.fs.borrow_mut().ingest_replicated(&r) {
+                // The ingest span — a child of the ship span that
+                // carried the frame — is in force on the replica for
+                // the whole apply, so the replica's own journal events
+                // chain off it.
+                let ingest_ctx = self.r_trace.mint_span(ship.span);
+                let prev = self.r_trace.set_ctx(ingest_ctx);
+                let out = self.replica.fs.borrow_mut().ingest_replicated(&r);
+                self.r_trace.set_ctx(prev);
+                match out {
                     Ok(IngestOutcome::Applied { blocks }) => {
                         self.applied = self.applied.max(r.seq);
-                        self.trace.emit(TraceEvent::ReplApply { seq: r.seq, blocks });
+                        self.last_ingest_ctx = ingest_ctx;
+                        self.r_trace.emit_with_ctx(
+                            TraceEvent::ReplApply { seq: r.seq, blocks },
+                            ingest_ctx,
+                        );
                         self.metrics.inc(Counter::ReplApplies);
                         rep.applied += 1;
                     }
@@ -385,22 +495,28 @@ impl ReplHarness {
                 }
             }
         }
-        // 4. Cumulative ack, one small frame on the return path.
+        // 4. Cumulative ack, one small frame on the return path. It
+        // carries the replica's latest ingest context so the primary's
+        // ReplAck span chains cross-kernel.
         if self.applied > 0 && !self.fault.fire(FaultSite::ReplAckLoss) {
+            let ack_ctx = self.last_ingest_ctx;
+            self.clock.charge(WIRE_CYCLES);
             self.p_plane.rx(Packet::repl(
                 REPLICA_ADDR,
                 PRIMARY_ADDR,
-                frame::encode_ack(self.applied),
-            ));
+                frame::encode_ack(self.applied, ack_ctx),
+            )
+            .with_ctx(ack_ctx));
             self.p_plane.pump();
             for pkt in self.p_plane.drain_delivered(REPL_PORT) {
-                if let Some(acked) = frame::decode_ack(&pkt.payload) {
+                if let Some((acked, ctx)) = frame::decode_ack(&pkt.payload) {
                     if acked > self.acked {
                         // Advance the shadow before pruning: pruned
                         // records are gone from the primary's tail.
                         self.sync_shadow(acked);
                         self.acked = acked;
-                        self.trace.emit(TraceEvent::ReplAck { acked });
+                        let ack_span = self.p_trace.mint_span(ctx.span);
+                        self.p_trace.emit_with_ctx(TraceEvent::ReplAck { acked }, ack_span);
                         self.metrics.inc(Counter::ReplAcks);
                         self.primary.fs.borrow_mut().prune_committed(acked);
                     }
@@ -409,6 +525,7 @@ impl ReplHarness {
         }
         if !self.primary_dead {
             self.watch.observe_repl_lag(self.lag());
+            self.watch.observe_repl_lag_age(self.repl_lag_age());
         }
         rep.acked = self.acked;
         rep.lag = self.lag();
@@ -456,16 +573,24 @@ impl ReplHarness {
             fs.committed_records(self.applied + 1).cloned().collect()
         };
         for rec in pending {
-            match self
+            // No ship leg here — the drain reads the durable journal
+            // directly, so the ingest span chains straight off the
+            // record's seal span.
+            let ingest_ctx = self.r_trace.mint_span(self.seal_span_of(rec.seq));
+            let prev = self.r_trace.set_ctx(ingest_ctx);
+            let out = self
                 .replica
                 .fs
                 .borrow_mut()
                 .ingest_replicated(&rec)
-                .expect("the failover drain is fault-free")
-            {
+                .expect("the failover drain is fault-free");
+            self.r_trace.set_ctx(prev);
+            match out {
                 IngestOutcome::Applied { blocks } => {
                     self.applied = self.applied.max(rec.seq);
-                    self.trace.emit(TraceEvent::ReplApply { seq: rec.seq, blocks });
+                    self.last_ingest_ctx = ingest_ctx;
+                    self.r_trace
+                        .emit_with_ctx(TraceEvent::ReplApply { seq: rec.seq, blocks }, ingest_ctx);
                     self.metrics.inc(Counter::ReplApplies);
                 }
                 IngestOutcome::Duplicate => {}
@@ -485,7 +610,8 @@ impl ReplHarness {
             image,
         )
         .expect("a converged replica image must boot");
-        self.trace.emit(TraceEvent::ReplPromote { seq: self.applied });
+        let promote_ctx = self.r_trace.mint_span(self.last_ingest_ctx.span);
+        self.r_trace.emit_with_ctx(TraceEvent::ReplPromote { seq: self.applied }, promote_ctx);
         self.metrics.inc(Counter::ReplPromotions);
         promoted
     }
@@ -512,12 +638,17 @@ impl ReplHarness {
     }
 
     /// Arms the configured crash point under `rec`'s apply, lets the
-    /// replica die inside the commit pipeline, and reboots it from its
-    /// crash image through mount-time recovery.
-    fn crash_replica_mid_apply(&mut self, rec: &JournalRecord) {
+    /// replica die inside the commit pipeline — with the doomed
+    /// ingest's span in force, so the torn journal events still chain
+    /// off `ship` — and reboots it from its crash image through
+    /// mount-time recovery.
+    fn crash_replica_mid_apply(&mut self, rec: &JournalRecord, ship: CauseCtx) {
         let site = self.cfg.crash_site;
         self.fault.arm(site, self.fault.visits(site) + 1);
+        let ingest_ctx = self.r_trace.mint_span(ship.span);
+        let prev = self.r_trace.set_ctx(ingest_ctx);
         let res = self.replica.fs.borrow_mut().ingest_replicated(rec);
+        self.r_trace.set_ctx(prev);
         assert_eq!(res, Err(FsError::PowerFailure), "armed crash point must kill the replica");
         self.reboot_replica();
     }
@@ -533,7 +664,7 @@ impl ReplHarness {
         )
         .expect("a replica crash image must remount");
         k.attach_fault_plane(Rc::clone(&self.fault)).expect("fresh kernel");
-        k.attach_trace_plane(Rc::clone(&self.trace)).expect("fresh kernel");
+        k.attach_trace_plane(Rc::clone(&self.r_trace)).expect("fresh kernel");
         k.attach_metrics_plane(Rc::clone(&self.metrics)).expect("fresh kernel");
         let report = k.recovery_report().expect("mounted from an image");
         if report.replayed_txns > 0 {
@@ -780,7 +911,7 @@ mod tests {
             plane.arm(FaultSite::ReplReplicaCrash, 3);
             h.run(10);
             let digest = (
-                h.trace_plane().serialize(),
+                h.merged_trace().serialize(),
                 h.metrics_plane().expose(),
                 committed_state_fingerprint(&h.replica().fs.borrow().disk_image()),
             );

@@ -1,0 +1,204 @@
+//! Critical-path lag attribution: where the replication lag *is*.
+//!
+//! [`lag_path`] walks the merged cross-kernel span DAG for the oldest
+//! committed-but-unacked record and splits its age into consecutive
+//! per-hop intervals — seal → ship → wire delivery → apply → pending —
+//! each anchored at a real trace timestamp. Because the hops partition
+//! `[sealed_at, observed_at]` exactly, their sum telescopes to the
+//! cycles-valued replication-lag gauge
+//! ([`ReplHarness::repl_lag_age`]) for the same instant: call it right
+//! after a [`ReplHarness::ship_round`], before anything else charges
+//! the clock, and `total` equals the gauge byte for byte.
+//!
+//! The walk is pure trace-reading — it re-derives the seal instant
+//! from the primary's `fs.journal_commit` record rather than asking
+//! the filesystem, so a disagreement between the trace and the ledger
+//! shows up as a reconciliation failure instead of being papered over.
+
+use vino_sim::clock::Cycles;
+use vino_sim::trace::{SpanId, TraceEvent};
+
+use crate::harness::ReplHarness;
+
+/// One interval on the oldest-unacked record's critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LagHop {
+    /// What this interval covers (e.g. `"seal->ship"`).
+    pub label: &'static str,
+    /// Virtual instant the interval ends at.
+    pub at: Cycles,
+    /// Interval width in virtual cycles.
+    pub cycles: Cycles,
+}
+
+/// The per-hop lag breakdown for the oldest unacked record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LagPathReport {
+    /// The oldest committed-but-unacked sequence.
+    pub seq: u64,
+    /// When the primary sealed it (from the trace, not the ledger).
+    pub sealed_at: Cycles,
+    /// The observation instant the breakdown runs to.
+    pub observed_at: Cycles,
+    /// Consecutive intervals partitioning `[sealed_at, observed_at]`.
+    pub hops: Vec<LagHop>,
+    /// Sum of the hops — the record's age.
+    pub total: Cycles,
+    /// Ship attempts seen for this sequence (re-ships included).
+    pub ships: u64,
+    /// Whole-frame drops seen for this sequence.
+    pub drops: u64,
+}
+
+impl LagPathReport {
+    /// Renders the breakdown as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "== lag path: seq={} (oldest unacked), age {} cyc ==\n  sealed     @{:012}\n",
+            self.seq, self.total.0, self.sealed_at.0
+        );
+        for h in &self.hops {
+            out.push_str(&format!("  {:<10} @{:012} +{} cyc\n", h.label, h.at.0, h.cycles.0));
+        }
+        out.push_str(&format!(
+            "  total      {} cyc over {} ship(s), {} drop(s)\n",
+            self.total.0, self.ships, self.drops
+        ));
+        out
+    }
+}
+
+/// Computes the lag-path breakdown for the oldest unacked record, or
+/// `None` when replication is fully converged (lag zero). See the
+/// module docs for the exact-reconciliation contract.
+pub fn lag_path(h: &ReplHarness) -> Option<LagPathReport> {
+    if h.lag() == 0 {
+        return None;
+    }
+    let seq = h.acked() + 1;
+    let merged = h.merged_trace();
+    let observed_at = h.clock().now();
+
+    let primary = h.primary_trace().node();
+    let replica = h.replica_trace().node();
+    let mut sealed: Option<Cycles> = None;
+    let mut first_ship: Option<Cycles> = None;
+    let mut ship_spans: Vec<SpanId> = Vec::new();
+    let mut rx_at: Option<Cycles> = None;
+    let mut apply_at: Option<Cycles> = None;
+    let mut ships = 0u64;
+    let mut drops = 0u64;
+    // Milestones are the *earliest* occurrence of each stage, which
+    // keeps the hop chain monotone under go-back-N: re-ships of an
+    // already-applied record only land Duplicates and must not unwind
+    // the path.
+    for m in merged.records() {
+        match m.rec.event {
+            TraceEvent::FsJournalCommit { seq: s }
+                if s == seq && m.node == primary && sealed.is_none() =>
+            {
+                sealed = Some(m.rec.at);
+            }
+            TraceEvent::ReplShip { seq: s, .. } if s == seq => {
+                ships += 1;
+                if first_ship.is_none() {
+                    first_ship = Some(m.rec.at);
+                }
+                ship_spans.push(m.rec.ctx.span);
+            }
+            TraceEvent::ReplFrameDrop { seq: s } if s == seq => drops += 1,
+            TraceEvent::NetRx { .. }
+                if m.node == replica
+                    && rx_at.is_none()
+                    && ship_spans.contains(&m.rec.ctx.parent) =>
+            {
+                rx_at = Some(m.rec.at);
+            }
+            TraceEvent::ReplApply { seq: s, .. }
+                if s == seq && m.node == replica && apply_at.is_none() =>
+            {
+                apply_at = Some(m.rec.at);
+            }
+            _ => {}
+        }
+    }
+
+    let sealed_at = sealed?;
+    let mut hops = Vec::new();
+    let mut cursor = sealed_at;
+    let mut push = |label: &'static str, at: Cycles, cursor: &mut Cycles| {
+        hops.push(LagHop { label, at, cycles: at.saturating_sub(*cursor) });
+        *cursor = at;
+    };
+    if let Some(at) = first_ship {
+        push("seal->ship", at, &mut cursor);
+        if let Some(at) = rx_at {
+            push("ship->rx", at, &mut cursor);
+            if let Some(at) = apply_at {
+                push("rx->apply", at, &mut cursor);
+            }
+        }
+    }
+    // Whatever remains is waiting on the next protocol step: the first
+    // ship, a retransmission after a drop, or the lost ack.
+    push("pending", observed_at, &mut cursor);
+    let total = observed_at.saturating_sub(sealed_at);
+    debug_assert_eq!(
+        hops.iter().map(|hop| hop.cycles.0).sum::<u64>(),
+        total.0,
+        "hops must partition the record's age"
+    );
+    Some(LagPathReport { seq, sealed_at, observed_at, hops, total, ships, drops })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{ReplConfig, ReplHarness};
+    use vino_sim::fault::FaultSite;
+
+    #[test]
+    fn converged_harness_has_no_lag_path() {
+        let mut h = ReplHarness::new(0x11, ReplConfig::default());
+        h.run(4);
+        assert_eq!(h.lag(), 0);
+        assert!(lag_path(&h).is_none());
+    }
+
+    #[test]
+    fn stalled_ack_path_reconciles_with_the_lag_age_gauge() {
+        let mut h = ReplHarness::new(0x22, ReplConfig::default());
+        let plane = std::rc::Rc::clone(h.fault_plane());
+        plane.set_rate(FaultSite::ReplAckLoss, 1, 1);
+        h.run(5);
+        assert!(h.lag() > 0, "a lossy ack path must leave unacked records");
+        let report = lag_path(&h).expect("lag > 0 must produce a path");
+        assert_eq!(report.seq, h.acked() + 1);
+        // Exact reconciliation: the per-hop sum IS the gauge.
+        assert_eq!(report.total, h.repl_lag_age());
+        assert_eq!(report.total, h.watch_plane().repl_lag_age());
+        let sum: u64 = report.hops.iter().map(|hop| hop.cycles.0).sum();
+        assert_eq!(sum, report.total.0);
+        // The record was shipped and applied — only the ack is missing.
+        assert!(report.ships > 0);
+        assert!(report.hops.iter().any(|hop| hop.label == "rx->apply"));
+        let rendered = report.render();
+        assert!(rendered.contains("lag path"));
+        assert!(rendered.contains("pending"));
+    }
+
+    #[test]
+    fn dropped_frames_show_up_in_the_attribution() {
+        let mut h = ReplHarness::new(0x33, ReplConfig::default());
+        let plane = std::rc::Rc::clone(h.fault_plane());
+        plane.set_rate(FaultSite::ReplShipDrop, 1, 1);
+        h.run(3);
+        assert!(h.lag() > 0);
+        let report = lag_path(&h).expect("lag > 0 must produce a path");
+        assert!(report.drops > 0, "every ship attempt was dropped");
+        assert_eq!(report.ships, 0);
+        // With no ship the whole age is one pending hop.
+        assert_eq!(report.hops.len(), 1);
+        assert_eq!(report.total, h.repl_lag_age());
+    }
+}

@@ -20,7 +20,16 @@
 //!   schedule point, node crashes landed on PR 6 crash-point
 //!   granularity, and failover that proves the replica's disk is a
 //!   byte-identical prefix of the primary's committed state before
-//!   promoting it.
+//!   promoting it. Each kernel owns a per-node trace plane; causal
+//!   context ([`CauseCtx`](vino_sim::trace::CauseCtx)) is minted at the
+//!   journal seal, carried in-band by every fragment and ack frame, and
+//!   re-chained on the far side, so
+//!   [`ReplHarness::merged_trace`] yields one deterministic
+//!   cross-kernel stream.
+//! - [`lagpath`] — critical-path lag attribution: walks the merged
+//!   span DAG for the oldest unacked record and splits its age into
+//!   per-hop virtual-cycle intervals that sum *exactly* to the watch
+//!   plane's cycles-valued replication-lag gauge.
 //!
 //! Everything is single-threaded and seeded: the same seed produces the
 //! same interleaving, the same faults, the same traces and the same
@@ -28,9 +37,11 @@
 
 pub mod frame;
 pub mod harness;
+pub mod lagpath;
 
 pub use frame::{decode_ack, encode_ack, fragment, marshal, unmarshal, Reassembler};
 pub use harness::{
     assert_committed_states_match, committed_state_fingerprint, NodeDeath, ReplConfig, ReplHarness,
-    RoundReport, WorkloadReport,
+    RoundReport, ShippingState, WorkloadReport, WIRE_CYCLES,
 };
+pub use lagpath::{lag_path, LagHop, LagPathReport};

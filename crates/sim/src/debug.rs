@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 
-use crate::trace::{TraceEvent, TracePlane, TraceRecord};
+use crate::trace::{NodeId, TraceEvent, TracePlane, TraceRecord};
 
 /// Options for [`render_timeline`].
 #[derive(Debug, Clone)]
@@ -266,6 +266,162 @@ pub fn render_timeline(plane: &TracePlane, opts: &TimelineOpts) -> String {
     out
 }
 
+/// The extra legend line for [`render_merged_timeline`]'s wire lane.
+pub const WIRE_LEGEND: &str =
+    r"wire lane: \ cross-kernel edge to a higher node (ship)  / to a lower node (ack)";
+
+/// Renders several kernels' trace planes as one cross-kernel Gantt
+/// chart, merged by [`TracePlane::merge_streams`].
+///
+/// Every lane of the single-kernel renderer appears per node with an
+/// `n0:`/`n1:` prefix (that node's graft lanes first, then its
+/// subsystem lanes, nodes in ascending id order), and one shared
+/// `wire` lane draws a span-link glyph at each record whose causal
+/// parent was minted on a *different* node: `\` when the edge flows to
+/// a higher node id (a shipped record landing on the replica), `/`
+/// when it flows back down (an ack landing on the primary). A shipped
+/// journal record is thus one readable story:
+/// `n0:fs J` → `wire \` → `n1:repl +` → `wire /` → `n0:repl K`.
+pub fn render_merged_timeline(planes: &[&TracePlane], opts: &TimelineOpts) -> String {
+    let width = opts.width.max(8);
+    let merged = TracePlane::merge_streams(planes);
+    let by_node: HashMap<NodeId, &TracePlane> = planes.iter().map(|p| (p.node(), *p)).collect();
+    let records: Vec<(NodeId, TraceRecord)> = merged
+        .records()
+        .iter()
+        .map(|m| (m.node, m.rec))
+        .filter(|(_, r)| match opts.range {
+            Some((lo, hi)) => r.at.get() >= lo && r.at.get() <= hi,
+            None => true,
+        })
+        .collect();
+    let range_label = match opts.range {
+        Some((lo, hi)) => format!("{lo}..{hi}"),
+        None => "all".to_string(),
+    };
+    if records.is_empty() {
+        return format!("== merged timeline: 0 records (range {range_label}) ==\n");
+    }
+    let t0 = records.first().expect("non-empty").1.at.get();
+    let t1 = records.last().expect("non-empty").1.at.get();
+    let span = (t1 - t0).max(1);
+    let col = |at: u64| (((at - t0) as u128 * (width as u128 - 1)) / span as u128) as usize;
+    let lane_for =
+        |node: NodeId, ev: &TraceEvent| format!("{node}:{}", lane_of(by_node[&node], ev));
+
+    // Lane discovery: per node (ascending id), graft lanes by first
+    // appearance then the fixed subsystem lanes; `wire` closes the
+    // chart when any cross-node edge exists.
+    let mut nodes: Vec<NodeId> = by_node.keys().copied().collect();
+    nodes.sort();
+    let mut lane_names: Vec<String> = Vec::new();
+    for &node in &nodes {
+        for (n, r) in &records {
+            if *n != node {
+                continue;
+            }
+            let lane = lane_for(node, &r.event);
+            if lane.contains(":graft:") && !lane_names.contains(&lane) {
+                lane_names.push(lane);
+            }
+        }
+        for s in SUBSYSTEM_LANES {
+            let lane = format!("{node}:{s}");
+            if records.iter().any(|(n, r)| *n == node && lane_for(node, &r.event) == lane) {
+                lane_names.push(lane);
+            }
+        }
+    }
+    let cross_edge =
+        |n: NodeId, r: &TraceRecord| !r.ctx.parent.is_none() && r.ctx.parent.node() != n;
+    let has_wire = records.iter().any(|(n, r)| cross_edge(*n, r));
+    if has_wire {
+        lane_names.push("wire".to_string());
+    }
+    if let Some(keep) = &opts.lanes {
+        lane_names.retain(|l| keep.iter().any(|k| l == k || l.starts_with(k.as_str())));
+    }
+
+    let mut rows: HashMap<String, Vec<char>> =
+        lane_names.iter().map(|l| (l.clone(), vec![' '; width])).collect();
+    let mut counts: HashMap<String, u64> = HashMap::new();
+
+    // Span fills first (per node), so markers drawn later stay visible.
+    let fill = |row: &mut [char], a: usize, b: usize, ch: char| {
+        for cell in row.iter_mut().take(b).skip(a + 1) {
+            if *cell == ' ' {
+                *cell = ch;
+            }
+        }
+    };
+    let mut open_invokes: HashMap<String, usize> = HashMap::new();
+    let mut open_blocks: HashMap<(NodeId, u64), usize> = HashMap::new();
+    for (n, r) in &records {
+        let lane = lane_for(*n, &r.event);
+        let c = col(r.at.get());
+        match r.event {
+            TraceEvent::GraftInvoke { .. } => {
+                open_invokes.insert(lane.clone(), c);
+            }
+            TraceEvent::GraftCommit { .. } | TraceEvent::GraftAbort { .. } => {
+                if let (Some(a), Some(row)) = (open_invokes.remove(&lane), rows.get_mut(&lane)) {
+                    fill(row, a, c, '=');
+                }
+            }
+            TraceEvent::LockBlocked { lock, .. } => {
+                open_blocks.insert((*n, lock), c);
+            }
+            TraceEvent::LockAcquire { lock, .. } | TraceEvent::LockTimeout { lock, .. } => {
+                if let (Some(a), Some(row)) = (open_blocks.remove(&(*n, lock)), rows.get_mut(&lane))
+                {
+                    fill(row, a, c, '~');
+                }
+            }
+            _ => {}
+        }
+    }
+    for (n, r) in &records {
+        let lane = lane_for(*n, &r.event);
+        if let Some(row) = rows.get_mut(&lane) {
+            row[col(r.at.get())] = glyph_of(&r.event);
+            *counts.entry(lane).or_insert(0) += 1;
+        }
+        if cross_edge(*n, r) {
+            if let Some(row) = rows.get_mut("wire") {
+                row[col(r.at.get())] = if r.ctx.parent.node() < *n { '\\' } else { '/' };
+                *counts.entry("wire".to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let shown: u64 =
+        counts.iter().filter(|(lane, _)| lane.as_str() != "wire").map(|(_, n)| n).sum();
+    let mut out = format!(
+        "== merged timeline: {} records shown across {} nodes (range {range_label}), cycles {t0}..{t1}, 1 col ~ {} cyc ==\n",
+        shown,
+        nodes.len(),
+        span.div_ceil(width as u64 - 1).max(1),
+    );
+    for lane in &lane_names {
+        let row: String = rows[lane].iter().collect();
+        out.push_str(&format!(
+            "{:<18} |{row}| n={}\n",
+            lane,
+            counts.get(lane).copied().unwrap_or(0)
+        ));
+    }
+    out.push_str("legend:\n");
+    for line in LEGEND {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str("  ");
+    out.push_str(WIRE_LEGEND);
+    out.push('\n');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,5 +472,32 @@ mod tests {
         let tp = TracePlane::new(VirtualClock::new());
         let out = render_timeline(&tp, &TimelineOpts::default());
         assert!(out.contains("0 records"));
+    }
+
+    #[test]
+    fn merged_timeline_draws_node_lanes_and_wire_links() {
+        use crate::trace::SpanId;
+        let clock = VirtualClock::new();
+        let p0 = TracePlane::with_node(std::rc::Rc::clone(&clock), 64, NodeId(0));
+        let p1 = TracePlane::with_node(std::rc::Rc::clone(&clock), 64, NodeId(1));
+        let seal = p0.mint_span(SpanId::NONE);
+        p0.emit_with_ctx(TraceEvent::FsJournalCommit { seq: 1 }, seal);
+        clock.charge(Cycles(10_000));
+        let apply = p1.mint_span(seal.span);
+        p1.emit_with_ctx(TraceEvent::ReplApply { seq: 1, blocks: 2 }, apply);
+        clock.charge(Cycles(10_000));
+        p0.emit_with_ctx(TraceEvent::ReplAck { acked: 1 }, p0.mint_span(apply.span));
+        let out = render_merged_timeline(&[&p0, &p1], &TimelineOpts::default());
+        assert!(out.contains("across 2 nodes"), "header: {out}");
+        let fs0 = out.lines().find(|l| l.starts_with("n0:fs")).expect("n0:fs lane");
+        assert!(fs0.contains('J'), "journal commit on n0: {fs0}");
+        let repl1 = out.lines().find(|l| l.starts_with("n1:repl")).expect("n1:repl lane");
+        assert!(repl1.contains('+'), "apply on n1: {repl1}");
+        let wire = out.lines().find(|l| l.starts_with("wire")).expect("wire lane");
+        assert!(wire.contains('\\'), "ship edge n0->n1: {wire}");
+        assert!(wire.contains('/'), "ack edge n1->n0: {wire}");
+        assert!(out.contains(WIRE_LEGEND));
+        // Merge stability: either argument order, byte-identical chart.
+        assert_eq!(out, render_merged_timeline(&[&p1, &p0], &TimelineOpts::default()));
     }
 }

@@ -24,7 +24,7 @@ pub mod trace;
 pub mod watch;
 
 pub use clock::{Cycles, VirtualClock};
-pub use debug::{render_timeline, TimelineOpts};
+pub use debug::{render_merged_timeline, render_timeline, TimelineOpts};
 pub use event::{EventQueue, TimerId};
 pub use fault::{FaultPlane, FaultPlaneState, FaultSite};
 pub use ids::ThreadId;
@@ -35,8 +35,8 @@ pub use plane::{AttachError, AttachSlot};
 pub use profile::{HotFn, ProfTag, ProfilePlane, SpanKind};
 pub use rng::{SplitMix64, XorShift64};
 pub use trace::{
-    AbortKind, GraftTag, PostMortem, SfiKind, TraceEvent, TracePlane, TraceRecord, TraceState,
-    TraceStats, VmExitKind,
+    AbortKind, CauseCtx, GraftTag, MergedRecord, MergedTrace, NodeId, PostMortem, SfiKind, SpanId,
+    TraceEvent, TracePlane, TraceRecord, TraceState, TraceStats, VmExitKind,
 };
 pub use watch::{
     default_rules, AlertEdge, AlertRecord, Signal, SloRule, WatchPlane, WatchState, WatchStats,

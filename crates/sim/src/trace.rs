@@ -41,6 +41,116 @@ pub const DEFAULT_POST_MORTEM_WINDOW: usize = 32;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GraftTag(pub u16);
 
+/// Identity of the kernel a [`TracePlane`] records for. A single-kernel
+/// simulation is node 0; the replication harness runs the primary as
+/// node 0 and the replica as node 1, and the node id joins the
+/// canonical line format (`n0`, `n1`, …) so merged streams stay
+/// attributable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u8);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A causal span id: the minting node's id in the high 16 bits and a
+/// per-plane monotonic counter (starting at 1) in the low 48. Zero is
+/// reserved for "no span" ([`SpanId::NONE`]), so span ids are unique
+/// across every plane sharing one virtual clock and a span's origin
+/// node is always recoverable from the id itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The "no span" sentinel.
+    pub const NONE: SpanId = SpanId(0);
+    const NODE_SHIFT: u32 = 48;
+
+    /// Builds a span id from its parts. `counter` must be non-zero and
+    /// fit the low 48 bits.
+    pub fn new(node: NodeId, counter: u64) -> SpanId {
+        assert!(counter != 0, "span counters start at 1 (0 is the NONE sentinel)");
+        assert!(counter < (1 << Self::NODE_SHIFT), "span counter overflow");
+        SpanId(((node.0 as u64) << Self::NODE_SHIFT) | counter)
+    }
+
+    /// True for the "no span" sentinel.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The node that minted this span.
+    pub fn node(self) -> NodeId {
+        NodeId((self.0 >> Self::NODE_SHIFT) as u8)
+    }
+
+    /// The minting plane's monotonic counter value.
+    pub fn counter(self) -> u64 {
+        self.0 & ((1 << Self::NODE_SHIFT) - 1)
+    }
+}
+
+impl fmt::Display for SpanId {
+    /// Renders as `node.counter` (e.g. `0.5`), or `-` for none.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            write!(f, "-")
+        } else {
+            write!(f, "{}.{}", self.node().0, self.counter())
+        }
+    }
+}
+
+/// The causal context stamped on every trace record and carried in-band
+/// across kernel boundaries (packet frames, replication record/ack
+/// frames): which span caused this event (`span`) and which span caused
+/// *that* (`parent`). Both ids carry their origin node in the high
+/// bits, so a cross-kernel edge — a replica span whose parent was
+/// minted on the primary — is visible in the context alone. 16 bytes
+/// on the wire ([`CauseCtx::to_bytes`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct CauseCtx {
+    /// The span this event belongs to.
+    pub span: SpanId,
+    /// The span that caused `span` to be minted.
+    pub parent: SpanId,
+}
+
+impl CauseCtx {
+    /// The empty context: no span, no parent.
+    pub const NONE: CauseCtx = CauseCtx { span: SpanId::NONE, parent: SpanId::NONE };
+    /// Encoded size in bytes.
+    pub const WIRE_BYTES: usize = 16;
+
+    /// True when no span is attached.
+    pub fn is_none(self) -> bool {
+        self.span.is_none()
+    }
+
+    /// The node that minted this context's span.
+    pub fn node(self) -> NodeId {
+        self.span.node()
+    }
+
+    /// Little-endian wire encoding: span id then parent id.
+    pub fn to_bytes(self) -> [u8; Self::WIRE_BYTES] {
+        let mut b = [0u8; Self::WIRE_BYTES];
+        b[..8].copy_from_slice(&self.span.0.to_le_bytes());
+        b[8..].copy_from_slice(&self.parent.0.to_le_bytes());
+        b
+    }
+
+    /// Decodes [`Self::to_bytes`] output.
+    pub fn from_bytes(b: &[u8; Self::WIRE_BYTES]) -> CauseCtx {
+        CauseCtx {
+            span: SpanId(u64::from_le_bytes(b[..8].try_into().expect("8 bytes"))),
+            parent: SpanId(u64::from_le_bytes(b[8..].try_into().expect("8 bytes"))),
+        }
+    }
+}
+
 /// How a traced VM run window ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VmExitKind {
@@ -516,14 +626,17 @@ impl TraceEvent {
     }
 }
 
-/// One ring-buffer record: a sequence number, a virtual-clock stamp and
-/// the event itself. `Copy`, so ring writes are plain stores.
+/// One ring-buffer record: a sequence number, a virtual-clock stamp,
+/// the causal context in force when the event was emitted, and the
+/// event itself. `Copy`, so ring writes are plain stores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Monotonic sequence number (never wraps; survives ring eviction).
     pub seq: u64,
     /// Virtual-clock time the event was emitted.
     pub at: Cycles,
+    /// Causal context: the span this event belongs to (and its parent).
+    pub ctx: CauseCtx,
     /// The event.
     pub event: TraceEvent,
 }
@@ -657,11 +770,15 @@ pub struct TraceState {
     names: Vec<String>,
     post: Option<PostMortem>,
     pm_window: usize,
+    node: NodeId,
+    cur_ctx: CauseCtx,
+    next_span: u64,
 }
 
 /// The shared trace plane. See the module docs.
 pub struct TracePlane {
     clock: Rc<VirtualClock>,
+    node: Cell<NodeId>,
     ring: RefCell<Ring>,
     seq: Cell<u64>,
     stats: Cell<TraceStats>,
@@ -669,6 +786,10 @@ pub struct TracePlane {
     tags: RefCell<HashMap<String, GraftTag>>,
     post: RefCell<Option<PostMortem>>,
     pm_window: Cell<usize>,
+    /// The causal context in force: stamped on every plain `emit`.
+    cur_ctx: Cell<CauseCtx>,
+    /// Next span counter (span counters start at 1; 0 is NONE).
+    next_span: Cell<u64>,
 }
 
 impl TracePlane {
@@ -678,16 +799,25 @@ impl TracePlane {
         TracePlane::with_capacity(clock, DEFAULT_CAPACITY)
     }
 
-    /// A plane whose ring holds the last `capacity` records. The ring is
-    /// fully reserved here; [`emit`](Self::emit) never allocates.
+    /// A plane whose ring holds the last `capacity` records, recording
+    /// for node 0. The ring is fully reserved here;
+    /// [`emit`](Self::emit) never allocates.
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
     pub fn with_capacity(clock: Rc<VirtualClock>, capacity: usize) -> Rc<TracePlane> {
+        TracePlane::with_node(clock, capacity, NodeId(0))
+    }
+
+    /// A plane recording for `node` — the multi-kernel constructor.
+    /// Every plane merged by [`TracePlane::merge_streams`] must carry a
+    /// distinct node id.
+    pub fn with_node(clock: Rc<VirtualClock>, capacity: usize, node: NodeId) -> Rc<TracePlane> {
         assert!(capacity > 0, "trace ring capacity must be non-zero");
         Rc::new(TracePlane {
             clock,
+            node: Cell::new(node),
             ring: RefCell::new(Ring { buf: Vec::with_capacity(capacity), cap: capacity, head: 0 }),
             seq: Cell::new(0),
             stats: Cell::new(TraceStats::default()),
@@ -695,12 +825,41 @@ impl TracePlane {
             tags: RefCell::new(HashMap::new()),
             post: RefCell::new(None),
             pm_window: Cell::new(DEFAULT_POST_MORTEM_WINDOW),
+            cur_ctx: Cell::new(CauseCtx::NONE),
+            next_span: Cell::new(1),
         })
     }
 
     /// The clock events are stamped from.
     pub fn clock(&self) -> &Rc<VirtualClock> {
         &self.clock
+    }
+
+    /// The kernel identity this plane records for.
+    pub fn node(&self) -> NodeId {
+        self.node.get()
+    }
+
+    /// The causal context in force (stamped on plain emits).
+    pub fn ctx(&self) -> CauseCtx {
+        self.cur_ctx.get()
+    }
+
+    /// Installs `ctx` as the context in force and returns the previous
+    /// one, so callers can bracket a causal scope and restore it.
+    pub fn set_ctx(&self, ctx: CauseCtx) -> CauseCtx {
+        self.cur_ctx.replace(ctx)
+    }
+
+    /// Mints a fresh span as a child of `parent` (pass
+    /// [`SpanId::NONE`] for a root span). Pure counter arithmetic — no
+    /// clock charge, no allocation — so minting on the hot path stays
+    /// free. The returned context is *not* installed; pair with
+    /// [`set_ctx`](Self::set_ctx) to scope it.
+    pub fn mint_span(&self, parent: SpanId) -> CauseCtx {
+        let c = self.next_span.get();
+        self.next_span.set(c + 1);
+        CauseCtx { span: SpanId::new(self.node.get(), c), parent }
     }
 
     /// Interns `name`, returning its stable tag. The first intern of a
@@ -721,13 +880,21 @@ impl TracePlane {
         self.names.borrow().get(tag.0 as usize).cloned().unwrap_or_else(|| format!("?tag{}", tag.0))
     }
 
-    /// The instrumentation point: stamps and records one event. The hot
-    /// path — a counter bump, a stat bump and a ring store; no heap
-    /// allocation (verified by the `trace_plane` microbench).
+    /// The instrumentation point: stamps and records one event under
+    /// the causal context in force ([`ctx`](Self::ctx)). The hot path —
+    /// a counter bump, a stat bump and a ring store; no heap allocation
+    /// (verified by the `trace_plane` microbench).
     pub fn emit(&self, event: TraceEvent) {
+        self.emit_with_ctx(event, self.cur_ctx.get());
+    }
+
+    /// Like [`emit`](Self::emit) but stamps an explicit causal context
+    /// instead of the one in force — the boundary instrumentation point
+    /// (span mints, cross-kernel ingress). Same zero-alloc hot path.
+    pub fn emit_with_ctx(&self, event: TraceEvent, ctx: CauseCtx) {
         let seq = self.seq.get();
         self.seq.set(seq + 1);
-        let rec = TraceRecord { seq, at: self.clock.now(), event };
+        let rec = TraceRecord { seq, at: self.clock.now(), ctx, event };
         let mut stats = self.stats.get();
         stats.total += 1;
         match event.category() {
@@ -781,6 +948,9 @@ impl TracePlane {
             names: self.names.borrow().clone(),
             post: self.post.borrow().clone(),
             pm_window: self.pm_window.get(),
+            node: self.node.get(),
+            cur_ctx: self.cur_ctx.get(),
+            next_span: self.next_span.get(),
         }
     }
 
@@ -802,6 +972,9 @@ impl TracePlane {
         drop(tags);
         *self.post.borrow_mut() = st.post.clone();
         self.pm_window.set(st.pm_window);
+        self.node.set(st.node);
+        self.cur_ctx.set(st.cur_ctx);
+        self.next_span.set(st.next_span);
     }
 
     /// Takes the flight-recorder snapshot for an abort: the last
@@ -844,7 +1017,9 @@ impl TracePlane {
     }
 
     /// Renders one record in the canonical line format:
-    /// `SEQ @CYCLES category.kind key=value…` (see `docs/TRACING.md`).
+    /// `SEQ @CYCLES nNODE category.kind key=value…`, with
+    /// ` span=N.C parent=N.C` appended when a causal context is
+    /// attached (see `docs/TRACING.md`).
     pub fn render(&self, r: &TraceRecord) -> String {
         use TraceEvent::*;
         let body = match r.event {
@@ -937,7 +1112,14 @@ impl TracePlane {
             ReplFrameDrop { seq } => format!("repl.frame-drop seq={seq}"),
             ReplPromote { seq } => format!("repl.promote seq={seq}"),
         };
-        format!("{:06} @{:012} {}", r.seq, r.at.get(), body)
+        let mut line = format!("{:06} @{:012} {} {}", r.seq, r.at.get(), self.node.get(), body);
+        if !r.ctx.span.is_none() {
+            line.push_str(&format!(" span={}", r.ctx.span));
+        }
+        if !r.ctx.parent.is_none() {
+            line.push_str(&format!(" parent={}", r.ctx.parent));
+        }
+        line
     }
 
     /// Serializes the ring's current records (oldest first) to the
@@ -947,6 +1129,105 @@ impl TracePlane {
         let mut out = String::new();
         for r in self.records() {
             out.push_str(&self.render(&r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Merges per-kernel trace rings into one causally-consistent
+    /// stream. The total order is `(virtual-clock tick, node id,
+    /// per-plane seq)` — deterministic, independent of the argument
+    /// order, and (because every cross-kernel hop charges wire cycles
+    /// before the receiving kernel emits) causally consistent: a span's
+    /// opener sorts before every record that names it as a parent.
+    /// That invariant is asserted here whenever no input ring has
+    /// evicted records (an evicted span opener is unobservable, so the
+    /// check would be vacuous noise on wrapped rings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if two planes share a node id, or if the causal-order
+    /// assert fails on unwrapped rings.
+    pub fn merge_streams(planes: &[&TracePlane]) -> MergedTrace {
+        for (i, a) in planes.iter().enumerate() {
+            for b in &planes[i + 1..] {
+                assert_ne!(
+                    a.node(),
+                    b.node(),
+                    "merge_streams requires distinct node ids per plane"
+                );
+            }
+        }
+        let mut merged: Vec<MergedRecord> = Vec::new();
+        for p in planes {
+            let node = p.node();
+            for rec in p.records() {
+                merged.push(MergedRecord { node, rec, line: p.render(&rec) });
+            }
+        }
+        merged.sort_by_key(|m| (m.rec.at, m.node, m.rec.seq));
+        let any_dropped = planes.iter().any(|p| p.stats().dropped > 0);
+        if !any_dropped {
+            // First position each span is seen at (its opener): every
+            // later record citing it as `parent` must sort after.
+            let mut first_seen: HashMap<u64, usize> = HashMap::new();
+            for (i, m) in merged.iter().enumerate() {
+                let ctx = m.rec.ctx;
+                if !ctx.parent.is_none() {
+                    if let Some(&opener) = first_seen.get(&ctx.parent.0) {
+                        assert!(
+                            opener <= i,
+                            "causal parent {} sorted after child at merged index {i}",
+                            ctx.parent
+                        );
+                    } else {
+                        panic!(
+                            "causal parent {} of merged record {i} ({}) never opened",
+                            ctx.parent, m.line
+                        );
+                    }
+                }
+                if !ctx.span.is_none() {
+                    first_seen.entry(ctx.span.0).or_insert(i);
+                }
+            }
+        }
+        MergedTrace { records: merged }
+    }
+}
+
+/// One record of a [`MergedTrace`]: the owning node, the raw record,
+/// and its canonical line (rendered by the owning plane, so interned
+/// graft names resolve against the right table).
+#[derive(Debug, Clone)]
+pub struct MergedRecord {
+    /// The kernel that emitted this record.
+    pub node: NodeId,
+    /// The record itself.
+    pub rec: TraceRecord,
+    /// The canonical line, as the owning plane renders it.
+    pub line: String,
+}
+
+/// A causally-consistent merge of per-kernel trace streams, produced by
+/// [`TracePlane::merge_streams`]. Ordered by `(tick, node, seq)`.
+#[derive(Debug, Clone)]
+pub struct MergedTrace {
+    records: Vec<MergedRecord>,
+}
+
+impl MergedTrace {
+    /// The merged records in total order.
+    pub fn records(&self) -> &[MergedRecord] {
+        &self.records
+    }
+
+    /// Serializes the merged stream, one canonical line per record with
+    /// a trailing newline — the golden-pinnable cross-kernel artifact.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        for m in &self.records {
+            out.push_str(&m.line);
             out.push('\n');
         }
         out
@@ -1072,9 +1353,111 @@ mod tests {
         assert_eq!(a, build(), "same call sequence, byte-identical trace");
         assert_eq!(
             a,
-            "000000 @000000004242 graft.invoke g=div0\n\
-             000001 @000000004242 graft.abort g=div0 kind=trap\n"
+            "000000 @000000004242 n0 graft.invoke g=div0\n\
+             000001 @000000004242 n0 graft.abort g=div0 kind=trap\n"
         );
+    }
+
+    #[test]
+    fn span_ids_encode_node_and_counter() {
+        let id = SpanId::new(NodeId(3), 41);
+        assert_eq!(id.node(), NodeId(3));
+        assert_eq!(id.counter(), 41);
+        assert_eq!(id.to_string(), "3.41");
+        assert_eq!(SpanId::NONE.to_string(), "-");
+        assert!(SpanId::NONE.is_none());
+    }
+
+    #[test]
+    fn cause_ctx_roundtrips_on_the_wire() {
+        let ctx = CauseCtx { span: SpanId::new(NodeId(1), 7), parent: SpanId::new(NodeId(0), 3) };
+        assert_eq!(CauseCtx::from_bytes(&ctx.to_bytes()), ctx);
+        assert_eq!(CauseCtx::from_bytes(&CauseCtx::NONE.to_bytes()), CauseCtx::NONE);
+        assert_eq!(ctx.node(), NodeId(1));
+    }
+
+    #[test]
+    fn minted_spans_are_monotonic_and_scoped_emits_carry_them() {
+        let p = plane(16);
+        let a = p.mint_span(SpanId::NONE);
+        let b = p.mint_span(a.span);
+        assert_eq!(a.span.counter(), 1);
+        assert_eq!(b.span.counter(), 2);
+        assert_eq!(b.parent, a.span);
+        let prev = p.set_ctx(a);
+        assert!(prev.is_none());
+        p.emit(TraceEvent::FsRead { fd: 1, len: 8 });
+        p.set_ctx(prev);
+        p.emit(TraceEvent::FsRead { fd: 1, len: 8 });
+        let recs = p.records();
+        assert_eq!(recs[0].ctx, a, "plain emits stamp the context in force");
+        assert_eq!(recs[1].ctx, CauseCtx::NONE, "restored context clears the stamp");
+        let lines = p.serialize();
+        assert!(lines.contains("n0 fs.read fd=1 len=8 span=0.1\n"), "lines: {lines}");
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_causal_counters() {
+        let p = plane(8);
+        let ctx = p.mint_span(SpanId::NONE);
+        p.set_ctx(ctx);
+        p.emit(TraceEvent::FsRead { fd: 1, len: 1 });
+        let st = p.export_state();
+        let q = plane(8);
+        q.restore_state(&st);
+        assert_eq!(q.ctx(), ctx);
+        assert_eq!(q.node(), p.node());
+        assert_eq!(q.mint_span(SpanId::NONE).span, SpanId::new(NodeId(0), 2));
+        assert_eq!(q.serialize(), p.serialize());
+    }
+
+    #[test]
+    fn merge_is_total_ordered_and_argument_order_independent() {
+        let build = || {
+            let clock = VirtualClock::new();
+            let p0 = TracePlane::with_node(Rc::clone(&clock), 16, NodeId(0));
+            let p1 = TracePlane::with_node(Rc::clone(&clock), 16, NodeId(1));
+            let root = p0.mint_span(SpanId::NONE);
+            p0.emit_with_ctx(TraceEvent::FsJournalCommit { seq: 1 }, root);
+            clock.charge(Cycles(60));
+            let child = p1.mint_span(root.span);
+            p1.emit_with_ctx(TraceEvent::ReplApply { seq: 1, blocks: 2 }, child);
+            clock.charge(Cycles(60));
+            p0.emit_with_ctx(TraceEvent::ReplAck { acked: 1 }, p0.mint_span(child.span));
+            (p0, p1)
+        };
+        let (p0, p1) = build();
+        let ab = TracePlane::merge_streams(&[&p0, &p1]).serialize();
+        let ba = TracePlane::merge_streams(&[&p1, &p0]).serialize();
+        assert_eq!(ab, ba, "merge is stable under argument order");
+        assert_eq!(
+            ab,
+            "000000 @000000000000 n0 fs.journal_commit seq=1 span=0.1\n\
+             000000 @000000000060 n1 repl.apply seq=1 blocks=2 span=1.1 parent=0.1\n\
+             000001 @000000000120 n0 repl.ack acked=1 span=0.2 parent=1.1\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct node ids")]
+    fn merge_rejects_duplicate_node_ids() {
+        let clock = VirtualClock::new();
+        let p0 = TracePlane::with_node(Rc::clone(&clock), 8, NodeId(0));
+        let p1 = TracePlane::with_node(clock, 8, NodeId(0));
+        let _ = TracePlane::merge_streams(&[&p0, &p1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "never opened")]
+    fn merge_catches_orphan_parents_on_unwrapped_rings() {
+        let clock = VirtualClock::new();
+        let p0 = TracePlane::with_node(Rc::clone(&clock), 8, NodeId(0));
+        let p1 = TracePlane::with_node(clock, 8, NodeId(1));
+        // A child citing a parent span no merged record ever carried.
+        let orphan =
+            CauseCtx { span: SpanId::new(NodeId(1), 1), parent: SpanId::new(NodeId(0), 9) };
+        p1.emit_with_ctx(TraceEvent::ReplApply { seq: 1, blocks: 1 }, orphan);
+        let _ = TracePlane::merge_streams(&[&p0, &p1]);
     }
 
     #[test]

@@ -404,6 +404,7 @@ pub struct WatchState {
     global: [RuleCell; MAX_RULES],
     journal_permille: u64,
     repl_lag: u64,
+    repl_lag_age: u64,
     p99: SampleWindow,
     principals: Vec<PrincipalSlot>,
 }
@@ -424,6 +425,9 @@ pub struct WatchPlane {
     journal_permille: Cell<u64>,
     /// Last observed replication lag, in unacked committed records.
     repl_lag: Cell<u64>,
+    /// Last observed replication-lag *age*: virtual cycles since the
+    /// oldest unacked record's commit marker sealed (0 when caught up).
+    repl_lag_age: Cell<u64>,
     p99: RefCell<SampleWindow>,
     principals: RefCell<Vec<PrincipalSlot>>,
     trace: RefCell<Option<Rc<TracePlane>>>,
@@ -474,6 +478,7 @@ impl WatchPlane {
             global: RefCell::new(global),
             journal_permille: Cell::new(0),
             repl_lag: Cell::new(0),
+            repl_lag_age: Cell::new(0),
             p99: RefCell::new(SampleWindow::new()),
             principals: RefCell::new(Vec::with_capacity(principals)),
             trace: RefCell::new(None),
@@ -570,6 +575,25 @@ impl WatchPlane {
         let now = self.clock.now();
         self.repl_lag.set(lag);
         self.eval_signal(Signal::ReplicationLag, 0, now);
+    }
+
+    /// The last observed replication lag, in unacked committed records.
+    pub fn repl_lag(&self) -> u64 {
+        self.repl_lag.get()
+    }
+
+    /// One replication-lag *age* report: the oldest unacked committed
+    /// record sealed `age` virtual cycles ago (pass [`Cycles::ZERO`]
+    /// when the window is empty). A pure gauge — no SLO rule keys on
+    /// it — whose value the `vino-bench lagpath` per-hop breakdown
+    /// reconciles against exactly.
+    pub fn observe_repl_lag_age(&self, age: Cycles) {
+        self.repl_lag_age.set(age.get());
+    }
+
+    /// The last observed replication-lag age, in virtual cycles.
+    pub fn repl_lag_age(&self) -> Cycles {
+        Cycles(self.repl_lag_age.get())
     }
 
     /// One fired lock time-out.
@@ -840,6 +864,7 @@ impl WatchPlane {
             global: *self.global.borrow(),
             journal_permille: self.journal_permille.get(),
             repl_lag: self.repl_lag.get(),
+            repl_lag_age: self.repl_lag_age.get(),
             p99: *self.p99.borrow(),
             principals: self.principals.borrow().clone(),
         }
@@ -863,6 +888,7 @@ impl WatchPlane {
         *self.global.borrow_mut() = st.global;
         self.journal_permille.set(st.journal_permille);
         self.repl_lag.set(st.repl_lag);
+        self.repl_lag_age.set(st.repl_lag_age);
         *self.p99.borrow_mut() = st.p99;
         *self.principals.borrow_mut() = st.principals.clone();
     }

@@ -38,7 +38,8 @@ cargo test -q --test timeline_golden
 
 echo "== stale-golden guard (regenerated goldens must match the checked-in files) =="
 UPDATE_GOLDENS=1 cargo test -q --test trace_golden --test metrics_golden \
-    --test profile_golden --test timeline_golden --test repl_battery
+    --test profile_golden --test timeline_golden --test repl_battery \
+    --test causal_battery
 git diff --exit-code -- tests/goldens
 
 echo "== debugging plane (checkpoint/restore, bisect bound, shrinker minimality) =="
@@ -50,6 +51,9 @@ cargo test -q --test watch_battery
 echo "== replication battery (crash-point x loss-pattern convergence, failover byte-identity) =="
 cargo test -q --test repl_battery
 
+echo "== causal battery (cross-kernel spans, merge stability, lag-path reconciliation) =="
+cargo test -q --test causal_battery
+
 echo "== debugging-plane CLI self-test (bisect + checkpoint resume on the pinned seed) =="
 cargo run -q --release -p vino-bench -- bisect --seed 3405691582 --steps 48
 cargo run -q --release -p vino-bench -- checkpoints --seed 3405691582 --steps 48
@@ -59,6 +63,9 @@ cargo run -q --release -p vino-bench -- watch --seed 3405691582 --hostile
 
 echo "== replication CLI self-test (lossy-wire census, byte-identical replay) =="
 cargo run -q --release -p vino-bench -- repl --seed 3405691582 --steps 24
+
+echo "== lag-path CLI self-test (per-hop sum must reconcile with the lag-age gauge) =="
+cargo run -q --release -p vino-bench -- lagpath --seed 3405691582 --steps 8
 
 echo "== differential profile gate (fails on cost-model drift; --profdiff-write to rebase) =="
 cargo run -q --release -p vino-bench -- --profdiff
@@ -77,5 +84,8 @@ cargo bench -p vino-bench --bench watch_plane
 
 echo "== lint (clippy, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== docs (rustdoc, warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
 echo "== ci.sh: all green =="

@@ -88,7 +88,7 @@ fn scenario(seed: u64, crash_site: FaultSite, loss: Loss, victim: Victim) -> (St
     let fd = fs.open("repl.dat").expect("the workload file survived failover");
     fs.read(fd, 0, 64).expect("and is readable");
     drop(fs);
-    let digest = (h.trace_plane().serialize(), h.metrics_plane().expose(), fp_promoted);
+    let digest = (h.merged_trace().serialize(), h.metrics_plane().expose(), fp_promoted);
     digest
 }
 

@@ -26,7 +26,7 @@ use vino::sim::fault::FaultSite;
 use vino::sim::trace::{
     AbortKind, SfiKind, ShedKind, TraceEvent, TracePlane, VerdictKind, VmExitKind,
 };
-use vino::sim::{render_timeline, Cycles, TimelineOpts};
+use vino::sim::{render_merged_timeline, render_timeline, Cycles, TimelineOpts};
 use vino_bench::debug::{storm_timeline, FaultChoice, StormSpec, StormStep};
 
 /// Mirrors the debug battery's known-bad scenario so the golden shows a
@@ -122,10 +122,12 @@ fn watch_alert_timeline_matches_golden() {
     check_golden("watch_alert_timeline", &out);
 }
 
-/// The repl lane, under fire: ships and retransmissions (`>`), frames
-/// lost to the wire (`L`), applies (`+`), cumulative acks (`K`), and —
-/// after the armed primary crash — the failover promotion (`P`), all
-/// on the shared timeline next to both kernels' fs traffic.
+/// The repl lanes, under fire, on the *merged cross-kernel* timeline:
+/// the primary's ships and retransmissions (`>`), frames lost to the
+/// wire (`L`) and cumulative acks (`K`) on its `n0:` lanes, the
+/// replica's applies (`+`) and — after the armed primary crash — the
+/// failover promotion (`P`) on its `n1:` lanes, with the shared `wire`
+/// lane marking every cross-kernel span link.
 #[test]
 fn repl_timeline_matches_golden() {
     // Window of 1 so each round puts exactly one record on the wire:
@@ -152,10 +154,17 @@ fn repl_timeline_matches_golden() {
     h.run(6);
     h.failover();
     let opts = TimelineOpts { width: 72, ..TimelineOpts::default() };
-    let out = render_timeline(h.trace_plane(), &opts);
-    let repl_lane: String = out.lines().filter(|l| l.starts_with("repl")).collect();
-    for glyph in [">", "+", "K", "P", "L"] {
-        assert!(repl_lane.contains(glyph), "repl lane is missing `{glyph}`:\n{out}");
+    let out =
+        render_merged_timeline(&[h.primary_trace().as_ref(), h.replica_trace().as_ref()], &opts);
+    let lane = |name: &str| -> String { out.lines().filter(|l| l.starts_with(name)).collect() };
+    for glyph in [">", "K", "L"] {
+        assert!(lane("n0:repl").contains(glyph), "primary repl lane is missing `{glyph}`:\n{out}");
+    }
+    for glyph in ["+", "P"] {
+        assert!(lane("n1:repl").contains(glyph), "replica repl lane is missing `{glyph}`:\n{out}");
+    }
+    for glyph in ["\\", "/"] {
+        assert!(lane("wire").contains(glyph), "wire lane is missing `{glyph}`:\n{out}");
     }
     check_golden("repl_timeline", &out);
 }
